@@ -1,0 +1,71 @@
+//! The theoretical instances of the paper as benchmarks: the Theorem-1
+//! starvation stream and the Theorem-2 SWRPT lower-bound sequence.  Besides
+//! timing the single-processor simulator on them, the benches assert the
+//! qualitative results (SRPT starves the large job; SWRPT's sum-stretch ratio
+//! approaches 2).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use stretch_core::adversarial::{starvation_instance, swrpt_lower_bound_instance};
+use stretch_core::priority::PriorityRule;
+use stretch_core::uniproc::{max_stretch_of, simulate_priority, sum_stretch_of};
+
+fn bench_adversarial(c: &mut Criterion) {
+    let mut group = c.benchmark_group("adversarial");
+    group.sample_size(20);
+
+    // k must exceed Δ² for the starvation effect to dominate (below that
+    // point delaying the big job is actually optimal).
+    let starvation = starvation_instance(10.0, 400);
+    group.bench_function("theorem1/srpt", |b| {
+        b.iter(|| {
+            let completions = simulate_priority(black_box(&starvation), PriorityRule::Srpt, None);
+            black_box(max_stretch_of(&starvation, &completions))
+        })
+    });
+    group.bench_function("theorem1/fcfs", |b| {
+        b.iter(|| {
+            let completions = simulate_priority(black_box(&starvation), PriorityRule::Fcfs, None);
+            black_box(max_stretch_of(&starvation, &completions))
+        })
+    });
+    // Qualitative check (Theorem 1): SRPT's max-stretch on the starvation
+    // stream is far above FCFS's.
+    let srpt_ms = max_stretch_of(
+        &starvation,
+        &simulate_priority(&starvation, PriorityRule::Srpt, None),
+    );
+    let fcfs_ms = max_stretch_of(
+        &starvation,
+        &simulate_priority(&starvation, PriorityRule::Fcfs, None),
+    );
+    assert!(srpt_ms > 2.0 * fcfs_ms);
+
+    let (lower_bound, _) = swrpt_lower_bound_instance(0.5, 800);
+    group.bench_function("theorem2/swrpt", |b| {
+        b.iter(|| {
+            let completions = simulate_priority(black_box(&lower_bound), PriorityRule::Swrpt, None);
+            black_box(sum_stretch_of(&lower_bound, &completions))
+        })
+    });
+    group.bench_function("theorem2/srpt", |b| {
+        b.iter(|| {
+            let completions = simulate_priority(black_box(&lower_bound), PriorityRule::Srpt, None);
+            black_box(sum_stretch_of(&lower_bound, &completions))
+        })
+    });
+    let swrpt = sum_stretch_of(
+        &lower_bound,
+        &simulate_priority(&lower_bound, PriorityRule::Swrpt, None),
+    );
+    let srpt = sum_stretch_of(
+        &lower_bound,
+        &simulate_priority(&lower_bound, PriorityRule::Srpt, None),
+    );
+    assert!(swrpt / srpt > 1.4, "ratio {}", swrpt / srpt);
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_adversarial);
+criterion_main!(benches);

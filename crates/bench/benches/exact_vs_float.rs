@@ -1,0 +1,60 @@
+//! Ablation: floating-point versus exact-rational simplex.
+//!
+//! §5.3 reports that the off-line optimal is occasionally "beaten" by an
+//! on-line heuristic because floating-point rounding merges two nearly equal
+//! milestones.  The exact rational mode of `stretch-lp` removes that failure
+//! mode; this bench quantifies its cost on System-(1)-shaped LPs so DESIGN.md
+//! can state the trade-off.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use stretch_lp::problem::{Problem, Relation, Sense};
+
+/// A small deadline-feasibility-shaped LP: minimise F subject to interval
+/// capacities that grow affinely with F.
+fn system1_like(jobs: usize) -> Problem {
+    let mut p = Problem::new(Sense::Minimize);
+    let f = p.add_var("F");
+    p.set_objective_coeff(f, 1.0);
+    for j in 0..jobs {
+        let alloc_early = p.add_var(format!("a{j}_early"));
+        let alloc_late = p.add_var(format!("a{j}_late"));
+        // Work of each job fully allocated.
+        p.add_constraint_coeffs(
+            &[(alloc_early, 1.0), (alloc_late, 1.0)],
+            Relation::Eq,
+            1.0 + j as f64 * 0.25,
+        );
+        // Early interval capacity does not depend on F; the late one grows
+        // with F (duration = deadline - constant).
+        p.add_constraint_coeffs(&[(alloc_early, 1.0)], Relation::Le, 0.5);
+        let mut expr = stretch_lp::LinExpr::term(alloc_late, 1.0);
+        expr.add_term(f, -(1.0 + j as f64 * 0.25));
+        p.add_constraint(expr, Relation::Le, 0.0);
+    }
+    p
+}
+
+fn bench_exact_vs_float(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact_vs_float");
+    group.sample_size(20);
+    for jobs in [4usize, 8, 12] {
+        let lp = system1_like(jobs);
+        group.bench_function(format!("float/{jobs}-jobs"), |b| {
+            b.iter(|| black_box(lp.solve().unwrap().objective))
+        });
+        group.bench_function(format!("exact/{jobs}-jobs"), |b| {
+            b.iter(|| black_box(lp.solve_exact().unwrap().objective))
+        });
+        let float = lp.solve().unwrap().objective;
+        let exact = lp.solve_exact().unwrap().objective;
+        assert!(
+            (float - exact).abs() < 1e-6 * exact.max(1.0),
+            "float {float} vs exact {exact}"
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_exact_vs_float);
+criterion_main!(benches);

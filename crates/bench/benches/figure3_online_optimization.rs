@@ -1,0 +1,42 @@
+//! Figure 3 reproduction bench: the optimized versus non-optimized on-line
+//! heuristic.  Criterion measures both schedulers on the same instance (the
+//! optimisation of System (2) costs extra scheduling time); the scaled-down
+//! Figure 3 series is printed once.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use stretch_bench::bench_instance;
+use stretch_core::{OnlineScheduler, Scheduler};
+use stretch_experiments::figure3::{render_figure3, run_figure3, Figure3Settings};
+
+fn bench_online_optimization(c: &mut Criterion) {
+    let points = run_figure3(&Figure3Settings::smoke());
+    println!("\n{}\n", render_figure3(&points));
+
+    let instance = bench_instance(3, 3, 15, 7);
+    let mut group = c.benchmark_group("figure3");
+    group.sample_size(10);
+    group.bench_function("online/optimized", |b| {
+        b.iter(|| {
+            let r = OnlineScheduler::online()
+                .schedule(black_box(&instance))
+                .unwrap();
+            black_box((r.metrics.max_stretch, r.metrics.sum_stretch))
+        })
+    });
+    group.bench_function("online/non-optimized", |b| {
+        b.iter(|| {
+            let r = OnlineScheduler::non_optimized()
+                .schedule(black_box(&instance))
+                .unwrap();
+            black_box((r.metrics.max_stretch, r.metrics.sum_stretch))
+        })
+    });
+    group.bench_function("figure3/smoke-sweep", |b| {
+        b.iter(|| black_box(run_figure3(&Figure3Settings::smoke()).len()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_online_optimization);
+criterion_main!(benches);

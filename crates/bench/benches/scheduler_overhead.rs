@@ -1,0 +1,47 @@
+//! The §5.3 scheduling-overhead comparison as a Criterion benchmark: how much
+//! wall-clock time each scheduler spends making decisions on a 3-cluster
+//! platform.  The paper reports ~0.28 s for the on-line heuristics, ~0.54 s
+//! for the off-line optimal and ~19.8 s for Bender98 on 15-minute workloads;
+//! here the workload is scaled down but the ranking (list/greedy ≪ on-line LP
+//! ≤ off-line < Bender98) must be preserved.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use stretch_bench::bench_instance;
+use stretch_core::{
+    Bender98Scheduler, ListScheduler, MctScheduler, OfflineScheduler, OnlineScheduler, Scheduler,
+};
+use stretch_experiments::run_overhead_study;
+
+fn bench_scheduler_overhead(c: &mut Criterion) {
+    let report = run_overhead_study(2, 20, 11);
+    println!("\n{}\n", report.render());
+
+    let instance = bench_instance(3, 3, 20, 3);
+    let schedulers: Vec<Box<dyn Scheduler>> = vec![
+        Box::new(MctScheduler::mct()),
+        Box::new(MctScheduler::mct_div()),
+        Box::new(ListScheduler::srpt()),
+        Box::new(ListScheduler::swrpt()),
+        Box::new(ListScheduler::bender02()),
+        Box::new(OnlineScheduler::online()),
+        Box::new(OnlineScheduler::online_edf()),
+        Box::new(OnlineScheduler::online_egdf()),
+        Box::new(OfflineScheduler::new()),
+        Box::new(Bender98Scheduler::new()),
+    ];
+    let mut group = c.benchmark_group("overhead");
+    group.sample_size(10);
+    for scheduler in &schedulers {
+        group.bench_function(scheduler.name(), |b| {
+            b.iter(|| {
+                let r = scheduler.schedule(black_box(&instance)).unwrap();
+                black_box(r.metrics.max_stretch)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scheduler_overhead);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Micro-benchmarks of the optimisation substrates the schedulers rely on:
+//! the dense simplex of `stretch-lp` and the max-flow / min-cost-flow of
+//! `stretch-flow`, on transportation problems shaped like the paper's
+//! System (1) and System (2).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use stretch_flow::maxflow::max_flow;
+use stretch_flow::{FlowNetwork, TransportInstance};
+use stretch_lp::problem::{Problem, Relation, Sense};
+
+/// Builds a jobs × bins transportation LP (the System-(2) shape).
+fn transport_lp(jobs: usize, bins: usize) -> Problem {
+    let mut p = Problem::new(Sense::Minimize);
+    let mut vars = vec![vec![0usize; bins]; jobs];
+    for (j, row) in vars.iter_mut().enumerate() {
+        for (b, v) in row.iter_mut().enumerate() {
+            *v = p.add_var(format!("x_{j}_{b}"));
+            p.set_objective_coeff(*v, (b + 1) as f64 / (j + 1) as f64);
+        }
+    }
+    for (j, row) in vars.iter().enumerate() {
+        let coeffs: Vec<_> = row.iter().map(|&v| (v, 1.0)).collect();
+        p.add_constraint_coeffs(&coeffs, Relation::Eq, 1.0 + j as f64 * 0.5);
+    }
+    for b in 0..bins {
+        let coeffs: Vec<_> = vars.iter().map(|row| (row[b], 1.0)).collect();
+        p.add_constraint_coeffs(&coeffs, Relation::Le, 2.0 + b as f64);
+    }
+    p
+}
+
+/// Builds the same problem as a flow transportation instance.
+fn transport_flow(jobs: usize, bins: usize) -> TransportInstance {
+    let mut t = TransportInstance::new(jobs, bins);
+    for j in 0..jobs {
+        t.set_demand(j, 1.0 + j as f64 * 0.5);
+    }
+    for b in 0..bins {
+        t.set_capacity(b, 2.0 + b as f64);
+    }
+    for j in 0..jobs {
+        for b in 0..bins {
+            t.add_route(j, b, (b + 1) as f64 / (j + 1) as f64);
+        }
+    }
+    t
+}
+
+fn bench_solvers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solvers");
+    group.sample_size(20);
+
+    let lp = transport_lp(8, 10);
+    group.bench_function("simplex/transportation-8x10", |b| {
+        b.iter(|| black_box(lp.solve().unwrap().objective))
+    });
+
+    let flow = transport_flow(8, 10);
+    group.bench_function("mincost-flow/transportation-8x10", |b| {
+        b.iter(|| black_box(flow.solve_min_cost().unwrap().cost))
+    });
+    let big = transport_flow(40, 60);
+    group.bench_function("mincost-flow/transportation-40x60", |b| {
+        b.iter(|| black_box(big.solve_min_cost().unwrap().cost))
+    });
+    group.bench_function("maxflow/feasibility-40x60", |b| {
+        b.iter(|| black_box(big.is_feasible()))
+    });
+
+    group.bench_function("dinic/layered-graph", |b| {
+        b.iter(|| {
+            let mut g = FlowNetwork::new(64);
+            for i in 0..62 {
+                g.add_edge(i, i + 1, 1.0 + (i % 5) as f64, 0.0);
+                g.add_edge(i, 63, 0.5, 0.0);
+            }
+            black_box(max_flow(&mut g, 0, 63).value)
+        })
+    });
+    // The two back-ends must agree (the property the scheduler depends on).
+    let lp_cost = lp.solve().unwrap().objective;
+    let flow_cost = flow.solve_min_cost().unwrap().cost;
+    assert!(
+        (lp_cost - flow_cost).abs() < 1e-4 * lp_cost.max(1.0),
+        "LP {lp_cost} vs flow {flow_cost}"
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_solvers);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Table 1 reproduction bench: runs the full heuristic battery of the paper
+//! on a small random GriPPS instance and checks the qualitative ordering the
+//! paper reports (the on-line LP heuristics are near-optimal for max-stretch,
+//! MCT is far worse), while Criterion measures the cost of each scheduler.
+//!
+//! A scaled-down Table 1 is printed once at the beginning of the run; the
+//! full-scale table is produced by
+//! `cargo run --release -p stretch-experiments --bin repro_table1`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use stretch_bench::bench_instance;
+use stretch_experiments::{reduced_grid, run_campaign, table1, CampaignSettings};
+use stretch_experiments::{heuristic_battery, HeuristicKind};
+
+fn print_scaled_down_table1() {
+    let result = run_campaign(&reduced_grid(), CampaignSettings::smoke());
+    let table = table1(&result.observations);
+    println!("\n{table}\n");
+    // Qualitative shape of Table 1: the off-line optimal is the max-stretch
+    // reference and MCT degrades it by a large factor.
+    let offline = table.row("Offline").unwrap().max_stretch.unwrap();
+    let mct = table.row("MCT").unwrap().max_stretch.unwrap();
+    assert!(offline.mean <= 1.01);
+    assert!(
+        mct.mean > 1.5,
+        "MCT should degrade max-stretch substantially (got {})",
+        mct.mean
+    );
+}
+
+fn bench_heuristic_battery(c: &mut Criterion) {
+    print_scaled_down_table1();
+
+    let instance = bench_instance(3, 3, 15, 42);
+    let mut group = c.benchmark_group("table1/heuristics");
+    group.sample_size(10);
+    for (kind, scheduler) in heuristic_battery() {
+        if !kind.runs_on(3) {
+            continue;
+        }
+        // Bender98 is far slower than the rest; keep it but on the same tiny
+        // instance so the bench stays tractable (the paper's overhead section
+        // makes the same concession).
+        let label = kind.name();
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let result = scheduler.schedule(black_box(&instance)).expect("schedulable");
+                black_box(result.metrics.max_stretch)
+            })
+        });
+        if kind == HeuristicKind::Bender98 {
+            // One sanity check outside the timing loop: Bender98 never beats
+            // the off-line optimum.
+            let offline = HeuristicKind::Offline
+                .scheduler()
+                .schedule(&instance)
+                .unwrap()
+                .metrics
+                .max_stretch;
+            let bender = scheduler.schedule(&instance).unwrap().metrics.max_stretch;
+            assert!(bender >= offline * 0.999);
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_heuristic_battery);
+criterion_main!(benches);

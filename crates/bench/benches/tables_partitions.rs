@@ -1,0 +1,50 @@
+//! Tables 2–16 reproduction bench: measures the cost of running a reduced
+//! campaign and of assembling every partitioned table (by sites, density,
+//! databank count and availability), and prints the scaled-down tables once.
+//!
+//! The full-scale tables are produced by the `repro_tables_by_*` binaries of
+//! `stretch-experiments`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use stretch_experiments::{
+    reduced_grid, run_campaign, tables_by_availability, tables_by_databases, tables_by_density,
+    tables_by_sites, CampaignSettings,
+};
+
+fn bench_partitioned_tables(c: &mut Criterion) {
+    let result = run_campaign(&reduced_grid(), CampaignSettings::smoke());
+
+    // Print the scaled-down versions once for eyeballing against the paper.
+    for table in tables_by_sites(&result.observations) {
+        println!("{table}");
+    }
+    for table in tables_by_availability(&result.observations) {
+        println!("{table}");
+    }
+
+    let mut group = c.benchmark_group("tables");
+    group.sample_size(10);
+    group.bench_function("campaign/reduced-grid", |b| {
+        b.iter(|| {
+            let r = run_campaign(black_box(&reduced_grid()), CampaignSettings::smoke());
+            black_box(r.len())
+        })
+    });
+    group.bench_function("partition/by-sites", |b| {
+        b.iter(|| black_box(tables_by_sites(&result.observations).len()))
+    });
+    group.bench_function("partition/by-density", |b| {
+        b.iter(|| black_box(tables_by_density(&result.observations).len()))
+    });
+    group.bench_function("partition/by-databases", |b| {
+        b.iter(|| black_box(tables_by_databases(&result.observations).len()))
+    });
+    group.bench_function("partition/by-availability", |b| {
+        b.iter(|| black_box(tables_by_availability(&result.observations).len()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_partitioned_tables);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! # stretch-bench
+//!
+//! Shared fixtures for the Criterion benchmarks that reproduce the paper's
+//! tables and figures at a reduced scale.  The benches themselves live in
+//! `benches/`:
+//!
+//! | bench | reproduces |
+//! |---|---|
+//! | `table1_aggregate` | Table 1 (aggregate heuristic comparison) |
+//! | `tables_partitions` | Tables 2–16 (partitioned statistics) |
+//! | `figure3_online_optimization` | Figure 3 (optimized vs non-optimized on-line heuristic) |
+//! | `scheduler_overhead` | the §5.3 scheduling-overhead comparison |
+//! | `solvers` | the LP / flow substrates (micro-benchmarks) |
+//! | `adversarial` | the Theorem 1 and Theorem 2 instances |
+//! | `exact_vs_float` | the exact-rational vs floating-point simplex ablation |
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use stretch_platform::{PlatformConfig, PlatformGenerator};
+use stretch_workload::{Instance, WorkloadConfig, WorkloadGenerator};
+
+/// Draws a deterministic random instance of roughly `target_jobs` jobs on a
+/// platform with the given number of sites.
+pub fn bench_instance(sites: usize, databanks: usize, target_jobs: usize, seed: u64) -> Instance {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let platform = PlatformGenerator::new(PlatformConfig::new(sites, databanks, 0.6))
+        .generate(&mut rng);
+    let probe = WorkloadGenerator::new(WorkloadConfig {
+        density: 1.5,
+        window: 1.0,
+        scan_fraction: 1.0,
+    });
+    let rate = probe.expected_job_count(&platform).max(1e-9);
+    let generator = WorkloadGenerator::new(WorkloadConfig {
+        density: 1.5,
+        window: (target_jobs as f64 / rate).max(1e-3),
+        scan_fraction: 1.0,
+    });
+    generator.generate_instance(platform, &mut rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_instance_is_deterministic_and_nonempty() {
+        let a = bench_instance(3, 3, 12, 1);
+        let b = bench_instance(3, 3, 12, 1);
+        assert_eq!(a.num_jobs(), b.num_jobs());
+        assert!(a.num_jobs() > 0);
+    }
+}

@@ -1,0 +1,530 @@
+//! Deadline-scheduling machinery shared by the off-line optimal solver
+//! (§4.3.1) and the on-line heuristics (§4.3.2).
+//!
+//! Looking for a schedule of max-stretch at most `F` is equivalent to asking
+//! every job `J_j` to finish before the deadline `d_j(F) = r_j + F · W_j`.
+//! Once `F` is fixed, the *epochal times* (ready times and deadlines) cut the
+//! time axis into intervals on which the paper's Systems (1) and (2) are
+//! written.  With jobs divisible and sites collapsed per Lemma 1, the
+//! resulting problems are transportation problems, solved here with
+//! `stretch-flow`; the LP formulations of [`crate::system1`] and
+//! [`crate::system2`] are kept for fidelity and cross-validation.
+
+use crate::sites::SiteView;
+use stretch_flow::TransportInstance;
+
+/// Relative tolerance used when bisecting on the objective `F`.
+pub const STRETCH_TOL: f64 = 1e-7;
+
+/// A job still needing work, as seen by the deadline-scheduling problems.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PendingJob {
+    /// Job id in the instance.
+    pub job_id: usize,
+    /// Original release date `r_j` (enters the deadline formula).
+    pub release: f64,
+    /// Earliest time the remaining work may execute (`max(r_j, now)` for
+    /// on-line schedulers, `r_j` off-line).
+    pub ready: f64,
+    /// Original size `W_j` (enters the deadline formula).
+    pub work: f64,
+    /// Remaining work to schedule.
+    pub remaining: f64,
+    /// Target databank (eligibility).
+    pub databank: usize,
+}
+
+impl PendingJob {
+    /// Deadline under max-stretch objective `F`.
+    pub fn deadline(&self, stretch: f64) -> f64 {
+        self.release + stretch * self.work
+    }
+}
+
+/// A work piece of the allocation produced by System (2): `work` units of
+/// `job_id` assigned to `site` within interval `interval`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Piece {
+    /// Index into the pending-job list.
+    pub job_index: usize,
+    /// Job id in the instance.
+    pub job_id: usize,
+    /// Site index (cluster).
+    pub site: usize,
+    /// Index into [`AllocationPlan::intervals`].
+    pub interval: usize,
+    /// Amount of work (MB).
+    pub work: f64,
+}
+
+/// The full allocation of remaining work over sites and epochal intervals.
+#[derive(Clone, Debug, Default)]
+pub struct AllocationPlan {
+    /// Epochal intervals `[start, end)`, in increasing order.
+    pub intervals: Vec<(f64, f64)>,
+    /// Work pieces; several pieces may refer to the same `(job, site,
+    /// interval)` triple (they are simply summed by consumers).
+    pub pieces: Vec<Piece>,
+}
+
+impl AllocationPlan {
+    /// Total work assigned to one job across all pieces.
+    pub fn work_of(&self, job_index: usize) -> f64 {
+        self.pieces
+            .iter()
+            .filter(|p| p.job_index == job_index)
+            .map(|p| p.work)
+            .sum()
+    }
+
+    /// Index of the last interval in which `job_index` receives work (over
+    /// all sites), if any.
+    pub fn completion_interval(&self, job_index: usize) -> Option<usize> {
+        self.pieces
+            .iter()
+            .filter(|p| p.job_index == job_index && p.work > 1e-12)
+            .map(|p| p.interval)
+            .max()
+    }
+
+    /// Index of the last interval in which `job_index` receives work on
+    /// `site`, if any.
+    pub fn completion_interval_on_site(&self, job_index: usize, site: usize) -> Option<usize> {
+        self.pieces
+            .iter()
+            .filter(|p| p.job_index == job_index && p.site == site && p.work > 1e-12)
+            .map(|p| p.interval)
+            .max()
+    }
+}
+
+/// A deadline-scheduling / max-stretch-minimisation problem at a given time.
+#[derive(Clone, Debug)]
+pub struct DeadlineProblem {
+    /// Jobs with remaining work.
+    pub jobs: Vec<PendingJob>,
+    /// Site-level platform view.
+    pub sites: SiteView,
+    /// Current time: no work may be scheduled before it.
+    pub now: f64,
+}
+
+impl DeadlineProblem {
+    /// Creates a problem; jobs with no remaining work are dropped.
+    pub fn new(jobs: Vec<PendingJob>, sites: SiteView, now: f64) -> Self {
+        let jobs = jobs.into_iter().filter(|j| j.remaining > 1e-12).collect();
+        DeadlineProblem { jobs, sites, now }
+    }
+
+    /// `true` when no work remains to be scheduled.
+    pub fn is_trivial(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// The milestone values of `F`: candidate points where the relative order
+    /// of ready times and deadlines changes (§4.3.1).  Sorted, deduplicated,
+    /// strictly positive.
+    pub fn milestones(&self) -> Vec<f64> {
+        let mut ms = Vec::new();
+        for j in &self.jobs {
+            for k in &self.jobs {
+                // Deadline of j meets the ready time of k.
+                let f = (k.ready - j.release) / j.work;
+                if f > 0.0 && f.is_finite() {
+                    ms.push(f);
+                }
+                // Deadline of j meets deadline of k.
+                if (j.work - k.work).abs() > 1e-12 {
+                    let f = (k.release - j.release) / (j.work - k.work);
+                    if f > 0.0 && f.is_finite() {
+                        ms.push(f);
+                    }
+                }
+            }
+        }
+        ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        ms.dedup_by(|a, b| (*a - *b).abs() <= 1e-12 * b.abs().max(1.0));
+        ms
+    }
+
+    /// The epochal times for a fixed objective `F`: `now`, every ready time
+    /// and every deadline, clamped to `[now, ∞)`, sorted and deduplicated.
+    pub fn epochal_times(&self, stretch: f64) -> Vec<f64> {
+        let mut times = vec![self.now];
+        for j in &self.jobs {
+            times.push(j.ready.max(self.now));
+            times.push(j.deadline(stretch).max(self.now));
+        }
+        times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        times.dedup_by(|a, b| (*a - *b).abs() <= 1e-9 * b.abs().max(1.0));
+        times
+    }
+
+    /// The epochal intervals `[t_k, t_{k+1})` for a fixed objective `F`.
+    pub fn intervals(&self, stretch: f64) -> Vec<(f64, f64)> {
+        let times = self.epochal_times(stretch);
+        times.windows(2).map(|w| (w[0], w[1])).collect()
+    }
+
+    /// Builds the transportation instance expressing deadline feasibility for
+    /// a fixed `F` (the flow form of System (1)): jobs ship their remaining
+    /// work into `(site, interval)` bins.
+    ///
+    /// Route costs are set by `cost`, a function of the interval `(start,
+    /// end)` and of the job index; pass `|_, _| 0.0` for a pure feasibility
+    /// check or the System-(2) cost for the refined allocation.
+    pub fn transport(
+        &self,
+        stretch: f64,
+        cost: impl Fn(usize, (f64, f64)) -> f64,
+    ) -> (TransportInstance, Vec<(f64, f64)>) {
+        let intervals = self.intervals(stretch);
+        let num_sites = self.sites.len();
+        let mut t = TransportInstance::new(self.jobs.len(), num_sites * intervals.len());
+        for (j, job) in self.jobs.iter().enumerate() {
+            t.set_demand(j, job.remaining);
+        }
+        for (s, site) in self.sites.sites.iter().enumerate() {
+            for (i, &(start, end)) in intervals.iter().enumerate() {
+                let bin = s * intervals.len() + i;
+                t.set_capacity(bin, site.speed * (end - start));
+            }
+        }
+        for (j, job) in self.jobs.iter().enumerate() {
+            let deadline = job.deadline(stretch);
+            for (s, site) in self.sites.sites.iter().enumerate() {
+                if !site.hosts(job.databank) {
+                    continue;
+                }
+                for (i, &(start, end)) in intervals.iter().enumerate() {
+                    if job.ready.max(self.now) <= start + 1e-9 && deadline >= end - 1e-9 {
+                        let bin = s * intervals.len() + i;
+                        t.add_route(j, bin, cost(j, (start, end)));
+                    }
+                }
+            }
+        }
+        (t, intervals)
+    }
+
+    /// `true` when a schedule with max-stretch at most `F` exists.
+    pub fn feasible(&self, stretch: f64) -> bool {
+        if self.is_trivial() {
+            return true;
+        }
+        let (t, _) = self.transport(stretch, |_, _| 0.0);
+        t.is_feasible()
+    }
+
+    /// A lower bound on the achievable max-stretch: every job needs at least
+    /// `remaining / (speed of its eligible sites)` seconds starting from its
+    /// ready time.
+    pub fn stretch_lower_bound(&self) -> f64 {
+        self.jobs
+            .iter()
+            .map(|j| {
+                let speed = self.sites.speed_for(j.databank);
+                if speed <= 0.0 {
+                    return f64::INFINITY;
+                }
+                let earliest_completion = j.ready.max(self.now) + j.remaining / speed;
+                (earliest_completion - j.release) / j.work
+            })
+            .fold(0.0, f64::max)
+    }
+
+    /// The smallest achievable max-stretch, by bisection on the (monotone)
+    /// feasibility predicate.  Returns `None` when some job cannot be served
+    /// by any site (no finite stretch is feasible).
+    pub fn min_feasible_stretch(&self) -> Option<f64> {
+        if self.is_trivial() {
+            return Some(0.0);
+        }
+        let lo_bound = self.stretch_lower_bound();
+        if !lo_bound.is_finite() {
+            return None;
+        }
+        if self.feasible(lo_bound) {
+            return Some(lo_bound);
+        }
+        // Exponential search for a feasible upper bound.
+        let mut hi = lo_bound.max(1e-6) * 2.0;
+        let mut tries = 0;
+        while !self.feasible(hi) {
+            hi *= 2.0;
+            tries += 1;
+            if tries > 80 {
+                return None;
+            }
+        }
+        let mut lo = lo_bound;
+        while (hi - lo) > STRETCH_TOL * hi.max(1.0) {
+            let mid = 0.5 * (lo + hi);
+            if self.feasible(mid) {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        Some(hi)
+    }
+
+    /// The paper's milestone-based search (§4.3.1): binary-search the sorted
+    /// milestones for the first feasible one, then refine inside the interval
+    /// between the last infeasible and the first feasible milestone.
+    ///
+    /// This is functionally equivalent to [`Self::min_feasible_stretch`] (and
+    /// cross-checked against it in tests); it exists to mirror the paper's
+    /// algorithm and to drive the exact LP back-end of [`crate::system1`].
+    pub fn min_feasible_stretch_milestones(&self) -> Option<f64> {
+        if self.is_trivial() {
+            return Some(0.0);
+        }
+        let milestones = self.milestones();
+        if milestones.is_empty() {
+            return self.min_feasible_stretch();
+        }
+        // Find the first feasible milestone (feasibility is monotone in F).
+        if !self.feasible(milestones[milestones.len() - 1]) {
+            // The optimum lies beyond the last milestone; fall back to plain
+            // bisection which handles unbounded search.
+            return self.min_feasible_stretch();
+        }
+        let mut lo_idx = 0usize; // may be infeasible
+        let mut hi_idx = milestones.len() - 1; // feasible
+        if self.feasible(milestones[0]) {
+            hi_idx = 0;
+        } else {
+            while hi_idx - lo_idx > 1 {
+                let mid = (lo_idx + hi_idx) / 2;
+                if self.feasible(milestones[mid]) {
+                    hi_idx = mid;
+                } else {
+                    lo_idx = mid;
+                }
+            }
+        }
+        // The optimum lies in (previous milestone (or lower bound), milestones[hi_idx]].
+        let mut hi = milestones[hi_idx];
+        let mut lo = if hi_idx == 0 {
+            self.stretch_lower_bound().min(hi)
+        } else {
+            milestones[hi_idx - 1]
+        };
+        if self.feasible(lo) {
+            return Some(lo);
+        }
+        while (hi - lo) > STRETCH_TOL * hi.max(1.0) {
+            let mid = 0.5 * (lo + hi);
+            if self.feasible(mid) {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        Some(hi)
+    }
+
+    /// Solves System (2) at objective `F`: ship every remaining unit of work,
+    /// minimising the sum over jobs of (interval midpoint) × (fraction of the
+    /// job placed there) — the rational relaxation of the sum-stretch used by
+    /// the paper's on-line heuristics.  Returns `None` when `F` is
+    /// infeasible.
+    pub fn system2_allocation(&self, stretch: f64) -> Option<AllocationPlan> {
+        if self.is_trivial() {
+            return Some(AllocationPlan::default());
+        }
+        let (t, intervals) = self.transport(stretch, |job_idx, (start, end)| {
+            0.5 * (start + end) / self.jobs[job_idx].work
+        });
+        let solution = t.solve_min_cost()?;
+        let num_intervals = intervals.len();
+        let pieces = solution
+            .allocations
+            .iter()
+            .map(|&(job_index, bin, work)| Piece {
+                job_index,
+                job_id: self.jobs[job_index].job_id,
+                site: bin / num_intervals,
+                interval: bin % num_intervals,
+                work,
+            })
+            .collect();
+        Some(AllocationPlan { intervals, pieces })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sites::{Site, SiteView};
+
+    fn one_site(speed: f64) -> SiteView {
+        SiteView {
+            sites: vec![Site {
+                cluster: 0,
+                speed,
+                hosted_databanks: vec![0, 1],
+            }],
+        }
+    }
+
+    fn two_sites() -> SiteView {
+        SiteView {
+            sites: vec![
+                Site {
+                    cluster: 0,
+                    speed: 1.0,
+                    hosted_databanks: vec![0],
+                },
+                Site {
+                    cluster: 1,
+                    speed: 2.0,
+                    hosted_databanks: vec![0, 1],
+                },
+            ],
+        }
+    }
+
+    fn job(id: usize, release: f64, work: f64, databank: usize) -> PendingJob {
+        PendingJob {
+            job_id: id,
+            release,
+            ready: release,
+            work,
+            remaining: work,
+            databank,
+        }
+    }
+
+    #[test]
+    fn single_job_min_stretch_is_one_on_unit_speed_site() {
+        let p = DeadlineProblem::new(vec![job(0, 0.0, 4.0, 0)], one_site(1.0), 0.0);
+        let s = p.min_feasible_stretch().unwrap();
+        assert!((s - 1.0).abs() < 1e-5, "stretch {s}");
+    }
+
+    #[test]
+    fn two_simultaneous_jobs_share_the_processor() {
+        // Two unit jobs at t=0 on a unit-speed site: both finish by 2, so the
+        // minimal max-stretch is 2.
+        let p = DeadlineProblem::new(
+            vec![job(0, 0.0, 1.0, 0), job(1, 0.0, 1.0, 0)],
+            one_site(1.0),
+            0.0,
+        );
+        let s = p.min_feasible_stretch().unwrap();
+        assert!((s - 2.0).abs() < 1e-4, "stretch {s}");
+    }
+
+    #[test]
+    fn milestone_search_matches_bisection() {
+        let p = DeadlineProblem::new(
+            vec![
+                job(0, 0.0, 3.0, 0),
+                job(1, 1.0, 1.0, 0),
+                job(2, 2.0, 2.0, 1),
+            ],
+            two_sites(),
+            0.0,
+        );
+        let a = p.min_feasible_stretch().unwrap();
+        let b = p.min_feasible_stretch_milestones().unwrap();
+        assert!((a - b).abs() < 1e-4, "bisection {a} vs milestones {b}");
+    }
+
+    #[test]
+    fn restricted_availability_raises_the_optimum() {
+        // Databank 1 only on site 1 (speed 2): a databank-1 job cannot use
+        // site 0, so its earliest completion is bounded by site 1 alone.
+        let jobs = vec![job(0, 0.0, 4.0, 1)];
+        let restricted = DeadlineProblem::new(jobs.clone(), two_sites(), 0.0);
+        let s = restricted.min_feasible_stretch().unwrap();
+        // Alone on site 1 (speed 2): completes at 2, stretch = 2/4 = 0.5.
+        assert!((s - 0.5).abs() < 1e-5, "stretch {s}");
+    }
+
+    #[test]
+    fn infeasible_when_no_site_hosts_the_databank() {
+        let sites = SiteView {
+            sites: vec![Site {
+                cluster: 0,
+                speed: 1.0,
+                hosted_databanks: vec![0],
+            }],
+        };
+        let p = DeadlineProblem::new(vec![job(0, 0.0, 1.0, 7)], sites, 0.0);
+        assert_eq!(p.min_feasible_stretch(), None);
+    }
+
+    #[test]
+    fn feasibility_is_monotone_in_stretch() {
+        let p = DeadlineProblem::new(
+            vec![job(0, 0.0, 2.0, 0), job(1, 0.5, 1.0, 0), job(2, 1.0, 3.0, 1)],
+            two_sites(),
+            0.0,
+        );
+        let opt = p.min_feasible_stretch().unwrap();
+        assert!(!p.feasible(opt * 0.9));
+        assert!(p.feasible(opt * 1.1));
+        assert!(p.feasible(opt * 4.0));
+    }
+
+    #[test]
+    fn system2_allocation_ships_all_remaining_work() {
+        let p = DeadlineProblem::new(
+            vec![job(0, 0.0, 2.0, 0), job(1, 0.0, 1.0, 0)],
+            two_sites(),
+            0.0,
+        );
+        let f = p.min_feasible_stretch().unwrap();
+        let plan = p.system2_allocation(f * 1.01).expect("feasible");
+        assert!((plan.work_of(0) - 2.0).abs() < 1e-5);
+        assert!((plan.work_of(1) - 1.0).abs() < 1e-5);
+        // Pieces respect eligibility: databank 0 may use both sites.
+        for piece in &plan.pieces {
+            assert!(piece.site < 2);
+        }
+        // Completion intervals exist for both jobs.
+        assert!(plan.completion_interval(0).is_some());
+        assert!(plan.completion_interval(1).is_some());
+    }
+
+    #[test]
+    fn system2_prefers_early_intervals() {
+        // One job, plenty of time: all its work should land in the earliest
+        // feasible interval(s), not be spread gratuitously late.
+        let p = DeadlineProblem::new(vec![job(0, 0.0, 1.0, 0)], one_site(1.0), 0.0);
+        let plan = p.system2_allocation(10.0).expect("feasible");
+        let last = plan.completion_interval(0).unwrap();
+        // With deadline far away there are only two epochal times (ready and
+        // deadline), i.e. a single interval; the point is that the work is
+        // assigned, entirely, as early as possible.
+        assert!((plan.work_of(0) - 1.0).abs() < 1e-6);
+        assert_eq!(last, plan.completion_interval(0).unwrap());
+    }
+
+    #[test]
+    fn milestones_are_positive_sorted_and_deduplicated() {
+        let p = DeadlineProblem::new(
+            vec![job(0, 0.0, 2.0, 0), job(1, 3.0, 1.0, 0), job(2, 5.0, 2.0, 0)],
+            one_site(1.0),
+            0.0,
+        );
+        let ms = p.milestones();
+        assert!(!ms.is_empty());
+        assert!(ms.iter().all(|&m| m > 0.0));
+        for w in ms.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn trivial_problem_shortcuts() {
+        let p = DeadlineProblem::new(vec![], one_site(1.0), 0.0);
+        assert!(p.is_trivial());
+        assert_eq!(p.min_feasible_stretch(), Some(0.0));
+        assert!(p.feasible(0.1));
+        assert!(p.system2_allocation(1.0).unwrap().pieces.is_empty());
+    }
+}

@@ -1,0 +1,249 @@
+//! The greedy, non-preemptive baselines of §5.3: MCT and MCT-Div.
+//!
+//! **MCT** ("minimum completion time") is effectively the policy of the
+//! production GriPPS system: each job, when it arrives, is placed on the
+//! single processor that offers the earliest completion time, and commitments
+//! are never revisited.  **MCT-Div** exploits divisibility: the arriving job
+//! is spread over *all* processors able to serve it (the §3 rule), but still
+//! without ever preempting or revisiting earlier commitments.
+
+use crate::scheduler::{ScheduleError, ScheduleResult, Scheduler};
+use stretch_workload::Instance;
+
+/// The two greedy variants.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MctScheduler {
+    divisible: bool,
+}
+
+impl MctScheduler {
+    /// Plain MCT: one processor per job.
+    pub fn mct() -> Self {
+        MctScheduler { divisible: false }
+    }
+
+    /// MCT-Div: the job is divided over every eligible processor.
+    pub fn mct_div() -> Self {
+        MctScheduler { divisible: true }
+    }
+
+    /// Computes per-job completion times without building a full result.
+    pub fn completions(&self, instance: &Instance) -> Result<Vec<f64>, ScheduleError> {
+        let num_procs = instance.platform.num_processors();
+        // Time at which each processor finishes its already-committed work.
+        let mut available = vec![0.0f64; num_procs];
+        let mut completions = vec![0.0f64; instance.num_jobs()];
+
+        // Jobs are stored by increasing release date, which is the order in
+        // which the greedy policies make their irrevocable decisions.
+        for job in &instance.jobs {
+            let eligible = instance.platform.eligible_processors(job.databank);
+            if eligible.is_empty() {
+                return Err(ScheduleError::Unschedulable(format!(
+                    "job {} has no eligible processor",
+                    job.id
+                )));
+            }
+            if self.divisible {
+                completions[job.id] =
+                    Self::place_divisible(instance, job.release, job.work, &eligible, &mut available);
+            } else {
+                completions[job.id] =
+                    Self::place_single(instance, job.release, job.work, &eligible, &mut available);
+            }
+        }
+        Ok(completions)
+    }
+
+    /// MCT: pick the single eligible processor with the earliest completion.
+    fn place_single(
+        instance: &Instance,
+        release: f64,
+        work: f64,
+        eligible: &[usize],
+        available: &mut [f64],
+    ) -> f64 {
+        let mut best_proc = eligible[0];
+        let mut best_completion = f64::INFINITY;
+        for &p in eligible {
+            let start = available[p].max(release);
+            let completion = start + work / instance.platform.processors[p].speed;
+            if completion < best_completion {
+                best_completion = completion;
+                best_proc = p;
+            }
+        }
+        available[best_proc] = best_completion;
+        best_completion
+    }
+
+    /// MCT-Div: water-fill the job over all eligible processors so that every
+    /// used processor finishes the job's share at the same instant `T`.
+    fn place_divisible(
+        instance: &Instance,
+        release: f64,
+        work: f64,
+        eligible: &[usize],
+        available: &mut [f64],
+    ) -> f64 {
+        // Each eligible processor can start helping at `max(available, release)`.
+        let mut starts: Vec<(usize, f64, f64)> = eligible
+            .iter()
+            .map(|&p| {
+                (
+                    p,
+                    available[p].max(release),
+                    instance.platform.processors[p].speed,
+                )
+            })
+            .collect();
+        starts.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+
+        // Find the completion time T: processors join one by one as T passes
+        // their start time; work done = Σ speed_i · (T - start_i)⁺.
+        let mut used = 0usize;
+        let mut speed_sum = 0.0;
+        let mut completed_before = 0.0; // work done by the used set up to the next start
+        let mut t = starts[0].1;
+        let completion = loop {
+            // Add every processor whose start time is `t`.
+            while used < starts.len() && starts[used].1 <= t + 1e-12 {
+                speed_sum += starts[used].2;
+                used += 1;
+            }
+            let next_start = if used < starts.len() {
+                starts[used].1
+            } else {
+                f64::INFINITY
+            };
+            // Work the current set can do before the next processor joins.
+            let chunk = speed_sum * (next_start - t);
+            if completed_before + chunk >= work - 1e-12 || next_start.is_infinite() {
+                break t + (work - completed_before) / speed_sum;
+            }
+            completed_before += chunk;
+            t = next_start;
+        };
+        for &(p, start, _) in &starts {
+            if start < completion {
+                available[p] = completion;
+            }
+        }
+        completion
+    }
+}
+
+impl Scheduler for MctScheduler {
+    fn name(&self) -> &'static str {
+        if self.divisible {
+            "MCT-Div"
+        } else {
+            "MCT"
+        }
+    }
+
+    fn schedule(&self, instance: &Instance) -> Result<ScheduleResult, ScheduleError> {
+        let completions = self.completions(instance)?;
+        Ok(ScheduleResult::from_completions(
+            self.name(),
+            instance,
+            &completions,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stretch_platform::fixtures::small_platform;
+    use stretch_workload::Job;
+
+    fn instance(jobs: Vec<Job>) -> Instance {
+        Instance::new(small_platform(), jobs)
+    }
+
+    #[test]
+    fn mct_picks_the_fastest_idle_processor() {
+        // One 100 MB job on databank 0: the fastest processors run at 20 MB/s.
+        let inst = instance(vec![Job::new(0, 0.0, 100.0, 0)]);
+        let r = MctScheduler::mct().schedule(&inst).unwrap();
+        assert!((r.completion(0) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mct_div_uses_the_whole_eligible_platform() {
+        let inst = instance(vec![Job::new(0, 0.0, 120.0, 0)]);
+        let r = MctScheduler::mct_div().schedule(&inst).unwrap();
+        // 120 MB at 60 MB/s aggregate.
+        assert!((r.completion(0) - 2.0).abs() < 1e-9);
+        // Restricted databank 1: only cluster 1 (40 MB/s).
+        let inst = instance(vec![Job::new(0, 0.0, 120.0, 1)]);
+        let r = MctScheduler::mct_div().schedule(&inst).unwrap();
+        assert!((r.completion(0) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mct_spreads_successive_jobs_over_processors() {
+        // Four identical jobs at t=0 on databank 0: MCT places one per
+        // processor (two fast, two slow).
+        let jobs = (0..4).map(|i| Job::new(i, 0.0, 100.0, 0)).collect();
+        let r = MctScheduler::mct().schedule(&instance(jobs)).unwrap();
+        let mut completions: Vec<f64> = (0..4).map(|j| r.completion(j)).collect();
+        completions.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        // Two jobs at 5 s (20 MB/s) and two at 10 s (10 MB/s).
+        assert!((completions[0] - 5.0).abs() < 1e-9);
+        assert!((completions[1] - 5.0).abs() < 1e-9);
+        assert!((completions[2] - 10.0).abs() < 1e-9);
+        assert!((completions[3] - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mct_div_water_filling_with_staggered_availability() {
+        // First job occupies everything until t=2; second job arrives at t=1
+        // and must wait for processors to free up: with commitments never
+        // revisited it starts only at t=2 on all processors.
+        let inst = instance(vec![Job::new(0, 0.0, 120.0, 0), Job::new(1, 1.0, 60.0, 0)]);
+        let r = MctScheduler::mct_div().schedule(&inst).unwrap();
+        assert!((r.completion(0) - 2.0).abs() < 1e-9);
+        assert!((r.completion(1) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn small_job_behind_big_commitment_is_badly_stretched() {
+        // The §5.3 observation: MCT's non-preemptive commitments stretch small
+        // jobs arriving while the system is loaded.
+        let inst = instance(vec![Job::new(0, 0.0, 1200.0, 0), Job::new(1, 1.0, 6.0, 0)]);
+        let mct = MctScheduler::mct().schedule(&inst).unwrap();
+        let div = MctScheduler::mct_div().schedule(&inst).unwrap();
+        // With MCT the big job only occupies one processor, so the small job
+        // still finds a free one; but with MCT-Div the big job has taken every
+        // processor until t = 20, so the small job is stretched enormously.
+        assert!(mct.metrics.max_stretch < div.metrics.max_stretch);
+        assert!(div.completion(1) > 20.0 - 1e-9);
+        // Preemptive SRPT would have served it immediately; verify the
+        // stretch gap that motivates the paper's heuristics.
+        let srpt = crate::list::ListScheduler::srpt().schedule(&inst).unwrap();
+        assert!(srpt.metrics.max_stretch * 5.0 < div.metrics.max_stretch);
+    }
+
+    #[test]
+    fn completion_never_precedes_release() {
+        let jobs = vec![
+            Job::new(0, 0.0, 50.0, 0),
+            Job::new(1, 3.0, 500.0, 1),
+            Job::new(2, 7.0, 10.0, 0),
+        ];
+        for sched in [MctScheduler::mct(), MctScheduler::mct_div()] {
+            let r = sched.schedule(&instance(jobs.clone())).unwrap();
+            for o in &r.outcomes {
+                assert!(o.completion >= o.release - 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(MctScheduler::mct().name(), "MCT");
+        assert_eq!(MctScheduler::mct_div().name(), "MCT-Div");
+    }
+}

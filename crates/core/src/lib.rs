@@ -1,0 +1,54 @@
+//! # stretch-core
+//!
+//! The heart of the reproduction of *Minimizing the stretch when scheduling
+//! flows of biological requests* (Legrand, Su, Vivien — SPAA 2006): every
+//! scheduling algorithm discussed in the paper, implemented for the divisible
+//! load / restricted availability model of the GriPPS application.
+//!
+//! ## Schedulers
+//!
+//! | Scheduler | Paper section | Summary |
+//! |---|---|---|
+//! | [`ListScheduler`] (FCFS) | §4.1 | first come first served — optimal for max-flow |
+//! | [`ListScheduler`] (SRPT) | §4.1–4.2 | shortest remaining processing time — optimal for sum-flow, 2-competitive for sum-stretch |
+//! | [`ListScheduler`] (SPT / SWPT) | §4.2 | shortest (weighted) processing time |
+//! | [`ListScheduler`] (SWRPT) | §4.2 | shortest weighted remaining processing time |
+//! | [`ListScheduler`] (Bender02) | §4.3.2 | pseudo-stretch priority, `O(√Δ)`-competitive |
+//! | [`MctScheduler`] | §5.3 | minimum completion time, with or without divisibility (the GriPPS production policy) |
+//! | [`OfflineScheduler`] | §4.3.1 | optimal max-stretch via milestones + deadline scheduling |
+//! | [`OnlineScheduler`] | §4.3.2 | the paper's on-line heuristics: `Online`, `Online-EDF`, `Online-EGDF`, plus the non-optimized variant used in Figure 3 |
+//! | [`Bender98Scheduler`] | §4.3.2 | Bender, Chakrabarti, Muthukrishnan (1998): recompute the off-line optimum at each arrival, then EDF with a `√Δ` expansion factor |
+//!
+//! All of them implement the [`Scheduler`] trait and return comparable
+//! [`ScheduleResult`]s.
+//!
+//! ## Single-processor theory module
+//!
+//! The [`uniproc`] module contains an exact single-machine preemptive
+//! simulator and the adversarial instances of Theorems 1 and 2, which are
+//! stated on one processor; the equivalence with the divisible multi-machine
+//! model is Lemma 1, implemented in `stretch-workload`.
+
+pub mod adversarial;
+pub mod bender;
+pub mod deadline;
+pub mod greedy;
+pub mod list;
+pub mod offline;
+pub mod online;
+pub mod plan;
+pub mod priority;
+pub mod scheduler;
+pub mod sites;
+pub mod system1;
+pub mod system2;
+pub mod uniproc;
+
+pub use bender::Bender98Scheduler;
+pub use greedy::MctScheduler;
+pub use list::ListScheduler;
+pub use offline::{OfflineBackend, OfflineScheduler, OptimalStretch};
+pub use online::{OnlineScheduler, OnlineVariant};
+pub use priority::PriorityRule;
+pub use scheduler::{ScheduleError, ScheduleResult, Scheduler};
+pub use sites::SiteView;

@@ -1,0 +1,206 @@
+//! Dynamic priority rules (§4 of the paper).
+//!
+//! All the single-processor heuristics of the paper are preemptive *list*
+//! schedulers: maintain a priority over the released, uncompleted jobs and
+//! always execute the job(s) of highest priority.  The same rules drive the
+//! multiprocessor list scheduler of §3 (the highest-priority job grabs every
+//! appropriate available processor).
+//!
+//! Priorities are expressed as a key to *minimise*: the job with the smallest
+//! key is served first.
+
+use serde::{Deserialize, Serialize};
+
+/// The per-job data a priority rule may look at.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct JobView {
+    /// Release date `r_j`.
+    pub release: f64,
+    /// Original size `W_j` (or processing time `p_j` on one processor — the
+    /// two only differ by a constant factor under the uniform hypothesis, so
+    /// every rule below orders jobs identically under either convention).
+    pub total_work: f64,
+    /// Remaining size `ρ_t(j)`.
+    pub remaining_work: f64,
+    /// Deadline, when the rule needs one (EDF).
+    pub deadline: Option<f64>,
+}
+
+/// The priority rules studied in the paper.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum PriorityRule {
+    /// First come, first served — optimal for max-flow (§4.1).
+    Fcfs,
+    /// Shortest remaining processing time — optimal for sum-flow and
+    /// 2-competitive for sum-stretch (§4.1–4.2).
+    Srpt,
+    /// Shortest processing time first.
+    Spt,
+    /// Shortest *weighted* processing time (Smith's ratio rule); with stretch
+    /// weights `w_j = 1/W_j` the ratio `p_j / w_j` equals `p_j²`, so SWPT
+    /// orders jobs exactly like SPT (§4.2).
+    Swpt,
+    /// Shortest weighted remaining processing time: minimise
+    /// `ρ_t(j) / w_j = ρ_t(j) · W_j` (§4.2).
+    Swrpt,
+    /// The pseudo-stretch rule of Bender, Muthukrishnan and Rajaraman
+    /// (SODA'02): serve the job of largest pseudo-stretch, where the
+    /// pseudo-stretch divides the age by `√Δ` for small jobs and by `Δ` for
+    /// large ones.  `smallest_work` and `delta` describe the instance
+    /// (`Δ` = largest/smallest size ratio).
+    PseudoStretch {
+        /// Size of the smallest job of the instance.
+        smallest_work: f64,
+        /// Ratio of the largest to the smallest job size.
+        delta: f64,
+    },
+    /// Earliest deadline first; the deadline must be supplied in [`JobView`].
+    Edf,
+}
+
+impl PriorityRule {
+    /// Key to minimise for `job` at time `now`; smaller = served first.
+    pub fn key(&self, now: f64, job: &JobView) -> f64 {
+        match *self {
+            PriorityRule::Fcfs => job.release,
+            PriorityRule::Srpt => job.remaining_work,
+            PriorityRule::Spt => job.total_work,
+            PriorityRule::Swpt => job.total_work * job.total_work,
+            PriorityRule::Swrpt => job.remaining_work * job.total_work,
+            PriorityRule::PseudoStretch {
+                smallest_work,
+                delta,
+            } => {
+                // Normalise sizes so the smallest job has size 1, as in the
+                // original formulation (1 <= p_j <= Δ).
+                let normalised = job.total_work / smallest_work;
+                let divisor = if normalised <= delta.sqrt() {
+                    delta.sqrt()
+                } else {
+                    delta
+                };
+                // Larger pseudo-stretch = higher priority, hence the sign.
+                -((now - job.release).max(0.0) / divisor)
+            }
+            PriorityRule::Edf => job
+                .deadline
+                .expect("EDF requires a deadline for every job"),
+        }
+    }
+
+    /// Display name used in tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PriorityRule::Fcfs => "FCFS",
+            PriorityRule::Srpt => "SRPT",
+            PriorityRule::Spt => "SPT",
+            PriorityRule::Swpt => "SWPT",
+            PriorityRule::Swrpt => "SWRPT",
+            PriorityRule::PseudoStretch { .. } => "Bender02",
+            PriorityRule::Edf => "EDF",
+        }
+    }
+
+    /// Sorts job indices by increasing key (stable, ties keep input order,
+    /// which for release-sorted inputs matches the paper's FIFO tie-break).
+    pub fn order(&self, now: f64, jobs: &[(usize, JobView)]) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..jobs.len()).collect();
+        order.sort_by(|&a, &b| {
+            let ka = self.key(now, &jobs[a].1);
+            let kb = self.key(now, &jobs[b].1);
+            ka.partial_cmp(&kb).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        order.into_iter().map(|i| jobs[i].0).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(release: f64, total: f64, remaining: f64) -> JobView {
+        JobView {
+            release,
+            total_work: total,
+            remaining_work: remaining,
+            deadline: None,
+        }
+    }
+
+    #[test]
+    fn srpt_prefers_least_remaining() {
+        let rule = PriorityRule::Srpt;
+        assert!(rule.key(0.0, &job(0.0, 10.0, 2.0)) < rule.key(0.0, &job(0.0, 1.0, 3.0)));
+    }
+
+    #[test]
+    fn spt_and_swpt_agree_on_order() {
+        // SWPT with stretch weights squares the processing time, which is a
+        // monotone transform: same order as SPT.
+        let a = job(0.0, 2.0, 1.0);
+        let b = job(0.0, 5.0, 0.1);
+        let spt = PriorityRule::Spt;
+        let swpt = PriorityRule::Swpt;
+        assert_eq!(
+            spt.key(0.0, &a) < spt.key(0.0, &b),
+            swpt.key(0.0, &a) < swpt.key(0.0, &b)
+        );
+    }
+
+    #[test]
+    fn swrpt_balances_remaining_and_size() {
+        let rule = PriorityRule::Swrpt;
+        // A nearly finished large job beats a fresh medium job:
+        // 0.1 * 10 = 1 < 2 * 2 = 4.
+        assert!(rule.key(0.0, &job(0.0, 10.0, 0.1)) < rule.key(0.0, &job(0.0, 2.0, 2.0)));
+    }
+
+    #[test]
+    fn pseudo_stretch_prefers_older_jobs_and_penalises_large_ones() {
+        let rule = PriorityRule::PseudoStretch {
+            smallest_work: 1.0,
+            delta: 100.0,
+        };
+        // Same size, the older job wins.
+        let old = job(0.0, 1.0, 1.0);
+        let young = job(5.0, 1.0, 1.0);
+        assert!(rule.key(10.0, &old) < rule.key(10.0, &young));
+        // Same age, a small job (divided by √Δ = 10) beats a large one
+        // (divided by Δ = 100).
+        let small = job(0.0, 2.0, 2.0);
+        let large = job(0.0, 60.0, 60.0);
+        assert!(rule.key(10.0, &small) < rule.key(10.0, &large));
+    }
+
+    #[test]
+    fn edf_uses_deadlines_and_panics_without_one() {
+        let rule = PriorityRule::Edf;
+        let mut a = job(0.0, 1.0, 1.0);
+        a.deadline = Some(4.0);
+        let mut b = job(0.0, 1.0, 1.0);
+        b.deadline = Some(2.0);
+        assert!(rule.key(0.0, &b) < rule.key(0.0, &a));
+        let result = std::panic::catch_unwind(|| rule.key(0.0, &job(0.0, 1.0, 1.0)));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn order_is_stable_for_ties() {
+        let rule = PriorityRule::Fcfs;
+        let jobs = vec![(7, job(1.0, 1.0, 1.0)), (3, job(1.0, 2.0, 2.0))];
+        assert_eq!(rule.order(0.0, &jobs), vec![7, 3]);
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(PriorityRule::Srpt.name(), "SRPT");
+        assert_eq!(
+            PriorityRule::PseudoStretch {
+                smallest_work: 1.0,
+                delta: 2.0
+            }
+            .name(),
+            "Bender02"
+        );
+    }
+}

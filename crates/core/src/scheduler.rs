@@ -1,0 +1,126 @@
+//! The common scheduler interface and its result type.
+
+use stretch_metrics::{JobOutcome, ScheduleMetrics};
+use stretch_workload::Instance;
+
+/// Errors a scheduler can report.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ScheduleError {
+    /// The underlying fluid simulation failed (allocation bug).
+    Simulation(String),
+    /// An internal optimisation problem could not be solved.
+    Optimisation(String),
+    /// The instance cannot be scheduled by this algorithm (e.g. a job whose
+    /// databank is hosted nowhere — normally prevented by `Instance::new`).
+    Unschedulable(String),
+}
+
+impl std::fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScheduleError::Simulation(msg) => write!(f, "simulation error: {msg}"),
+            ScheduleError::Optimisation(msg) => write!(f, "optimisation error: {msg}"),
+            ScheduleError::Unschedulable(msg) => write!(f, "unschedulable instance: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+/// The outcome of running one scheduler on one instance.
+#[derive(Clone, Debug)]
+pub struct ScheduleResult {
+    /// Name of the scheduler that produced this result.
+    pub scheduler: String,
+    /// Per-job outcomes, in job-id order.
+    pub outcomes: Vec<JobOutcome>,
+    /// The §3 metrics of the schedule.
+    pub metrics: ScheduleMetrics,
+}
+
+impl ScheduleResult {
+    /// Builds a result from per-job completion times.
+    ///
+    /// `completions[j]` is the completion time of job `j` of `instance`.  The
+    /// stretch denominator is the time the job would take alone on the
+    /// *whole* platform (its Lemma-1 reference time), which is the convention
+    /// used consistently across every scheduler of this crate.
+    pub fn from_completions(
+        scheduler: impl Into<String>,
+        instance: &Instance,
+        completions: &[f64],
+    ) -> Self {
+        assert_eq!(
+            completions.len(),
+            instance.num_jobs(),
+            "one completion time per job"
+        );
+        let aggregate = instance.platform.aggregate_speed();
+        let outcomes: Vec<JobOutcome> = instance
+            .jobs
+            .iter()
+            .zip(completions)
+            .map(|(job, &completion)| {
+                JobOutcome::new(
+                    job.id,
+                    job.release,
+                    job.work,
+                    job.work / aggregate,
+                    completion,
+                )
+            })
+            .collect();
+        let metrics = ScheduleMetrics::from_outcomes(&outcomes);
+        ScheduleResult {
+            scheduler: scheduler.into(),
+            outcomes,
+            metrics,
+        }
+    }
+
+    /// Completion time of job `j`.
+    pub fn completion(&self, job: usize) -> f64 {
+        self.outcomes[job].completion
+    }
+}
+
+/// A scheduling algorithm for the divisible / restricted-availability model.
+pub trait Scheduler {
+    /// Short name used in experiment tables ("SRPT", "Online-EDF", …).
+    fn name(&self) -> &'static str;
+
+    /// Schedules every job of `instance` and reports the resulting metrics.
+    fn schedule(&self, instance: &Instance) -> Result<ScheduleResult, ScheduleError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stretch_platform::fixtures::small_platform;
+    use stretch_workload::Job;
+
+    #[test]
+    fn result_from_completions_computes_consistent_metrics() {
+        let platform = small_platform();
+        let jobs = vec![Job::new(0, 0.0, 60.0, 0), Job::new(1, 1.0, 120.0, 0)];
+        let instance = Instance::new(platform, jobs);
+        // Aggregate speed is 60 MB/s, so reference times are 1 s and 2 s.
+        let result = ScheduleResult::from_completions("test", &instance, &[2.0, 5.0]);
+        assert_eq!(result.scheduler, "test");
+        assert_eq!(result.outcomes.len(), 2);
+        assert!((result.outcomes[0].stretch() - 2.0).abs() < 1e-9);
+        assert!((result.outcomes[1].stretch() - 2.0).abs() < 1e-9);
+        assert!((result.metrics.max_stretch - 2.0).abs() < 1e-9);
+        assert!((result.metrics.sum_flow - 6.0).abs() < 1e-9);
+        assert!((result.completion(1) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "one completion time per job")]
+    fn mismatched_completion_count_rejected() {
+        let platform = small_platform();
+        let jobs = vec![Job::new(0, 0.0, 60.0, 0)];
+        let instance = Instance::new(platform, jobs);
+        ScheduleResult::from_completions("test", &instance, &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,122 @@
+//! Cluster-level ("site") view of a platform.
+//!
+//! Inside one cluster every processor has the same speed and the same
+//! databank replicas, and jobs are divisible, so the ten processors of a site
+//! behave exactly like one processor of ten times the speed (this is Lemma 1
+//! applied within the cluster).  Working at site granularity shrinks the
+//! interval/allocation problems of Systems (1) and (2) by an order of
+//! magnitude without changing any completion time, so the off-line and
+//! on-line LP-based schedulers all use this view.
+
+use stretch_workload::Instance;
+
+/// One site: a cluster collapsed into a single equivalent processor.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Site {
+    /// Cluster id this site corresponds to.
+    pub cluster: usize,
+    /// Aggregate speed of the cluster (sum of its processors' speeds), MB/s.
+    pub speed: f64,
+    /// Databanks hosted by the cluster.
+    pub hosted_databanks: Vec<usize>,
+}
+
+impl Site {
+    /// `true` when the site can serve requests against `databank`.
+    pub fn hosts(&self, databank: usize) -> bool {
+        self.hosted_databanks.contains(&databank)
+    }
+}
+
+/// The site-level view of an instance's platform.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SiteView {
+    /// All sites, in cluster order.
+    pub sites: Vec<Site>,
+}
+
+impl SiteView {
+    /// Builds the site view of an instance.
+    pub fn of(instance: &Instance) -> Self {
+        let platform = &instance.platform;
+        let sites = platform
+            .clusters
+            .iter()
+            .map(|c| Site {
+                cluster: c.id,
+                speed: c
+                    .processors
+                    .iter()
+                    .map(|&p| platform.processors[p].speed)
+                    .sum(),
+                hosted_databanks: c.hosted_databanks.clone(),
+            })
+            .collect();
+        SiteView { sites }
+    }
+
+    /// Number of sites.
+    pub fn len(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// `true` when the view has no site.
+    pub fn is_empty(&self) -> bool {
+        self.sites.is_empty()
+    }
+
+    /// Sites able to serve `databank`.
+    pub fn eligible_sites(&self, databank: usize) -> Vec<usize> {
+        self.sites
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.hosts(databank))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Aggregate speed of every site (the whole platform).
+    pub fn total_speed(&self) -> f64 {
+        self.sites.iter().map(|s| s.speed).sum()
+    }
+
+    /// Aggregate speed of the sites able to serve `databank`.
+    pub fn speed_for(&self, databank: usize) -> f64 {
+        self.sites
+            .iter()
+            .filter(|s| s.hosts(databank))
+            .map(|s| s.speed)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stretch_platform::fixtures::small_platform;
+    use stretch_workload::Job;
+
+    fn instance() -> Instance {
+        Instance::new(
+            small_platform(),
+            vec![Job::new(0, 0.0, 100.0, 0), Job::new(1, 0.0, 200.0, 1)],
+        )
+    }
+
+    #[test]
+    fn sites_aggregate_cluster_speeds() {
+        let view = SiteView::of(&instance());
+        assert_eq!(view.len(), 2);
+        assert!((view.sites[0].speed - 20.0).abs() < 1e-12);
+        assert!((view.sites[1].speed - 40.0).abs() < 1e-12);
+        assert!((view.total_speed() - 60.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eligibility_follows_replication() {
+        let view = SiteView::of(&instance());
+        assert_eq!(view.eligible_sites(0), vec![0, 1]);
+        assert_eq!(view.eligible_sites(1), vec![1]);
+        assert!((view.speed_for(1) - 40.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,279 @@
+//! The paper's System (1) as an explicit linear program.
+//!
+//! Within one milestone interval `[F₁, F₂]` the relative order of release
+//! dates and deadlines is constant, so interval durations are affine in `F`
+//! and minimising `F` subject to deadline feasibility is the LP of §4.3.1.
+//! The production path of the solver uses the flow back-end of
+//! [`crate::deadline`]; this module exists to mirror the paper exactly and to
+//! cross-validate the two back-ends (they must agree on the optimal
+//! max-stretch).
+
+use crate::deadline::DeadlineProblem;
+use stretch_lp::problem::{Problem, Relation, Sense};
+use stretch_lp::LinExpr;
+
+/// An epochal time that is either a constant (ready time) or an affine
+/// function of the objective (`deadline = release + F · work`).
+#[derive(Clone, Copy, Debug, PartialEq)]
+struct AffineTime {
+    constant: f64,
+    slope: f64,
+}
+
+impl AffineTime {
+    fn constant(c: f64) -> Self {
+        AffineTime {
+            constant: c,
+            slope: 0.0,
+        }
+    }
+    fn eval(&self, f: f64) -> f64 {
+        self.constant + self.slope * f
+    }
+}
+
+/// Solves `min F` over `[f_lo, f_hi]` subject to System (1), assuming the
+/// epochal-time ordering does not change on that interval (i.e. `[f_lo,
+/// f_hi]` contains no milestone in its interior).
+///
+/// Returns `None` when the system is infeasible on the whole interval.
+pub fn solve_system1_interval(problem: &DeadlineProblem, f_lo: f64, f_hi: f64) -> Option<f64> {
+    assert!(f_lo <= f_hi, "empty objective interval");
+    if problem.is_trivial() {
+        return Some(f_lo);
+    }
+    let f_mid = 0.5 * (f_lo + f_hi);
+
+    // Epochal times as affine functions of F, ordered by their value at the
+    // midpoint of the interval (the ordering is constant on the interval).
+    let mut times: Vec<AffineTime> = vec![AffineTime::constant(problem.now)];
+    for j in &problem.jobs {
+        times.push(AffineTime::constant(j.ready.max(problem.now)));
+        times.push(AffineTime {
+            constant: j.release,
+            slope: j.work,
+        });
+    }
+    times.sort_by(|a, b| a.eval(f_mid).partial_cmp(&b.eval(f_mid)).unwrap());
+    times.dedup_by(|a, b| (a.eval(f_mid) - b.eval(f_mid)).abs() <= 1e-9);
+    // Drop epochal times that fall before `now` at the midpoint (stale
+    // deadlines of late jobs); clamping them to `now` keeps durations
+    // nonnegative on the interval of interest.
+    let times: Vec<AffineTime> = times
+        .into_iter()
+        .filter(|t| t.eval(f_mid) >= problem.now - 1e-9)
+        .collect();
+    if times.len() < 2 {
+        return None;
+    }
+    let num_intervals = times.len() - 1;
+
+    let mut lp = Problem::new(Sense::Minimize);
+    let f_var = lp.add_var("F");
+    lp.set_objective_coeff(f_var, 1.0);
+    lp.add_lower_bound(f_var, f_lo);
+    lp.add_upper_bound(f_var, f_hi);
+
+    // alpha[(site, job, interval)] -> variable id
+    let mut alpha = std::collections::HashMap::new();
+    for (j, job) in problem.jobs.iter().enumerate() {
+        let deadline_mid = job.deadline(f_mid);
+        for (s, site) in problem.sites.sites.iter().enumerate() {
+            if !site.hosts(job.databank) {
+                continue;
+            }
+            for t in 0..num_intervals {
+                let start_mid = times[t].eval(f_mid);
+                let end_mid = times[t + 1].eval(f_mid);
+                // Constraints (1b)/(1c): the job may only use intervals fully
+                // inside its [ready, deadline] window.
+                if job.ready.max(problem.now) <= start_mid + 1e-9 && deadline_mid >= end_mid - 1e-9 {
+                    let v = lp.add_var(format!("a_{s}_{j}_{t}"));
+                    alpha.insert((s, j, t), v);
+                }
+            }
+        }
+    }
+
+    // Constraint (1d): per site and interval, allocated work fits in the
+    // interval: Σ_j α ≤ speed · duration(F), duration affine in F.
+    for (s, site) in problem.sites.sites.iter().enumerate() {
+        for t in 0..num_intervals {
+            let duration_const = times[t + 1].constant - times[t].constant;
+            let duration_slope = times[t + 1].slope - times[t].slope;
+            let mut expr = LinExpr::new();
+            let mut any = false;
+            for (j, _) in problem.jobs.iter().enumerate() {
+                if let Some(&v) = alpha.get(&(s, j, t)) {
+                    expr.add_term(v, 1.0);
+                    any = true;
+                }
+            }
+            if !any {
+                continue;
+            }
+            expr.add_term(f_var, -site.speed * duration_slope);
+            lp.add_constraint(expr, Relation::Le, site.speed * duration_const);
+        }
+    }
+
+    // Constraint (1e): every job's remaining work is fully allocated.
+    for (j, job) in problem.jobs.iter().enumerate() {
+        let mut expr = LinExpr::new();
+        let mut any = false;
+        for s in 0..problem.sites.len() {
+            for t in 0..num_intervals {
+                if let Some(&v) = alpha.get(&(s, j, t)) {
+                    expr.add_term(v, 1.0);
+                    any = true;
+                }
+            }
+        }
+        if !any {
+            return None;
+        }
+        lp.add_constraint(expr, Relation::Eq, job.remaining);
+    }
+
+    lp.solve().ok().map(|sol| sol.value(f_var))
+}
+
+/// The paper's full §4.3.1 algorithm with the LP back-end: enumerate the
+/// milestones, binary-search them for the first feasible one (using the flow
+/// feasibility test, which is cheaper), then solve System (1) exactly on the
+/// final milestone interval.
+pub fn optimal_stretch_lp(problem: &DeadlineProblem) -> Option<f64> {
+    if problem.is_trivial() {
+        return Some(0.0);
+    }
+    let lower = problem.stretch_lower_bound();
+    if !lower.is_finite() {
+        return None;
+    }
+    // Bracket the optimum: grow an upper bound until feasible.
+    let mut upper = lower.max(1e-6) * 2.0;
+    let mut tries = 0;
+    while !problem.feasible(upper) {
+        upper *= 2.0;
+        tries += 1;
+        if tries > 80 {
+            return None;
+        }
+    }
+    // Candidate breakpoints: milestones inside the bracket.
+    let mut breakpoints: Vec<f64> = problem
+        .milestones()
+        .into_iter()
+        .filter(|&m| m > lower && m < upper)
+        .collect();
+    breakpoints.push(upper);
+    // Binary search for the first feasible breakpoint.
+    let mut lo = lower; // possibly infeasible
+    let mut lo_idx: isize = -1;
+    let mut hi_idx = breakpoints.len() - 1; // feasible by construction
+    if problem.feasible(breakpoints[0]) {
+        hi_idx = 0;
+    } else {
+        let mut lo_search = 0usize; // infeasible
+        while hi_idx - lo_search > 1 {
+            let mid = (lo_search + hi_idx) / 2;
+            if problem.feasible(breakpoints[mid]) {
+                hi_idx = mid;
+            } else {
+                lo_search = mid;
+            }
+        }
+        lo_idx = lo_search as isize;
+    }
+    if lo_idx >= 0 {
+        lo = breakpoints[lo_idx as usize];
+    }
+    let hi = breakpoints[hi_idx];
+    solve_system1_interval(problem, lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deadline::PendingJob;
+    use crate::sites::{Site, SiteView};
+
+    fn sites() -> SiteView {
+        SiteView {
+            sites: vec![
+                Site {
+                    cluster: 0,
+                    speed: 1.0,
+                    hosted_databanks: vec![0],
+                },
+                Site {
+                    cluster: 1,
+                    speed: 2.0,
+                    hosted_databanks: vec![0, 1],
+                },
+            ],
+        }
+    }
+
+    fn job(id: usize, release: f64, work: f64, databank: usize) -> PendingJob {
+        PendingJob {
+            job_id: id,
+            release,
+            ready: release,
+            work,
+            remaining: work,
+            databank,
+        }
+    }
+
+    #[test]
+    fn lp_matches_flow_bisection_on_small_instances() {
+        let cases: Vec<Vec<PendingJob>> = vec![
+            vec![job(0, 0.0, 2.0, 0)],
+            vec![job(0, 0.0, 1.0, 0), job(1, 0.0, 1.0, 0)],
+            vec![job(0, 0.0, 3.0, 0), job(1, 1.0, 1.0, 1), job(2, 2.0, 2.0, 0)],
+            vec![
+                job(0, 0.0, 4.0, 1),
+                job(1, 0.5, 2.0, 0),
+                job(2, 1.0, 1.0, 0),
+                job(3, 1.5, 3.0, 1),
+            ],
+        ];
+        for jobs in cases {
+            let p = DeadlineProblem::new(jobs, sites(), 0.0);
+            let flow = p.min_feasible_stretch().expect("feasible");
+            let lp = optimal_stretch_lp(&p).expect("feasible");
+            assert!(
+                (flow - lp).abs() < 1e-3 * flow.max(1.0),
+                "flow {flow} vs LP {lp}"
+            );
+        }
+    }
+
+    #[test]
+    fn interval_lp_reports_infeasible_below_the_optimum() {
+        let p = DeadlineProblem::new(
+            vec![job(0, 0.0, 1.0, 0), job(1, 0.0, 1.0, 0)],
+            SiteView {
+                sites: vec![Site {
+                    cluster: 0,
+                    speed: 1.0,
+                    hosted_databanks: vec![0],
+                }],
+            },
+            0.0,
+        );
+        // Optimum is 2.0 (see deadline tests); the interval [0.5, 1.5] is
+        // entirely infeasible.
+        assert_eq!(solve_system1_interval(&p, 0.5, 1.5), None);
+        let v = solve_system1_interval(&p, 1.5, 3.0).expect("feasible");
+        assert!((v - 2.0).abs() < 1e-6, "optimum {v}");
+    }
+
+    #[test]
+    fn trivial_problem_returns_interval_floor() {
+        let p = DeadlineProblem::new(vec![], sites(), 0.0);
+        assert_eq!(solve_system1_interval(&p, 0.25, 1.0), Some(0.25));
+        assert_eq!(optimal_stretch_lp(&p), Some(0.0));
+    }
+}

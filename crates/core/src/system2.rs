@@ -1,0 +1,193 @@
+//! The paper's System (2) as an explicit linear program.
+//!
+//! Given the optimal max-stretch `S*` (and therefore fixed deadlines and
+//! epochal intervals), System (2) re-allocates the work so that, subject to
+//! every deadline still being met, jobs finish "as early as possible on
+//! average": it minimises `Σ_j Σ_t (Σ_i α⁽ᵗ⁾_{i,j}) · midpoint(I_t) / W_j`, a
+//! rational relaxation of the sum-stretch.
+//!
+//! The production path solves this as a min-cost flow
+//! ([`crate::deadline::DeadlineProblem::system2_allocation`]); the LP here is
+//! the literal transcription of the paper and is used for cross-validation.
+
+use crate::deadline::{AllocationPlan, DeadlineProblem, Piece};
+use stretch_lp::problem::{Problem, Relation, Sense};
+use stretch_lp::LinExpr;
+
+/// Solves System (2) at the fixed objective `stretch` with the LP back-end.
+///
+/// Returns `None` when the deadlines induced by `stretch` cannot all be met.
+pub fn solve_system2_lp(problem: &DeadlineProblem, stretch: f64) -> Option<AllocationPlan> {
+    if problem.is_trivial() {
+        return Some(AllocationPlan::default());
+    }
+    let intervals = problem.intervals(stretch);
+    let mut lp = Problem::new(Sense::Minimize);
+    let mut vars: Vec<(usize, usize, usize, usize)> = Vec::new(); // (var, site, job, interval)
+
+    for (j, job) in problem.jobs.iter().enumerate() {
+        let deadline = job.deadline(stretch);
+        for (s, site) in problem.sites.sites.iter().enumerate() {
+            if !site.hosts(job.databank) {
+                continue;
+            }
+            for (t, &(start, end)) in intervals.iter().enumerate() {
+                // Constraints (2a)/(2b): stay within the job's window.
+                if job.ready.max(problem.now) <= start + 1e-9 && deadline >= end - 1e-9 {
+                    let v = lp.add_var(format!("a_{s}_{j}_{t}"));
+                    // Objective: fraction of the job × interval midpoint.
+                    lp.set_objective_coeff(v, 0.5 * (start + end) / job.work);
+                    vars.push((v, s, j, t));
+                }
+            }
+        }
+    }
+
+    // Constraint (2c): interval capacity per site.
+    for (s, site) in problem.sites.sites.iter().enumerate() {
+        for (t, &(start, end)) in intervals.iter().enumerate() {
+            let mut expr = LinExpr::new();
+            let mut any = false;
+            for &(v, vs, _, vt) in &vars {
+                if vs == s && vt == t {
+                    expr.add_term(v, 1.0);
+                    any = true;
+                }
+            }
+            if any {
+                lp.add_constraint(expr, Relation::Le, site.speed * (end - start));
+            }
+        }
+    }
+
+    // Constraint (2d): all remaining work is allocated.
+    for (j, job) in problem.jobs.iter().enumerate() {
+        let mut expr = LinExpr::new();
+        let mut any = false;
+        for &(v, _, vj, _) in &vars {
+            if vj == j {
+                expr.add_term(v, 1.0);
+                any = true;
+            }
+        }
+        if !any {
+            return None;
+        }
+        lp.add_constraint(expr, Relation::Eq, job.remaining);
+    }
+
+    let solution = lp.solve().ok()?;
+    let pieces = vars
+        .iter()
+        .filter_map(|&(v, s, j, t)| {
+            let work = solution.value(v);
+            if work > 1e-9 {
+                Some(Piece {
+                    job_index: j,
+                    job_id: problem.jobs[j].job_id,
+                    site: s,
+                    interval: t,
+                    work,
+                })
+            } else {
+                None
+            }
+        })
+        .collect();
+    Some(AllocationPlan { intervals, pieces })
+}
+
+/// Objective value of an allocation plan under the System-(2) cost
+/// (sum over pieces of `work / W_j ×` interval midpoint).
+pub fn system2_cost(problem: &DeadlineProblem, plan: &AllocationPlan) -> f64 {
+    plan.pieces
+        .iter()
+        .map(|p| {
+            let (start, end) = plan.intervals[p.interval];
+            p.work / problem.jobs[p.job_index].work * 0.5 * (start + end)
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deadline::PendingJob;
+    use crate::sites::{Site, SiteView};
+
+    fn sites() -> SiteView {
+        SiteView {
+            sites: vec![
+                Site {
+                    cluster: 0,
+                    speed: 1.0,
+                    hosted_databanks: vec![0],
+                },
+                Site {
+                    cluster: 1,
+                    speed: 2.0,
+                    hosted_databanks: vec![0, 1],
+                },
+            ],
+        }
+    }
+
+    fn job(id: usize, release: f64, work: f64, databank: usize) -> PendingJob {
+        PendingJob {
+            job_id: id,
+            release,
+            ready: release,
+            work,
+            remaining: work,
+            databank,
+        }
+    }
+
+    #[test]
+    fn lp_and_flow_back_ends_agree_on_cost() {
+        let cases: Vec<Vec<PendingJob>> = vec![
+            vec![job(0, 0.0, 2.0, 0), job(1, 0.0, 1.0, 0)],
+            vec![job(0, 0.0, 3.0, 1), job(1, 1.0, 1.0, 0), job(2, 2.0, 2.0, 0)],
+        ];
+        for jobs in cases {
+            let p = DeadlineProblem::new(jobs, sites(), 0.0);
+            let f = p.min_feasible_stretch().unwrap() * 1.001;
+            let flow_plan = p.system2_allocation(f).expect("flow feasible");
+            let lp_plan = solve_system2_lp(&p, f).expect("lp feasible");
+            let flow_cost = system2_cost(&p, &flow_plan);
+            let lp_cost = system2_cost(&p, &lp_plan);
+            assert!(
+                (flow_cost - lp_cost).abs() < 1e-3 * flow_cost.max(1.0),
+                "flow {flow_cost} vs lp {lp_cost}"
+            );
+            // Both ship all the work.
+            for (j, job) in p.jobs.iter().enumerate() {
+                assert!((flow_plan.work_of(j) - job.remaining).abs() < 1e-5);
+                assert!((lp_plan.work_of(j) - job.remaining).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn infeasible_stretch_returns_none() {
+        let p = DeadlineProblem::new(
+            vec![job(0, 0.0, 1.0, 0), job(1, 0.0, 1.0, 0)],
+            SiteView {
+                sites: vec![Site {
+                    cluster: 0,
+                    speed: 1.0,
+                    hosted_databanks: vec![0],
+                }],
+            },
+            0.0,
+        );
+        assert!(solve_system2_lp(&p, 1.0).is_none());
+        assert!(p.system2_allocation(1.0).is_none());
+    }
+
+    #[test]
+    fn trivial_problem_gives_empty_plan() {
+        let p = DeadlineProblem::new(vec![], sites(), 0.0);
+        assert!(solve_system2_lp(&p, 1.0).unwrap().pieces.is_empty());
+    }
+}

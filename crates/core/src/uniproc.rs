@@ -1,0 +1,282 @@
+//! Exact single-processor preemptive scheduling (§4).
+//!
+//! Lemma 1 reduces the uniform divisible multi-machine model to one
+//! preemptive processor, so all the theory of the paper is stated here.  This
+//! module provides:
+//!
+//! * an exact event-driven simulator of preemptive list scheduling under any
+//!   [`PriorityRule`] ([`simulate_priority`]);
+//! * EDF schedulability of a deadline set ([`edf_feasible`]) and the derived
+//!   off-line optimal max-stretch ([`optimal_max_stretch`]), used both on its
+//!   own and as a cross-check of the multi-machine solver;
+//! * helpers computing the §3 metrics of a single-processor schedule.
+
+use crate::priority::{JobView, PriorityRule};
+use stretch_metrics::{JobOutcome, ScheduleMetrics};
+use stretch_workload::UniprocInstance;
+
+/// Numerical tolerance on times.
+const EPS: f64 = 1e-9;
+
+/// Simulates preemptive list scheduling of `instance` under `rule`.
+///
+/// Priorities are re-evaluated at every event (release or completion), which
+/// matches the behaviour of all the heuristics of §4 (they only preempt when
+/// a new job arrives or the running job finishes).  `deadlines`, when given,
+/// is consulted by the EDF rule; other rules ignore it.
+///
+/// Returns the completion time of each job, indexed by job id.
+pub fn simulate_priority(
+    instance: &UniprocInstance,
+    rule: PriorityRule,
+    deadlines: Option<&[f64]>,
+) -> Vec<f64> {
+    let n = instance.jobs.len();
+    let mut remaining: Vec<f64> = instance.jobs.iter().map(|j| j.processing_time).collect();
+    let mut completions = vec![f64::NAN; n];
+    if n == 0 {
+        return completions;
+    }
+    if let Some(d) = deadlines {
+        assert_eq!(d.len(), n, "one deadline per job");
+    }
+
+    // Jobs are stored sorted by release date in `UniprocInstance`.
+    let releases: Vec<f64> = instance.jobs.iter().map(|j| j.release).collect();
+    let mut now = releases[0];
+    let mut done = 0usize;
+
+    while done < n {
+        // Released, uncompleted jobs.
+        let active: Vec<usize> = (0..n)
+            .filter(|&j| releases[j] <= now + EPS && remaining[j] > EPS && completions[j].is_nan())
+            .collect();
+        // Next release strictly in the future.
+        let next_release = releases
+            .iter()
+            .copied()
+            .filter(|&r| r > now + EPS)
+            .fold(f64::INFINITY, f64::min);
+
+        if active.is_empty() {
+            assert!(
+                next_release.is_finite(),
+                "no active job and no future release, yet {done}/{n} jobs done"
+            );
+            now = next_release;
+            continue;
+        }
+
+        // Pick the highest-priority active job.
+        let views: Vec<(usize, JobView)> = active
+            .iter()
+            .map(|&j| {
+                (
+                    j,
+                    JobView {
+                        release: instance.jobs[j].release,
+                        total_work: instance.jobs[j].processing_time,
+                        remaining_work: remaining[j],
+                        deadline: deadlines.map(|d| d[j]),
+                    },
+                )
+            })
+            .collect();
+        let chosen = rule.order(now, &views)[0];
+
+        // Run it until it finishes or the next release occurs.
+        let finish = now + remaining[chosen];
+        let horizon = finish.min(next_release);
+        remaining[chosen] -= horizon - now;
+        now = horizon;
+        if remaining[chosen] <= EPS {
+            remaining[chosen] = 0.0;
+            completions[chosen] = now;
+            done += 1;
+        }
+    }
+    completions
+}
+
+/// Simulates preemptive Earliest Deadline First and reports whether every job
+/// met its deadline.  EDF is optimal for single-machine preemptive deadline
+/// scheduling, so this is an exact feasibility test.
+pub fn edf_feasible(instance: &UniprocInstance, deadlines: &[f64]) -> bool {
+    let completions = simulate_priority(instance, PriorityRule::Edf, Some(deadlines));
+    completions
+        .iter()
+        .zip(deadlines)
+        .all(|(&c, &d)| c <= d + 1e-6)
+}
+
+/// The smallest max-stretch achievable on one preemptive processor.
+///
+/// Deadlines are `d_j(F) = r_j + F · p_j`; feasibility is monotone in `F`, so
+/// a bisection bracketed by `[1, max-stretch of FCFS]` converges to the
+/// optimum.  The returned value is exact to a relative tolerance of `1e-9`.
+pub fn optimal_max_stretch(instance: &UniprocInstance) -> f64 {
+    if instance.jobs.is_empty() {
+        return 1.0;
+    }
+    // Upper bound: any valid schedule, e.g. FCFS.
+    let fcfs = simulate_priority(instance, PriorityRule::Fcfs, None);
+    let upper = max_stretch_of(instance, &fcfs).max(1.0);
+    let mut lo = 1.0;
+    let mut hi = upper;
+    let deadlines_for = |f: f64| -> Vec<f64> {
+        instance.jobs.iter().map(|j| j.deadline(f)).collect()
+    };
+    if edf_feasible(instance, &deadlines_for(lo)) {
+        return lo;
+    }
+    debug_assert!(edf_feasible(instance, &deadlines_for(hi)));
+    for _ in 0..200 {
+        if (hi - lo) <= 1e-9 * hi.max(1.0) {
+            break;
+        }
+        let mid = 0.5 * (lo + hi);
+        if edf_feasible(instance, &deadlines_for(mid)) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    hi
+}
+
+/// Builds per-job outcomes from single-processor completion times, using the
+/// job's own processing time as the stretch denominator (the single-processor
+/// stretch definition of §3.1).
+pub fn outcomes_of(instance: &UniprocInstance, completions: &[f64]) -> Vec<JobOutcome> {
+    instance
+        .jobs
+        .iter()
+        .zip(completions)
+        .map(|(j, &c)| JobOutcome::new(j.id, j.release, j.work, j.processing_time, c))
+        .collect()
+}
+
+/// §3 metrics of a single-processor schedule.
+pub fn metrics_of(instance: &UniprocInstance, completions: &[f64]) -> ScheduleMetrics {
+    ScheduleMetrics::from_outcomes(&outcomes_of(instance, completions))
+}
+
+/// Max-stretch of a single-processor schedule.
+pub fn max_stretch_of(instance: &UniprocInstance, completions: &[f64]) -> f64 {
+    metrics_of(instance, completions).max_stretch
+}
+
+/// Sum-stretch of a single-processor schedule.
+pub fn sum_stretch_of(instance: &UniprocInstance, completions: &[f64]) -> f64 {
+    metrics_of(instance, completions).sum_stretch
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inst(jobs: &[(f64, f64)]) -> UniprocInstance {
+        UniprocInstance::from_times(jobs)
+    }
+
+    #[test]
+    fn fcfs_runs_jobs_in_arrival_order_without_preemption() {
+        let i = inst(&[(0.0, 4.0), (1.0, 1.0), (2.0, 1.0)]);
+        let c = simulate_priority(&i, PriorityRule::Fcfs, None);
+        assert!((c[0] - 4.0).abs() < 1e-9);
+        assert!((c[1] - 5.0).abs() < 1e-9);
+        assert!((c[2] - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn srpt_preempts_long_job_for_short_one() {
+        let i = inst(&[(0.0, 4.0), (1.0, 1.0)]);
+        let c = simulate_priority(&i, PriorityRule::Srpt, None);
+        // At t=1 the long job has 3 units left > 1, so the short job runs.
+        assert!((c[1] - 2.0).abs() < 1e-9);
+        assert!((c[0] - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn srpt_minimises_sum_flow_against_other_rules() {
+        let i = inst(&[(0.0, 3.0), (0.5, 1.0), (1.0, 2.0), (4.0, 0.5)]);
+        let srpt = metrics_of(&i, &simulate_priority(&i, PriorityRule::Srpt, None));
+        for rule in [PriorityRule::Fcfs, PriorityRule::Spt, PriorityRule::Swrpt] {
+            let other = metrics_of(&i, &simulate_priority(&i, rule, None));
+            assert!(
+                srpt.sum_flow <= other.sum_flow + 1e-9,
+                "SRPT sum-flow {} vs {} {}",
+                srpt.sum_flow,
+                rule.name(),
+                other.sum_flow
+            );
+        }
+    }
+
+    #[test]
+    fn fcfs_minimises_max_flow_against_other_rules() {
+        let i = inst(&[(0.0, 3.0), (0.5, 1.0), (1.0, 2.0), (4.0, 0.5)]);
+        let fcfs = metrics_of(&i, &simulate_priority(&i, PriorityRule::Fcfs, None));
+        for rule in [PriorityRule::Srpt, PriorityRule::Spt, PriorityRule::Swrpt] {
+            let other = metrics_of(&i, &simulate_priority(&i, rule, None));
+            assert!(fcfs.max_flow <= other.max_flow + 1e-9);
+        }
+    }
+
+    #[test]
+    fn idle_period_is_skipped() {
+        let i = inst(&[(0.0, 1.0), (10.0, 1.0)]);
+        let c = simulate_priority(&i, PriorityRule::Srpt, None);
+        assert!((c[0] - 1.0).abs() < 1e-9);
+        assert!((c[1] - 11.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn edf_feasibility_detects_tight_and_loose_deadline_sets() {
+        let i = inst(&[(0.0, 2.0), (0.0, 2.0)]);
+        assert!(edf_feasible(&i, &[2.0, 4.0]));
+        assert!(edf_feasible(&i, &[4.0, 4.0]));
+        assert!(!edf_feasible(&i, &[2.0, 3.0]));
+    }
+
+    #[test]
+    fn optimal_max_stretch_single_job_is_one() {
+        let i = inst(&[(5.0, 3.0)]);
+        assert!((optimal_max_stretch(&i) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn optimal_max_stretch_two_identical_jobs() {
+        // Two unit jobs released together: one must wait, optimal max-stretch 2.
+        let i = inst(&[(0.0, 1.0), (0.0, 1.0)]);
+        assert!((optimal_max_stretch(&i) - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn optimal_max_stretch_never_exceeds_any_heuristic() {
+        let i = inst(&[(0.0, 5.0), (1.0, 1.0), (1.5, 0.5), (2.0, 2.0), (8.0, 1.0)]);
+        let opt = optimal_max_stretch(&i);
+        for rule in [
+            PriorityRule::Fcfs,
+            PriorityRule::Srpt,
+            PriorityRule::Spt,
+            PriorityRule::Swrpt,
+        ] {
+            let c = simulate_priority(&i, rule, None);
+            assert!(
+                opt <= max_stretch_of(&i, &c) + 1e-6,
+                "optimal {} vs {} {}",
+                opt,
+                rule.name(),
+                max_stretch_of(&i, &c)
+            );
+        }
+    }
+
+    #[test]
+    fn empty_instance_handled() {
+        let i = inst(&[]);
+        assert!(simulate_priority(&i, PriorityRule::Srpt, None).is_empty());
+        assert_eq!(optimal_max_stretch(&i), 1.0);
+    }
+}

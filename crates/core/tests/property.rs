@@ -1,0 +1,176 @@
+//! Property-based tests on the scheduler implementations.
+//!
+//! Random small instances are generated structurally (not through the random
+//! workload generator, so shrinking produces readable counter-examples) and
+//! the fundamental invariants of the model are checked on every scheduler:
+//! completions after releases, optimality of the off-line solver, work
+//! conservation bounds, and determinism.
+
+use proptest::prelude::*;
+use stretch_core::offline::{optimal_max_stretch, OfflineBackend};
+use stretch_core::{
+    Bender98Scheduler, ListScheduler, MctScheduler, OfflineScheduler, OnlineScheduler, Scheduler,
+};
+use stretch_platform::{Cluster, Databank, Platform, Processor};
+use stretch_workload::{Instance, Job};
+
+/// Builds a two-cluster platform from a compact description.
+fn platform(speed_a: f64, speed_b: f64, shared_only: bool) -> Platform {
+    let clusters = vec![
+        Cluster {
+            id: 0,
+            speed: speed_a,
+            processors: vec![0, 1],
+            hosted_databanks: if shared_only { vec![0] } else { vec![0, 1] },
+        },
+        Cluster {
+            id: 1,
+            speed: speed_b,
+            processors: vec![2, 3],
+            hosted_databanks: vec![0, 1],
+        },
+    ];
+    let processors = vec![
+        Processor::new(0, 0, speed_a),
+        Processor::new(1, 0, speed_a),
+        Processor::new(2, 1, speed_b),
+        Processor::new(3, 1, speed_b),
+    ];
+    let databanks = vec![
+        Databank::new(0, "shared", 100.0),
+        Databank::new(1, "restricted", 200.0),
+    ];
+    Platform::new(clusters, processors, databanks)
+}
+
+/// Strategy producing a small random instance.
+fn instance_strategy() -> impl Strategy<Value = Instance> {
+    (
+        2.0f64..40.0,
+        2.0f64..40.0,
+        proptest::bool::ANY,
+        proptest::collection::vec((0.0f64..30.0, 5.0f64..300.0, 0usize..2), 1..7),
+    )
+        .prop_map(|(speed_a, speed_b, shared_only, jobs)| {
+            let platform = platform(speed_a, speed_b, shared_only);
+            let jobs: Vec<Job> = jobs
+                .into_iter()
+                .enumerate()
+                .map(|(i, (release, work, databank))| Job::new(i, release, work, databank))
+                .collect();
+            Instance::new(platform, jobs)
+        })
+}
+
+fn fast_schedulers() -> Vec<Box<dyn Scheduler>> {
+    vec![
+        Box::new(ListScheduler::fcfs()),
+        Box::new(ListScheduler::srpt()),
+        Box::new(ListScheduler::spt()),
+        Box::new(ListScheduler::swrpt()),
+        Box::new(ListScheduler::bender02()),
+        Box::new(MctScheduler::mct()),
+        Box::new(MctScheduler::mct_div()),
+    ]
+}
+
+fn optimisation_schedulers() -> Vec<Box<dyn Scheduler>> {
+    vec![
+        Box::new(OfflineScheduler::new()),
+        Box::new(OnlineScheduler::online()),
+        Box::new(OnlineScheduler::online_edf()),
+        Box::new(OnlineScheduler::online_egdf()),
+        Box::new(Bender98Scheduler::new()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn priority_and_greedy_schedulers_respect_model_invariants(instance in instance_strategy()) {
+        let lower_bound = instance.total_work() / instance.platform.aggregate_speed();
+        for scheduler in fast_schedulers() {
+            let result = scheduler.schedule(&instance).unwrap();
+            prop_assert_eq!(result.outcomes.len(), instance.num_jobs());
+            for o in &result.outcomes {
+                prop_assert!(o.completion >= o.release - 1e-9,
+                    "{}: completion before release", scheduler.name());
+            }
+            prop_assert!(result.metrics.makespan >= lower_bound - 1e-6,
+                "{}: makespan beats work conservation", scheduler.name());
+        }
+    }
+
+    #[test]
+    fn single_job_instances_are_served_at_full_eligible_speed(
+        work in 10.0f64..500.0,
+        release in 0.0f64..10.0,
+        databank in 0usize..2,
+        speed_a in 2.0f64..40.0,
+        speed_b in 2.0f64..40.0,
+    ) {
+        let platform = platform(speed_a, speed_b, true);
+        let eligible_speed = if databank == 0 {
+            2.0 * speed_a + 2.0 * speed_b
+        } else {
+            2.0 * speed_b
+        };
+        let instance = Instance::new(platform, vec![Job::new(0, release, work, databank)]);
+        let expected = release + work / eligible_speed;
+        for scheduler in [
+            Box::new(ListScheduler::srpt()) as Box<dyn Scheduler>,
+            Box::new(MctScheduler::mct_div()),
+            Box::new(OnlineScheduler::online()),
+        ] {
+            let result = scheduler.schedule(&instance).unwrap();
+            prop_assert!((result.completion(0) - expected).abs() < 1e-3 * expected.max(1.0),
+                "{}: completion {} vs expected {}", scheduler.name(),
+                result.completion(0), expected);
+        }
+    }
+}
+
+proptest! {
+    // The LP/flow-based schedulers are slower, so fewer cases.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn optimisation_schedulers_respect_model_invariants(instance in instance_strategy()) {
+        for scheduler in optimisation_schedulers() {
+            let result = scheduler.schedule(&instance).unwrap();
+            prop_assert_eq!(result.outcomes.len(), instance.num_jobs());
+            for o in &result.outcomes {
+                prop_assert!(o.completion >= o.release - 1e-6,
+                    "{}: completion before release", scheduler.name());
+            }
+        }
+    }
+
+    #[test]
+    fn offline_optimum_is_a_lower_bound_for_every_scheduler(instance in instance_strategy()) {
+        let optimum = optimal_max_stretch(&instance, OfflineBackend::Flow).unwrap().stretch
+            * instance.platform.aggregate_speed();
+        for scheduler in fast_schedulers().into_iter().chain(optimisation_schedulers()) {
+            let result = scheduler.schedule(&instance).unwrap();
+            prop_assert!(result.metrics.max_stretch >= optimum * (1.0 - 5e-3),
+                "{} beat the optimum: {} < {}", scheduler.name(),
+                result.metrics.max_stretch, optimum);
+        }
+    }
+
+    #[test]
+    fn online_variants_meet_the_recomputed_deadline_guarantee(instance in instance_strategy()) {
+        // The on-line heuristics recompute the best achievable max-stretch at
+        // every arrival; their realised max-stretch can exceed the off-line
+        // optimum but stays within a small factor on these tiny instances.
+        let optimum = optimal_max_stretch(&instance, OfflineBackend::Flow).unwrap().stretch
+            * instance.platform.aggregate_speed();
+        for scheduler in [OnlineScheduler::online(), OnlineScheduler::online_edf()] {
+            let result = scheduler.schedule(&instance).unwrap();
+            prop_assert!(result.metrics.max_stretch <= optimum * 5.0 + 1e-6,
+                "{}: {} vs optimum {}", scheduler.name(),
+                result.metrics.max_stretch, optimum);
+        }
+    }
+}

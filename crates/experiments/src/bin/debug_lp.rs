@@ -1,0 +1,77 @@
+//! Temporary diagnostic for the System-(1) LP back-end.
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use stretch_core::offline::offline_problem;
+use stretch_core::system1;
+use stretch_platform::{PlatformConfig, PlatformGenerator};
+use stretch_workload::{WorkloadConfig, WorkloadGenerator};
+
+fn main() {
+    for seed in 1u64..=5 {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let platform = PlatformGenerator::new(PlatformConfig::new(3, 3, 0.6)).generate(&mut rng);
+        let probe = WorkloadGenerator::new(WorkloadConfig {
+            density: 1.5,
+            window: 1.0,
+            scan_fraction: 1.0,
+        });
+        let window = (10.0 / probe.expected_job_count(&platform).max(1e-9)).max(1e-3);
+        let generator = WorkloadGenerator::new(WorkloadConfig {
+            density: 1.5,
+            window,
+            scan_fraction: 1.0,
+        });
+        let instance = generator.generate_instance(platform, &mut rng);
+        let problem = offline_problem(&instance);
+        let flow = problem.min_feasible_stretch();
+        println!(
+            "seed {seed}: jobs={} milestones={} flow={:?}",
+            instance.num_jobs(),
+            problem.milestones().len(),
+            flow
+        );
+        let lower = problem.stretch_lower_bound();
+        let mut upper = lower.max(1e-6) * 2.0;
+        while !problem.feasible(upper) {
+            upper *= 2.0;
+        }
+        let mut breakpoints: Vec<f64> = problem
+            .milestones()
+            .into_iter()
+            .filter(|&m| m > lower && m < upper)
+            .collect();
+        breakpoints.push(upper);
+        println!(
+            "  lower={lower:.6} upper={upper:.6} breakpoints={}",
+            breakpoints.len()
+        );
+        // Locate bracket as in optimal_stretch_lp.
+        let mut lo = lower;
+        let mut hi_idx = breakpoints.len() - 1;
+        if problem.feasible(breakpoints[0]) {
+            hi_idx = 0;
+        } else {
+            let mut lo_search = 0usize;
+            while hi_idx - lo_search > 1 {
+                let mid = (lo_search + hi_idx) / 2;
+                if problem.feasible(breakpoints[mid]) {
+                    hi_idx = mid;
+                } else {
+                    lo_search = mid;
+                }
+            }
+            lo = breakpoints[lo_search];
+        }
+        let hi = breakpoints[hi_idx];
+        println!("  bracket=[{lo:.6}, {hi:.6}]");
+        let t0 = std::time::Instant::now();
+        let interval = system1::solve_system1_interval(&problem, lo, hi);
+        println!(
+            "  solve_system1_interval -> {:?} in {:?}",
+            interval,
+            t0.elapsed()
+        );
+        let full = system1::optimal_stretch_lp(&problem);
+        println!("  optimal_stretch_lp -> {full:?}");
+    }
+}

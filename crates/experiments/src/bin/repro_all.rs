@@ -1,0 +1,41 @@
+//! Runs the complete reproduction: Table 1, the partitioned tables 2–16,
+//! Figure 3 and the overhead study, sharing a single campaign for all the
+//! tables.
+
+use stretch_experiments::figure3::{render_figure3, run_figure3, Figure3Settings};
+use stretch_experiments::{
+    full_grid, run_campaign, run_overhead_study, table1, tables_by_availability,
+    tables_by_databases, tables_by_density, tables_by_sites, CampaignSettings,
+};
+
+fn main() {
+    let settings = CampaignSettings::from_env();
+    let grid = full_grid();
+    eprintln!(
+        "Campaign: {} configurations x {} instances, ~{} jobs each",
+        grid.len(),
+        settings.instances_per_config,
+        settings.target_jobs
+    );
+    let result = run_campaign(&grid, settings);
+
+    println!("{}", table1(&result.observations));
+    for table in tables_by_sites(&result.observations) {
+        println!("{table}");
+    }
+    for table in tables_by_density(&result.observations) {
+        println!("{table}");
+    }
+    for table in tables_by_databases(&result.observations) {
+        println!("{table}");
+    }
+    for table in tables_by_availability(&result.observations) {
+        println!("{table}");
+    }
+
+    let points = run_figure3(&Figure3Settings::default());
+    println!("{}", render_figure3(&points));
+
+    let overhead = run_overhead_study(3, 40, 2006);
+    println!("{}", overhead.render());
+}

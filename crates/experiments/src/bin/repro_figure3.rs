@@ -1,0 +1,26 @@
+//! Reproduces Figure 3: max-stretch degradation (a) and sum-stretch gain (b)
+//! of the optimized on-line heuristic versus the non-optimized version, as a
+//! function of the workload density.
+
+use stretch_experiments::figure3::{render_figure3, run_figure3, Figure3Settings};
+
+fn main() {
+    let mut settings = Figure3Settings::default();
+    if let Ok(v) = std::env::var("STRETCH_INSTANCES") {
+        if let Ok(n) = v.parse() {
+            settings.instances_per_density = n;
+        }
+    }
+    if let Ok(v) = std::env::var("STRETCH_JOBS") {
+        if let Ok(n) = v.parse() {
+            settings.target_jobs = n;
+        }
+    }
+    eprintln!(
+        "Sweeping {} densities x {} instances...",
+        settings.densities.len(),
+        settings.instances_per_density
+    );
+    let points = run_figure3(&settings);
+    println!("{}", render_figure3(&points));
+}

@@ -1,0 +1,17 @@
+//! Reproduces the scheduling-overhead comparison of §5.3 (3-cluster
+//! platforms): average wall-clock time spent inside each scheduler.
+
+use stretch_experiments::run_overhead_study;
+
+fn main() {
+    let instances = std::env::var("STRETCH_INSTANCES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5);
+    let jobs = std::env::var("STRETCH_JOBS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(40);
+    let report = run_overhead_study(instances, jobs, 2006);
+    println!("{}", report.render());
+}

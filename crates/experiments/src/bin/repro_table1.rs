@@ -1,0 +1,28 @@
+//! Reproduces Table 1: aggregate statistics over the full 162-configuration
+//! grid.
+//!
+//! ```text
+//! cargo run --release -p stretch-experiments --bin repro_table1
+//! STRETCH_INSTANCES=20 STRETCH_JOBS=60 cargo run --release -p stretch-experiments --bin repro_table1
+//! ```
+
+use stretch_experiments::{full_grid, run_campaign, table1, CampaignSettings};
+
+fn main() {
+    let settings = CampaignSettings::from_env();
+    let grid = full_grid();
+    eprintln!(
+        "Running {} configurations x {} instances (target {} jobs per instance)...",
+        grid.len(),
+        settings.instances_per_config,
+        settings.target_jobs
+    );
+    let result = run_campaign(&grid, settings);
+    println!("{}", table1(&result.observations));
+    if let Ok(json) = serde_json::to_string_pretty(&result.observations) {
+        let path = "table1_observations.json";
+        if std::fs::write(path, json).is_ok() {
+            eprintln!("Raw observations written to {path}");
+        }
+    }
+}

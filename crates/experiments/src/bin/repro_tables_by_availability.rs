@@ -1,0 +1,12 @@
+//! Reproduces Tables 14–16: the Table-1 statistics partitioned by database
+//! availability (30 %, 60 %, 90 %).
+
+use stretch_experiments::{full_grid, run_campaign, tables_by_availability, CampaignSettings};
+
+fn main() {
+    let settings = CampaignSettings::from_env();
+    let result = run_campaign(&full_grid(), settings);
+    for table in tables_by_availability(&result.observations) {
+        println!("{table}");
+    }
+}

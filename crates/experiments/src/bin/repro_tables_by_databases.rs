@@ -1,0 +1,12 @@
+//! Reproduces Tables 11–13: the Table-1 statistics partitioned by the number
+//! of reference databanks (3, 10, 20).
+
+use stretch_experiments::{full_grid, run_campaign, tables_by_databases, CampaignSettings};
+
+fn main() {
+    let settings = CampaignSettings::from_env();
+    let result = run_campaign(&full_grid(), settings);
+    for table in tables_by_databases(&result.observations) {
+        println!("{table}");
+    }
+}

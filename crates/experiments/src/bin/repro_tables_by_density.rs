@@ -1,0 +1,12 @@
+//! Reproduces Tables 5–10: the Table-1 statistics partitioned by workload
+//! density (0.75, 1.0, 1.25, 1.5, 2.0, 3.0).
+
+use stretch_experiments::{full_grid, run_campaign, tables_by_density, CampaignSettings};
+
+fn main() {
+    let settings = CampaignSettings::from_env();
+    let result = run_campaign(&full_grid(), settings);
+    for table in tables_by_density(&result.observations) {
+        println!("{table}");
+    }
+}

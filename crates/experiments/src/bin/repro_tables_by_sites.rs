@@ -1,0 +1,12 @@
+//! Reproduces Tables 2–4: the Table-1 statistics partitioned by platform
+//! size (3, 10 and 20 sites).
+
+use stretch_experiments::{full_grid, run_campaign, tables_by_sites, CampaignSettings};
+
+fn main() {
+    let settings = CampaignSettings::from_env();
+    let result = run_campaign(&full_grid(), settings);
+    for table in tables_by_sites(&result.observations) {
+        println!("{table}");
+    }
+}

@@ -1,0 +1,133 @@
+//! Running a full campaign over the experimental grid, in parallel.
+
+use crate::config::ExperimentConfig;
+use crate::runner::{run_instance, InstanceObservation};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Settings of a campaign run.
+///
+/// The paper uses 200 instances per configuration and 15-minute workloads
+/// (thousands of jobs); the defaults here are scaled down so the full grid
+/// completes in minutes on a laptop while preserving the heuristic ranking
+/// (see EXPERIMENTS.md for the measured sensitivity to these settings).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CampaignSettings {
+    /// Random instances drawn per configuration (paper: 200).
+    pub instances_per_config: usize,
+    /// Expected number of jobs per instance (paper: the 15-minute window,
+    /// i.e. hundreds to thousands of jobs depending on the configuration).
+    pub target_jobs: usize,
+    /// Base random seed; instance `(c, i)` uses `seed + c·10_000 + i`.
+    pub base_seed: u64,
+}
+
+impl Default for CampaignSettings {
+    fn default() -> Self {
+        CampaignSettings {
+            instances_per_config: 5,
+            target_jobs: 30,
+            base_seed: 42,
+        }
+    }
+}
+
+impl CampaignSettings {
+    /// A very small setting used by smoke tests and Criterion benches.
+    pub fn smoke() -> Self {
+        CampaignSettings {
+            instances_per_config: 1,
+            target_jobs: 10,
+            base_seed: 7,
+        }
+    }
+
+    /// Reads overrides from the environment, so the reproduction binaries can
+    /// be scaled up towards the paper's 200 × 15-minute campaign without
+    /// recompiling:
+    ///
+    /// * `STRETCH_INSTANCES` — instances per configuration (default 5);
+    /// * `STRETCH_JOBS` — expected jobs per instance (default 30);
+    /// * `STRETCH_SEED` — base random seed (default 42).
+    pub fn from_env() -> Self {
+        let read = |name: &str, default: u64| -> u64 {
+            std::env::var(name)
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(default)
+        };
+        CampaignSettings {
+            instances_per_config: read("STRETCH_INSTANCES", 5) as usize,
+            target_jobs: read("STRETCH_JOBS", 30) as usize,
+            base_seed: read("STRETCH_SEED", 42),
+        }
+    }
+}
+
+/// All observations of a campaign.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct CampaignResult {
+    /// One entry per (configuration, instance) pair.
+    pub observations: Vec<InstanceObservation>,
+    /// The settings the campaign was run with.
+    pub settings: Option<CampaignSettings>,
+}
+
+impl CampaignResult {
+    /// Observations restricted by a configuration predicate (used to build
+    /// the partitioned tables 2–16).
+    pub fn filtered(&self, predicate: impl Fn(&ExperimentConfig) -> bool) -> Vec<&InstanceObservation> {
+        self.observations
+            .iter()
+            .filter(|o| predicate(&o.config))
+            .collect()
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.observations.len()
+    }
+
+    /// `true` when the campaign produced no observation.
+    pub fn is_empty(&self) -> bool {
+        self.observations.is_empty()
+    }
+}
+
+/// Runs the battery over every configuration of `grid`, in parallel over
+/// (configuration, instance) pairs.
+pub fn run_campaign(grid: &[ExperimentConfig], settings: CampaignSettings) -> CampaignResult {
+    let work: Vec<(usize, usize)> = (0..grid.len())
+        .flat_map(|c| (0..settings.instances_per_config).map(move |i| (c, i)))
+        .collect();
+    let observations: Vec<InstanceObservation> = work
+        .par_iter()
+        .map(|&(c, i)| {
+            let seed = settings.base_seed + c as u64 * 10_000 + i as u64;
+            run_instance(&grid[c], settings.target_jobs, seed)
+        })
+        .collect();
+    CampaignResult {
+        observations,
+        settings: Some(settings),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::reduced_grid;
+
+    #[test]
+    fn smoke_campaign_produces_one_observation_per_pair() {
+        let grid = reduced_grid();
+        let settings = CampaignSettings::smoke();
+        let result = run_campaign(&grid, settings);
+        assert_eq!(result.len(), grid.len() * settings.instances_per_config);
+        assert!(!result.is_empty());
+        // Filtering by sites returns only matching configurations.
+        let only3 = result.filtered(|c| c.sites == 3);
+        assert!(only3.iter().all(|o| o.config.sites == 3));
+        assert!(!only3.is_empty());
+    }
+}

@@ -1,0 +1,112 @@
+//! The experimental grid of §5.3.
+
+use serde::{Deserialize, Serialize};
+use stretch_platform::reference;
+
+/// One point of the experimental grid: a platform/application configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// Number of clusters (sites): 3, 10 or 20 in the paper.
+    pub sites: usize,
+    /// Number of distinct reference databanks: 3, 10 or 20.
+    pub databanks: usize,
+    /// Probability that a databank is replicated on a site: 0.3, 0.6 or 0.9.
+    pub availability: f64,
+    /// Workload density: 0.75 … 3.0.
+    pub density: f64,
+}
+
+impl ExperimentConfig {
+    /// A compact label used in logs and result files.
+    pub fn label(&self) -> String {
+        format!(
+            "sites{}_db{}_avail{:02}_dens{:.2}",
+            self.sites,
+            self.databanks,
+            (self.availability * 100.0) as u32,
+            self.density
+        )
+    }
+}
+
+/// The full 162-configuration grid of §5.3
+/// (3 platform sizes × 3 databank counts × 3 availabilities × 6 densities).
+pub fn full_grid() -> Vec<ExperimentConfig> {
+    let mut grid = Vec::new();
+    for &sites in &reference::PLATFORM_SIZES {
+        for &databanks in &reference::DATABANK_COUNTS {
+            for &availability in &reference::AVAILABILITY_LEVELS {
+                for &density in &reference::WORKLOAD_DENSITIES {
+                    grid.push(ExperimentConfig {
+                        sites,
+                        databanks,
+                        availability,
+                        density,
+                    });
+                }
+            }
+        }
+    }
+    grid
+}
+
+/// A reduced grid (one value per axis except the one being swept) used by the
+/// smoke tests and the Criterion benches, which cannot afford the full grid.
+pub fn reduced_grid() -> Vec<ExperimentConfig> {
+    vec![
+        ExperimentConfig {
+            sites: 3,
+            databanks: 3,
+            availability: 0.6,
+            density: 1.0,
+        },
+        ExperimentConfig {
+            sites: 10,
+            databanks: 10,
+            availability: 0.6,
+            density: 1.5,
+        },
+        ExperimentConfig {
+            sites: 3,
+            databanks: 10,
+            availability: 0.9,
+            density: 3.0,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_has_162_configurations() {
+        let grid = full_grid();
+        assert_eq!(grid.len(), 162);
+        // All distinct.
+        let labels: std::collections::HashSet<String> = grid.iter().map(|c| c.label()).collect();
+        assert_eq!(labels.len(), 162);
+    }
+
+    #[test]
+    fn grid_covers_every_axis_value() {
+        let grid = full_grid();
+        for &s in &reference::PLATFORM_SIZES {
+            assert!(grid.iter().any(|c| c.sites == s));
+        }
+        for &d in &reference::WORKLOAD_DENSITIES {
+            assert!(grid.iter().any(|c| (c.density - d).abs() < 1e-12));
+        }
+    }
+
+    #[test]
+    fn labels_are_readable() {
+        let c = ExperimentConfig {
+            sites: 3,
+            databanks: 10,
+            availability: 0.9,
+            density: 1.25,
+        };
+        assert_eq!(c.label(), "sites3_db10_avail90_dens1.25");
+    }
+}

@@ -1,0 +1,193 @@
+//! Figure 3: effect of the System-(2) optimisation on the on-line heuristic.
+//!
+//! The paper sweeps the workload density and compares, for each density, the
+//! optimized on-line heuristic against the non-optimized version that stops
+//! after the max-stretch computation:
+//!
+//! * Figure 3(a): average max-stretch degradation from optimal, for both
+//!   versions;
+//! * Figure 3(b): average sum-stretch gain of the optimized version relative
+//!   to the non-optimized one.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use stretch_core::{OfflineBackend, OnlineScheduler, Scheduler};
+use stretch_platform::{PlatformConfig, PlatformGenerator};
+use stretch_workload::{WorkloadConfig, WorkloadGenerator};
+
+/// Settings of the Figure 3 sweep.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Figure3Settings {
+    /// Workload densities to sweep (the paper uses 0.0125 … 4.0).
+    pub densities: Vec<f64>,
+    /// Instances per density (the paper uses 5000).
+    pub instances_per_density: usize,
+    /// Expected number of jobs per instance.
+    pub target_jobs: usize,
+    /// Platform size (the sweep uses small platforms).
+    pub sites: usize,
+    /// Number of databanks.
+    pub databanks: usize,
+    /// Database availability.
+    pub availability: f64,
+    /// Base random seed.
+    pub base_seed: u64,
+}
+
+impl Default for Figure3Settings {
+    fn default() -> Self {
+        Figure3Settings {
+            densities: vec![0.25, 0.5, 1.0, 1.5, 2.0, 3.0, 4.0],
+            instances_per_density: 8,
+            target_jobs: 20,
+            sites: 3,
+            databanks: 3,
+            availability: 0.6,
+            base_seed: 2006,
+        }
+    }
+}
+
+impl Figure3Settings {
+    /// A tiny configuration for smoke tests and benches.
+    pub fn smoke() -> Self {
+        Figure3Settings {
+            densities: vec![0.5, 2.0],
+            instances_per_density: 2,
+            target_jobs: 8,
+            ..Default::default()
+        }
+    }
+}
+
+/// One point of the Figure 3 series (one workload density).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Figure3Point {
+    /// The workload density of this point.
+    pub density: f64,
+    /// Average max-stretch degradation from optimal of the optimized on-line
+    /// heuristic (Figure 3(a), "Optimized degradation"), in percent.
+    pub optimized_degradation_pct: f64,
+    /// Average max-stretch degradation from optimal of the non-optimized
+    /// version (Figure 3(a), "Non-optimized degradation"), in percent.
+    pub non_optimized_degradation_pct: f64,
+    /// Average sum-stretch gain of the optimized version relative to the
+    /// non-optimized one (Figure 3(b)), in percent.
+    pub sum_stretch_gain_pct: f64,
+    /// Number of instances aggregated.
+    pub instances: usize,
+}
+
+/// Runs the Figure 3 sweep.
+pub fn run_figure3(settings: &Figure3Settings) -> Vec<Figure3Point> {
+    let mut points = Vec::new();
+    for (d_idx, &density) in settings.densities.iter().enumerate() {
+        let mut optimized_degradation = Vec::new();
+        let mut non_optimized_degradation = Vec::new();
+        let mut gain = Vec::new();
+        for i in 0..settings.instances_per_density {
+            let seed = settings.base_seed + d_idx as u64 * 1000 + i as u64;
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let platform = PlatformGenerator::new(PlatformConfig::new(
+                settings.sites,
+                settings.databanks,
+                settings.availability,
+            ))
+            .generate(&mut rng);
+            let probe = WorkloadGenerator::new(WorkloadConfig {
+                density,
+                window: 1.0,
+                scan_fraction: 1.0,
+            });
+            let rate = probe.expected_job_count(&platform).max(1e-9);
+            let generator = WorkloadGenerator::new(WorkloadConfig {
+                density,
+                window: (settings.target_jobs as f64 / rate).max(1e-3),
+                scan_fraction: 1.0,
+            });
+            let instance = generator.generate_instance(platform, &mut rng);
+
+            let optimal =
+                match stretch_core::offline::optimal_max_stretch(&instance, OfflineBackend::Flow) {
+                    Ok(o) => o.stretch * instance.platform.aggregate_speed(),
+                    Err(_) => continue,
+                };
+            let optimized = OnlineScheduler::online().schedule(&instance);
+            let baseline = OnlineScheduler::non_optimized().schedule(&instance);
+            if let (Ok(optimized), Ok(baseline)) = (optimized, baseline) {
+                optimized_degradation
+                    .push((optimized.metrics.max_stretch / optimal - 1.0).max(0.0) * 100.0);
+                non_optimized_degradation
+                    .push((baseline.metrics.max_stretch / optimal - 1.0).max(0.0) * 100.0);
+                gain.push(
+                    (baseline.metrics.sum_stretch / optimized.metrics.sum_stretch - 1.0) * 100.0,
+                );
+            }
+        }
+        let mean = |v: &[f64]| {
+            if v.is_empty() {
+                0.0
+            } else {
+                v.iter().sum::<f64>() / v.len() as f64
+            }
+        };
+        points.push(Figure3Point {
+            density,
+            optimized_degradation_pct: mean(&optimized_degradation),
+            non_optimized_degradation_pct: mean(&non_optimized_degradation),
+            sum_stretch_gain_pct: mean(&gain),
+            instances: optimized_degradation.len(),
+        });
+    }
+    points
+}
+
+/// Renders the two series as plain text, one line per density.
+pub fn render_figure3(points: &[Figure3Point]) -> String {
+    let mut out = String::new();
+    out.push_str("Figure 3(a): average max-stretch degradation from optimal (%)\n");
+    out.push_str(&format!(
+        "{:>8} | {:>22} | {:>22}\n",
+        "density", "non-optimized (%)", "optimized (%)"
+    ));
+    for p in points {
+        out.push_str(&format!(
+            "{:>8.3} | {:>22.3} | {:>22.3}\n",
+            p.density, p.non_optimized_degradation_pct, p.optimized_degradation_pct
+        ));
+    }
+    out.push_str("\nFigure 3(b): average sum-stretch gain of the optimized version (%)\n");
+    out.push_str(&format!("{:>8} | {:>18}\n", "density", "gain (%)"));
+    for p in points {
+        out.push_str(&format!(
+            "{:>8.3} | {:>18.3}\n",
+            p.density, p.sum_stretch_gain_pct
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_sweep_produces_one_point_per_density() {
+        let settings = Figure3Settings::smoke();
+        let points = run_figure3(&settings);
+        assert_eq!(points.len(), settings.densities.len());
+        for p in &points {
+            assert!(p.instances > 0);
+            // Degradations are nonnegative percentages and stay moderate on
+            // these small instances (Figure 3(a) tops out around 2.5 %, we
+            // allow a loose bound here).
+            assert!(p.optimized_degradation_pct >= 0.0);
+            assert!(p.optimized_degradation_pct < 100.0);
+            assert!(p.non_optimized_degradation_pct >= 0.0);
+        }
+        let rendering = render_figure3(&points);
+        assert!(rendering.contains("Figure 3(a)"));
+        assert!(rendering.contains("Figure 3(b)"));
+    }
+}

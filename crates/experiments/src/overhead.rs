@@ -1,0 +1,110 @@
+//! The scheduling-overhead study of §5.3.
+//!
+//! The paper compares the wall-clock time each scheduler spends making
+//! decisions for a 15-minute workload on 3-cluster platforms: the on-line
+//! heuristics stay below a third of a second, the off-line optimal takes
+//! about half a second, and Bender98 — which solves a full off-line problem
+//! at every arrival — needs tens of seconds, which is why it is excluded from
+//! the larger configurations.
+
+use crate::config::ExperimentConfig;
+use crate::heuristics::TABLE1_ORDER;
+use crate::runner::run_instance;
+use serde::{Deserialize, Serialize};
+
+/// Average scheduling time per heuristic.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct OverheadReport {
+    /// `(heuristic name, average scheduling time in seconds)`, in Table-1
+    /// order.
+    pub rows: Vec<(String, f64)>,
+    /// Number of instances aggregated.
+    pub instances: usize,
+    /// Average number of jobs per instance.
+    pub mean_jobs: f64,
+}
+
+impl OverheadReport {
+    /// Average scheduling time of one heuristic, if it was run.
+    pub fn time_of(&self, name: &str) -> Option<f64> {
+        self.rows
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, t)| t)
+    }
+
+    /// Plain-text rendering.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "Scheduling overhead on 3-cluster platforms ({} instances, {:.1} jobs on average)\n",
+            self.instances, self.mean_jobs
+        ));
+        for (name, time) in &self.rows {
+            out.push_str(&format!("{name:<14} {:>12.4} s\n", time));
+        }
+        out
+    }
+}
+
+/// Measures the average scheduling time of every heuristic on 3-cluster
+/// platforms (the only ones where Bender98 is affordable, as in the paper).
+pub fn run_overhead_study(instances: usize, target_jobs: usize, seed: u64) -> OverheadReport {
+    let config = ExperimentConfig {
+        sites: 3,
+        databanks: 3,
+        availability: 0.6,
+        density: 1.5,
+    };
+    let mut totals = vec![0.0f64; TABLE1_ORDER.len()];
+    let mut counts = vec![0usize; TABLE1_ORDER.len()];
+    let mut total_jobs = 0usize;
+    for i in 0..instances {
+        let obs = run_instance(&config, target_jobs, seed + i as u64);
+        total_jobs += obs.num_jobs;
+        for (k, o) in obs.observations.iter().enumerate() {
+            if let Some(o) = o {
+                totals[k] += o.scheduling_time;
+                counts[k] += 1;
+            }
+        }
+    }
+    let rows = TABLE1_ORDER
+        .iter()
+        .enumerate()
+        .map(|(k, kind)| {
+            let avg = if counts[k] > 0 {
+                totals[k] / counts[k] as f64
+            } else {
+                f64::NAN
+            };
+            (kind.name().to_string(), avg)
+        })
+        .collect();
+    OverheadReport {
+        rows,
+        instances,
+        mean_jobs: total_jobs as f64 / instances.max(1) as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overhead_study_ranks_bender98_as_most_expensive_online_algorithm() {
+        let report = run_overhead_study(2, 12, 11);
+        assert_eq!(report.rows.len(), 11);
+        let bender98 = report.time_of("Bender98").unwrap();
+        let srpt = report.time_of("SRPT").unwrap();
+        let mct = report.time_of("MCT").unwrap();
+        // The list and greedy heuristics are orders of magnitude cheaper than
+        // Bender98's per-arrival off-line optimisations.
+        assert!(bender98 > srpt);
+        assert!(bender98 > mct);
+        assert!(crate::heuristics::HeuristicKind::Bender98.runs_on(3));
+        let rendered = report.render();
+        assert!(rendered.contains("Bender98"));
+    }
+}

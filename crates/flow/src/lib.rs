@@ -1,0 +1,32 @@
+//! # stretch-flow
+//!
+//! Network-flow solvers used as the *fast* back-end for the two linear
+//! programs of the paper:
+//!
+//! * the deadline-scheduling feasibility check behind **System (1)** is a
+//!   transportation problem — each job must route `W_j` units of work to
+//!   `(machine, interval)` bins whose capacity is the amount of work the
+//!   machine can perform during the interval; it is feasible iff the maximum
+//!   flow saturates every job source ([`maxflow`]);
+//! * **System (2)** — spreading work as early as possible under the optimal
+//!   max-stretch deadlines — is a minimum-cost maximum-flow where the cost of
+//!   a unit of job `j`'s work in interval `t` is the interval midpoint divided
+//!   by `W_j` ([`mincost`]).
+//!
+//! Both solvers work on floating-point capacities with an explicit tolerance,
+//! which matches the divisible-load model (work amounts are continuous).
+//! A higher-level [`transport`] module exposes the bipartite structure
+//! directly so callers never build raw graphs.
+
+pub mod graph;
+pub mod maxflow;
+pub mod mincost;
+pub mod transport;
+
+pub use graph::FlowNetwork;
+pub use maxflow::MaxFlowResult;
+pub use mincost::MinCostResult;
+pub use transport::{TransportInstance, TransportSolution};
+
+/// Tolerance under which a residual capacity is considered exhausted.
+pub const FLOW_EPS: f64 = 1e-9;

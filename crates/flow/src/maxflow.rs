@@ -1,0 +1,189 @@
+//! Dinic's maximum-flow algorithm on floating-point capacities.
+
+use crate::graph::FlowNetwork;
+use crate::FLOW_EPS;
+
+/// Result of a max-flow computation.
+#[derive(Clone, Debug)]
+pub struct MaxFlowResult {
+    /// Total flow value pushed from source to sink.
+    pub value: f64,
+}
+
+/// Computes the maximum `source -> sink` flow in `network` using Dinic's
+/// algorithm (BFS level graph + blocking-flow DFS).
+///
+/// Capacities are real numbers; augmenting paths smaller than [`FLOW_EPS`]
+/// are ignored, which bounds the number of phases in practice (the
+/// transportation networks built by the scheduler have integral structure up
+/// to job sizes, so Dinic's `O(V²E)` phase bound applies as usual).
+pub fn max_flow(network: &mut FlowNetwork, source: usize, sink: usize) -> MaxFlowResult {
+    assert!(source < network.num_nodes() && sink < network.num_nodes());
+    assert_ne!(source, sink, "source and sink must differ");
+    let n = network.num_nodes();
+    let mut total = 0.0;
+    let mut level = vec![-1i32; n];
+    let mut iter_idx = vec![0usize; n];
+
+    loop {
+        // BFS: build level graph on residual edges.
+        for l in level.iter_mut() {
+            *l = -1;
+        }
+        level[source] = 0;
+        let mut queue = std::collections::VecDeque::new();
+        queue.push_back(source);
+        while let Some(u) = queue.pop_front() {
+            for &eid in network.edges_from(u) {
+                let e = network.edge(eid);
+                if e.cap > FLOW_EPS && level[e.to] < 0 {
+                    level[e.to] = level[u] + 1;
+                    queue.push_back(e.to);
+                }
+            }
+        }
+        if level[sink] < 0 {
+            break;
+        }
+        for it in iter_idx.iter_mut() {
+            *it = 0;
+        }
+        // Blocking flow via iterative DFS.
+        loop {
+            let pushed = dfs_push(network, source, sink, f64::INFINITY, &level, &mut iter_idx);
+            if pushed <= FLOW_EPS {
+                break;
+            }
+            total += pushed;
+        }
+    }
+    MaxFlowResult { value: total }
+}
+
+/// Recursive DFS used by Dinic's blocking-flow step.
+fn dfs_push(
+    network: &mut FlowNetwork,
+    u: usize,
+    sink: usize,
+    limit: f64,
+    level: &[i32],
+    iter_idx: &mut [usize],
+) -> f64 {
+    if u == sink {
+        return limit;
+    }
+    while iter_idx[u] < network.edges_from(u).len() {
+        let eid = network.edges_from(u)[iter_idx[u]];
+        let (to, cap) = {
+            let e = network.edge(eid);
+            (e.to, e.cap)
+        };
+        if cap > FLOW_EPS && level[to] == level[u] + 1 {
+            let pushed = dfs_push(network, to, sink, limit.min(cap), level, iter_idx);
+            if pushed > FLOW_EPS {
+                network.push(eid, pushed);
+                return pushed;
+            }
+        }
+        iter_idx[u] += 1;
+    }
+    0.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-7
+    }
+
+    #[test]
+    fn single_edge() {
+        let mut g = FlowNetwork::new(2);
+        g.add_edge(0, 1, 3.5, 0.0);
+        let r = max_flow(&mut g, 0, 1);
+        assert!(close(r.value, 3.5));
+    }
+
+    #[test]
+    fn classic_diamond() {
+        // s -> a (3), s -> b (2), a -> t (2), b -> t (3), a -> b (1)
+        let mut g = FlowNetwork::new(4);
+        let (s, a, b, t) = (0, 1, 2, 3);
+        g.add_edge(s, a, 3.0, 0.0);
+        g.add_edge(s, b, 2.0, 0.0);
+        g.add_edge(a, t, 2.0, 0.0);
+        g.add_edge(b, t, 3.0, 0.0);
+        g.add_edge(a, b, 1.0, 0.0);
+        let r = max_flow(&mut g, s, t);
+        assert!(close(r.value, 5.0));
+    }
+
+    #[test]
+    fn disconnected_sink_gives_zero() {
+        let mut g = FlowNetwork::new(3);
+        g.add_edge(0, 1, 10.0, 0.0);
+        let r = max_flow(&mut g, 0, 2);
+        assert!(close(r.value, 0.0));
+    }
+
+    #[test]
+    fn fractional_capacities() {
+        let mut g = FlowNetwork::new(4);
+        g.add_edge(0, 1, 0.3, 0.0);
+        g.add_edge(0, 2, 0.7, 0.0);
+        g.add_edge(1, 3, 1.0, 0.0);
+        g.add_edge(2, 3, 0.25, 0.0);
+        let r = max_flow(&mut g, 0, 3);
+        assert!(close(r.value, 0.3 + 0.25));
+    }
+
+    #[test]
+    fn respects_bottleneck() {
+        // A long chain with a tiny middle edge.
+        let mut g = FlowNetwork::new(5);
+        g.add_edge(0, 1, 100.0, 0.0);
+        g.add_edge(1, 2, 0.001, 0.0);
+        g.add_edge(2, 3, 100.0, 0.0);
+        g.add_edge(3, 4, 100.0, 0.0);
+        let r = max_flow(&mut g, 0, 4);
+        assert!(close(r.value, 0.001));
+    }
+
+    #[test]
+    fn flow_conservation_holds() {
+        let mut g = FlowNetwork::new(6);
+        let s = 0;
+        let t = 5;
+        let mut handles = Vec::new();
+        for (u, v, c) in [
+            (0, 1, 4.0),
+            (0, 2, 3.0),
+            (1, 3, 2.5),
+            (1, 4, 2.0),
+            (2, 3, 2.0),
+            (2, 4, 1.5),
+            (3, 5, 4.0),
+            (4, 5, 4.0),
+        ] {
+            handles.push((u, v, g.add_edge(u, v, c, 0.0)));
+        }
+        let r = max_flow(&mut g, s, t);
+        // For every internal node, inflow == outflow.
+        for node in 1..5 {
+            let inflow: f64 = handles
+                .iter()
+                .filter(|(_, v, _)| *v == node)
+                .map(|(_, _, e)| g.flow_on(*e))
+                .sum();
+            let outflow: f64 = handles
+                .iter()
+                .filter(|(u, _, _)| *u == node)
+                .map(|(_, _, e)| g.flow_on(*e))
+                .sum();
+            assert!(close(inflow, outflow), "conservation at {node}");
+        }
+        assert!(r.value > 0.0);
+    }
+}

@@ -1,0 +1,245 @@
+//! Minimum-cost maximum-flow via successive shortest augmenting paths with
+//! node potentials (Bellman-Ford initialisation, then Dijkstra).
+
+use crate::graph::FlowNetwork;
+use crate::FLOW_EPS;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Result of a min-cost max-flow computation.
+#[derive(Clone, Debug)]
+pub struct MinCostResult {
+    /// Total flow value pushed from source to sink.
+    pub flow: f64,
+    /// Total cost `Σ flow(e) · cost(e)` of the pushed flow.
+    pub cost: f64,
+}
+
+#[derive(PartialEq)]
+struct HeapEntry {
+    dist: f64,
+    node: usize,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse so the BinaryHeap becomes a min-heap on dist.
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| self.node.cmp(&other.node))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Computes a maximum flow of minimum cost from `source` to `sink`.
+///
+/// Edge costs may be negative on input (they are handled by the Bellman-Ford
+/// potential initialisation); after that every augmentation uses Dijkstra on
+/// reduced costs, so the overall complexity is `O(F · E log V)` where `F` is
+/// the number of augmentations.
+pub fn min_cost_max_flow(network: &mut FlowNetwork, source: usize, sink: usize) -> MinCostResult {
+    assert!(source < network.num_nodes() && sink < network.num_nodes());
+    assert_ne!(source, sink);
+    let n = network.num_nodes();
+    let mut potential = vec![0.0f64; n];
+
+    // Bellman-Ford to compute exact initial potentials (handles negative
+    // costs on original edges).
+    for _ in 0..n {
+        let mut changed = false;
+        for u in 0..n {
+            if potential[u] == f64::INFINITY {
+                continue;
+            }
+            for &eid in network.edges_from(u) {
+                let e = network.edge(eid);
+                if e.cap > FLOW_EPS && potential[u] + e.cost < potential[e.to] - 1e-12 {
+                    potential[e.to] = potential[u] + e.cost;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    let mut total_flow = 0.0;
+    let mut total_cost = 0.0;
+
+    loop {
+        // Dijkstra on reduced costs.
+        let mut dist = vec![f64::INFINITY; n];
+        let mut prev_edge = vec![usize::MAX; n];
+        dist[source] = 0.0;
+        let mut heap = BinaryHeap::new();
+        heap.push(HeapEntry {
+            dist: 0.0,
+            node: source,
+        });
+        while let Some(HeapEntry { dist: d, node: u }) = heap.pop() {
+            if d > dist[u] + 1e-12 {
+                continue;
+            }
+            for &eid in network.edges_from(u) {
+                let e = network.edge(eid);
+                if e.cap <= FLOW_EPS {
+                    continue;
+                }
+                let reduced = e.cost + potential[u] - potential[e.to];
+                // Reduced costs should be nonnegative up to rounding.
+                let reduced = reduced.max(0.0);
+                let nd = d + reduced;
+                if nd + 1e-12 < dist[e.to] {
+                    dist[e.to] = nd;
+                    prev_edge[e.to] = eid;
+                    heap.push(HeapEntry {
+                        dist: nd,
+                        node: e.to,
+                    });
+                }
+            }
+        }
+        if dist[sink].is_infinite() {
+            break;
+        }
+        // Update potentials.
+        for v in 0..n {
+            if dist[v].is_finite() {
+                potential[v] += dist[v];
+            }
+        }
+        // Find bottleneck along the path.
+        let mut bottleneck = f64::INFINITY;
+        let mut v = sink;
+        while v != source {
+            let eid = prev_edge[v];
+            bottleneck = bottleneck.min(network.edge(eid).cap);
+            v = network.edge(eid ^ 1).to;
+        }
+        if bottleneck <= FLOW_EPS || !bottleneck.is_finite() {
+            break;
+        }
+        // Push it.
+        let mut v = sink;
+        while v != source {
+            let eid = prev_edge[v];
+            total_cost += bottleneck * network.edge(eid).cost;
+            network.push(eid, bottleneck);
+            v = network.edge(eid ^ 1).to;
+        }
+        total_flow += bottleneck;
+    }
+
+    MinCostResult {
+        flow: total_flow,
+        cost: total_cost,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-6
+    }
+
+    #[test]
+    fn single_cheap_path_is_preferred() {
+        // Two parallel routes with different costs; max flow uses both but the
+        // cheap one is saturated first so the cost is minimal.
+        let mut g = FlowNetwork::new(4);
+        let (s, a, b, t) = (0, 1, 2, 3);
+        g.add_edge(s, a, 1.0, 0.0);
+        g.add_edge(a, t, 1.0, 1.0); // cheap route, cap 1
+        g.add_edge(s, b, 1.0, 0.0);
+        g.add_edge(b, t, 1.0, 5.0); // expensive route, cap 1
+        let r = min_cost_max_flow(&mut g, s, t);
+        assert!(close(r.flow, 2.0));
+        assert!(close(r.cost, 1.0 + 5.0));
+    }
+
+    #[test]
+    fn chooses_cheapest_assignment() {
+        // One unit of demand, two routes with costs 3 and 7 -> cost 3.
+        let mut g = FlowNetwork::new(4);
+        g.add_edge(0, 1, 1.0, 0.0);
+        g.add_edge(1, 3, 5.0, 3.0);
+        g.add_edge(0, 2, 1.0, 0.0);
+        g.add_edge(2, 3, 5.0, 7.0);
+        // Cap total demand at 1 by inserting a super source edge.
+        let mut g2 = FlowNetwork::new(5);
+        g2.add_edge(4, 0, 1.0, 0.0);
+        g2.add_edge(0, 1, 1.0, 0.0);
+        g2.add_edge(1, 3, 5.0, 3.0);
+        g2.add_edge(0, 2, 1.0, 0.0);
+        g2.add_edge(2, 3, 5.0, 7.0);
+        let r = min_cost_max_flow(&mut g2, 4, 3);
+        assert!(close(r.flow, 1.0));
+        assert!(close(r.cost, 3.0));
+        let _ = g;
+    }
+
+    #[test]
+    fn fractional_split_when_cheap_capacity_is_limited() {
+        // Demand 1.0; cheap route capacity 0.4 (cost 1), remainder on cost 2.
+        let mut g = FlowNetwork::new(3);
+        g.add_edge(0, 1, 1.0, 0.0);
+        g.add_edge(1, 2, 0.4, 1.0);
+        g.add_edge(1, 2, 10.0, 2.0);
+        let r = min_cost_max_flow(&mut g, 0, 2);
+        assert!(close(r.flow, 1.0));
+        assert!(close(r.cost, 0.4 * 1.0 + 0.6 * 2.0));
+    }
+
+    #[test]
+    fn empty_network_has_zero_flow() {
+        let mut g = FlowNetwork::new(2);
+        let r = min_cost_max_flow(&mut g, 0, 1);
+        assert!(close(r.flow, 0.0));
+        assert!(close(r.cost, 0.0));
+    }
+
+    #[test]
+    fn negative_costs_are_supported() {
+        // Route with negative cost is preferred.
+        let mut g = FlowNetwork::new(4);
+        g.add_edge(0, 1, 1.0, 0.0);
+        g.add_edge(1, 3, 1.0, -2.0);
+        g.add_edge(0, 2, 1.0, 0.0);
+        g.add_edge(2, 3, 1.0, 4.0);
+        let r = min_cost_max_flow(&mut g, 0, 3);
+        assert!(close(r.flow, 2.0));
+        assert!(close(r.cost, -2.0 + 4.0));
+    }
+
+    #[test]
+    fn max_flow_value_matches_dinic() {
+        use crate::maxflow::max_flow;
+        let build = || {
+            let mut g = FlowNetwork::new(5);
+            g.add_edge(0, 1, 2.0, 1.0);
+            g.add_edge(0, 2, 3.0, 2.0);
+            g.add_edge(1, 3, 1.5, 1.0);
+            g.add_edge(2, 3, 2.5, 1.0);
+            g.add_edge(1, 2, 1.0, 0.5);
+            g.add_edge(3, 4, 3.5, 0.0);
+            g
+        };
+        let mut g1 = build();
+        let mut g2 = build();
+        let mf = max_flow(&mut g1, 0, 4);
+        let mc = min_cost_max_flow(&mut g2, 0, 4);
+        assert!(close(mf.value, mc.flow));
+    }
+}

@@ -1,0 +1,274 @@
+//! Bipartite transportation problems.
+//!
+//! This is the shape of both linear systems of the paper once the epochal
+//! intervals are fixed:
+//!
+//! * **sources** are jobs, each with a demand equal to its remaining work;
+//! * **bins** are `(machine, interval)` pairs, each with a capacity equal to
+//!   the amount of work that machine can perform during that interval;
+//! * a **route** `(job, bin)` exists when the machine hosts the job's
+//!   databank and the interval lies between the job's release date and its
+//!   deadline; its cost is the System-(2) weight (interval midpoint divided
+//!   by the job size) or zero for a pure feasibility check.
+
+use crate::graph::FlowNetwork;
+use crate::maxflow::max_flow;
+use crate::mincost::min_cost_max_flow;
+use crate::FLOW_EPS;
+
+/// A bipartite transportation instance.
+#[derive(Clone, Debug)]
+pub struct TransportInstance {
+    demands: Vec<f64>,
+    capacities: Vec<f64>,
+    routes: Vec<(usize, usize, f64)>,
+}
+
+/// Solution of a transportation instance.
+#[derive(Clone, Debug)]
+pub struct TransportSolution {
+    /// `(source, bin, amount)` triples with strictly positive amounts.
+    pub allocations: Vec<(usize, usize, f64)>,
+    /// Total cost of the allocation.
+    pub cost: f64,
+    /// Total amount shipped (equals the total demand when feasible).
+    pub shipped: f64,
+}
+
+impl TransportSolution {
+    /// Amount shipped from `source` to `bin` (zero if no allocation).
+    pub fn amount(&self, source: usize, bin: usize) -> f64 {
+        self.allocations
+            .iter()
+            .filter(|&&(s, b, _)| s == source && b == bin)
+            .map(|&(_, _, a)| a)
+            .sum()
+    }
+
+    /// Total amount shipped out of one source.
+    pub fn shipped_from(&self, source: usize) -> f64 {
+        self.allocations
+            .iter()
+            .filter(|&&(s, _, _)| s == source)
+            .map(|&(_, _, a)| a)
+            .sum()
+    }
+
+    /// Total amount received by one bin.
+    pub fn received_by(&self, bin: usize) -> f64 {
+        self.allocations
+            .iter()
+            .filter(|&&(_, b, _)| b == bin)
+            .map(|&(_, _, a)| a)
+            .sum()
+    }
+}
+
+impl TransportInstance {
+    /// Creates an instance with the given number of sources and bins, all
+    /// demands and capacities zero and no routes.
+    pub fn new(num_sources: usize, num_bins: usize) -> Self {
+        TransportInstance {
+            demands: vec![0.0; num_sources],
+            capacities: vec![0.0; num_bins],
+            routes: Vec::new(),
+        }
+    }
+
+    /// Number of sources (jobs).
+    pub fn num_sources(&self) -> usize {
+        self.demands.len()
+    }
+
+    /// Number of bins (machine × interval slots).
+    pub fn num_bins(&self) -> usize {
+        self.capacities.len()
+    }
+
+    /// Sets the demand (remaining work) of a source.
+    pub fn set_demand(&mut self, source: usize, demand: f64) {
+        assert!(demand >= 0.0 && demand.is_finite());
+        self.demands[source] = demand;
+    }
+
+    /// Sets the capacity of a bin.
+    pub fn set_capacity(&mut self, bin: usize, capacity: f64) {
+        assert!(capacity >= 0.0 && capacity.is_finite());
+        self.capacities[bin] = capacity;
+    }
+
+    /// Demand of a source.
+    pub fn demand(&self, source: usize) -> f64 {
+        self.demands[source]
+    }
+
+    /// Capacity of a bin.
+    pub fn capacity(&self, bin: usize) -> f64 {
+        self.capacities[bin]
+    }
+
+    /// Declares that `source` may ship through `bin` at the given unit cost.
+    pub fn add_route(&mut self, source: usize, bin: usize, cost: f64) {
+        assert!(source < self.num_sources() && bin < self.num_bins());
+        assert!(cost.is_finite());
+        self.routes.push((source, bin, cost));
+    }
+
+    /// Total demand of all sources.
+    pub fn total_demand(&self) -> f64 {
+        self.demands.iter().sum()
+    }
+
+    fn build_network(&self) -> (FlowNetwork, Vec<usize>, usize, usize) {
+        let ns = self.num_sources();
+        let nb = self.num_bins();
+        let source = ns + nb;
+        let sink = ns + nb + 1;
+        let mut g = FlowNetwork::new(ns + nb + 2);
+        for (j, &d) in self.demands.iter().enumerate() {
+            if d > 0.0 {
+                g.add_edge(source, j, d, 0.0);
+            }
+        }
+        for (b, &c) in self.capacities.iter().enumerate() {
+            if c > 0.0 {
+                g.add_edge(ns + b, sink, c, 0.0);
+            }
+        }
+        let mut route_edges = Vec::with_capacity(self.routes.len());
+        for &(j, b, cost) in &self.routes {
+            // A route can never carry more than its source's demand; using the
+            // demand as capacity (instead of "infinity") keeps `flow_on`
+            // numerically exact.
+            let cap = self.demands[j];
+            route_edges.push(g.add_edge(j, ns + b, cap, cost));
+        }
+        (g, route_edges, source, sink)
+    }
+
+    /// Maximum total amount that can be shipped (regardless of cost).
+    pub fn max_shippable(&self) -> f64 {
+        let (mut g, _, s, t) = self.build_network();
+        max_flow(&mut g, s, t).value
+    }
+
+    /// `true` when every source can ship its entire demand.
+    pub fn is_feasible(&self) -> bool {
+        self.is_feasible_with_tolerance(1e-6)
+    }
+
+    /// Feasibility with an explicit relative/absolute tolerance.
+    pub fn is_feasible_with_tolerance(&self, tol: f64) -> bool {
+        let demand = self.total_demand();
+        if demand <= FLOW_EPS {
+            return true;
+        }
+        let shipped = self.max_shippable();
+        shipped >= demand - tol.max(demand * tol)
+    }
+
+    /// Ships every demand at minimum total cost.
+    ///
+    /// Returns `None` when the instance is infeasible (some demand cannot be
+    /// routed), in which case callers should treat the corresponding deadline
+    /// set as unachievable.
+    pub fn solve_min_cost(&self) -> Option<TransportSolution> {
+        let (mut g, route_edges, s, t) = self.build_network();
+        let r = min_cost_max_flow(&mut g, s, t);
+        let demand = self.total_demand();
+        let tol = 1e-6_f64.max(demand * 1e-9);
+        if r.flow < demand - tol {
+            return None;
+        }
+        let mut allocations = Vec::new();
+        for (idx, &(j, b, _)) in self.routes.iter().enumerate() {
+            let amount = g.flow_on(route_edges[idx]);
+            if amount > FLOW_EPS {
+                allocations.push((j, b, amount));
+            }
+        }
+        Some(TransportSolution {
+            allocations,
+            cost: r.cost,
+            shipped: r.flow,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_instance_is_feasible() {
+        let t = TransportInstance::new(0, 0);
+        assert!(t.is_feasible());
+        assert_eq!(t.total_demand(), 0.0);
+    }
+
+    #[test]
+    fn feasibility_requires_capacity_and_routes() {
+        let mut t = TransportInstance::new(1, 1);
+        t.set_demand(0, 5.0);
+        t.set_capacity(0, 10.0);
+        // No route yet -> infeasible.
+        assert!(!t.is_feasible());
+        t.add_route(0, 0, 0.0);
+        assert!(t.is_feasible());
+    }
+
+    #[test]
+    fn infeasible_when_capacity_too_small() {
+        let mut t = TransportInstance::new(2, 1);
+        t.set_demand(0, 3.0);
+        t.set_demand(1, 3.0);
+        t.set_capacity(0, 5.0);
+        t.add_route(0, 0, 0.0);
+        t.add_route(1, 0, 0.0);
+        assert!(!t.is_feasible());
+        assert!((t.max_shippable() - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn min_cost_prefers_cheap_bins() {
+        let mut t = TransportInstance::new(1, 2);
+        t.set_demand(0, 4.0);
+        t.set_capacity(0, 3.0);
+        t.set_capacity(1, 3.0);
+        t.add_route(0, 0, 1.0);
+        t.add_route(0, 1, 10.0);
+        let sol = t.solve_min_cost().expect("feasible");
+        assert!((sol.shipped - 4.0).abs() < 1e-6);
+        assert!((sol.amount(0, 0) - 3.0).abs() < 1e-6);
+        assert!((sol.amount(0, 1) - 1.0).abs() < 1e-6);
+        assert!((sol.cost - (3.0 + 10.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn solve_returns_none_when_infeasible() {
+        let mut t = TransportInstance::new(1, 1);
+        t.set_demand(0, 2.0);
+        t.set_capacity(0, 1.0);
+        t.add_route(0, 0, 1.0);
+        assert!(t.solve_min_cost().is_none());
+    }
+
+    #[test]
+    fn per_source_and_per_bin_accounting() {
+        let mut t = TransportInstance::new(2, 2);
+        t.set_demand(0, 1.0);
+        t.set_demand(1, 2.0);
+        t.set_capacity(0, 2.0);
+        t.set_capacity(1, 2.0);
+        for j in 0..2 {
+            for b in 0..2 {
+                t.add_route(j, b, (j + b) as f64);
+            }
+        }
+        let sol = t.solve_min_cost().expect("feasible");
+        assert!((sol.shipped_from(0) - 1.0).abs() < 1e-6);
+        assert!((sol.shipped_from(1) - 2.0).abs() < 1e-6);
+        let received: f64 = (0..2).map(|b| sol.received_by(b)).sum();
+        assert!((received - 3.0).abs() < 1e-6);
+    }
+}

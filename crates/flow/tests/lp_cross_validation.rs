@@ -1,0 +1,164 @@
+//! Cross-validation of the flow back-end against the simplex back-end.
+//!
+//! The scheduler can solve System (1)/(2) either as an LP (`stretch-lp`) or as
+//! a transportation flow (`stretch-flow`); these tests check on random
+//! bipartite instances that the two agree on feasibility and on the optimal
+//! cost, which is the property the scheduler relies on when it switches
+//! back-ends for speed.
+
+use proptest::prelude::*;
+use stretch_flow::TransportInstance;
+use stretch_lp::problem::{Problem, Relation, Sense};
+
+/// Solves the transportation instance as an explicit LP.
+fn solve_as_lp(
+    demands: &[f64],
+    capacities: &[f64],
+    routes: &[(usize, usize, f64)],
+) -> Option<f64> {
+    let mut p = Problem::new(Sense::Minimize);
+    let vars: Vec<_> = routes
+        .iter()
+        .enumerate()
+        .map(|(k, _)| p.add_var(format!("x{k}")))
+        .collect();
+    for (k, &(_, _, cost)) in routes.iter().enumerate() {
+        p.set_objective_coeff(vars[k], cost);
+    }
+    // Each source ships exactly its demand.
+    for (j, &d) in demands.iter().enumerate() {
+        let coeffs: Vec<_> = routes
+            .iter()
+            .enumerate()
+            .filter(|(_, &(src, _, _))| src == j)
+            .map(|(k, _)| (vars[k], 1.0))
+            .collect();
+        if coeffs.is_empty() {
+            if d > 0.0 {
+                return None;
+            }
+            continue;
+        }
+        p.add_constraint_coeffs(&coeffs, Relation::Eq, d);
+    }
+    // Each bin receives at most its capacity.
+    for (b, &c) in capacities.iter().enumerate() {
+        let coeffs: Vec<_> = routes
+            .iter()
+            .enumerate()
+            .filter(|(_, &(_, bin, _))| bin == b)
+            .map(|(k, _)| (vars[k], 1.0))
+            .collect();
+        if coeffs.is_empty() {
+            continue;
+        }
+        p.add_constraint_coeffs(&coeffs, Relation::Le, c);
+    }
+    p.solve().ok().map(|s| s.objective)
+}
+
+fn build_transport(
+    demands: &[f64],
+    capacities: &[f64],
+    routes: &[(usize, usize, f64)],
+) -> TransportInstance {
+    let mut t = TransportInstance::new(demands.len(), capacities.len());
+    for (j, &d) in demands.iter().enumerate() {
+        t.set_demand(j, d);
+    }
+    for (b, &c) in capacities.iter().enumerate() {
+        t.set_capacity(b, c);
+    }
+    for &(j, b, cost) in routes {
+        t.add_route(j, b, cost);
+    }
+    t
+}
+
+#[test]
+fn agree_on_small_fixed_instance() {
+    let demands = [2.0, 3.0];
+    let capacities = [4.0, 4.0];
+    let routes = [(0, 0, 1.0), (0, 1, 3.0), (1, 0, 2.0), (1, 1, 1.0)];
+    let t = build_transport(&demands, &capacities, &routes);
+    let flow_cost = t.solve_min_cost().expect("feasible").cost;
+    let lp_cost = solve_as_lp(&demands, &capacities, &routes).expect("feasible");
+    assert!(
+        (flow_cost - lp_cost).abs() < 1e-5,
+        "flow {flow_cost} vs lp {lp_cost}"
+    );
+}
+
+#[test]
+fn agree_on_infeasible_instance() {
+    let demands = [5.0];
+    let capacities = [1.0];
+    let routes = [(0, 0, 1.0)];
+    let t = build_transport(&demands, &capacities, &routes);
+    assert!(t.solve_min_cost().is_none());
+    assert!(solve_as_lp(&demands, &capacities, &routes).is_none());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn flow_and_lp_agree_on_random_instances(
+        num_sources in 1usize..4,
+        num_bins in 1usize..4,
+        demand_seed in proptest::collection::vec(0.5f64..4.0, 1..4),
+        capacity_seed in proptest::collection::vec(0.5f64..6.0, 1..4),
+        cost_seed in proptest::collection::vec(0.0f64..5.0, 1..16),
+        density in 0.4f64..1.0,
+    ) {
+        let demands: Vec<f64> = (0..num_sources)
+            .map(|j| demand_seed[j % demand_seed.len()])
+            .collect();
+        let capacities: Vec<f64> = (0..num_bins)
+            .map(|b| capacity_seed[b % capacity_seed.len()])
+            .collect();
+        let mut routes = Vec::new();
+        for j in 0..num_sources {
+            for b in 0..num_bins {
+                // Deterministic pseudo-random sparsity pattern.
+                let key = ((j * 31 + b * 17) % 10) as f64 / 10.0;
+                if key <= density {
+                    let cost = cost_seed[(j * num_bins + b) % cost_seed.len()];
+                    routes.push((j, b, cost));
+                }
+            }
+        }
+        let t = build_transport(&demands, &capacities, &routes);
+        let flow_result = t.solve_min_cost();
+        let lp_result = solve_as_lp(&demands, &capacities, &routes);
+        match (flow_result, lp_result) {
+            (Some(f), Some(l)) => {
+                prop_assert!((f.cost - l).abs() < 1e-4,
+                    "flow cost {} vs LP cost {}", f.cost, l);
+            }
+            (None, None) => {}
+            (f, l) => {
+                prop_assert!(false, "feasibility disagreement: flow={:?} lp={:?}",
+                    f.map(|s| s.cost), l);
+            }
+        }
+    }
+
+    #[test]
+    fn max_shippable_never_exceeds_capacity_or_demand(
+        demand in 0.1f64..10.0,
+        cap0 in 0.1f64..5.0,
+        cap1 in 0.1f64..5.0,
+    ) {
+        let mut t = TransportInstance::new(1, 2);
+        t.set_demand(0, demand);
+        t.set_capacity(0, cap0);
+        t.set_capacity(1, cap1);
+        t.add_route(0, 0, 0.0);
+        t.add_route(0, 1, 0.0);
+        let shipped = t.max_shippable();
+        prop_assert!(shipped <= demand + 1e-6);
+        prop_assert!(shipped <= cap0 + cap1 + 1e-6);
+        prop_assert!((shipped - demand.min(cap0 + cap1)).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,179 @@
+//! Sparse linear expressions over problem variables.
+
+use std::collections::BTreeMap;
+use std::ops::{Add, AddAssign, Mul, Neg, Sub};
+
+/// Index of a variable inside a [`crate::problem::Problem`].
+pub type VarId = usize;
+
+/// A sparse linear expression `Σ coeff_i · x_i + constant`.
+///
+/// Terms on the same variable are merged; zero coefficients are kept (they are
+/// harmless and pruned when the expression is loaded into the tableau).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct LinExpr {
+    terms: BTreeMap<VarId, f64>,
+    constant: f64,
+}
+
+impl LinExpr {
+    /// The empty (zero) expression.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An expression made of a single term `coeff · var`.
+    pub fn term(var: VarId, coeff: f64) -> Self {
+        let mut e = Self::new();
+        e.add_term(var, coeff);
+        e
+    }
+
+    /// A constant expression.
+    pub fn constant(c: f64) -> Self {
+        LinExpr {
+            terms: BTreeMap::new(),
+            constant: c,
+        }
+    }
+
+    /// Adds `coeff · var` to the expression.
+    pub fn add_term(&mut self, var: VarId, coeff: f64) -> &mut Self {
+        *self.terms.entry(var).or_insert(0.0) += coeff;
+        self
+    }
+
+    /// Adds a constant offset.
+    pub fn add_constant(&mut self, c: f64) -> &mut Self {
+        self.constant += c;
+        self
+    }
+
+    /// Iterates over `(variable, coefficient)` pairs.
+    pub fn terms(&self) -> impl Iterator<Item = (VarId, f64)> + '_ {
+        self.terms.iter().map(|(&v, &c)| (v, c))
+    }
+
+    /// The constant offset of the expression.
+    pub fn constant_part(&self) -> f64 {
+        self.constant
+    }
+
+    /// Coefficient of a variable (0 if absent).
+    pub fn coeff(&self, var: VarId) -> f64 {
+        self.terms.get(&var).copied().unwrap_or(0.0)
+    }
+
+    /// Number of (possibly zero) stored terms.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// `true` when no term is stored.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Evaluates the expression at the given dense assignment.
+    pub fn eval(&self, assignment: &[f64]) -> f64 {
+        self.constant
+            + self
+                .terms
+                .iter()
+                .map(|(&v, &c)| c * assignment.get(v).copied().unwrap_or(0.0))
+                .sum::<f64>()
+    }
+}
+
+impl From<(VarId, f64)> for LinExpr {
+    fn from((v, c): (VarId, f64)) -> Self {
+        LinExpr::term(v, c)
+    }
+}
+
+impl Add for LinExpr {
+    type Output = LinExpr;
+    fn add(mut self, rhs: LinExpr) -> LinExpr {
+        for (v, c) in rhs.terms {
+            *self.terms.entry(v).or_insert(0.0) += c;
+        }
+        self.constant += rhs.constant;
+        self
+    }
+}
+
+impl AddAssign for LinExpr {
+    fn add_assign(&mut self, rhs: LinExpr) {
+        let lhs = std::mem::take(self);
+        *self = lhs + rhs;
+    }
+}
+
+impl Sub for LinExpr {
+    type Output = LinExpr;
+    fn sub(self, rhs: LinExpr) -> LinExpr {
+        self + (-rhs)
+    }
+}
+
+impl Neg for LinExpr {
+    type Output = LinExpr;
+    fn neg(mut self) -> LinExpr {
+        for c in self.terms.values_mut() {
+            *c = -*c;
+        }
+        self.constant = -self.constant;
+        self
+    }
+}
+
+impl Mul<f64> for LinExpr {
+    type Output = LinExpr;
+    fn mul(mut self, rhs: f64) -> LinExpr {
+        for c in self.terms.values_mut() {
+            *c *= rhs;
+        }
+        self.constant *= rhs;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_terms() {
+        let mut e = LinExpr::new();
+        e.add_term(3, 1.5).add_term(3, 0.5).add_term(1, 2.0);
+        assert_eq!(e.coeff(3), 2.0);
+        assert_eq!(e.coeff(1), 2.0);
+        assert_eq!(e.coeff(0), 0.0);
+        assert_eq!(e.len(), 2);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = LinExpr::term(0, 1.0) + LinExpr::term(1, 2.0);
+        let b = LinExpr::term(1, 3.0) + LinExpr::constant(4.0);
+        let c = a.clone() + b.clone();
+        assert_eq!(c.coeff(0), 1.0);
+        assert_eq!(c.coeff(1), 5.0);
+        assert_eq!(c.constant_part(), 4.0);
+
+        let d = a - b;
+        assert_eq!(d.coeff(1), -1.0);
+        assert_eq!(d.constant_part(), -4.0);
+
+        let e = LinExpr::term(2, 1.0) * 3.0;
+        assert_eq!(e.coeff(2), 3.0);
+    }
+
+    #[test]
+    fn evaluation() {
+        let e = LinExpr::term(0, 2.0) + LinExpr::term(2, -1.0) + LinExpr::constant(0.5);
+        assert_eq!(e.eval(&[1.0, 9.0, 4.0]), 2.0 - 4.0 + 0.5);
+        // Out-of-range variables evaluate as zero.
+        assert_eq!(LinExpr::term(7, 3.0).eval(&[1.0]), 0.0);
+    }
+}

@@ -1,0 +1,51 @@
+//! # stretch-lp
+//!
+//! A small, self-contained linear-programming tool-kit used by the
+//! `stretch-sched` workspace to solve the two linear programs of
+//! *Minimizing the stretch when scheduling flows of biological requests*
+//! (Legrand, Su, Vivien — SPAA 2006):
+//!
+//! * **System (1)** — minimise the max-stretch objective `F` subject to
+//!   deadline-scheduling feasibility over epochal intervals;
+//! * **System (2)** — minimise a rational relaxation of the sum-stretch
+//!   subject to the optimal max-stretch deadlines.
+//!
+//! The crate deliberately has **no dependencies**.  It provides:
+//!
+//! * [`problem::Problem`] — a builder API for LPs (variables, linear
+//!   expressions, `<=`/`>=`/`=` constraints, minimise/maximise),
+//! * [`simplex`] — a dense two-phase primal simplex, generic over the
+//!   [`scalar::LpScalar`] trait,
+//! * [`rational::Ratio`] — an exact `i128` rational number type, so that the
+//!   same simplex can be run in exact arithmetic (this addresses the
+//!   floating-point milestone-precision issue reported in §5.3 of the paper),
+//! * [`expr::LinExpr`] — sparse linear expressions used to state constraints.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use stretch_lp::problem::{Problem, Sense, Relation};
+//!
+//! // maximise 3x + 2y  s.t.  x + y <= 4,  x + 3y <= 6,  x,y >= 0
+//! let mut p = Problem::new(Sense::Maximize);
+//! let x = p.add_var("x");
+//! let y = p.add_var("y");
+//! p.set_objective_coeff(x, 3.0);
+//! p.set_objective_coeff(y, 2.0);
+//! p.add_constraint_coeffs(&[(x, 1.0), (y, 1.0)], Relation::Le, 4.0);
+//! p.add_constraint_coeffs(&[(x, 1.0), (y, 3.0)], Relation::Le, 6.0);
+//! let sol = p.solve().expect("solvable");
+//! assert!((sol.objective - 12.0).abs() < 1e-9); // x = 4, y = 0
+//! ```
+
+pub mod expr;
+pub mod problem;
+pub mod rational;
+pub mod scalar;
+pub mod simplex;
+
+pub use expr::LinExpr;
+pub use problem::{Problem, Relation, Sense, Solution, SolveError};
+pub use rational::Ratio;
+pub use scalar::LpScalar;
+pub use simplex::{SimplexOutcome, SimplexSolver};

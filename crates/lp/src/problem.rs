@@ -1,0 +1,354 @@
+//! High-level LP builder on top of the raw simplex.
+//!
+//! [`Problem`] owns named nonnegative variables, an objective sense and a list
+//! of constraints stated either as coefficient slices or as
+//! [`LinExpr`] expressions.  It can be solved in
+//! floating-point mode ([`Problem::solve`]) or in exact rational mode
+//! ([`Problem::solve_exact`]); both return the same [`Solution`] shape.
+
+use crate::expr::{LinExpr, VarId};
+use crate::rational::Ratio;
+use crate::scalar::LpScalar;
+use crate::simplex::{RowRelation, SimplexOutcome, SimplexSolver};
+
+/// Optimisation direction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Sense {
+    /// Minimise the objective.
+    Minimize,
+    /// Maximise the objective.
+    Maximize,
+}
+
+/// Constraint relation, re-exported at the builder level.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Relation {
+    /// `expr <= rhs`
+    Le,
+    /// `expr >= rhs`
+    Ge,
+    /// `expr = rhs`
+    Eq,
+}
+
+impl From<Relation> for RowRelation {
+    fn from(r: Relation) -> Self {
+        match r {
+            Relation::Le => RowRelation::Le,
+            Relation::Ge => RowRelation::Ge,
+            Relation::Eq => RowRelation::Eq,
+        }
+    }
+}
+
+/// Errors returned by [`Problem::solve`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SolveError {
+    /// The constraints admit no feasible point.
+    Infeasible,
+    /// The objective is unbounded in the optimisation direction.
+    Unbounded,
+    /// The pivot budget was exhausted (numerical trouble).
+    IterationLimit,
+}
+
+impl std::fmt::Display for SolveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolveError::Infeasible => write!(f, "linear program is infeasible"),
+            SolveError::Unbounded => write!(f, "linear program is unbounded"),
+            SolveError::IterationLimit => write!(f, "simplex pivot limit exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+/// A solved LP: variable values and objective in the *user's* sense.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Solution {
+    /// Value of every structural variable, indexed by [`VarId`].
+    pub values: Vec<f64>,
+    /// Objective value in the direction requested by the user.
+    pub objective: f64,
+}
+
+impl Solution {
+    /// Value of one variable.
+    pub fn value(&self, var: VarId) -> f64 {
+        self.values[var]
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Constraint {
+    expr: LinExpr,
+    relation: Relation,
+    rhs: f64,
+}
+
+/// An LP under construction.
+#[derive(Clone, Debug)]
+pub struct Problem {
+    sense: Sense,
+    names: Vec<String>,
+    objective: Vec<f64>,
+    constraints: Vec<Constraint>,
+}
+
+impl Problem {
+    /// Creates an empty problem with the given optimisation direction.
+    pub fn new(sense: Sense) -> Self {
+        Problem {
+            sense,
+            names: Vec::new(),
+            objective: Vec::new(),
+            constraints: Vec::new(),
+        }
+    }
+
+    /// Adds a nonnegative variable and returns its id.
+    pub fn add_var(&mut self, name: impl Into<String>) -> VarId {
+        self.names.push(name.into());
+        self.objective.push(0.0);
+        self.names.len() - 1
+    }
+
+    /// Adds `count` anonymous variables, returning the id of the first one.
+    pub fn add_vars(&mut self, count: usize, prefix: &str) -> VarId {
+        let first = self.names.len();
+        for k in 0..count {
+            self.add_var(format!("{prefix}{k}"));
+        }
+        first
+    }
+
+    /// Number of variables added so far.
+    pub fn num_vars(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Number of constraints added so far.
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Name of a variable.
+    pub fn var_name(&self, var: VarId) -> &str {
+        &self.names[var]
+    }
+
+    /// Sets (overwrites) the objective coefficient of `var`.
+    pub fn set_objective_coeff(&mut self, var: VarId, coeff: f64) {
+        self.objective[var] = coeff;
+    }
+
+    /// Adds `coeff` to the objective coefficient of `var`.
+    pub fn add_objective_coeff(&mut self, var: VarId, coeff: f64) {
+        self.objective[var] += coeff;
+    }
+
+    /// Adds the constraint `expr relation rhs`.
+    ///
+    /// Any constant part of `expr` is folded into the right-hand side.
+    pub fn add_constraint(&mut self, expr: LinExpr, relation: Relation, rhs: f64) {
+        let adjusted_rhs = rhs - expr.constant_part();
+        self.constraints.push(Constraint {
+            expr,
+            relation,
+            rhs: adjusted_rhs,
+        });
+    }
+
+    /// Convenience: adds a constraint from `(var, coeff)` pairs.
+    pub fn add_constraint_coeffs(&mut self, coeffs: &[(VarId, f64)], relation: Relation, rhs: f64) {
+        let mut e = LinExpr::new();
+        for &(v, c) in coeffs {
+            e.add_term(v, c);
+        }
+        self.add_constraint(e, relation, rhs);
+    }
+
+    /// Constrains `var <= bound`.
+    pub fn add_upper_bound(&mut self, var: VarId, bound: f64) {
+        self.add_constraint(LinExpr::term(var, 1.0), Relation::Le, bound);
+    }
+
+    /// Constrains `var >= bound`.
+    pub fn add_lower_bound(&mut self, var: VarId, bound: f64) {
+        self.add_constraint(LinExpr::term(var, 1.0), Relation::Ge, bound);
+    }
+
+    fn build_solver<S: LpScalar>(&self) -> SimplexSolver<S> {
+        let n = self.num_vars();
+        let mut solver = SimplexSolver::<S>::new(n);
+        let direction = match self.sense {
+            Sense::Minimize => 1.0,
+            Sense::Maximize => -1.0,
+        };
+        for (j, &c) in self.objective.iter().enumerate() {
+            if c != 0.0 {
+                solver.set_objective(j, S::from_f64(direction * c));
+            }
+        }
+        for c in &self.constraints {
+            let mut row = vec![S::zero(); n];
+            for (v, coeff) in c.expr.terms() {
+                row[v] = S::from_f64(coeff);
+            }
+            solver.add_row(row, c.relation.into(), S::from_f64(c.rhs));
+        }
+        solver
+    }
+
+    fn outcome_to_solution<S: LpScalar>(
+        &self,
+        outcome: SimplexOutcome<S>,
+    ) -> Result<Solution, SolveError> {
+        match outcome {
+            SimplexOutcome::Optimal { values, objective } => {
+                let sign = match self.sense {
+                    Sense::Minimize => 1.0,
+                    Sense::Maximize => -1.0,
+                };
+                Ok(Solution {
+                    values: values.iter().map(|v| v.to_f64()).collect(),
+                    objective: sign * objective.to_f64(),
+                })
+            }
+            SimplexOutcome::Infeasible => Err(SolveError::Infeasible),
+            SimplexOutcome::Unbounded => Err(SolveError::Unbounded),
+            SimplexOutcome::IterationLimit => Err(SolveError::IterationLimit),
+        }
+    }
+
+    /// Solves the LP in floating-point arithmetic.
+    pub fn solve(&self) -> Result<Solution, SolveError> {
+        let solver = self.build_solver::<f64>();
+        self.outcome_to_solution(solver.solve())
+    }
+
+    /// Solves the LP in exact rational arithmetic (`i128` rationals).
+    ///
+    /// Input coefficients are converted from `f64` through a continued
+    /// fraction approximation with denominators up to 10⁹, which is exact for
+    /// every value that was itself derived from small rationals.
+    pub fn solve_exact(&self) -> Result<Solution, SolveError> {
+        let solver = self.build_solver::<Ratio>();
+        self.outcome_to_solution(solver.solve())
+    }
+
+    /// Checks that `solution` satisfies every constraint within `tol`.
+    pub fn is_feasible(&self, solution: &[f64], tol: f64) -> bool {
+        if solution.len() < self.num_vars() {
+            return false;
+        }
+        if solution[..self.num_vars()].iter().any(|&v| v < -tol) {
+            return false;
+        }
+        self.constraints.iter().all(|c| {
+            let lhs = c.expr.eval(solution) - c.expr.constant_part();
+            match c.relation {
+                Relation::Le => lhs <= c.rhs + tol,
+                Relation::Ge => lhs >= c.rhs - tol,
+                Relation::Eq => (lhs - c.rhs).abs() <= tol,
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn doc_example() {
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_var("x");
+        let y = p.add_var("y");
+        p.set_objective_coeff(x, 3.0);
+        p.set_objective_coeff(y, 2.0);
+        p.add_constraint_coeffs(&[(x, 1.0), (y, 1.0)], Relation::Le, 4.0);
+        p.add_constraint_coeffs(&[(x, 1.0), (y, 3.0)], Relation::Le, 6.0);
+        let sol = p.solve().unwrap();
+        assert!((sol.objective - 12.0).abs() < 1e-9);
+        assert!(p.is_feasible(&sol.values, 1e-7));
+    }
+
+    #[test]
+    fn minimisation_with_bounds() {
+        // min x + 2y s.t. x + y >= 3, y <= 1  ->  y = 1, x = 2, obj = 4
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_var("x");
+        let y = p.add_var("y");
+        p.set_objective_coeff(x, 1.0);
+        p.set_objective_coeff(y, 2.0);
+        p.add_constraint_coeffs(&[(x, 1.0), (y, 1.0)], Relation::Ge, 3.0);
+        p.add_upper_bound(y, 1.0);
+        let sol = p.solve().unwrap();
+        // Putting everything on x is cheaper: x = 3, y = 0, obj = 3.
+        assert!((sol.objective - 3.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn constant_in_expression_folds_into_rhs() {
+        // (x + 1) <= 3  <=>  x <= 2 ; minimise -x -> x = 2
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_var("x");
+        p.set_objective_coeff(x, 1.0);
+        let mut e = LinExpr::term(x, 1.0);
+        e.add_constant(1.0);
+        p.add_constraint(e, Relation::Le, 3.0);
+        let sol = p.solve().unwrap();
+        assert!((sol.value(x) - 2.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn infeasible_and_unbounded_errors() {
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_var("x");
+        p.add_lower_bound(x, 2.0);
+        p.add_upper_bound(x, 1.0);
+        assert_eq!(p.solve(), Err(SolveError::Infeasible));
+
+        let mut q = Problem::new(Sense::Maximize);
+        let y = q.add_var("y");
+        q.set_objective_coeff(y, 1.0);
+        q.add_lower_bound(y, 0.0);
+        assert_eq!(q.solve(), Err(SolveError::Unbounded));
+    }
+
+    #[test]
+    fn exact_matches_float_on_small_lp() {
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_var("x");
+        let y = p.add_var("y");
+        p.set_objective_coeff(x, 1.0);
+        p.set_objective_coeff(y, 1.0);
+        p.add_constraint_coeffs(&[(x, 2.0), (y, 1.0)], Relation::Ge, 4.0);
+        p.add_constraint_coeffs(&[(x, 1.0), (y, 3.0)], Relation::Ge, 6.0);
+        let f = p.solve().unwrap();
+        let e = p.solve_exact().unwrap();
+        assert!((f.objective - e.objective).abs() < 1e-7);
+    }
+
+    #[test]
+    fn anonymous_variable_block() {
+        let mut p = Problem::new(Sense::Minimize);
+        let first = p.add_vars(5, "alpha_");
+        assert_eq!(p.num_vars(), 5);
+        assert_eq!(p.var_name(first), "alpha_0");
+        assert_eq!(p.var_name(first + 4), "alpha_4");
+    }
+
+    #[test]
+    fn feasibility_checker_rejects_violations() {
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_var("x");
+        p.add_upper_bound(x, 1.0);
+        assert!(p.is_feasible(&[0.5], 1e-9));
+        assert!(!p.is_feasible(&[2.0], 1e-9));
+        assert!(!p.is_feasible(&[-0.5], 1e-9));
+        assert!(!p.is_feasible(&[], 1e-9));
+    }
+}

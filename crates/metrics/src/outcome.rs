@@ -1,0 +1,87 @@
+//! Per-job outcomes, the raw material of every metric.
+
+use serde::{Deserialize, Serialize};
+
+/// What happened to one job in one simulated schedule.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct JobOutcome {
+    /// Job identifier (index in the instance).
+    pub id: usize,
+    /// Release date `r_j`.
+    pub release: f64,
+    /// Job size `W_j`, in the same unit for every job of the instance
+    /// (megabytes of databank in the GriPPS scenario).
+    pub work: f64,
+    /// Reference processing time used as the stretch denominator: the time
+    /// the job would take alone on the reference (equivalent) processor.
+    pub reference_time: f64,
+    /// Completion time `C_j` in the evaluated schedule.
+    pub completion: f64,
+}
+
+impl JobOutcome {
+    /// Creates an outcome, checking the basic sanity constraints
+    /// (`C_j >= r_j`, positive work and reference time).
+    pub fn new(id: usize, release: f64, work: f64, reference_time: f64, completion: f64) -> Self {
+        assert!(work > 0.0, "work must be positive");
+        assert!(reference_time > 0.0, "reference time must be positive");
+        assert!(
+            completion >= release - 1e-9,
+            "completion {completion} before release {release}"
+        );
+        JobOutcome {
+            id,
+            release,
+            work,
+            reference_time,
+            completion,
+        }
+    }
+
+    /// Flow time `F_j = C_j - r_j`.
+    pub fn flow(&self) -> f64 {
+        (self.completion - self.release).max(0.0)
+    }
+
+    /// Stretch `S_j = F_j / p_j`, the slowdown the job experienced relative
+    /// to having the reference processor to itself.
+    ///
+    /// A stretch below 1 is possible in the divisible multi-machine setting
+    /// (several sites can serve the same job simultaneously), which is why
+    /// the evaluation reports ratios to the best heuristic rather than
+    /// absolute values.
+    pub fn stretch(&self) -> f64 {
+        self.flow() / self.reference_time
+    }
+
+    /// Weighted flow `w_j · F_j` for an arbitrary weight.
+    pub fn weighted_flow(&self, weight: f64) -> f64 {
+        weight * self.flow()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flow_and_stretch() {
+        let o = JobOutcome::new(0, 10.0, 50.0, 5.0, 25.0);
+        assert_eq!(o.flow(), 15.0);
+        assert_eq!(o.stretch(), 3.0);
+        assert_eq!(o.weighted_flow(0.1), 1.5);
+    }
+
+    #[test]
+    fn completion_at_release_gives_zero_flow() {
+        let o = JobOutcome::new(0, 5.0, 1.0, 1.0, 5.0);
+        assert_eq!(o.flow(), 0.0);
+        assert_eq!(o.stretch(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "before release")]
+    fn completion_before_release_rejected() {
+        JobOutcome::new(0, 5.0, 1.0, 1.0, 4.0);
+    }
+}

@@ -1,0 +1,133 @@
+//! Paper-style result tables.
+//!
+//! Tables 1–16 of the paper all share the same layout: one row per heuristic,
+//! and `Mean / SD / Max` columns for the max-stretch and sum-stretch
+//! degradations.  [`MetricsTable`] renders that layout as aligned plain text
+//! so the reproduction binaries print something directly comparable to the
+//! paper.
+
+use crate::aggregate::AggregateStats;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One row of a results table.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TableRow {
+    /// Heuristic name.
+    pub name: String,
+    /// Max-stretch degradation statistics (`None` when the heuristic was not
+    /// run, e.g. Bender98 on large platforms).
+    pub max_stretch: Option<AggregateStats>,
+    /// Sum-stretch degradation statistics.
+    pub sum_stretch: Option<AggregateStats>,
+}
+
+/// A full table: a caption plus rows in display order.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MetricsTable {
+    /// Caption printed above the table (e.g. "Table 1: aggregate statistics
+    /// over all 162 platform/application configurations").
+    pub caption: String,
+    /// Rows in the order they should be displayed.
+    pub rows: Vec<TableRow>,
+}
+
+impl MetricsTable {
+    /// Creates an empty table with a caption.
+    pub fn new(caption: impl Into<String>) -> Self {
+        MetricsTable {
+            caption: caption.into(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn push_row(
+        &mut self,
+        name: impl Into<String>,
+        max_stretch: Option<AggregateStats>,
+        sum_stretch: Option<AggregateStats>,
+    ) {
+        self.rows.push(TableRow {
+            name: name.into(),
+            max_stretch,
+            sum_stretch,
+        });
+    }
+
+    /// Finds a row by heuristic name.
+    pub fn row(&self, name: &str) -> Option<&TableRow> {
+        self.rows.iter().find(|r| r.name == name)
+    }
+}
+
+fn fmt_stat(stat: &Option<AggregateStats>) -> (String, String, String) {
+    match stat {
+        Some(s) => (
+            format!("{:.4}", s.mean),
+            format!("{:.4}", s.sd),
+            format!("{:.4}", s.max),
+        ),
+        None => ("-".into(), "-".into(), "-".into()),
+    }
+}
+
+impl fmt::Display for MetricsTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.caption)?;
+        writeln!(
+            f,
+            "{:<14} | {:>10} {:>10} {:>10} | {:>10} {:>10} {:>10}",
+            "", "Max Mean", "Max SD", "Max Max", "Sum Mean", "Sum SD", "Sum Max"
+        )?;
+        writeln!(f, "{}", "-".repeat(14 + 3 + 6 * 11 + 3))?;
+        for row in &self.rows {
+            let (m1, m2, m3) = fmt_stat(&row.max_stretch);
+            let (s1, s2, s3) = fmt_stat(&row.sum_stretch);
+            writeln!(
+                f,
+                "{:<14} | {:>10} {:>10} {:>10} | {:>10} {:>10} {:>10}",
+                row.name, m1, m2, m3, s1, s2, s3
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(mean: f64) -> AggregateStats {
+        AggregateStats {
+            mean,
+            sd: 0.1,
+            max: mean * 2.0,
+            count: 10,
+        }
+    }
+
+    #[test]
+    fn build_and_lookup() {
+        let mut t = MetricsTable::new("Table X");
+        t.push_row("SRPT", Some(stats(1.1)), Some(stats(1.0)));
+        t.push_row("MCT", Some(stats(27.0)), None);
+        assert_eq!(t.rows.len(), 2);
+        assert!(t.row("SRPT").is_some());
+        assert!(t.row("FCFS").is_none());
+        assert_eq!(t.row("MCT").unwrap().sum_stretch, None);
+    }
+
+    #[test]
+    fn display_contains_all_rows_and_caption() {
+        let mut t = MetricsTable::new("Table 1: aggregate");
+        t.push_row("Offline", Some(stats(1.0)), Some(stats(1.67)));
+        t.push_row("Bender98", None, None);
+        let s = format!("{t}");
+        assert!(s.contains("Table 1: aggregate"));
+        assert!(s.contains("Offline"));
+        assert!(s.contains("Bender98"));
+        assert!(s.contains("1.6700"));
+        assert!(s.contains('-'));
+    }
+}

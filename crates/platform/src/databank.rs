@@ -1,0 +1,56 @@
+//! Protein sequence databanks.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a databank inside a [`crate::Platform`].
+pub type DatabankId = usize;
+
+/// A reference protein databank.
+///
+/// The only property that matters to the scheduler is its **size**: the
+/// processing time of a motif comparison is linear in the number of sequences
+/// scanned (§2.1, property 2), so the size directly scales job processing
+/// times.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Databank {
+    /// Index of the databank in the platform.
+    pub id: DatabankId,
+    /// Human-readable name (e.g. "SwissProt-42").
+    pub name: String,
+    /// Size in megabytes; job work is expressed in the same unit.
+    pub size_mb: f64,
+}
+
+impl Databank {
+    /// Creates a databank, validating that the size is positive and finite.
+    pub fn new(id: DatabankId, name: impl Into<String>, size_mb: f64) -> Self {
+        assert!(
+            size_mb > 0.0 && size_mb.is_finite(),
+            "databank size must be positive"
+        );
+        Databank {
+            id,
+            name: name.into(),
+            size_mb,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction() {
+        let d = Databank::new(3, "swissprot", 128.0);
+        assert_eq!(d.id, 3);
+        assert_eq!(d.name, "swissprot");
+        assert_eq!(d.size_mb, 128.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_size() {
+        Databank::new(0, "empty", 0.0);
+    }
+}

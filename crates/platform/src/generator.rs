@@ -1,0 +1,199 @@
+//! Random platform generation following §5.1 of the paper.
+
+use crate::databank::Databank;
+use crate::platform::{Cluster, Platform};
+use crate::processor::Processor;
+use crate::reference;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// The platform-side experimental parameters of a simulation configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PlatformConfig {
+    /// Number of clusters (sites); §5.1 item 1.
+    pub num_clusters: usize,
+    /// Number of processors per cluster; fixed to 10 in the paper.
+    pub processors_per_cluster: usize,
+    /// Number of distinct reference databanks; §5.1 item 3.
+    pub num_databanks: usize,
+    /// Probability that a given databank is replicated at a given site;
+    /// §5.1 item 5.
+    pub availability: f64,
+    /// Databank size range in MB; §5.1 item 4.
+    pub databank_size_range: (f64, f64),
+}
+
+impl Default for PlatformConfig {
+    fn default() -> Self {
+        PlatformConfig {
+            num_clusters: 3,
+            processors_per_cluster: reference::PROCESSORS_PER_CLUSTER,
+            num_databanks: 3,
+            availability: 0.6,
+            databank_size_range: (reference::MIN_DATABANK_MB, reference::MAX_DATABANK_MB),
+        }
+    }
+}
+
+impl PlatformConfig {
+    /// Builds a configuration with the paper's defaults for the fields not
+    /// part of the experimental grid.
+    pub fn new(num_clusters: usize, num_databanks: usize, availability: f64) -> Self {
+        assert!(num_clusters > 0 && num_databanks > 0);
+        assert!((0.0..=1.0).contains(&availability));
+        PlatformConfig {
+            num_clusters,
+            num_databanks,
+            availability,
+            ..Default::default()
+        }
+    }
+}
+
+/// Random generator of [`Platform`] instances for a given configuration.
+#[derive(Clone, Debug)]
+pub struct PlatformGenerator {
+    config: PlatformConfig,
+}
+
+impl PlatformGenerator {
+    /// Creates a generator for `config`.
+    pub fn new(config: PlatformConfig) -> Self {
+        assert!(config.num_clusters > 0, "at least one cluster");
+        assert!(config.processors_per_cluster > 0, "at least one processor per cluster");
+        assert!(config.num_databanks > 0, "at least one databank");
+        assert!(
+            (0.0..=1.0).contains(&config.availability),
+            "availability must be a probability"
+        );
+        let (lo, hi) = config.databank_size_range;
+        assert!(lo > 0.0 && hi >= lo, "invalid databank size range");
+        PlatformGenerator { config }
+    }
+
+    /// The configuration driving this generator.
+    pub fn config(&self) -> &PlatformConfig {
+        &self.config
+    }
+
+    /// Draws one random platform.
+    ///
+    /// * cluster speeds are drawn uniformly from the six reference platforms;
+    /// * databank sizes are drawn uniformly (continuously) from the size
+    ///   range;
+    /// * each databank is replicated at each site independently with
+    ///   probability `availability`, and forced onto one uniformly random
+    ///   site when it would otherwise be hosted nowhere (the paper's model
+    ///   implicitly requires every databank to be reachable).
+    pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R) -> Platform {
+        let cfg = &self.config;
+        let mut clusters = Vec::with_capacity(cfg.num_clusters);
+        let mut processors = Vec::with_capacity(cfg.num_clusters * cfg.processors_per_cluster);
+        for c in 0..cfg.num_clusters {
+            let speed = reference::REFERENCE_SPEEDS_MB_PER_S
+                [rng.gen_range(0..reference::REFERENCE_SPEEDS_MB_PER_S.len())];
+            let mut members = Vec::with_capacity(cfg.processors_per_cluster);
+            for _ in 0..cfg.processors_per_cluster {
+                let id = processors.len();
+                processors.push(Processor::new(id, c, speed));
+                members.push(id);
+            }
+            clusters.push(Cluster {
+                id: c,
+                speed,
+                processors: members,
+                hosted_databanks: Vec::new(),
+            });
+        }
+
+        let (lo, hi) = cfg.databank_size_range;
+        let mut databanks = Vec::with_capacity(cfg.num_databanks);
+        for d in 0..cfg.num_databanks {
+            let size = rng.gen_range(lo..=hi);
+            databanks.push(Databank::new(d, format!("databank-{d}"), size));
+            let mut hosted_somewhere = false;
+            for c in 0..cfg.num_clusters {
+                if rng.gen_bool(cfg.availability) {
+                    clusters[c].hosted_databanks.push(d);
+                    hosted_somewhere = true;
+                }
+            }
+            if !hosted_somewhere {
+                let c = rng.gen_range(0..cfg.num_clusters);
+                clusters[c].hosted_databanks.push(d);
+            }
+        }
+
+        Platform::new(clusters, processors, databanks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generated_platform_is_consistent() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        let generator = PlatformGenerator::new(PlatformConfig::new(5, 4, 0.5));
+        for _ in 0..20 {
+            let p = generator.generate(&mut rng);
+            assert_eq!(p.num_clusters(), 5);
+            assert_eq!(p.num_processors(), 50);
+            assert_eq!(p.num_databanks(), 4);
+            // Every databank must be servable somewhere.
+            for d in 0..p.num_databanks() {
+                assert!(!p.eligible_processors(d).is_empty());
+            }
+            // Every processor's speed is one of the reference speeds.
+            for proc in &p.processors {
+                assert!(reference::REFERENCE_SPEEDS_MB_PER_S.contains(&proc.speed));
+            }
+            // Databank sizes are in range.
+            for db in &p.databanks {
+                assert!(db.size_mb >= reference::MIN_DATABANK_MB);
+                assert!(db.size_mb <= reference::MAX_DATABANK_MB);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_availability_still_hosts_every_databank_once() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let generator = PlatformGenerator::new(PlatformConfig::new(4, 6, 0.0));
+        let p = generator.generate(&mut rng);
+        for d in 0..p.num_databanks() {
+            let hosts: Vec<_> = p.clusters.iter().filter(|c| c.hosts(d)).collect();
+            assert_eq!(hosts.len(), 1, "databank {d} hosted exactly once");
+        }
+    }
+
+    #[test]
+    fn full_availability_replicates_everywhere() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let generator = PlatformGenerator::new(PlatformConfig::new(3, 3, 1.0));
+        let p = generator.generate(&mut rng);
+        for d in 0..p.num_databanks() {
+            assert_eq!(p.eligible_processors(d).len(), p.num_processors());
+        }
+    }
+
+    #[test]
+    fn generation_is_seed_deterministic() {
+        let generator = PlatformGenerator::new(PlatformConfig::new(3, 3, 0.5));
+        let a = generator.generate(&mut SmallRng::seed_from_u64(123));
+        let b = generator.generate(&mut SmallRng::seed_from_u64(123));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn invalid_availability_rejected() {
+        PlatformGenerator::new(PlatformConfig {
+            availability: 1.5,
+            ..Default::default()
+        });
+    }
+}

@@ -1,0 +1,28 @@
+//! # stretch-platform
+//!
+//! The heterogeneous computing platform of the GriPPS scenario (§2 and §5.1 of
+//! the paper): clusters of identical processors, each cluster hosting a subset
+//! of the reference protein databanks.  A job (a motif comparison against one
+//! databank) may only run on processors whose site holds a copy of that
+//! databank — the *restricted availability* model.
+//!
+//! The crate provides
+//!
+//! * the static model ([`Platform`], [`Cluster`], [`Processor`],
+//!   [`Databank`]),
+//! * the empirical constants derived from the GriPPS logs that the paper uses
+//!   to instantiate realistic scenarios ([`mod@reference`]),
+//! * a random [`generator`] driven by the four experimental parameters of
+//!   §5.1 (platform size, number of databanks, database availability,
+//!   database size range).
+
+pub mod databank;
+pub mod generator;
+pub mod platform;
+pub mod processor;
+pub mod reference;
+
+pub use databank::{Databank, DatabankId};
+pub use generator::{PlatformConfig, PlatformGenerator};
+pub use platform::{fixtures, Cluster, ClusterId, Platform};
+pub use processor::{Processor, ProcessorId};

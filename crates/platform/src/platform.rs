@@ -1,0 +1,254 @@
+//! The assembled platform: clusters, processors, databanks and availability.
+
+use crate::databank::{Databank, DatabankId};
+use crate::processor::{Processor, ProcessorId};
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a cluster (site).
+pub type ClusterId = usize;
+
+/// A site: a group of identical processors co-located with databank replicas.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Cluster {
+    /// Index of the cluster in the platform.
+    pub id: ClusterId,
+    /// Speed (MB/s) shared by every processor of the cluster.
+    pub speed: f64,
+    /// Global processor ids belonging to this cluster.
+    pub processors: Vec<ProcessorId>,
+    /// Databanks replicated at this site.
+    pub hosted_databanks: Vec<DatabankId>,
+}
+
+impl Cluster {
+    /// `true` when the cluster hosts a replica of `databank`.
+    pub fn hosts(&self, databank: DatabankId) -> bool {
+        self.hosted_databanks.contains(&databank)
+    }
+}
+
+/// The complete platform model.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Platform {
+    /// All clusters (sites).
+    pub clusters: Vec<Cluster>,
+    /// All processors, indexed by their global id.
+    pub processors: Vec<Processor>,
+    /// All databanks, indexed by their id.
+    pub databanks: Vec<Databank>,
+}
+
+impl Platform {
+    /// Builds a platform and checks internal consistency (ids match indices,
+    /// every databank is hosted somewhere, clusters reference real
+    /// processors).
+    pub fn new(clusters: Vec<Cluster>, processors: Vec<Processor>, databanks: Vec<Databank>) -> Self {
+        for (i, p) in processors.iter().enumerate() {
+            assert_eq!(p.id, i, "processor ids must match their index");
+            assert!(p.cluster < clusters.len(), "processor references unknown cluster");
+        }
+        for (i, d) in databanks.iter().enumerate() {
+            assert_eq!(d.id, i, "databank ids must match their index");
+        }
+        for c in &clusters {
+            for &p in &c.processors {
+                assert!(p < processors.len(), "cluster references unknown processor");
+                assert_eq!(processors[p].cluster, c.id, "processor/cluster mismatch");
+            }
+            for &d in &c.hosted_databanks {
+                assert!(d < databanks.len(), "cluster hosts unknown databank");
+            }
+        }
+        for d in &databanks {
+            assert!(
+                clusters.iter().any(|c| c.hosts(d.id)),
+                "databank {} is hosted nowhere",
+                d.id
+            );
+        }
+        Platform {
+            clusters,
+            processors,
+            databanks,
+        }
+    }
+
+    /// Number of processors in the platform.
+    pub fn num_processors(&self) -> usize {
+        self.processors.len()
+    }
+
+    /// Number of clusters (sites).
+    pub fn num_clusters(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Number of databanks.
+    pub fn num_databanks(&self) -> usize {
+        self.databanks.len()
+    }
+
+    /// Global processor ids that can serve requests against `databank`
+    /// (restricted availability: the site must host a replica).
+    pub fn eligible_processors(&self, databank: DatabankId) -> Vec<ProcessorId> {
+        self.clusters
+            .iter()
+            .filter(|c| c.hosts(databank))
+            .flat_map(|c| c.processors.iter().copied())
+            .collect()
+    }
+
+    /// `true` when `processor` may serve requests against `databank`.
+    pub fn can_serve(&self, processor: ProcessorId, databank: DatabankId) -> bool {
+        let cluster = self.processors[processor].cluster;
+        self.clusters[cluster].hosts(databank)
+    }
+
+    /// Aggregate speed (MB/s) of the whole platform: `Σ 1/p_i`.
+    ///
+    /// This is the speed of the equivalent single processor of Lemma 1 when
+    /// availability is unrestricted.
+    pub fn aggregate_speed(&self) -> f64 {
+        self.processors.iter().map(|p| p.speed).sum()
+    }
+
+    /// Aggregate speed of the processors able to serve `databank`.
+    ///
+    /// This is the denominator of the *workload density* definition (§5.1,
+    /// item 6): the computational power available to handle requests against
+    /// that databank.
+    pub fn aggregate_speed_for(&self, databank: DatabankId) -> f64 {
+        self.eligible_processors(databank)
+            .iter()
+            .map(|&p| self.processors[p].speed)
+            .sum()
+    }
+
+    /// Time `p_{i,j}` to process a job of `work_mb` on `processor`, or
+    /// `None` (∞ in the paper) when the processor cannot serve the databank.
+    pub fn processing_time(
+        &self,
+        processor: ProcessorId,
+        databank: DatabankId,
+        work_mb: f64,
+    ) -> Option<f64> {
+        if self.can_serve(processor, databank) {
+            Some(self.processors[processor].processing_time(work_mb))
+        } else {
+            None
+        }
+    }
+}
+
+/// Hand-built deterministic platforms used in tests, examples and doc tests
+/// across the workspace.
+pub mod fixtures {
+    use super::*;
+
+    /// A small deterministic platform used across the workspace's unit tests:
+    /// two clusters (speeds 10 and 20 MB/s, 2 processors each), two databanks,
+    /// databank 0 everywhere, databank 1 only on cluster 1.
+    pub fn small_platform() -> Platform {
+        let clusters = vec![
+            Cluster {
+                id: 0,
+                speed: 10.0,
+                processors: vec![0, 1],
+                hosted_databanks: vec![0],
+            },
+            Cluster {
+                id: 1,
+                speed: 20.0,
+                processors: vec![2, 3],
+                hosted_databanks: vec![0, 1],
+            },
+        ];
+        let processors = vec![
+            Processor::new(0, 0, 10.0),
+            Processor::new(1, 0, 10.0),
+            Processor::new(2, 1, 20.0),
+            Processor::new(3, 1, 20.0),
+        ];
+        let databanks = vec![
+            Databank::new(0, "db-everywhere", 100.0),
+            Databank::new(1, "db-restricted", 200.0),
+        ];
+        Platform::new(clusters, processors, databanks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::fixtures::small_platform;
+    use super::*;
+
+    #[test]
+    fn eligibility_follows_replication() {
+        let p = small_platform();
+        assert_eq!(p.eligible_processors(0), vec![0, 1, 2, 3]);
+        assert_eq!(p.eligible_processors(1), vec![2, 3]);
+        assert!(p.can_serve(0, 0));
+        assert!(!p.can_serve(0, 1));
+        assert!(p.can_serve(3, 1));
+    }
+
+    #[test]
+    fn aggregate_speeds() {
+        let p = small_platform();
+        assert!((p.aggregate_speed() - 60.0).abs() < 1e-12);
+        assert!((p.aggregate_speed_for(0) - 60.0).abs() < 1e-12);
+        assert!((p.aggregate_speed_for(1) - 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn processing_times_respect_restrictions() {
+        let p = small_platform();
+        assert_eq!(p.processing_time(0, 0, 50.0), Some(5.0));
+        assert_eq!(p.processing_time(2, 0, 50.0), Some(2.5));
+        assert_eq!(p.processing_time(0, 1, 50.0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "hosted nowhere")]
+    fn orphan_databank_rejected() {
+        let clusters = vec![Cluster {
+            id: 0,
+            speed: 10.0,
+            processors: vec![0],
+            hosted_databanks: vec![],
+        }];
+        let processors = vec![Processor::new(0, 0, 10.0)];
+        let databanks = vec![Databank::new(0, "orphan", 10.0)];
+        Platform::new(clusters, processors, databanks);
+    }
+
+    #[test]
+    #[should_panic(expected = "processor/cluster mismatch")]
+    fn inconsistent_membership_rejected() {
+        let clusters = vec![
+            Cluster {
+                id: 0,
+                speed: 10.0,
+                processors: vec![0],
+                hosted_databanks: vec![0],
+            },
+            Cluster {
+                id: 1,
+                speed: 10.0,
+                processors: vec![0], // claims processor 0 which belongs to cluster 0
+                hosted_databanks: vec![],
+            },
+        ];
+        let processors = vec![Processor::new(0, 0, 10.0)];
+        let databanks = vec![Databank::new(0, "db", 10.0)];
+        Platform::new(clusters, processors, databanks);
+    }
+
+    #[test]
+    fn counts() {
+        let p = small_platform();
+        assert_eq!(p.num_processors(), 4);
+        assert_eq!(p.num_clusters(), 2);
+        assert_eq!(p.num_databanks(), 2);
+    }
+}

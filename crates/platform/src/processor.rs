@@ -1,0 +1,59 @@
+//! Individual sequence-comparison servers (processors).
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a processor inside a [`crate::Platform`].
+pub type ProcessorId = usize;
+
+/// A processor of the platform.
+///
+/// Following the *uniform machines* hypothesis validated in the paper
+/// (§2.1, property 3), a processor is fully described by a single speed: the
+/// amount of databank it scans per second.  In the paper's notation the
+/// processor is characterised by `p_i` seconds per unit of work; we store the
+/// reciprocal `speed = 1 / p_i` because the fluid simulator works with rates.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Processor {
+    /// Index of the processor in the platform (global, not per cluster).
+    pub id: ProcessorId,
+    /// Cluster (site) this processor belongs to.
+    pub cluster: usize,
+    /// Scanning speed in megabytes of databank per second.
+    pub speed: f64,
+}
+
+impl Processor {
+    /// Creates a processor with a strictly positive speed.
+    pub fn new(id: ProcessorId, cluster: usize, speed: f64) -> Self {
+        assert!(speed > 0.0 && speed.is_finite(), "processor speed must be positive");
+        Processor { id, cluster, speed }
+    }
+
+    /// Seconds needed per megabyte of work (`p_i` in the paper's notation).
+    pub fn seconds_per_mb(&self) -> f64 {
+        1.0 / self.speed
+    }
+
+    /// Time to process a job of `work_mb` megabytes alone on this processor.
+    pub fn processing_time(&self, work_mb: f64) -> f64 {
+        work_mb / self.speed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timing_helpers() {
+        let p = Processor::new(0, 2, 25.0);
+        assert!((p.seconds_per_mb() - 0.04).abs() < 1e-12);
+        assert!((p.processing_time(100.0) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_nonpositive_speed() {
+        Processor::new(0, 0, -1.0);
+    }
+}

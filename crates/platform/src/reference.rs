@@ -1,0 +1,73 @@
+//! Empirical constants standing in for the GriPPS measurements.
+//!
+//! §5.2 of the paper: *"Processor speeds are chosen randomly from one of the
+//! six reference platforms we studied, and we let database sizes vary
+//! continuously over a range of 10 megabytes to 1 gigabyte"*, with average
+//! job lengths between 3 and 60 seconds.  We do not have the GriPPS logs, so
+//! we embed six reference speeds chosen such that scanning a databank in the
+//! 10 MB–1 GB range takes a few seconds to a couple of minutes on a single
+//! processor, which reproduces the job-length range the paper reports.
+//! This substitution is recorded in DESIGN.md.
+
+/// Number of processors per cluster (site); fixed by §5.1, item 1.
+pub const PROCESSORS_PER_CLUSTER: usize = 10;
+
+/// The six reference per-processor scanning speeds, in MB/s.
+///
+/// A 100 MB databank therefore takes between 2 s (fastest site) and 12.5 s
+/// (slowest site) per processor, matching the 3–60 s average job lengths used
+/// in the paper once database sizes span 10 MB–1 GB.
+pub const REFERENCE_SPEEDS_MB_PER_S: [f64; 6] = [8.0, 12.0, 16.0, 24.0, 36.0, 50.0];
+
+/// Smallest databank size generated, in MB (§5.2).
+pub const MIN_DATABANK_MB: f64 = 10.0;
+
+/// Largest databank size generated, in MB (§5.2: roughly one gigabyte).
+pub const MAX_DATABANK_MB: f64 = 1024.0;
+
+/// Length of the arrival window, in seconds (§5.1: jobs may arrive between
+/// the simulation start and 15 minutes thereafter).
+pub const ARRIVAL_WINDOW_S: f64 = 900.0;
+
+/// The database-availability values studied in §5.3.
+pub const AVAILABILITY_LEVELS: [f64; 3] = [0.3, 0.6, 0.9];
+
+/// The platform sizes (number of clusters) studied in §5.3.
+pub const PLATFORM_SIZES: [usize; 3] = [3, 10, 20];
+
+/// The databank counts studied in §5.3.
+pub const DATABANK_COUNTS: [usize; 3] = [3, 10, 20];
+
+/// The workload densities studied in §5.3.
+pub const WORKLOAD_DENSITIES: [f64; 6] = [0.75, 1.0, 1.25, 1.5, 2.0, 3.0];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_speeds_cover_the_paper_job_lengths() {
+        // A mid-size databank (100 MB) must take a handful of seconds on every
+        // reference platform, so that generated workloads have the 3–60 s
+        // average job lengths described in §5.2.
+        for speed in REFERENCE_SPEEDS_MB_PER_S {
+            let t = 100.0 / speed;
+            assert!(t > 1.0 && t < 60.0, "100 MB takes {t}s at {speed} MB/s");
+        }
+    }
+
+    #[test]
+    fn experimental_grid_has_162_configurations() {
+        let n = PLATFORM_SIZES.len()
+            * DATABANK_COUNTS.len()
+            * AVAILABILITY_LEVELS.len()
+            * WORKLOAD_DENSITIES.len();
+        assert_eq!(n, 162);
+    }
+
+    #[test]
+    fn databank_range_is_ordered() {
+        assert!(MIN_DATABANK_MB < MAX_DATABANK_MB);
+        assert!(MIN_DATABANK_MB > 0.0);
+    }
+}

@@ -1,0 +1,473 @@
+//! The event-driven fluid engine.
+
+use crate::policy::RatePolicy;
+use crate::trace::{CompletionRecord, ExecutionTrace, Segment};
+use crate::world::{JobSpec, JobState, MachineSpec, MachineState};
+use crate::SIM_EPS;
+
+/// Errors the engine can report.
+#[derive(Clone, Debug, PartialEq)]
+pub enum EngineError {
+    /// The policy allocated a machine or job index that does not exist.
+    InvalidIndex {
+        /// Machine index in the faulty share.
+        machine: usize,
+        /// Job index in the faulty share.
+        job: usize,
+    },
+    /// The policy allocated work to a job that is not released or is done.
+    InactiveJob {
+        /// Index of the faulty job.
+        job: usize,
+    },
+    /// A machine was allocated more than 100 % of its time.
+    Oversubscribed {
+        /// Index of the oversubscribed machine.
+        machine: usize,
+        /// Total share that was requested.
+        load: f64,
+    },
+    /// Jobs remain but no allocation, release or checkpoint can advance time.
+    Stalled {
+        /// Simulated time at which progress stopped.
+        at: f64,
+    },
+    /// Defensive bound on the number of processed events was exceeded.
+    TooManyEvents,
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::InvalidIndex { machine, job } => {
+                write!(f, "allocation references invalid machine {machine} or job {job}")
+            }
+            EngineError::InactiveJob { job } => {
+                write!(f, "allocation gives work to inactive job {job}")
+            }
+            EngineError::Oversubscribed { machine, load } => {
+                write!(f, "machine {machine} allocated {load} > 1.0")
+            }
+            EngineError::Stalled { at } => {
+                write!(f, "simulation stalled at t = {at}: active jobs but no progress possible")
+            }
+            EngineError::TooManyEvents => write!(f, "event budget exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// The fluid divisible-load simulator.
+#[derive(Clone, Debug)]
+pub struct FluidEngine {
+    machines: Vec<MachineState>,
+    jobs: Vec<JobState>,
+    record_segments: bool,
+    max_events: usize,
+}
+
+impl FluidEngine {
+    /// Creates an engine over the given machines and jobs.
+    pub fn new(machines: Vec<MachineSpec>, jobs: Vec<JobSpec>) -> Self {
+        let machines = machines
+            .into_iter()
+            .map(|spec| MachineState {
+                spec,
+                utilisation: 0.0,
+            })
+            .collect();
+        let jobs: Vec<JobState> = jobs.into_iter().map(JobState::new).collect();
+        let n = jobs.len().max(1);
+        FluidEngine {
+            machines,
+            jobs,
+            record_segments: false,
+            // Each event either completes a job, releases a job, or is a
+            // policy checkpoint; quadratic slack is plenty for the policies in
+            // this workspace and still catches runaway loops.
+            max_events: 200 * n * n + 10_000,
+        }
+    }
+
+    /// Enables recording of per-interval segments in the trace (needed by the
+    /// conservation/oversubscription checks; off by default to save memory).
+    pub fn with_segment_tracing(mut self, enabled: bool) -> Self {
+        self.record_segments = enabled;
+        self
+    }
+
+    /// Overrides the defensive event budget.
+    pub fn with_event_budget(mut self, budget: usize) -> Self {
+        self.max_events = budget;
+        self
+    }
+
+    /// Read access to the job states (mainly for tests and policies built on
+    /// top of a partially run engine).
+    pub fn jobs(&self) -> &[JobState] {
+        &self.jobs
+    }
+
+    /// Read access to the machine states.
+    pub fn machines(&self) -> &[MachineState] {
+        &self.machines
+    }
+
+    /// Runs the simulation to completion under `policy`.
+    pub fn run(&mut self, policy: &mut dyn RatePolicy) -> Result<ExecutionTrace, EngineError> {
+        let mut trace = ExecutionTrace::default();
+        if self.jobs.is_empty() {
+            return Ok(trace);
+        }
+
+        // Start the clock at the earliest release date.
+        let mut now = self
+            .jobs
+            .iter()
+            .map(|j| j.spec.release)
+            .fold(f64::INFINITY, f64::min);
+        self.mark_releases(now);
+        self.sweep_completions(now, &mut trace);
+
+        while self.jobs.iter().any(|j| j.completion.is_none()) {
+            trace.events += 1;
+            if trace.events > self.max_events {
+                return Err(EngineError::TooManyEvents);
+            }
+
+            let allocation = policy.allocate(now, &self.jobs, &self.machines);
+            self.validate(&allocation)?;
+            let rates = allocation.job_rates(&self.machines, self.jobs.len());
+            for (m, load) in allocation
+                .machine_loads(self.machines.len())
+                .into_iter()
+                .enumerate()
+            {
+                self.machines[m].utilisation = load;
+            }
+
+            // Next release of a not-yet-released job.
+            let next_release = self
+                .jobs
+                .iter()
+                .filter(|j| !j.released)
+                .map(|j| j.spec.release)
+                .fold(f64::INFINITY, f64::min);
+            // Next completion under the current rates.
+            let next_completion = self
+                .jobs
+                .iter()
+                .enumerate()
+                .filter(|(_, j)| j.is_active())
+                .filter(|(idx, _)| rates[*idx] > SIM_EPS)
+                .map(|(idx, j)| now + j.remaining / rates[idx])
+                .fold(f64::INFINITY, f64::min);
+            // Next policy checkpoint strictly after `now`.
+            let next_checkpoint = policy
+                .next_checkpoint(now)
+                .filter(|&t| t > now + SIM_EPS)
+                .unwrap_or(f64::INFINITY);
+
+            let next_event = next_release.min(next_completion).min(next_checkpoint);
+            if !next_event.is_finite() {
+                return Err(EngineError::Stalled { at: now });
+            }
+
+            let dt = (next_event - now).max(0.0);
+            if dt > 0.0 {
+                for (idx, job) in self.jobs.iter_mut().enumerate() {
+                    if job.is_active() && rates[idx] > SIM_EPS {
+                        job.remaining = (job.remaining - rates[idx] * dt).max(0.0);
+                    }
+                }
+                if self.record_segments {
+                    for &(m, j, share) in allocation.shares() {
+                        trace.segments.push(Segment {
+                            machine: m,
+                            job: j,
+                            start: now,
+                            end: next_event,
+                            share,
+                        });
+                    }
+                }
+            }
+            now = next_event;
+            self.mark_releases(now);
+            self.sweep_completions(now, &mut trace);
+        }
+
+        trace.makespan = trace
+            .completions
+            .iter()
+            .map(|c| c.completion)
+            .fold(0.0, f64::max);
+        Ok(trace)
+    }
+
+    fn mark_releases(&mut self, now: f64) {
+        for job in &mut self.jobs {
+            if !job.released && job.spec.release <= now + SIM_EPS {
+                job.released = true;
+            }
+        }
+    }
+
+    fn sweep_completions(&mut self, now: f64, trace: &mut ExecutionTrace) {
+        for (idx, job) in self.jobs.iter_mut().enumerate() {
+            if job.released && job.completion.is_none() && job.remaining <= SIM_EPS {
+                job.remaining = 0.0;
+                job.completion = Some(now);
+                trace.completions.push(CompletionRecord {
+                    job: idx,
+                    job_id: job.spec.id,
+                    release: job.spec.release,
+                    work: job.spec.work,
+                    completion: now,
+                });
+            }
+        }
+    }
+
+    fn validate(&self, allocation: &crate::policy::Allocation) -> Result<(), EngineError> {
+        let mut loads = vec![0.0; self.machines.len()];
+        for &(m, j, share) in allocation.shares() {
+            if m >= self.machines.len() || j >= self.jobs.len() {
+                return Err(EngineError::InvalidIndex { machine: m, job: j });
+            }
+            if !self.jobs[j].is_active() {
+                return Err(EngineError::InactiveJob { job: j });
+            }
+            loads[m] += share;
+        }
+        for (m, &load) in loads.iter().enumerate() {
+            if load > 1.0 + 1e-6 {
+                return Err(EngineError::Oversubscribed { machine: m, load });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{Allocation, RatePolicy};
+
+    /// Serve the lowest-index active job on every machine (a trivial policy
+    /// exercising preemption and divisibility).
+    struct LowestIndexFirst;
+    impl RatePolicy for LowestIndexFirst {
+        fn allocate(&mut self, _now: f64, jobs: &[JobState], machines: &[MachineState]) -> Allocation {
+            let mut a = Allocation::idle();
+            if let Some((idx, _)) = jobs.iter().enumerate().find(|(_, j)| j.is_active()) {
+                for m in 0..machines.len() {
+                    a.assign_full(m, idx);
+                }
+            }
+            a
+        }
+        fn name(&self) -> &str {
+            "lowest-index-first"
+        }
+    }
+
+    /// Processor-sharing: split every machine equally among active jobs.
+    struct ProcessorSharing;
+    impl RatePolicy for ProcessorSharing {
+        fn allocate(&mut self, _now: f64, jobs: &[JobState], machines: &[MachineState]) -> Allocation {
+            let active: Vec<usize> = jobs
+                .iter()
+                .enumerate()
+                .filter(|(_, j)| j.is_active())
+                .map(|(i, _)| i)
+                .collect();
+            let mut a = Allocation::idle();
+            if active.is_empty() {
+                return a;
+            }
+            let share = 1.0 / active.len() as f64;
+            for m in 0..machines.len() {
+                for &j in &active {
+                    a.assign(m, j, share);
+                }
+            }
+            a
+        }
+    }
+
+    fn machines(speeds: &[f64]) -> Vec<MachineSpec> {
+        speeds.iter().enumerate().map(|(i, &s)| MachineSpec::new(i, s)).collect()
+    }
+
+    #[test]
+    fn single_job_single_machine() {
+        let mut engine = FluidEngine::new(machines(&[2.0]), vec![JobSpec::new(0, 1.0, 10.0)]);
+        let trace = engine.run(&mut LowestIndexFirst).unwrap();
+        // Released at 1, 10 units of work at speed 2 -> completes at 6.
+        assert!((trace.completion_of(0).unwrap() - 6.0).abs() < 1e-9);
+        assert!((trace.makespan - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn divisible_job_uses_aggregate_speed() {
+        // Lemma 1: several machines act as one of speed Σ 1/p_i.
+        let mut engine = FluidEngine::new(
+            machines(&[1.0, 2.0, 3.0]),
+            vec![JobSpec::new(0, 0.0, 12.0)],
+        );
+        let trace = engine.run(&mut LowestIndexFirst).unwrap();
+        assert!((trace.completion_of(0).unwrap() - 12.0 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sequential_jobs_queue_behind_each_other() {
+        let mut engine = FluidEngine::new(
+            machines(&[1.0]),
+            vec![JobSpec::new(0, 0.0, 4.0), JobSpec::new(1, 0.0, 2.0)],
+        );
+        let trace = engine.run(&mut LowestIndexFirst).unwrap();
+        assert!((trace.completion_of(0).unwrap() - 4.0).abs() < 1e-9);
+        assert!((trace.completion_of(1).unwrap() - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn idle_gap_before_late_release_is_skipped() {
+        let mut engine = FluidEngine::new(machines(&[1.0]), vec![JobSpec::new(0, 5.0, 1.0)]);
+        let trace = engine.run(&mut LowestIndexFirst).unwrap();
+        assert!((trace.completion_of(0).unwrap() - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_work_job_completes_at_release() {
+        let mut engine = FluidEngine::new(
+            machines(&[1.0]),
+            vec![JobSpec::new(0, 2.0, 0.0), JobSpec::new(1, 0.0, 3.0)],
+        );
+        let trace = engine.run(&mut LowestIndexFirst).unwrap();
+        assert!((trace.completion_of(0).unwrap() - 2.0).abs() < 1e-9);
+        assert!((trace.completion_of(1).unwrap() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn processor_sharing_work_conservation() {
+        let jobs = vec![
+            JobSpec::new(0, 0.0, 3.0),
+            JobSpec::new(1, 0.5, 2.0),
+            JobSpec::new(2, 1.0, 1.0),
+        ];
+        let mut engine =
+            FluidEngine::new(machines(&[1.0, 0.5]), jobs.clone()).with_segment_tracing(true);
+        let trace = engine.run(&mut ProcessorSharing).unwrap();
+        let speeds = [1.0, 0.5];
+        for (idx, job) in jobs.iter().enumerate() {
+            let executed = trace.executed_work(idx, &speeds);
+            assert!(
+                (executed - job.work).abs() < 1e-6,
+                "job {idx}: executed {executed} of {}",
+                job.work
+            );
+        }
+        assert!(trace.machines_never_oversubscribed(2, 1e-6));
+        // All completions recorded.
+        assert_eq!(trace.completions.len(), 3);
+    }
+
+    #[test]
+    fn stalls_when_policy_never_allocates() {
+        struct Lazy;
+        impl RatePolicy for Lazy {
+            fn allocate(&mut self, _: f64, _: &[JobState], _: &[MachineState]) -> Allocation {
+                Allocation::idle()
+            }
+        }
+        let mut engine = FluidEngine::new(machines(&[1.0]), vec![JobSpec::new(0, 0.0, 1.0)]);
+        assert!(matches!(
+            engine.run(&mut Lazy),
+            Err(EngineError::Stalled { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_oversubscription() {
+        struct Greedy;
+        impl RatePolicy for Greedy {
+            fn allocate(&mut self, _: f64, jobs: &[JobState], _: &[MachineState]) -> Allocation {
+                let mut a = Allocation::idle();
+                for (i, j) in jobs.iter().enumerate() {
+                    if j.is_active() {
+                        a.assign(0, i, 1.0);
+                    }
+                }
+                a
+            }
+        }
+        let mut engine = FluidEngine::new(
+            machines(&[1.0]),
+            vec![JobSpec::new(0, 0.0, 1.0), JobSpec::new(1, 0.0, 1.0)],
+        );
+        assert!(matches!(
+            engine.run(&mut Greedy),
+            Err(EngineError::Oversubscribed { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_allocation_to_unreleased_job() {
+        struct Clairvoyant;
+        impl RatePolicy for Clairvoyant {
+            fn allocate(&mut self, _: f64, _: &[JobState], _: &[MachineState]) -> Allocation {
+                let mut a = Allocation::idle();
+                a.assign(0, 1, 1.0); // job 1 is released much later
+                a
+            }
+        }
+        let mut engine = FluidEngine::new(
+            machines(&[1.0]),
+            vec![JobSpec::new(0, 0.0, 1.0), JobSpec::new(1, 100.0, 1.0)],
+        );
+        assert!(matches!(
+            engine.run(&mut Clairvoyant),
+            Err(EngineError::InactiveJob { job: 1 })
+        ));
+    }
+
+    #[test]
+    fn rejects_out_of_range_indices() {
+        struct Bad;
+        impl RatePolicy for Bad {
+            fn allocate(&mut self, _: f64, _: &[JobState], _: &[MachineState]) -> Allocation {
+                let mut a = Allocation::idle();
+                a.assign(7, 0, 1.0);
+                a
+            }
+        }
+        let mut engine = FluidEngine::new(machines(&[1.0]), vec![JobSpec::new(0, 0.0, 1.0)]);
+        assert!(matches!(
+            engine.run(&mut Bad),
+            Err(EngineError::InvalidIndex { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_job_list_gives_empty_trace() {
+        let mut engine = FluidEngine::new(machines(&[1.0]), vec![]);
+        let trace = engine.run(&mut LowestIndexFirst).unwrap();
+        assert!(trace.completions.is_empty());
+        assert_eq!(trace.makespan, 0.0);
+    }
+
+    #[test]
+    fn event_budget_is_enforced() {
+        let mut engine = FluidEngine::new(
+            machines(&[1.0]),
+            vec![JobSpec::new(0, 0.0, 1.0), JobSpec::new(1, 0.25, 1.0)],
+        )
+        .with_event_budget(1);
+        assert!(matches!(
+            engine.run(&mut LowestIndexFirst),
+            Err(EngineError::TooManyEvents)
+        ));
+    }
+}

@@ -1,0 +1,39 @@
+//! # stretch-sim
+//!
+//! A discrete-event **fluid** simulation engine for divisible-load scheduling.
+//! It plays the role SimGrid plays in the paper's evaluation: given a set of
+//! machines, a set of jobs (release date + amount of work) and a scheduling
+//! *policy*, it computes the exact completion time of every job.
+//!
+//! The model is the one of §2 of the paper:
+//!
+//! * jobs are **divisible**: at any instant a job may be processed by any
+//!   number of machines simultaneously, each contributing work at its own
+//!   speed;
+//! * **preemption is free**: the allocation can change at any event;
+//! * **communication is negligible**: moving a job between machines costs
+//!   nothing.
+//!
+//! The engine is *event driven*: between two events (job release, job
+//!   completion, or a policy-requested checkpoint) the allocation is constant,
+//! so remaining work decreases linearly and the next completion is computed
+//! in closed form — no time stepping, no rounding drift proportional to a
+//! step size.
+//!
+//! The engine knows nothing about databanks or clusters; eligibility
+//! restrictions are entirely the policy's business (the policy simply never
+//! allocates an ineligible machine to a job).
+
+pub mod engine;
+pub mod event;
+pub mod policy;
+pub mod trace;
+pub mod world;
+
+pub use engine::{EngineError, FluidEngine};
+pub use policy::{Allocation, RatePolicy};
+pub use trace::{CompletionRecord, ExecutionTrace, Segment};
+pub use world::{JobSpec, JobState, MachineSpec, MachineState};
+
+/// Numerical tolerance on simulated time and remaining work.
+pub const SIM_EPS: f64 = 1e-9;

@@ -1,0 +1,148 @@
+//! The policy interface the fluid engine drives.
+
+use crate::world::{JobState, MachineState};
+
+/// A share assignment decided by a policy, valid until the next event.
+///
+/// Each entry `(machine_index, job_index, share)` means *machine
+/// `machine_index` devotes a fraction `share` of its time to job
+/// `job_index`*.  Shares for a machine must sum to at most 1; a job's total
+/// processing rate is `Σ share · speed` over the machines allocated to it
+/// (divisible load: simultaneous execution on several machines is allowed).
+///
+/// Indices refer to positions in the engine's machine and job arrays (the
+/// order in which specs were supplied), not to the opaque `id` fields.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Allocation {
+    shares: Vec<(usize, usize, f64)>,
+}
+
+impl Allocation {
+    /// An empty allocation (every machine idle).
+    pub fn idle() -> Self {
+        Allocation { shares: Vec::new() }
+    }
+
+    /// Creates an allocation from raw `(machine, job, share)` triples.
+    pub fn from_shares(shares: Vec<(usize, usize, f64)>) -> Self {
+        Allocation { shares }
+    }
+
+    /// Adds a share of `machine` devoted to `job`.
+    pub fn assign(&mut self, machine: usize, job: usize, share: f64) -> &mut Self {
+        assert!(share >= 0.0 && share.is_finite(), "share must be nonnegative");
+        if share > 0.0 {
+            self.shares.push((machine, job, share));
+        }
+        self
+    }
+
+    /// Dedicates the whole of `machine` to `job`.
+    pub fn assign_full(&mut self, machine: usize, job: usize) -> &mut Self {
+        self.assign(machine, job, 1.0)
+    }
+
+    /// Iterates over `(machine, job, share)` triples.
+    pub fn shares(&self) -> &[(usize, usize, f64)] {
+        &self.shares
+    }
+
+    /// `true` when nothing is allocated.
+    pub fn is_idle(&self) -> bool {
+        self.shares.is_empty()
+    }
+
+    /// Total share handed to each machine (indexed by machine position).
+    pub fn machine_loads(&self, num_machines: usize) -> Vec<f64> {
+        let mut loads = vec![0.0; num_machines];
+        for &(m, _, s) in &self.shares {
+            loads[m] += s;
+        }
+        loads
+    }
+
+    /// Processing rate (work per second) each job receives under this
+    /// allocation, given the machine states.
+    pub fn job_rates(&self, machines: &[MachineState], num_jobs: usize) -> Vec<f64> {
+        let mut rates = vec![0.0; num_jobs];
+        for &(m, j, s) in &self.shares {
+            rates[j] += s * machines[m].spec.speed;
+        }
+        rates
+    }
+}
+
+/// A scheduling policy driven by the fluid engine.
+///
+/// The engine calls [`RatePolicy::allocate`] at every event (job release, job
+/// completion, requested checkpoint) and keeps the returned allocation
+/// constant until the next event.
+pub trait RatePolicy {
+    /// Decides the machine shares at time `now`.
+    ///
+    /// `jobs` contains *all* jobs (released or not, completed or not) so that
+    /// clairvoyant policies (the off-line optimal) can look ahead; honest
+    /// on-line policies must only inspect jobs with `released == true`.
+    fn allocate(&mut self, now: f64, jobs: &[JobState], machines: &[MachineState]) -> Allocation;
+
+    /// The next instant at which the policy wants to be re-invoked even if no
+    /// release/completion occurs (e.g. an interval boundary of a precomputed
+    /// plan).  `None` means "only wake me on releases and completions".
+    fn next_checkpoint(&self, _now: f64) -> Option<f64> {
+        None
+    }
+
+    /// A short human-readable name used in traces and experiment tables.
+    fn name(&self) -> &str {
+        "unnamed-policy"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::{MachineSpec, MachineState};
+
+    fn machines(speeds: &[f64]) -> Vec<MachineState> {
+        speeds
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| MachineState {
+                spec: MachineSpec::new(i, s),
+                utilisation: 0.0,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn job_rates_accumulate_over_machines() {
+        let ms = machines(&[2.0, 3.0]);
+        let mut a = Allocation::idle();
+        a.assign(0, 0, 1.0).assign(1, 0, 0.5).assign(1, 1, 0.5);
+        let rates = a.job_rates(&ms, 2);
+        assert!((rates[0] - (2.0 + 1.5)).abs() < 1e-12);
+        assert!((rates[1] - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn machine_loads_accumulate_over_jobs() {
+        let mut a = Allocation::idle();
+        a.assign(0, 0, 0.25).assign(0, 1, 0.5);
+        let loads = a.machine_loads(2);
+        assert!((loads[0] - 0.75).abs() < 1e-12);
+        assert_eq!(loads[1], 0.0);
+    }
+
+    #[test]
+    fn zero_shares_are_dropped() {
+        let mut a = Allocation::idle();
+        a.assign(0, 0, 0.0);
+        assert!(a.is_idle());
+    }
+
+    #[test]
+    #[should_panic(expected = "nonnegative")]
+    fn negative_share_rejected() {
+        Allocation::idle().assign(0, 0, -0.5);
+    }
+}

@@ -1,0 +1,172 @@
+//! Execution traces produced by the fluid engine.
+
+/// A constant-allocation slice of the execution: between `start` and `end`,
+/// machine `machine` devoted a fraction `share` of its time to job `job`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Segment {
+    /// Machine position (index in the engine's machine array).
+    pub machine: usize,
+    /// Job position (index in the engine's job array).
+    pub job: usize,
+    /// Start of the slice (seconds).
+    pub start: f64,
+    /// End of the slice (seconds).
+    pub end: f64,
+    /// Fraction of the machine devoted to the job during the slice.
+    pub share: f64,
+}
+
+impl Segment {
+    /// Amount of work performed during the slice on a machine of speed `speed`.
+    pub fn work_done(&self, speed: f64) -> f64 {
+        (self.end - self.start) * self.share * speed
+    }
+}
+
+/// Completion record for one job.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CompletionRecord {
+    /// Job position.
+    pub job: usize,
+    /// The caller-supplied job identifier.
+    pub job_id: usize,
+    /// Release date `r_j`.
+    pub release: f64,
+    /// Total work `W_j`.
+    pub work: f64,
+    /// Completion time `C_j`.
+    pub completion: f64,
+}
+
+impl CompletionRecord {
+    /// Flow time `F_j = C_j - r_j`.
+    pub fn flow(&self) -> f64 {
+        self.completion - self.release
+    }
+}
+
+/// The full output of a simulation run.
+#[derive(Clone, Debug, Default)]
+pub struct ExecutionTrace {
+    /// Per-job completion records, in job-array order.
+    pub completions: Vec<CompletionRecord>,
+    /// Constant-allocation segments (only recorded when tracing is enabled).
+    pub segments: Vec<Segment>,
+    /// Number of events processed by the engine.
+    pub events: usize,
+    /// Time of the last completion (the makespan of the schedule).
+    pub makespan: f64,
+}
+
+impl ExecutionTrace {
+    /// Completion time of job at position `job`.
+    pub fn completion_of(&self, job: usize) -> Option<f64> {
+        self.completions
+            .iter()
+            .find(|c| c.job == job)
+            .map(|c| c.completion)
+    }
+
+    /// Total work executed for `job` according to the recorded segments
+    /// (requires segment tracing; `speeds` maps machine position to speed).
+    pub fn executed_work(&self, job: usize, speeds: &[f64]) -> f64 {
+        self.segments
+            .iter()
+            .filter(|s| s.job == job)
+            .map(|s| s.work_done(speeds[s.machine]))
+            .sum()
+    }
+
+    /// Checks that no machine is ever allocated more than 100 % (within
+    /// `tol`); only meaningful when segment tracing is enabled.
+    pub fn machines_never_oversubscribed(&self, num_machines: usize, tol: f64) -> bool {
+        // Collect segment boundaries and test the load of each machine on
+        // every elementary interval.
+        let mut times: Vec<f64> = self
+            .segments
+            .iter()
+            .flat_map(|s| [s.start, s.end])
+            .collect();
+        times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        times.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+        for w in times.windows(2) {
+            let (lo, hi) = (w[0], w[1]);
+            let mid = 0.5 * (lo + hi);
+            for m in 0..num_machines {
+                let load: f64 = self
+                    .segments
+                    .iter()
+                    .filter(|s| s.machine == m && s.start <= mid && mid < s.end)
+                    .map(|s| s.share)
+                    .sum();
+                if load > 1.0 + tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn segment_work_and_flow() {
+        let s = Segment {
+            machine: 0,
+            job: 1,
+            start: 2.0,
+            end: 5.0,
+            share: 0.5,
+        };
+        assert!((s.work_done(4.0) - 6.0).abs() < 1e-12);
+
+        let c = CompletionRecord {
+            job: 1,
+            job_id: 10,
+            release: 2.0,
+            work: 6.0,
+            completion: 5.0,
+        };
+        assert_eq!(c.flow(), 3.0);
+    }
+
+    #[test]
+    fn executed_work_sums_segments() {
+        let trace = ExecutionTrace {
+            completions: vec![],
+            segments: vec![
+                Segment { machine: 0, job: 0, start: 0.0, end: 1.0, share: 1.0 },
+                Segment { machine: 1, job: 0, start: 0.0, end: 2.0, share: 0.5 },
+                Segment { machine: 0, job: 1, start: 1.0, end: 2.0, share: 1.0 },
+            ],
+            events: 0,
+            makespan: 2.0,
+        };
+        let speeds = [2.0, 1.0];
+        assert!((trace.executed_work(0, &speeds) - (2.0 + 1.0)).abs() < 1e-12);
+        assert!((trace.executed_work(1, &speeds) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn oversubscription_detection() {
+        let ok = ExecutionTrace {
+            segments: vec![
+                Segment { machine: 0, job: 0, start: 0.0, end: 1.0, share: 0.6 },
+                Segment { machine: 0, job: 1, start: 0.0, end: 1.0, share: 0.4 },
+            ],
+            ..Default::default()
+        };
+        assert!(ok.machines_never_oversubscribed(1, 1e-9));
+        let bad = ExecutionTrace {
+            segments: vec![
+                Segment { machine: 0, job: 0, start: 0.0, end: 1.0, share: 0.8 },
+                Segment { machine: 0, job: 1, start: 0.5, end: 1.0, share: 0.5 },
+            ],
+            ..Default::default()
+        };
+        assert!(!bad.machines_never_oversubscribed(1, 1e-9));
+    }
+}

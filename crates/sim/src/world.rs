@@ -1,0 +1,123 @@
+//! Static descriptions (specs) and dynamic states of machines and jobs.
+
+/// Static description of a machine.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MachineSpec {
+    /// Opaque identifier chosen by the caller (e.g. index into a platform).
+    pub id: usize,
+    /// Processing speed in units of work per second (`1 / p_i` in the paper's
+    /// notation, where `p_i` is in seconds per unit of work).
+    pub speed: f64,
+}
+
+impl MachineSpec {
+    /// Creates a machine spec; `speed` must be strictly positive and finite.
+    pub fn new(id: usize, speed: f64) -> Self {
+        assert!(speed > 0.0 && speed.is_finite(), "machine speed must be positive");
+        MachineSpec { id, speed }
+    }
+}
+
+/// Static description of a job.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct JobSpec {
+    /// Opaque identifier chosen by the caller.
+    pub id: usize,
+    /// Release date `r_j` (seconds).
+    pub release: f64,
+    /// Total amount of work `W_j` (e.g. Mflop); must be nonnegative.
+    pub work: f64,
+}
+
+impl JobSpec {
+    /// Creates a job spec with basic validity checks.
+    pub fn new(id: usize, release: f64, work: f64) -> Self {
+        assert!(release >= 0.0 && release.is_finite(), "release date must be nonnegative");
+        assert!(work >= 0.0 && work.is_finite(), "work must be nonnegative");
+        JobSpec { id, release, work }
+    }
+}
+
+/// Dynamic state of a machine during a simulation.
+#[derive(Clone, Copy, Debug)]
+pub struct MachineState {
+    /// The immutable spec.
+    pub spec: MachineSpec,
+    /// Fraction of the machine currently allocated (sum of shares), in `[0, 1]`.
+    pub utilisation: f64,
+}
+
+/// Dynamic state of a job during a simulation.
+#[derive(Clone, Copy, Debug)]
+pub struct JobState {
+    /// The immutable spec.
+    pub spec: JobSpec,
+    /// Remaining amount of work.
+    pub remaining: f64,
+    /// `true` once `release <= now`.
+    pub released: bool,
+    /// Completion time, if the job has finished.
+    pub completion: Option<f64>,
+}
+
+impl JobState {
+    /// Creates the initial state for a job spec.
+    pub fn new(spec: JobSpec) -> Self {
+        JobState {
+            spec,
+            remaining: spec.work,
+            released: false,
+            completion: None,
+        }
+    }
+
+    /// `true` when the job is released and not yet completed.
+    pub fn is_active(&self) -> bool {
+        self.released && self.completion.is_none()
+    }
+
+    /// Original processing time on a machine of the given speed.
+    pub fn processing_time(&self, speed: f64) -> f64 {
+        self.spec.work / speed
+    }
+
+    /// Remaining processing time on a machine of the given speed.
+    pub fn remaining_time(&self, speed: f64) -> f64 {
+        self.remaining / speed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn job_state_lifecycle() {
+        let spec = JobSpec::new(3, 1.0, 10.0);
+        let mut s = JobState::new(spec);
+        assert!(!s.is_active());
+        s.released = true;
+        assert!(s.is_active());
+        s.completion = Some(5.0);
+        assert!(!s.is_active());
+    }
+
+    #[test]
+    fn processing_times_scale_with_speed() {
+        let s = JobState::new(JobSpec::new(0, 0.0, 12.0));
+        assert_eq!(s.processing_time(4.0), 3.0);
+        assert_eq!(s.remaining_time(2.0), 6.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_speed_machine_rejected() {
+        MachineSpec::new(0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonnegative")]
+    fn negative_work_rejected() {
+        JobSpec::new(0, 0.0, -1.0);
+    }
+}

@@ -1,0 +1,122 @@
+//! Property-based tests of the fluid engine: work conservation, completion
+//! ordering, and oversubscription rejection on randomly generated worlds and
+//! processor-sharing policies.
+
+use proptest::prelude::*;
+use stretch_sim::{Allocation, FluidEngine, JobSpec, JobState, MachineSpec, MachineState, RatePolicy};
+
+/// Equal processor sharing among all active jobs.
+struct ProcessorSharing;
+impl RatePolicy for ProcessorSharing {
+    fn allocate(&mut self, _now: f64, jobs: &[JobState], machines: &[MachineState]) -> Allocation {
+        let active: Vec<usize> = jobs
+            .iter()
+            .enumerate()
+            .filter(|(_, j)| j.is_active())
+            .map(|(i, _)| i)
+            .collect();
+        let mut a = Allocation::idle();
+        if active.is_empty() {
+            return a;
+        }
+        let share = 1.0 / active.len() as f64;
+        for m in 0..machines.len() {
+            for &j in &active {
+                a.assign(m, j, share);
+            }
+        }
+        a
+    }
+}
+
+/// Serve the job with the least remaining work on every machine.
+struct GreedySrpt;
+impl RatePolicy for GreedySrpt {
+    fn allocate(&mut self, _now: f64, jobs: &[JobState], machines: &[MachineState]) -> Allocation {
+        let best = jobs
+            .iter()
+            .enumerate()
+            .filter(|(_, j)| j.is_active())
+            .min_by(|a, b| a.1.remaining.partial_cmp(&b.1.remaining).unwrap())
+            .map(|(i, _)| i);
+        let mut a = Allocation::idle();
+        if let Some(job) = best {
+            for m in 0..machines.len() {
+                a.assign_full(m, job);
+            }
+        }
+        a
+    }
+}
+
+fn world_strategy() -> impl Strategy<Value = (Vec<MachineSpec>, Vec<JobSpec>)> {
+    (
+        proptest::collection::vec(0.5f64..20.0, 1..4),
+        proptest::collection::vec((0.0f64..20.0, 0.5f64..50.0), 1..8),
+    )
+        .prop_map(|(speeds, jobs)| {
+            let machines = speeds
+                .into_iter()
+                .enumerate()
+                .map(|(i, s)| MachineSpec::new(i, s))
+                .collect();
+            let jobs = jobs
+                .into_iter()
+                .enumerate()
+                .map(|(i, (r, w))| JobSpec::new(i, r, w))
+                .collect();
+            (machines, jobs)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn processor_sharing_conserves_work((machines, jobs) in world_strategy()) {
+        let speeds: Vec<f64> = machines.iter().map(|m| m.speed).collect();
+        let mut engine = FluidEngine::new(machines, jobs.clone()).with_segment_tracing(true);
+        let trace = engine.run(&mut ProcessorSharing).unwrap();
+        prop_assert_eq!(trace.completions.len(), jobs.len());
+        for (idx, job) in jobs.iter().enumerate() {
+            let executed = trace.executed_work(idx, &speeds);
+            prop_assert!((executed - job.work).abs() < 1e-6 * job.work.max(1.0),
+                "job {idx}: executed {executed} of {}", job.work);
+        }
+        prop_assert!(trace.machines_never_oversubscribed(speeds.len(), 1e-6));
+    }
+
+    #[test]
+    fn completions_never_precede_releases_and_makespan_is_bounded(
+        (machines, jobs) in world_strategy()
+    ) {
+        let total_work: f64 = jobs.iter().map(|j| j.work).sum();
+        let total_speed: f64 = machines.iter().map(|m| m.speed).sum();
+        let last_release = jobs.iter().map(|j| j.release).fold(0.0f64, f64::max);
+        let mut engine = FluidEngine::new(machines, jobs.clone());
+        let trace = engine.run(&mut GreedySrpt).unwrap();
+        for c in &trace.completions {
+            prop_assert!(c.completion >= c.release - 1e-9);
+        }
+        // The makespan can never beat the work-conservation bound, and a
+        // never-idle policy finishes by last_release + total_work/total_speed.
+        prop_assert!(trace.makespan >= total_work / total_speed - 1e-6);
+        prop_assert!(trace.makespan <= last_release + total_work / total_speed + 1e-6);
+    }
+
+    #[test]
+    fn srpt_like_policy_weakly_dominates_sharing_on_mean_flow(
+        (machines, jobs) in world_strategy()
+    ) {
+        // A sanity cross-policy property: serving one job at a time with the
+        // whole platform (SRPT-like) never yields a larger makespan than
+        // processor sharing, because both are work-conserving.
+        let mut e1 = FluidEngine::new(machines.clone(), jobs.clone());
+        let mut e2 = FluidEngine::new(machines, jobs);
+        let srpt = e1.run(&mut GreedySrpt).unwrap();
+        let sharing = e2.run(&mut ProcessorSharing).unwrap();
+        prop_assert!((srpt.makespan - sharing.makespan).abs() < 1e-6 * srpt.makespan.max(1.0),
+            "both work-conserving policies must have the same makespan: {} vs {}",
+            srpt.makespan, sharing.makespan);
+    }
+}

@@ -1,0 +1,236 @@
+//! Random workload generation (§5.1 of the paper).
+//!
+//! For every databank, requests arrive according to a Poisson process whose
+//! rate is derived from the **workload density**: the ratio of the aggregate
+//! job size submitted per unit of time against a databank to the aggregate
+//! computational power able to serve that databank.  A density of 1.0 means
+//! the eligible processors are, on average, exactly loaded.
+
+use crate::instance::Instance;
+use crate::job::Job;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use stretch_platform::{reference, Platform};
+
+/// Workload-side experimental parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadConfig {
+    /// Workload density (§5.1 item 6); the values studied in the paper range
+    /// from 0.0125 (Figure 3) to 3.0 (Tables 5–10).
+    pub density: f64,
+    /// Length of the arrival window in seconds (15 minutes in the paper).
+    pub window: f64,
+    /// Fraction of the target databank scanned by each request.  The paper's
+    /// requests scan the whole databank (1.0); smaller values produce shorter
+    /// jobs with the same arrival intensity.
+    pub scan_fraction: f64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            density: 1.0,
+            window: reference::ARRIVAL_WINDOW_S,
+            scan_fraction: 1.0,
+        }
+    }
+}
+
+impl WorkloadConfig {
+    /// Creates a configuration with the paper's defaults and the given
+    /// density.
+    pub fn with_density(density: f64) -> Self {
+        assert!(density > 0.0 && density.is_finite());
+        WorkloadConfig {
+            density,
+            ..Default::default()
+        }
+    }
+}
+
+/// Random workload generator.
+#[derive(Clone, Debug)]
+pub struct WorkloadGenerator {
+    config: WorkloadConfig,
+}
+
+impl WorkloadGenerator {
+    /// Creates a generator for `config`.
+    pub fn new(config: WorkloadConfig) -> Self {
+        assert!(config.density > 0.0, "density must be positive");
+        assert!(config.window > 0.0, "window must be positive");
+        assert!(
+            config.scan_fraction > 0.0 && config.scan_fraction <= 1.0,
+            "scan fraction must be in (0, 1]"
+        );
+        WorkloadGenerator { config }
+    }
+
+    /// The configuration driving this generator.
+    pub fn config(&self) -> &WorkloadConfig {
+        &self.config
+    }
+
+    /// Poisson arrival rate (jobs per second) for one databank on `platform`.
+    ///
+    /// `density = rate · job_size / aggregate_speed_for(databank)`, hence
+    /// `rate = density · aggregate_speed / job_size`.
+    pub fn arrival_rate(&self, platform: &Platform, databank: usize) -> f64 {
+        let job_size = platform.databanks[databank].size_mb * self.config.scan_fraction;
+        let power = platform.aggregate_speed_for(databank);
+        self.config.density * power / job_size
+    }
+
+    /// Draws a workload (a job flow) for `platform`.
+    ///
+    /// For each databank, inter-arrival times are exponential with the rate
+    /// given by [`WorkloadGenerator::arrival_rate`]; arrivals beyond the
+    /// window are discarded.  The per-databank flows are merged and sorted by
+    /// release date.  The result always contains at least one job (if every
+    /// Poisson draw came out empty, one job on databank 0 is released at
+    /// time 0 so downstream metrics are well defined).
+    pub fn generate<R: Rng + ?Sized>(&self, platform: &Platform, rng: &mut R) -> Vec<Job> {
+        let mut jobs = Vec::new();
+        for db in &platform.databanks {
+            let rate = self.arrival_rate(platform, db.id);
+            let job_size = db.size_mb * self.config.scan_fraction;
+            let mut t = 0.0;
+            loop {
+                // Exponential inter-arrival time with mean 1/rate.
+                let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                t += -u.ln() / rate;
+                if t > self.config.window {
+                    break;
+                }
+                jobs.push(Job::new(jobs.len(), t, job_size, db.id));
+            }
+        }
+        if jobs.is_empty() {
+            let db = &platform.databanks[0];
+            jobs.push(Job::new(0, 0.0, db.size_mb * self.config.scan_fraction, 0));
+        }
+        jobs.sort_by(|a, b| a.release.partial_cmp(&b.release).unwrap());
+        for (k, j) in jobs.iter_mut().enumerate() {
+            j.id = k;
+        }
+        jobs
+    }
+
+    /// Generates a full [`Instance`] (platform + jobs).
+    pub fn generate_instance<R: Rng + ?Sized>(&self, platform: Platform, rng: &mut R) -> Instance {
+        let jobs = self.generate(&platform, rng);
+        Instance::new(platform, jobs)
+    }
+
+    /// Expected number of jobs the generator will emit for `platform`.
+    pub fn expected_job_count(&self, platform: &Platform) -> f64 {
+        platform
+            .databanks
+            .iter()
+            .map(|db| self.arrival_rate(platform, db.id) * self.config.window)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use stretch_platform::fixtures::small_platform;
+
+    #[test]
+    fn arrival_rate_matches_density_definition() {
+        let platform = small_platform();
+        let generator = WorkloadGenerator::new(WorkloadConfig::with_density(2.0));
+        // Databank 0: size 100 MB, aggregate eligible speed 60 MB/s.
+        let rate = generator.arrival_rate(&platform, 0);
+        assert!((rate - 2.0 * 60.0 / 100.0).abs() < 1e-12);
+        // Databank 1: size 200 MB, eligible speed 40 MB/s.
+        let rate = generator.arrival_rate(&platform, 1);
+        assert!((rate - 2.0 * 40.0 / 200.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn generated_jobs_are_sorted_and_within_window() {
+        let platform = small_platform();
+        let mut rng = SmallRng::seed_from_u64(11);
+        let generator = WorkloadGenerator::new(WorkloadConfig {
+            density: 1.0,
+            window: 100.0,
+            scan_fraction: 1.0,
+        });
+        let jobs = generator.generate(&platform, &mut rng);
+        assert!(!jobs.is_empty());
+        for w in jobs.windows(2) {
+            assert!(w[0].release <= w[1].release);
+        }
+        for (k, j) in jobs.iter().enumerate() {
+            assert_eq!(j.id, k);
+            assert!(j.release <= 100.0);
+            assert!(j.databank < platform.num_databanks());
+        }
+    }
+
+    #[test]
+    fn empirical_job_count_tracks_expectation() {
+        let platform = small_platform();
+        let generator = WorkloadGenerator::new(WorkloadConfig {
+            density: 1.5,
+            window: 400.0,
+            scan_fraction: 1.0,
+        });
+        let expected = generator.expected_job_count(&platform);
+        let mut total = 0usize;
+        let runs = 40;
+        let mut rng = SmallRng::seed_from_u64(5);
+        for _ in 0..runs {
+            total += generator.generate(&platform, &mut rng).len();
+        }
+        let mean = total as f64 / runs as f64;
+        // Poisson mean should be within 15 % over 40 runs of several hundred
+        // arrivals each.
+        assert!(
+            (mean - expected).abs() / expected < 0.15,
+            "mean {mean} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn scan_fraction_scales_job_sizes() {
+        let platform = small_platform();
+        let mut rng = SmallRng::seed_from_u64(3);
+        let generator = WorkloadGenerator::new(WorkloadConfig {
+            density: 1.0,
+            window: 50.0,
+            scan_fraction: 0.25,
+        });
+        let jobs = generator.generate(&platform, &mut rng);
+        for j in &jobs {
+            let db_size = platform.databanks[j.databank].size_mb;
+            assert!((j.work - db_size * 0.25).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn generate_instance_builds_consistent_instance() {
+        let platform = small_platform();
+        let mut rng = SmallRng::seed_from_u64(19);
+        let generator = WorkloadGenerator::new(WorkloadConfig::with_density(0.5));
+        let inst = generator.generate_instance(platform, &mut rng);
+        assert!(inst.num_jobs() > 0);
+        for j in 0..inst.num_jobs() {
+            assert!(!inst.eligible_processors(j).is_empty());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "density must be positive")]
+    fn zero_density_rejected() {
+        WorkloadGenerator::new(WorkloadConfig {
+            density: 0.0,
+            window: 1.0,
+            scan_fraction: 1.0,
+        });
+    }
+}

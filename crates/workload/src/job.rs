@@ -1,0 +1,64 @@
+//! Individual requests (jobs).
+
+use serde::{Deserialize, Serialize};
+use stretch_platform::DatabankId;
+
+/// Identifier of a job inside an [`crate::Instance`].
+pub type JobId = usize;
+
+/// A motif-comparison request.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Job {
+    /// Index of the job in the instance; jobs are numbered by increasing
+    /// release date, as in the paper.
+    pub id: JobId,
+    /// Release date `r_j` in seconds.
+    pub release: f64,
+    /// Amount of work `W_j` in megabytes of databank to scan.
+    pub work: f64,
+    /// The databank this request targets (determines which processors are
+    /// eligible to run it).
+    pub databank: DatabankId,
+}
+
+impl Job {
+    /// Creates a job with validity checks.
+    pub fn new(id: JobId, release: f64, work: f64, databank: DatabankId) -> Self {
+        assert!(release >= 0.0 && release.is_finite(), "release must be nonnegative");
+        assert!(work > 0.0 && work.is_finite(), "work must be positive");
+        Job {
+            id,
+            release,
+            work,
+            databank,
+        }
+    }
+
+    /// The stretch weight `w_j = 1 / W_j` used throughout the paper.
+    pub fn stretch_weight(&self) -> f64 {
+        1.0 / self.work
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weight_is_reciprocal_of_work() {
+        let j = Job::new(0, 1.0, 4.0, 0);
+        assert!((j.stretch_weight() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_work_rejected() {
+        Job::new(0, 0.0, 0.0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonnegative")]
+    fn negative_release_rejected() {
+        Job::new(0, -1.0, 1.0, 0);
+    }
+}

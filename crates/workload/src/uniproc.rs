@@ -1,0 +1,138 @@
+//! The Lemma-1 single-processor view of an instance.
+
+use serde::{Deserialize, Serialize};
+
+/// A job of the equivalent single-processor instance.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct UniprocJob {
+    /// Index of the job (shared with the multiprocessor instance).
+    pub id: usize,
+    /// Release date `r_j`.
+    pub release: f64,
+    /// Processing time `p_j^{(1)} = W_j / Σ 1/p_i` on the equivalent machine.
+    pub processing_time: f64,
+    /// Original work `W_j` (kept so stretch weights stay consistent between
+    /// the two views).
+    pub work: f64,
+}
+
+impl UniprocJob {
+    /// Stretch weight `1 / p_j` used by the single-processor heuristics.
+    ///
+    /// Note that weighting by `1 / p_j^{(1)}` or by `1 / W_j` only differs by
+    /// the constant factor `Σ 1/p_i`, so priority orders and optimal
+    /// schedules are identical under either convention.
+    pub fn stretch_weight(&self) -> f64 {
+        1.0 / self.processing_time
+    }
+
+    /// Deadline associated with a max-stretch objective `F`:
+    /// `d_j(F) = r_j + F · p_j` (§4.3.1 with `w_j = 1/p_j`).
+    pub fn deadline(&self, max_stretch: f64) -> f64 {
+        self.release + max_stretch * self.processing_time
+    }
+}
+
+/// The equivalent single-processor instance of Lemma 1.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct UniprocInstance {
+    /// Jobs with their transformed processing times, in release-date order.
+    pub jobs: Vec<UniprocJob>,
+    /// Speed of the equivalent processor (`Σ 1/p_i`, in MB/s).
+    pub equivalent_speed: f64,
+}
+
+impl UniprocInstance {
+    /// Builds a single-processor instance directly from
+    /// `(release, processing_time)` pairs — handy for tests and for the
+    /// adversarial constructions of Theorems 1 and 2, which are stated on one
+    /// processor.
+    pub fn from_times(jobs: &[(f64, f64)]) -> Self {
+        let mut jobs: Vec<UniprocJob> = jobs
+            .iter()
+            .enumerate()
+            .map(|(id, &(release, processing_time))| {
+                assert!(processing_time > 0.0, "processing time must be positive");
+                assert!(release >= 0.0, "release must be nonnegative");
+                UniprocJob {
+                    id,
+                    release,
+                    processing_time,
+                    work: processing_time,
+                }
+            })
+            .collect();
+        jobs.sort_by(|a, b| a.release.partial_cmp(&b.release).unwrap());
+        for (k, j) in jobs.iter_mut().enumerate() {
+            j.id = k;
+        }
+        UniprocInstance {
+            jobs,
+            equivalent_speed: 1.0,
+        }
+    }
+
+    /// Number of jobs.
+    pub fn num_jobs(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Sum of all processing times (the makespan lower bound when all jobs
+    /// are released at time 0).
+    pub fn total_processing_time(&self) -> f64 {
+        self.jobs.iter().map(|j| j.processing_time).sum()
+    }
+
+    /// `Δ`: ratio of the largest to the smallest processing time.
+    pub fn delta(&self) -> f64 {
+        if self.jobs.is_empty() {
+            return 1.0;
+        }
+        let min = self
+            .jobs
+            .iter()
+            .map(|j| j.processing_time)
+            .fold(f64::INFINITY, f64::min);
+        let max = self.jobs.iter().map(|j| j.processing_time).fold(0.0, f64::max);
+        max / min
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_times_sorts_and_renumbers() {
+        let inst = UniprocInstance::from_times(&[(3.0, 1.0), (0.0, 2.0), (1.0, 4.0)]);
+        let releases: Vec<f64> = inst.jobs.iter().map(|j| j.release).collect();
+        assert_eq!(releases, vec![0.0, 1.0, 3.0]);
+        assert_eq!(inst.num_jobs(), 3);
+        assert!((inst.total_processing_time() - 7.0).abs() < 1e-12);
+        assert!((inst.delta() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deadline_formula() {
+        let j = UniprocJob {
+            id: 0,
+            release: 10.0,
+            processing_time: 2.0,
+            work: 2.0,
+        };
+        assert!((j.deadline(3.0) - 16.0).abs() < 1e-12);
+        assert!((j.stretch_weight() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_instance_delta_is_one() {
+        let inst = UniprocInstance::from_times(&[]);
+        assert_eq!(inst.delta(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_processing_time_rejected() {
+        UniprocInstance::from_times(&[(0.0, 0.0)]);
+    }
+}

@@ -1,0 +1,80 @@
+//! Quickstart: build a tiny GriPPS-like platform, submit a handful of motif
+//! comparison requests, and compare two schedulers on the stretch metrics.
+//!
+//! ```text
+//! cargo run --release -p stretch-core --example quickstart
+//! ```
+
+use stretch_core::{ListScheduler, OnlineScheduler, Scheduler};
+use stretch_platform::{Cluster, Databank, Platform, Processor};
+use stretch_workload::{Instance, Job};
+
+fn main() {
+    // A platform with two sites: a slow one hosting only databank 0, a fast
+    // one hosting both databanks.
+    let clusters = vec![
+        Cluster {
+            id: 0,
+            speed: 10.0,
+            processors: vec![0, 1],
+            hosted_databanks: vec![0],
+        },
+        Cluster {
+            id: 1,
+            speed: 25.0,
+            processors: vec![2, 3],
+            hosted_databanks: vec![0, 1],
+        },
+    ];
+    let processors = vec![
+        Processor::new(0, 0, 10.0),
+        Processor::new(1, 0, 10.0),
+        Processor::new(2, 1, 25.0),
+        Processor::new(3, 1, 25.0),
+    ];
+    let databanks = vec![
+        Databank::new(0, "swissprot-lite", 150.0),
+        Databank::new(1, "trembl-lite", 400.0),
+    ];
+    let platform = Platform::new(clusters, processors, databanks);
+
+    // A flow of five requests: job sizes are the databank sizes (a motif is
+    // matched against the whole databank), release dates a few seconds apart.
+    let jobs = vec![
+        Job::new(0, 0.0, 150.0, 0),
+        Job::new(1, 1.0, 400.0, 1),
+        Job::new(2, 2.5, 150.0, 0),
+        Job::new(3, 4.0, 400.0, 1),
+        Job::new(4, 6.0, 150.0, 0),
+    ];
+    let instance = Instance::new(platform, jobs);
+
+    println!(
+        "Instance: {} jobs, {} processors, aggregate speed {:.0} MB/s\n",
+        instance.num_jobs(),
+        instance.platform.num_processors(),
+        instance.platform.aggregate_speed()
+    );
+
+    for scheduler in [
+        Box::new(ListScheduler::srpt()) as Box<dyn Scheduler>,
+        Box::new(OnlineScheduler::online()),
+    ] {
+        let result = scheduler.schedule(&instance).expect("schedulable instance");
+        println!("=== {} ===", result.scheduler);
+        for outcome in &result.outcomes {
+            println!(
+                "  job {}: released {:>5.1}s  completed {:>6.2}s  flow {:>6.2}s  stretch {:>5.2}",
+                outcome.id,
+                outcome.release,
+                outcome.completion,
+                outcome.flow(),
+                outcome.stretch()
+            );
+        }
+        println!(
+            "  max-stretch {:.3}   sum-stretch {:.3}   makespan {:.2}s\n",
+            result.metrics.max_stretch, result.metrics.sum_stretch, result.metrics.makespan
+        );
+    }
+}

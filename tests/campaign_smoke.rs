@@ -1,0 +1,136 @@
+//! Smoke test of the full experimental pipeline: a miniature campaign over a
+//! reduced grid must reproduce the *qualitative* findings of §5.3 (who wins,
+//! who loses, by roughly what kind of factor), and the Figure 3 sweep and the
+//! overhead study must run end to end.
+
+use stretch_experiments::figure3::{run_figure3, Figure3Settings};
+use stretch_experiments::{
+    reduced_grid, run_campaign, run_overhead_study, table1, tables_by_availability,
+    tables_by_databases, tables_by_density, tables_by_sites, CampaignSettings,
+};
+
+#[test]
+fn miniature_campaign_reproduces_the_qualitative_table1_findings() {
+    let settings = CampaignSettings {
+        instances_per_config: 2,
+        target_jobs: 14,
+        base_seed: 123,
+    };
+    let result = run_campaign(&reduced_grid(), settings);
+    assert_eq!(
+        result.len(),
+        reduced_grid().len() * settings.instances_per_config
+    );
+    let table = table1(&result.observations);
+
+    let mean_max = |name: &str| table.row(name).unwrap().max_stretch.map(|s| s.mean);
+    let mean_sum = |name: &str| table.row(name).unwrap().sum_stretch.map(|s| s.mean);
+
+    // Offline is the max-stretch reference.
+    let offline = mean_max("Offline").unwrap();
+    assert!((offline - 1.0).abs() < 5e-3, "offline mean {offline}");
+
+    // §5.3 finding 1: the on-line LP heuristics are near-optimal for
+    // max-stretch (paper: within 0.1 % on average; we allow a much looser
+    // bound on this miniature campaign).
+    for name in ["Online", "Online-EDF"] {
+        let m = mean_max(name).unwrap();
+        assert!(m < 1.25, "{name} mean max-stretch degradation {m}");
+    }
+
+    // §5.3 finding 2: the greedy, non-preemptive policies (MCT, the
+    // production GriPPS policy, and its divisible variant MCT-Div) are far
+    // worse than every stretch-aware heuristic for max-stretch.  (The
+    // paper's additional observation that MCT is an order of magnitude worse
+    // than MCT-Div emerges when the number of jobs far exceeds the number of
+    // processors — i.e. at full campaign scale, exercised by the
+    // `repro_table1` binary — not on this miniature smoke workload.)
+    let mct = mean_max("MCT").unwrap();
+    let mct_div = mean_max("MCT-Div").unwrap();
+    let srpt = mean_max("SRPT").unwrap();
+    assert!(mct > 3.0 * srpt, "MCT {mct} vs SRPT {srpt}");
+    assert!(mct_div > 1.5 * srpt, "MCT-Div {mct_div} vs SRPT {srpt}");
+
+    // §5.3 finding 3: SWRPT / SRPT / SPT are excellent for sum-stretch
+    // (within a few percent of the best).
+    for name in ["SWRPT", "SRPT", "SPT"] {
+        let s = mean_sum(name).unwrap();
+        assert!(s < 1.15, "{name} mean sum-stretch degradation {s}");
+    }
+    // ... while MCT is dramatically worse on sum-stretch too.
+    assert!(mean_sum("MCT").unwrap() > 2.0);
+}
+
+#[test]
+fn partitioned_tables_are_consistent_with_the_global_one() {
+    let settings = CampaignSettings {
+        instances_per_config: 1,
+        target_jobs: 10,
+        base_seed: 7,
+    };
+    let result = run_campaign(&reduced_grid(), settings);
+    let by_sites = tables_by_sites(&result.observations);
+    let by_density = tables_by_density(&result.observations);
+    let by_db = tables_by_databases(&result.observations);
+    let by_avail = tables_by_availability(&result.observations);
+    assert_eq!(by_sites.len(), 3);
+    assert_eq!(by_density.len(), 6);
+    assert_eq!(by_db.len(), 3);
+    assert_eq!(by_avail.len(), 3);
+    // Every partition's sample counts add up to the total number of
+    // observations (for a heuristic that always runs, e.g. MCT = row 10).
+    let total: usize = by_sites
+        .iter()
+        .filter_map(|t| t.row("MCT").and_then(|r| r.max_stretch.map(|s| s.count)))
+        .sum();
+    assert_eq!(total, result.len());
+}
+
+#[test]
+fn figure3_sweep_shows_the_optimization_gain_on_average() {
+    let settings = Figure3Settings {
+        densities: vec![1.0, 2.5],
+        instances_per_density: 8,
+        target_jobs: 16,
+        ..Default::default()
+    };
+    let points = run_figure3(&settings);
+    assert_eq!(points.len(), 2);
+    for p in &points {
+        assert!(p.instances > 0);
+        // Figure 3(a): both variants stay close to the optimal max-stretch
+        // (the paper reports at most ~2.5 %; tiny instances are noisier, so
+        // the bound here is loose but still "near-optimal").
+        assert!(p.optimized_degradation_pct < 30.0);
+        assert!(p.non_optimized_degradation_pct < 30.0);
+    }
+    // Figure 3(b): averaged over the sweep, the System-(2) refinement does
+    // not lose sum-stretch relative to the non-optimized version.  The
+    // paper's baseline (the raw System-(1) vertex it happened to obtain)
+    // pushes work later than our max-flow allocation does, so our measured
+    // gain is smaller and noisier than the 2–18 % of the paper (see
+    // EXPERIMENTS.md); the smoke assertion only rules out a systematic loss.
+    let mean_gain: f64 =
+        points.iter().map(|p| p.sum_stretch_gain_pct).sum::<f64>() / points.len() as f64;
+    assert!(
+        mean_gain > -8.0,
+        "the optimized variant should not be systematically worse (gain {mean_gain} %)"
+    );
+}
+
+#[test]
+fn overhead_study_reproduces_the_cost_ranking() {
+    let report = run_overhead_study(2, 16, 99);
+    let time = |name: &str| report.time_of(name).unwrap();
+    // §5.3: the list/greedy heuristics are essentially free, while the
+    // optimisation-based algorithms (off-line optimal, the on-line LP
+    // heuristics, Bender98) pay for their linear programs.  The paper's
+    // further point — Bender98 dwarfing even the other LP-based schedulers —
+    // shows up as the workload grows (its per-arrival problem keeps all
+    // released jobs); at smoke scale we only assert the cheap-vs-expensive
+    // split, the full-scale ranking is printed by `repro_overhead`.
+    assert!(time("SRPT") < time("Online"));
+    assert!(time("MCT") < time("Offline"));
+    assert!(time("Bender98") > time("SRPT") * 5.0);
+    assert!(time("Online") > time("MCT-Div"));
+}

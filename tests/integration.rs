@@ -1,0 +1,179 @@
+//! End-to-end integration tests spanning the whole workspace: platform and
+//! workload generation, every scheduler of the paper, and the metrics layer.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use stretch_core::{
+    Bender98Scheduler, ListScheduler, MctScheduler, OfflineScheduler, OnlineScheduler, Scheduler,
+};
+use stretch_experiments::{heuristic_battery, HeuristicKind};
+use stretch_metrics::ScheduleMetrics;
+use stretch_platform::{fixtures, PlatformConfig, PlatformGenerator};
+use stretch_workload::{Instance, Job, WorkloadConfig, WorkloadGenerator};
+
+/// Draws a moderate random instance (~`target` jobs) for integration testing.
+fn random_instance(seed: u64, target: usize, sites: usize, availability: f64) -> Instance {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let platform =
+        PlatformGenerator::new(PlatformConfig::new(sites, 3, availability)).generate(&mut rng);
+    let probe = WorkloadGenerator::new(WorkloadConfig {
+        density: 1.5,
+        window: 1.0,
+        scan_fraction: 1.0,
+    });
+    let window = (target as f64 / probe.expected_job_count(&platform).max(1e-9)).max(1e-3);
+    let generator = WorkloadGenerator::new(WorkloadConfig {
+        density: 1.5,
+        window,
+        scan_fraction: 1.0,
+    });
+    generator.generate_instance(platform, &mut rng)
+}
+
+/// Every scheduler of the battery, as trait objects.
+fn all_schedulers() -> Vec<Box<dyn Scheduler>> {
+    vec![
+        Box::new(OfflineScheduler::new()),
+        Box::new(OnlineScheduler::online()),
+        Box::new(OnlineScheduler::online_edf()),
+        Box::new(OnlineScheduler::online_egdf()),
+        Box::new(OnlineScheduler::non_optimized()),
+        Box::new(Bender98Scheduler::new()),
+        Box::new(ListScheduler::fcfs()),
+        Box::new(ListScheduler::srpt()),
+        Box::new(ListScheduler::spt()),
+        Box::new(ListScheduler::swpt()),
+        Box::new(ListScheduler::swrpt()),
+        Box::new(ListScheduler::bender02()),
+        Box::new(MctScheduler::mct()),
+        Box::new(MctScheduler::mct_div()),
+    ]
+}
+
+#[test]
+fn every_scheduler_produces_a_complete_valid_schedule() {
+    let instance = random_instance(1, 18, 3, 0.6);
+    for scheduler in all_schedulers() {
+        let result = scheduler
+            .schedule(&instance)
+            .unwrap_or_else(|e| panic!("{} failed: {e}", scheduler.name()));
+        assert_eq!(result.outcomes.len(), instance.num_jobs(), "{}", scheduler.name());
+        for outcome in &result.outcomes {
+            assert!(
+                outcome.completion >= outcome.release - 1e-9,
+                "{}: job {} completed before its release",
+                scheduler.name(),
+                outcome.id
+            );
+            assert!(outcome.completion.is_finite());
+        }
+        // The metrics recomputed from the outcomes match the reported ones.
+        let recomputed = ScheduleMetrics::from_outcomes(&result.outcomes);
+        assert!((recomputed.max_stretch - result.metrics.max_stretch).abs() < 1e-9);
+        assert!((recomputed.sum_stretch - result.metrics.sum_stretch).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn offline_optimum_lower_bounds_every_heuristic_max_stretch() {
+    for seed in [3u64, 5, 8] {
+        let instance = random_instance(seed, 14, 3, 0.6);
+        let offline = OfflineScheduler::new().schedule(&instance).unwrap();
+        for scheduler in all_schedulers() {
+            let result = scheduler.schedule(&instance).unwrap();
+            assert!(
+                result.metrics.max_stretch >= offline.metrics.max_stretch * (1.0 - 5e-3),
+                "seed {seed}: {} achieved {} below the optimum {}",
+                scheduler.name(),
+                result.metrics.max_stretch,
+                offline.metrics.max_stretch
+            );
+        }
+    }
+}
+
+#[test]
+fn makespan_never_beats_the_work_conservation_bound() {
+    // No schedule can finish earlier than (total work) / (aggregate speed)
+    // after the first release, nor earlier than the last release.
+    let instance = random_instance(11, 16, 3, 0.9);
+    let bound = instance.total_work() / instance.platform.aggregate_speed();
+    let last_release = instance
+        .jobs
+        .iter()
+        .map(|j| j.release)
+        .fold(0.0f64, f64::max);
+    for scheduler in all_schedulers() {
+        let result = scheduler.schedule(&instance).unwrap();
+        assert!(
+            result.metrics.makespan >= bound - 1e-6,
+            "{}: makespan {} below the conservation bound {}",
+            scheduler.name(),
+            result.metrics.makespan,
+            bound
+        );
+        assert!(result.metrics.makespan >= last_release - 1e-9);
+    }
+}
+
+#[test]
+fn restricted_availability_instances_are_handled_by_every_scheduler() {
+    // Low availability: most databanks live on a single site, which maximally
+    // exercises the restricted-availability code paths.
+    let instance = random_instance(21, 12, 3, 0.3);
+    for scheduler in all_schedulers() {
+        let result = scheduler.schedule(&instance).unwrap();
+        assert_eq!(result.outcomes.len(), instance.num_jobs());
+    }
+}
+
+#[test]
+fn larger_platforms_run_the_battery_without_bender98() {
+    let instance = random_instance(33, 14, 10, 0.6);
+    for (kind, scheduler) in heuristic_battery() {
+        if !kind.runs_on(10) {
+            assert_eq!(kind, HeuristicKind::Bender98);
+            continue;
+        }
+        let result = scheduler.schedule(&instance).unwrap();
+        assert_eq!(result.outcomes.len(), instance.num_jobs(), "{}", kind.name());
+    }
+}
+
+#[test]
+fn deterministic_schedulers_are_reproducible() {
+    let instance = random_instance(55, 12, 3, 0.6);
+    for scheduler in all_schedulers() {
+        let a = scheduler.schedule(&instance).unwrap();
+        let b = scheduler.schedule(&instance).unwrap();
+        for (x, y) in a.outcomes.iter().zip(&b.outcomes) {
+            assert!(
+                (x.completion - y.completion).abs() < 1e-9,
+                "{} is not deterministic",
+                scheduler.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn hand_built_platform_end_to_end() {
+    // The deterministic fixture platform, a couple of jobs per databank, and
+    // exact expectations on the aggregate behaviour.
+    let platform = fixtures::small_platform();
+    let jobs = vec![
+        Job::new(0, 0.0, 120.0, 0),
+        Job::new(1, 0.0, 80.0, 1),
+        Job::new(2, 2.0, 60.0, 0),
+    ];
+    let instance = Instance::new(platform, jobs);
+    let srpt = ListScheduler::srpt().schedule(&instance).unwrap();
+    let offline = OfflineScheduler::new().schedule(&instance).unwrap();
+    // The platform can absorb 260 MB of work at 60 MB/s, so everything is done
+    // well before t = 10 under any reasonable schedule.
+    assert!(srpt.metrics.makespan < 10.0);
+    assert!(offline.metrics.makespan < 10.0);
+    // The realised offline schedule works at a hair above the optimal
+    // objective (the allocation slack), hence the small relative margin.
+    assert!(offline.metrics.max_stretch <= srpt.metrics.max_stretch * (1.0 + 5e-4));
+}

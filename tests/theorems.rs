@@ -1,0 +1,279 @@
+//! Integration tests for the paper's theoretical results: Lemma 1 (model
+//! equivalence), Theorem 1 (max- vs sum-stretch incompatibility) and
+//! Theorem 2 (SWRPT lower bound), plus the classical optimality results
+//! recalled in §4.1.
+
+use stretch_core::adversarial::{starvation_instance, swrpt_lower_bound_instance};
+use stretch_core::priority::PriorityRule;
+use stretch_core::uniproc;
+use stretch_core::{ListScheduler, Scheduler};
+use stretch_platform::{Cluster, Databank, Platform, Processor};
+use stretch_workload::{Instance, Job, UniprocInstance};
+
+/// A fully replicated (uniform availability) platform so that Lemma 1 applies
+/// exactly.
+fn uniform_platform() -> Platform {
+    let clusters = vec![
+        Cluster {
+            id: 0,
+            speed: 10.0,
+            processors: vec![0, 1],
+            hosted_databanks: vec![0],
+        },
+        Cluster {
+            id: 1,
+            speed: 30.0,
+            processors: vec![2],
+            hosted_databanks: vec![0],
+        },
+    ];
+    let processors = vec![
+        Processor::new(0, 0, 10.0),
+        Processor::new(1, 0, 10.0),
+        Processor::new(2, 1, 30.0),
+    ];
+    let databanks = vec![Databank::new(0, "db", 100.0)];
+    Platform::new(clusters, processors, databanks)
+}
+
+#[test]
+fn lemma1_uniform_divisible_matches_single_processor_preemptive() {
+    // On a fully available platform, running a priority heuristic with the §3
+    // distribution rule gives exactly the completion times of the same
+    // heuristic on the Lemma-1 equivalent single processor.
+    let jobs = vec![
+        Job::new(0, 0.0, 200.0, 0),
+        Job::new(1, 1.0, 50.0, 0),
+        Job::new(2, 2.0, 125.0, 0),
+        Job::new(3, 4.5, 25.0, 0),
+    ];
+    let instance = Instance::new(uniform_platform(), jobs);
+    assert!(instance.is_fully_available());
+    let uni = instance.uniprocessor_equivalent();
+    assert!((uni.equivalent_speed - 50.0).abs() < 1e-12);
+
+    for (rule, scheduler) in [
+        (PriorityRule::Srpt, ListScheduler::srpt()),
+        (PriorityRule::Fcfs, ListScheduler::fcfs()),
+        (PriorityRule::Swrpt, ListScheduler::swrpt()),
+    ] {
+        let multi = scheduler.schedule(&instance).unwrap();
+        let single = uniproc::simulate_priority(&uni, rule, None);
+        for job in 0..instance.num_jobs() {
+            assert!(
+                (multi.completion(job) - single[job]).abs() < 1e-6,
+                "{:?}: job {job} multi {} vs uniproc {}",
+                rule,
+                multi.completion(job),
+                single[job]
+            );
+        }
+    }
+}
+
+#[test]
+fn lemma1_failsed_equivalence_is_not_claimed_under_restricted_availability() {
+    // With restricted availability the transformation is only a heuristic
+    // reference: the multi-machine SRPT completion of a restricted job can be
+    // later than the equivalent-processor one (it cannot use the whole
+    // platform).  This documents the Figure 2 discussion.
+    let clusters = vec![
+        Cluster {
+            id: 0,
+            speed: 40.0,
+            processors: vec![0],
+            hosted_databanks: vec![0],
+        },
+        Cluster {
+            id: 1,
+            speed: 10.0,
+            processors: vec![1],
+            hosted_databanks: vec![0, 1],
+        },
+    ];
+    let processors = vec![Processor::new(0, 0, 40.0), Processor::new(1, 1, 10.0)];
+    let databanks = vec![Databank::new(0, "a", 100.0), Databank::new(1, "b", 100.0)];
+    let platform = Platform::new(clusters, processors, databanks);
+    let instance = Instance::new(platform, vec![Job::new(0, 0.0, 100.0, 1)]);
+    assert!(!instance.is_fully_available());
+    let multi = ListScheduler::srpt().schedule(&instance).unwrap();
+    let uni = instance.uniprocessor_equivalent();
+    let single = uniproc::simulate_priority(&uni, PriorityRule::Srpt, None);
+    // The restricted job can only use the 10 MB/s site: 10 s, versus 2 s on
+    // the 50 MB/s equivalent processor.
+    assert!((multi.completion(0) - 10.0).abs() < 1e-6);
+    assert!((single[0] - 2.0).abs() < 1e-6);
+}
+
+#[test]
+fn theorem1_sum_stretch_algorithms_starve_the_large_job() {
+    // Δ = 6, and k well beyond Δ²: the optimal max-stretch plateaus at 1 + Δ
+    // while SRPT / SWRPT / SPT keep delaying the big job, so the ratio to the
+    // optimum grows without bound.
+    let delta = 6.0;
+    let small = starvation_instance(delta, 72); // k = 2·Δ²
+    let large = starvation_instance(delta, 288); // k = 8·Δ²
+    let opt_small = uniproc::optimal_max_stretch(&small);
+    let opt_large = uniproc::optimal_max_stretch(&large);
+    assert!((opt_small - (1.0 + delta)).abs() < 1e-3);
+    assert!((opt_large - (1.0 + delta)).abs() < 1e-3);
+
+    for rule in [PriorityRule::Srpt, PriorityRule::Swrpt, PriorityRule::Spt] {
+        let ratio_small = uniproc::max_stretch_of(
+            &small,
+            &uniproc::simulate_priority(&small, rule, None),
+        ) / opt_small;
+        let ratio_large = uniproc::max_stretch_of(
+            &large,
+            &uniproc::simulate_priority(&large, rule, None),
+        ) / opt_large;
+        assert!(
+            ratio_large > 3.0 * ratio_small,
+            "{}: ratio should grow with k ({ratio_small} -> {ratio_large})",
+            rule.name()
+        );
+        assert!(ratio_large > 5.0, "{}: ratio {ratio_large}", rule.name());
+    }
+}
+
+#[test]
+fn theorem1_conversely_fcfs_pays_in_sum_stretch() {
+    // The other side of the trade-off: FCFS protects the big job but its
+    // sum-stretch is much larger than SRPT's on the same stream.
+    let inst = starvation_instance(6.0, 288);
+    let srpt = uniproc::sum_stretch_of(
+        &inst,
+        &uniproc::simulate_priority(&inst, PriorityRule::Srpt, None),
+    );
+    let fcfs = uniproc::sum_stretch_of(
+        &inst,
+        &uniproc::simulate_priority(&inst, PriorityRule::Fcfs, None),
+    );
+    assert!(fcfs > 1.5 * srpt, "FCFS {fcfs} vs SRPT {srpt}");
+}
+
+#[test]
+fn theorem2_swrpt_ratio_exceeds_two_minus_epsilon() {
+    for (epsilon, l) in [(0.5, 2000usize), (0.75, 800)] {
+        let (inst, params) = swrpt_lower_bound_instance(epsilon, l);
+        let srpt = uniproc::sum_stretch_of(
+            &inst,
+            &uniproc::simulate_priority(&inst, PriorityRule::Srpt, None),
+        );
+        let swrpt = uniproc::sum_stretch_of(
+            &inst,
+            &uniproc::simulate_priority(&inst, PriorityRule::Swrpt, None),
+        );
+        let ratio = swrpt / srpt;
+        assert!(
+            ratio > 2.0 - epsilon,
+            "ε = {epsilon}: ratio {ratio} (params {params:?})"
+        );
+    }
+}
+
+#[test]
+fn srpt_optimality_for_sum_flow_on_random_streams() {
+    // §4.1: SRPT minimises the sum-flow; spot-check it dominates the other
+    // rules on a bank of deterministic pseudo-random instances.
+    for seed in 0..12u64 {
+        let jobs: Vec<(f64, f64)> = (0..10)
+            .map(|i| {
+                let x = ((seed * 37 + i * 101) % 97) as f64;
+                let release = (i as f64) * 0.7 + (x % 5.0) * 0.3;
+                let size = 0.5 + (x % 13.0);
+                (release, size)
+            })
+            .collect();
+        let inst = UniprocInstance::from_times(&jobs);
+        let srpt_flow = uniproc::metrics_of(
+            &inst,
+            &uniproc::simulate_priority(&inst, PriorityRule::Srpt, None),
+        )
+        .sum_flow;
+        for rule in [
+            PriorityRule::Fcfs,
+            PriorityRule::Spt,
+            PriorityRule::Swpt,
+            PriorityRule::Swrpt,
+        ] {
+            let flow = uniproc::metrics_of(
+                &inst,
+                &uniproc::simulate_priority(&inst, rule, None),
+            )
+            .sum_flow;
+            assert!(
+                srpt_flow <= flow + 1e-6,
+                "seed {seed}: SRPT {srpt_flow} vs {} {flow}",
+                rule.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn fcfs_optimality_for_max_flow_on_random_streams() {
+    // §4.1: FCFS minimises the max-flow.
+    for seed in 0..12u64 {
+        let jobs: Vec<(f64, f64)> = (0..10)
+            .map(|i| {
+                let x = ((seed * 53 + i * 89) % 101) as f64;
+                ((i as f64) * 0.9 + (x % 3.0) * 0.2, 0.5 + (x % 7.0))
+            })
+            .collect();
+        let inst = UniprocInstance::from_times(&jobs);
+        let fcfs_max_flow = uniproc::metrics_of(
+            &inst,
+            &uniproc::simulate_priority(&inst, PriorityRule::Fcfs, None),
+        )
+        .max_flow;
+        for rule in [PriorityRule::Srpt, PriorityRule::Spt, PriorityRule::Swrpt] {
+            let max_flow = uniproc::metrics_of(
+                &inst,
+                &uniproc::simulate_priority(&inst, rule, None),
+            )
+            .max_flow;
+            assert!(
+                fcfs_max_flow <= max_flow + 1e-6,
+                "seed {seed}: FCFS {fcfs_max_flow} vs {} {max_flow}",
+                rule.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn srpt_two_competitiveness_for_sum_stretch_holds_empirically() {
+    // §4.2 recalls that SRPT is 2-competitive for sum-stretch.  The optimal
+    // sum-stretch is unknown (its complexity is open), but it is bounded
+    // below by the sum-stretch where every job is alone (all stretches = 1),
+    // i.e. by the number of jobs; verify SRPT never exceeds twice the best
+    // heuristic we have, which is itself an upper bound on the optimum.
+    for seed in 0..8u64 {
+        let jobs: Vec<(f64, f64)> = (0..12)
+            .map(|i| {
+                let x = ((seed * 61 + i * 71) % 113) as f64;
+                ((i as f64) * 0.5, 0.5 + (x % 9.0))
+            })
+            .collect();
+        let inst = UniprocInstance::from_times(&jobs);
+        let mut best = f64::INFINITY;
+        let mut srpt = f64::NAN;
+        for rule in [
+            PriorityRule::Fcfs,
+            PriorityRule::Srpt,
+            PriorityRule::Spt,
+            PriorityRule::Swrpt,
+        ] {
+            let s = uniproc::sum_stretch_of(
+                &inst,
+                &uniproc::simulate_priority(&inst, rule, None),
+            );
+            if rule == PriorityRule::Srpt {
+                srpt = s;
+            }
+            best = best.min(s);
+        }
+        assert!(srpt <= 2.0 * best + 1e-6, "seed {seed}: SRPT {srpt} vs best {best}");
+    }
+}
