@@ -10,8 +10,8 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use stretch_bench::bench_instance;
-use stretch_experiments::{reduced_grid, run_campaign, table1, CampaignSettings};
 use stretch_experiments::{heuristic_battery, HeuristicKind};
+use stretch_experiments::{reduced_grid, run_campaign, table1, CampaignSettings};
 
 fn print_scaled_down_table1() {
     let result = run_campaign(&reduced_grid(), CampaignSettings::smoke());
@@ -45,7 +45,9 @@ fn bench_heuristic_battery(c: &mut Criterion) {
         let label = kind.name();
         group.bench_function(label, |b| {
             b.iter(|| {
-                let result = scheduler.schedule(black_box(&instance)).expect("schedulable");
+                let result = scheduler
+                    .schedule(black_box(&instance))
+                    .expect("schedulable");
                 black_box(result.metrics.max_stretch)
             })
         });

@@ -23,8 +23,8 @@ use stretch_workload::{Instance, WorkloadConfig, WorkloadGenerator};
 /// platform with the given number of sites.
 pub fn bench_instance(sites: usize, databanks: usize, target_jobs: usize, seed: u64) -> Instance {
     let mut rng = SmallRng::seed_from_u64(seed);
-    let platform = PlatformGenerator::new(PlatformConfig::new(sites, databanks, 0.6))
-        .generate(&mut rng);
+    let platform =
+        PlatformGenerator::new(PlatformConfig::new(sites, databanks, 0.6)).generate(&mut rng);
     let probe = WorkloadGenerator::new(WorkloadConfig {
         density: 1.5,
         window: 1.0,

@@ -48,7 +48,10 @@ pub struct SwrptLowerBoundParams {
 ///   closer to 2.
 ///
 /// Returns the instance together with the derived parameters.
-pub fn swrpt_lower_bound_instance(epsilon: f64, l: usize) -> (UniprocInstance, SwrptLowerBoundParams) {
+pub fn swrpt_lower_bound_instance(
+    epsilon: f64,
+    l: usize,
+) -> (UniprocInstance, SwrptLowerBoundParams) {
     assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon must be in (0, 1)");
     assert!(l >= 1);
     let alpha = 1.0 - epsilon / 3.0;
@@ -144,8 +147,10 @@ mod tests {
         }
         // FCFS max-stretch does not grow with k (the large job is served
         // first; unit jobs are each delayed by at most delta).
-        let fcfs_small = max_stretch_of(&small, &simulate_priority(&small, PriorityRule::Fcfs, None));
-        let fcfs_large = max_stretch_of(&large, &simulate_priority(&large, PriorityRule::Fcfs, None));
+        let fcfs_small =
+            max_stretch_of(&small, &simulate_priority(&small, PriorityRule::Fcfs, None));
+        let fcfs_large =
+            max_stretch_of(&large, &simulate_priority(&large, PriorityRule::Fcfs, None));
         assert!((fcfs_small - fcfs_large).abs() < 1e-9);
     }
 

@@ -11,6 +11,7 @@
 //! priority rule and lives in [`crate::list`] as [`crate::list::ListRule::Bender02`].)
 
 use crate::deadline::{DeadlineProblem, PendingJob};
+use crate::parametric::ParametricDeadlineSolver;
 use crate::plan::execute_list_order;
 use crate::scheduler::{ScheduleError, ScheduleResult, Scheduler};
 use crate::sites::SiteView;
@@ -41,6 +42,8 @@ impl Scheduler for Bender98Scheduler {
         let mut events: Vec<f64> = instance.jobs.iter().map(|j| j.release).collect();
         events.sort_by(|a, b| a.partial_cmp(b).unwrap());
         events.dedup_by(|a, b| (*a - *b).abs() <= 1e-12);
+        // One parametric engine across the per-arrival re-optimisations.
+        let mut solver = ParametricDeadlineSolver::new();
 
         for (e, &now) in events.iter().enumerate() {
             let horizon = events.get(e + 1).copied().unwrap_or(f64::INFINITY);
@@ -68,7 +71,7 @@ impl Scheduler for Bender98Scheduler {
                 })
                 .collect();
             let scratch = DeadlineProblem::new(scratch_jobs, sites.clone(), 0.0);
-            let optimal = scratch.min_feasible_stretch().ok_or_else(|| {
+            let optimal = solver.min_feasible_stretch(&scratch).ok_or_else(|| {
                 ScheduleError::Unschedulable("no finite max-stretch achievable".into())
             })?;
 

@@ -10,8 +10,9 @@
 //! `stretch-flow`; the LP formulations of [`crate::system1`] and
 //! [`crate::system2`] are kept for fidelity and cross-validation.
 
+use crate::parametric::ParametricDeadlineSolver;
 use crate::sites::SiteView;
-use stretch_flow::TransportInstance;
+use stretch_flow::{FlowWorkspace, TransportInstance, TransportSolution};
 
 /// Relative tolerance used when bisecting on the objective `F`.
 pub const STRETCH_TOL: f64 = 1e-7;
@@ -67,7 +68,88 @@ pub struct AllocationPlan {
     pub pieces: Vec<Piece>,
 }
 
+/// Precomputed per-job views of an [`AllocationPlan`].
+///
+/// [`AllocationPlan::work_of`] and the `completion_interval*` lookups are
+/// `O(pieces)` linear scans; the serialisation step calls them inside
+/// `O(n log n)` sort comparators, turning every scheduling decision into
+/// `O(pieces · n log n)`.  Building this index once per plan makes each
+/// comparator lookup `O(1)`.
+#[derive(Clone, Debug)]
+pub struct PlanIndex {
+    num_sites: usize,
+    /// Total work assigned to each job.
+    work: Vec<f64>,
+    /// Last interval in which each job receives work, over all sites.
+    completion: Vec<Option<usize>>,
+    /// Last interval in which each job receives work on each site
+    /// (row-major `job × site`).
+    completion_on_site: Vec<Option<usize>>,
+}
+
+impl PlanIndex {
+    /// Total work assigned to one job (see [`AllocationPlan::work_of`]).
+    pub fn work_of(&self, job_index: usize) -> f64 {
+        self.work[job_index]
+    }
+
+    /// Completion interval of one job over all sites (see
+    /// [`AllocationPlan::completion_interval`]).
+    pub fn completion_interval(&self, job_index: usize) -> Option<usize> {
+        self.completion[job_index]
+    }
+
+    /// Completion interval of one job on one site (see
+    /// [`AllocationPlan::completion_interval_on_site`]).
+    pub fn completion_interval_on_site(&self, job_index: usize, site: usize) -> Option<usize> {
+        self.completion_on_site[job_index * self.num_sites + site]
+    }
+}
+
 impl AllocationPlan {
+    /// Builds the per-job piece index in one pass over the pieces.
+    pub fn index(&self, num_jobs: usize, num_sites: usize) -> PlanIndex {
+        let mut index = PlanIndex {
+            num_sites,
+            work: vec![0.0; num_jobs],
+            completion: vec![None; num_jobs],
+            completion_on_site: vec![None; num_jobs * num_sites],
+        };
+        for p in &self.pieces {
+            index.work[p.job_index] += p.work;
+            if p.work > 1e-12 {
+                let all = &mut index.completion[p.job_index];
+                *all = Some(all.map_or(p.interval, |i| i.max(p.interval)));
+                let on_site = &mut index.completion_on_site[p.job_index * num_sites + p.site];
+                *on_site = Some(on_site.map_or(p.interval, |i| i.max(p.interval)));
+            }
+        }
+        index
+    }
+
+    /// Assembles a plan from a transportation solution over `site ×
+    /// interval` bins (the common post-processing of the System-(1)/(2)
+    /// solves).
+    pub fn from_transport(
+        problem: &DeadlineProblem,
+        intervals: Vec<(f64, f64)>,
+        solution: &TransportSolution,
+    ) -> AllocationPlan {
+        let num_intervals = intervals.len();
+        let pieces = solution
+            .allocations
+            .iter()
+            .map(|&(job_index, bin, work)| Piece {
+                job_index,
+                job_id: problem.jobs[job_index].job_id,
+                site: bin / num_intervals,
+                interval: bin % num_intervals,
+                work,
+            })
+            .collect();
+        AllocationPlan { intervals, pieces }
+    }
+
     /// Total work assigned to one job across all pieces.
     pub fn work_of(&self, job_index: usize) -> f64 {
         self.pieces
@@ -233,10 +315,47 @@ impl DeadlineProblem {
             .fold(0.0, f64::max)
     }
 
-    /// The smallest achievable max-stretch, by bisection on the (monotone)
-    /// feasibility predicate.  Returns `None` when some job cannot be served
-    /// by any site (no finite stretch is feasible).
+    /// A *certified* upper bound on the achievable max-stretch: serialise
+    /// the pending jobs in ready order, each running alone on every site
+    /// hosting its databank.  That is a valid schedule, so its max-stretch
+    /// is always feasible — no exponential search for an upper bound is
+    /// needed.  Returns `None` when some job has no eligible site.
+    pub fn serialized_upper_bound(&self) -> Option<f64> {
+        let mut order: Vec<&PendingJob> = self.jobs.iter().collect();
+        order.sort_by(|a, b| a.ready.partial_cmp(&b.ready).unwrap());
+        let mut clock = self.now;
+        let mut bound = 0.0f64;
+        for job in order {
+            let speed = self.sites.speed_for(job.databank);
+            if speed <= 0.0 {
+                return None;
+            }
+            clock = clock.max(job.ready) + job.remaining / speed;
+            bound = bound.max((clock - job.release) / job.work);
+        }
+        Some(bound)
+    }
+
+    /// The smallest achievable max-stretch.  Returns `None` when some job
+    /// cannot be served by any site (no finite stretch is feasible).
+    ///
+    /// Delegates to the parametric engine
+    /// ([`crate::parametric::ParametricDeadlineSolver`]): milestone-bracket
+    /// search with frozen-topology, warm-started probes.  Callers solving
+    /// many problems (the on-line schedulers) should hold one solver and
+    /// feed it every problem instead, so scratch memory is reused.
     pub fn min_feasible_stretch(&self) -> Option<f64> {
+        ParametricDeadlineSolver::new().min_feasible_stretch(self)
+    }
+
+    /// The from-scratch reference bisection: every probe rebuilds the
+    /// transportation instance and solves an independent max-flow.
+    ///
+    /// Kept (and cross-checked by the property tests) as the semantic
+    /// reference for [`Self::min_feasible_stretch`]; it shares the certified
+    /// upper bound of [`Self::serialized_upper_bound`] but none of the
+    /// parametric machinery.
+    pub fn min_feasible_stretch_reference(&self) -> Option<f64> {
         if self.is_trivial() {
             return Some(0.0);
         }
@@ -247,13 +366,13 @@ impl DeadlineProblem {
         if self.feasible(lo_bound) {
             return Some(lo_bound);
         }
-        // Exponential search for a feasible upper bound.
-        let mut hi = lo_bound.max(1e-6) * 2.0;
-        let mut tries = 0;
+        // Certified upper bound; the loop only absorbs numerical slack.
+        let mut hi = self.serialized_upper_bound()?.max(lo_bound) * (1.0 + 1e-9);
+        let mut widenings = 0;
         while !self.feasible(hi) {
-            hi *= 2.0;
-            tries += 1;
-            if tries > 80 {
+            hi *= if widenings < 8 { 1.0 + 1e-3 } else { 2.0 };
+            widenings += 1;
+            if widenings > 48 {
                 return None;
             }
         }
@@ -269,60 +388,15 @@ impl DeadlineProblem {
         Some(hi)
     }
 
-    /// The paper's milestone-based search (§4.3.1): binary-search the sorted
-    /// milestones for the first feasible one, then refine inside the interval
-    /// between the last infeasible and the first feasible milestone.
+    /// The paper's milestone-based search (§4.3.1).
     ///
-    /// This is functionally equivalent to [`Self::min_feasible_stretch`] (and
-    /// cross-checked against it in tests); it exists to mirror the paper's
-    /// algorithm and to drive the exact LP back-end of [`crate::system1`].
+    /// The parametric engine *is* the milestone algorithm (binary-search the
+    /// sorted milestones for the first feasible one, then refine inside the
+    /// bracket), so this now shares the implementation of
+    /// [`Self::min_feasible_stretch`]; the name is kept to mirror the
+    /// paper's presentation and for the LP cross-validation tests.
     pub fn min_feasible_stretch_milestones(&self) -> Option<f64> {
-        if self.is_trivial() {
-            return Some(0.0);
-        }
-        let milestones = self.milestones();
-        if milestones.is_empty() {
-            return self.min_feasible_stretch();
-        }
-        // Find the first feasible milestone (feasibility is monotone in F).
-        if !self.feasible(milestones[milestones.len() - 1]) {
-            // The optimum lies beyond the last milestone; fall back to plain
-            // bisection which handles unbounded search.
-            return self.min_feasible_stretch();
-        }
-        let mut lo_idx = 0usize; // may be infeasible
-        let mut hi_idx = milestones.len() - 1; // feasible
-        if self.feasible(milestones[0]) {
-            hi_idx = 0;
-        } else {
-            while hi_idx - lo_idx > 1 {
-                let mid = (lo_idx + hi_idx) / 2;
-                if self.feasible(milestones[mid]) {
-                    hi_idx = mid;
-                } else {
-                    lo_idx = mid;
-                }
-            }
-        }
-        // The optimum lies in (previous milestone (or lower bound), milestones[hi_idx]].
-        let mut hi = milestones[hi_idx];
-        let mut lo = if hi_idx == 0 {
-            self.stretch_lower_bound().min(hi)
-        } else {
-            milestones[hi_idx - 1]
-        };
-        if self.feasible(lo) {
-            return Some(lo);
-        }
-        while (hi - lo) > STRETCH_TOL * hi.max(1.0) {
-            let mid = 0.5 * (lo + hi);
-            if self.feasible(mid) {
-                hi = mid;
-            } else {
-                lo = mid;
-            }
-        }
-        Some(hi)
+        ParametricDeadlineSolver::new().min_feasible_stretch(self)
     }
 
     /// Solves System (2) at objective `F`: ship every remaining unit of work,
@@ -331,26 +405,41 @@ impl DeadlineProblem {
     /// the paper's on-line heuristics.  Returns `None` when `F` is
     /// infeasible.
     pub fn system2_allocation(&self, stretch: f64) -> Option<AllocationPlan> {
+        self.system2_allocation_with(stretch, &mut FlowWorkspace::new())
+    }
+
+    /// [`Self::system2_allocation`] reusing caller scratch.
+    pub fn system2_allocation_with(
+        &self,
+        stretch: f64,
+        workspace: &mut FlowWorkspace,
+    ) -> Option<AllocationPlan> {
         if self.is_trivial() {
             return Some(AllocationPlan::default());
         }
         let (t, intervals) = self.transport(stretch, |job_idx, (start, end)| {
             0.5 * (start + end) / self.jobs[job_idx].work
         });
-        let solution = t.solve_min_cost()?;
-        let num_intervals = intervals.len();
-        let pieces = solution
-            .allocations
-            .iter()
-            .map(|&(job_index, bin, work)| Piece {
-                job_index,
-                job_id: self.jobs[job_index].job_id,
-                site: bin / num_intervals,
-                interval: bin % num_intervals,
-                work,
-            })
-            .collect();
-        Some(AllocationPlan { intervals, pieces })
+        let solution = t.solve_min_cost_with(workspace)?;
+        Some(AllocationPlan::from_transport(self, intervals, &solution))
+    }
+
+    /// The System-(1) feasibility allocation at objective `stretch`: ship
+    /// every remaining unit of work under the deadlines, with no cost
+    /// refinement.  This is what the paper's `Offline` scheduler serialises,
+    /// and the baseline of the Figure 3 comparison.  Returns `None` when
+    /// `stretch` is infeasible.
+    pub fn feasibility_allocation_with(
+        &self,
+        stretch: f64,
+        workspace: &mut FlowWorkspace,
+    ) -> Option<AllocationPlan> {
+        if self.is_trivial() {
+            return Some(AllocationPlan::default());
+        }
+        let (t, intervals) = self.transport(stretch, |_, _| 0.0);
+        let solution = t.solve_min_cost_with(workspace)?;
+        Some(AllocationPlan::from_transport(self, intervals, &solution))
     }
 }
 
@@ -460,7 +549,11 @@ mod tests {
     #[test]
     fn feasibility_is_monotone_in_stretch() {
         let p = DeadlineProblem::new(
-            vec![job(0, 0.0, 2.0, 0), job(1, 0.5, 1.0, 0), job(2, 1.0, 3.0, 1)],
+            vec![
+                job(0, 0.0, 2.0, 0),
+                job(1, 0.5, 1.0, 0),
+                job(2, 1.0, 3.0, 1),
+            ],
             two_sites(),
             0.0,
         );
@@ -507,7 +600,11 @@ mod tests {
     #[test]
     fn milestones_are_positive_sorted_and_deduplicated() {
         let p = DeadlineProblem::new(
-            vec![job(0, 0.0, 2.0, 0), job(1, 3.0, 1.0, 0), job(2, 5.0, 2.0, 0)],
+            vec![
+                job(0, 0.0, 2.0, 0),
+                job(1, 3.0, 1.0, 0),
+                job(2, 5.0, 2.0, 0),
+            ],
             one_site(1.0),
             0.0,
         );

@@ -45,8 +45,13 @@ impl MctScheduler {
                 )));
             }
             if self.divisible {
-                completions[job.id] =
-                    Self::place_divisible(instance, job.release, job.work, &eligible, &mut available);
+                completions[job.id] = Self::place_divisible(
+                    instance,
+                    job.release,
+                    job.work,
+                    &eligible,
+                    &mut available,
+                );
             } else {
                 completions[job.id] =
                     Self::place_single(instance, job.release, job.work, &eligible, &mut available);

@@ -28,6 +28,39 @@
 //! simulator and the adversarial instances of Theorems 1 and 2, which are
 //! stated on one processor; the equivalence with the divisible multi-machine
 //! model is Lemma 1, implemented in `stretch-workload`.
+//!
+//! ## Performance
+//!
+//! Every optimisation-based scheduler bottoms out in
+//! [`deadline::DeadlineProblem::min_feasible_stretch`], and the on-line
+//! schedulers re-run it (plus a System-(2) re-allocation) at **every
+//! arrival**.  The hot path is organised around the paper's own milestone
+//! observation (§4.3.1): between two milestones of the objective `F`, the
+//! epochal-interval *structure* is invariant — only interval endpoints move,
+//! linearly in `F`.  The [`parametric`] module exploits this end to end:
+//!
+//! * the transportation network of a deadline problem is built **once**
+//!   and probed at any `F` by re-sorting the symbolic `a + b·F` times and
+//!   rebinding bin/route capacities in place, warm-starting max-flow from
+//!   the previous residual flow (no per-probe allocation or rebuild);
+//! * the minimum feasible stretch is found by **Newton iteration on
+//!   parametric minimum cuts** (each infeasible probe certifies, via its
+//!   cut, the infeasibility of every smaller `F` up to the next milestone),
+//!   which replaces ~25 bisection probes with a handful of max-flow runs;
+//! * the feasible upper bound is **certified** by serialising the pending
+//!   work ([`deadline::DeadlineProblem::serialized_upper_bound`]) instead of
+//!   searched for by blind doubling;
+//! * allocation post-processing indexes each plan once
+//!   ([`deadline::AllocationPlan::index`]) so the serialisation comparators
+//!   are `O(1)` instead of `O(pieces)`.
+//!
+//! Long-running schedulers hold one [`ParametricDeadlineSolver`] and feed it
+//! every problem, so flow scratch ([`stretch_flow::FlowWorkspace`]) is
+//! reused across events.  The `scheduler_overhead` bench records the effect
+//! in `BENCH_baseline.json`; on the reference 3-cluster workload the
+//! `Online`/`Online-EDF` per-event loop runs ≥3× faster than the
+//! from-scratch engine it replaced (kept verbatim in the bench as
+//! `engine/online-loop/seed` for future comparisons).
 
 pub mod adversarial;
 pub mod bender;
@@ -36,6 +69,7 @@ pub mod greedy;
 pub mod list;
 pub mod offline;
 pub mod online;
+pub mod parametric;
 pub mod plan;
 pub mod priority;
 pub mod scheduler;
@@ -49,6 +83,7 @@ pub use greedy::MctScheduler;
 pub use list::ListScheduler;
 pub use offline::{OfflineBackend, OfflineScheduler, OptimalStretch};
 pub use online::{OnlineScheduler, OnlineVariant};
+pub use parametric::ParametricDeadlineSolver;
 pub use priority::PriorityRule;
 pub use scheduler::{ScheduleError, ScheduleResult, Scheduler};
 pub use sites::SiteView;

@@ -15,7 +15,9 @@
 
 use crate::priority::{JobView, PriorityRule};
 use crate::scheduler::{ScheduleError, ScheduleResult, Scheduler};
-use stretch_sim::{Allocation, FluidEngine, JobSpec, JobState, MachineSpec, MachineState, RatePolicy};
+use stretch_sim::{
+    Allocation, FluidEngine, JobSpec, JobState, MachineSpec, MachineState, RatePolicy,
+};
 use stretch_workload::Instance;
 
 /// Which priority rule a [`ListScheduler`] applies.
@@ -222,9 +224,7 @@ pub fn run_list_simulation(
         completions[c.job] = c.completion;
     }
     if completions.iter().any(|c| c.is_nan()) {
-        return Err(ScheduleError::Simulation(
-            "some job never completed".into(),
-        ));
+        return Err(ScheduleError::Simulation("some job never completed".into()));
     }
     Ok(completions)
 }

@@ -47,13 +47,10 @@ pub struct OptimalStretch {
 /// with its full work, ready at its release date.
 pub fn offline_problem(instance: &Instance) -> DeadlineProblem {
     let sites = SiteView::of(instance);
-    let now = instance
-        .jobs
-        .iter()
-        .map(|j| j.release)
-        .fold(f64::INFINITY, f64::min)
-        .min(0.0)
-        .max(0.0);
+    // Release dates are nonnegative in this model, so the off-line problem
+    // always starts at time zero (the seed computed the same value through a
+    // min/max chain).
+    let now = 0.0;
     let jobs = instance
         .jobs
         .iter()
@@ -79,9 +76,7 @@ pub fn optimal_max_stretch(
         OfflineBackend::Flow => problem.min_feasible_stretch(),
         OfflineBackend::Lp => system1::optimal_stretch_lp(&problem),
     }
-    .ok_or_else(|| {
-        ScheduleError::Unschedulable("no finite max-stretch is achievable".into())
-    })?;
+    .ok_or_else(|| ScheduleError::Unschedulable("no finite max-stretch is achievable".into()))?;
     Ok(OptimalStretch { stretch, problem })
 }
 
@@ -120,36 +115,26 @@ impl Scheduler for OfflineScheduler {
         // and the max-flow feasibility tolerance, otherwise an allocation
         // exactly at the bisection's answer can be judged infeasible.
         let slack = stretch * (1.0 + 1e-4) + 1e-9;
-        let (transport, intervals) = problem.transport(slack, |_, _| 0.0);
-        let solution = transport.solve_min_cost().ok_or_else(|| {
-            ScheduleError::Optimisation("allocation infeasible at the optimal stretch".into())
-        })?;
-        let num_intervals = intervals.len();
-        let plan = crate::deadline::AllocationPlan {
-            intervals,
-            pieces: solution
-                .allocations
-                .iter()
-                .map(|&(job_index, bin, work)| crate::deadline::Piece {
-                    job_index,
-                    job_id: problem.jobs[job_index].job_id,
-                    site: bin / num_intervals,
-                    interval: bin % num_intervals,
-                    work,
-                })
-                .collect(),
-        };
+        let plan = problem
+            .feasibility_allocation_with(slack, &mut stretch_flow::FlowWorkspace::new())
+            .ok_or_else(|| {
+                ScheduleError::Optimisation("allocation infeasible at the optimal stretch".into())
+            })?;
         let sequences = site_sequences(&problem, &plan, PieceOrdering::Online);
         let execution = execute_sequences(&problem, &sequences, problem.now, f64::INFINITY);
 
         let mut completions = vec![f64::NAN; instance.num_jobs()];
         for (pending_idx, job) in problem.jobs.iter().enumerate() {
-            let c = execution.completions.get(&pending_idx).copied().ok_or_else(|| {
-                ScheduleError::Optimisation(format!(
-                    "job {} not completed by the serialised optimal plan",
-                    job.job_id
-                ))
-            })?;
+            let c = execution
+                .completions
+                .get(&pending_idx)
+                .copied()
+                .ok_or_else(|| {
+                    ScheduleError::Optimisation(format!(
+                        "job {} not completed by the serialised optimal plan",
+                        job.job_id
+                    ))
+                })?;
             completions[job.job_id] = c;
         }
         Ok(ScheduleResult::from_completions(

@@ -24,6 +24,7 @@
 //! Figure 3 comparison, showing what the System-(2) refinement buys.
 
 use crate::deadline::{DeadlineProblem, PendingJob};
+use crate::parametric::ParametricDeadlineSolver;
 use crate::plan::{execute_list_order, execute_sequences, site_sequences, PieceOrdering};
 use crate::scheduler::{ScheduleError, ScheduleResult, Scheduler};
 use crate::sites::SiteView;
@@ -109,6 +110,10 @@ pub fn run_online(instance: &Instance, variant: OnlineVariant) -> Result<Vec<f64
     if n == 0 {
         return Ok(completions);
     }
+    // One parametric engine for the whole run: every per-event optimisation
+    // (the min-stretch search and the System-(2) re-allocation) reuses its
+    // scratch buffers instead of reallocating them at each arrival.
+    let mut solver = ParametricDeadlineSolver::new();
 
     // Distinct release dates = the decision points of the on-line algorithm.
     let mut events: Vec<f64> = instance.jobs.iter().map(|j| j.release).collect();
@@ -137,7 +142,7 @@ pub fn run_online(instance: &Instance, variant: OnlineVariant) -> Result<Vec<f64
         let problem = DeadlineProblem::new(pending, sites.clone(), now);
 
         // Step 2: best achievable max-stretch given the decisions already made.
-        let best = problem.min_feasible_stretch().ok_or_else(|| {
+        let best = solver.min_feasible_stretch(&problem).ok_or_else(|| {
             ScheduleError::Unschedulable("no finite max-stretch achievable on-line".into())
         })?;
         // Slack above the bisection answer so that the allocation step (which
@@ -147,7 +152,7 @@ pub fn run_online(instance: &Instance, variant: OnlineVariant) -> Result<Vec<f64
         // Steps 3-4: allocate and serialise according to the variant.
         let execution = match variant {
             OnlineVariant::Online | OnlineVariant::OnlineEdf => {
-                let plan = problem.system2_allocation(slack).ok_or_else(|| {
+                let plan = solver.system2_allocation(&problem, slack).ok_or_else(|| {
                     ScheduleError::Optimisation(
                         "System (2) infeasible at the optimal max-stretch".into(),
                     )
@@ -161,17 +166,19 @@ pub fn run_online(instance: &Instance, variant: OnlineVariant) -> Result<Vec<f64
                 execute_sequences(&problem, &sequences, now, horizon)
             }
             OnlineVariant::OnlineEgdf => {
-                let plan = problem.system2_allocation(slack).ok_or_else(|| {
+                let plan = solver.system2_allocation(&problem, slack).ok_or_else(|| {
                     ScheduleError::Optimisation(
                         "System (2) infeasible at the optimal max-stretch".into(),
                     )
                 })?;
                 // Global order: interval in which the job's total work
-                // completes, ties broken by SWRPT.
+                // completes, ties broken by SWRPT.  The completion intervals
+                // are indexed once so the comparator is O(1).
+                let index = plan.index(problem.jobs.len(), sites.len());
                 let mut order: Vec<usize> = (0..problem.jobs.len()).collect();
                 order.sort_by(|&a, &b| {
-                    let ia = plan.completion_interval(a).unwrap_or(usize::MAX);
-                    let ib = plan.completion_interval(b).unwrap_or(usize::MAX);
+                    let ia = index.completion_interval(a).unwrap_or(usize::MAX);
+                    let ib = index.completion_interval(b).unwrap_or(usize::MAX);
                     ia.cmp(&ib)
                         .then_with(|| {
                             let ka = problem.jobs[a].remaining * problem.jobs[a].work;
@@ -188,27 +195,13 @@ pub fn run_online(instance: &Instance, variant: OnlineVariant) -> Result<Vec<f64
                 // early each job finishes.  This is the behaviour the paper
                 // criticises ("all jobs scheduled so that their stretch is
                 // equal to the objective") and the baseline of Figure 3.
-                let (transport, intervals) = problem.transport(slack, |_, _| 0.0);
-                let solution = transport.solve_min_cost().ok_or_else(|| {
-                    ScheduleError::Optimisation(
-                        "feasibility allocation unavailable at the optimal max-stretch".into(),
-                    )
-                })?;
-                let num_intervals = intervals.len();
-                let plan = crate::deadline::AllocationPlan {
-                    intervals,
-                    pieces: solution
-                        .allocations
-                        .iter()
-                        .map(|&(job_index, bin, work)| crate::deadline::Piece {
-                            job_index,
-                            job_id: problem.jobs[job_index].job_id,
-                            site: bin / num_intervals,
-                            interval: bin % num_intervals,
-                            work,
-                        })
-                        .collect(),
-                };
+                let plan = solver
+                    .feasibility_allocation(&problem, slack)
+                    .ok_or_else(|| {
+                        ScheduleError::Optimisation(
+                            "feasibility allocation unavailable at the optimal max-stretch".into(),
+                        )
+                    })?;
                 let sequences = site_sequences(&problem, &plan, PieceOrdering::OnlineEdf);
                 execute_sequences(&problem, &sequences, now, horizon)
             }

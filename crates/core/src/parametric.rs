@@ -1,0 +1,551 @@
+//! The parametric deadline-solver engine.
+//!
+//! [`DeadlineProblem::min_feasible_stretch`] minimises over the monotone
+//! feasibility predicate `F ↦ "a schedule of max-stretch ≤ F exists"`.  The
+//! naive loop rebuilds the epochal intervals, the route set and a fresh flow
+//! network for every bisection probe — ~25 times per scheduling decision, at
+//! *every arrival* for the on-line schedulers.  Legrand–Su–Vivien's own
+//! milestone analysis (§4.3.1) says most of that work is redundant: every
+//! epochal time is a *linear* function `a + b·F` of the objective, so the
+//! whole family of transportation instances shares one structure:
+//!
+//! * the **network is built once per problem** ([`ParametricStructure`]):
+//!   one bin per (site × sorted-time-gap) position, one route per eligible
+//!   (job, site, position) triple.  A probe at any `F` re-sorts the symbolic
+//!   times (an `O(k)` pass on the nearly-sorted permutation), rebinds bin
+//!   and route capacities in place — route *admissibility* is just a zero
+//!   capacity — and warm-starts the early-exit max-flow from the previous
+//!   residual flow ([`ParametricNetwork`]).
+//! * the search is a **Newton iteration on minimum cuts**: an infeasible
+//!   probe's maximum flow yields a minimum cut whose capacity is linear in
+//!   `F` up to the next milestone (the next crossing of two adjacent
+//!   symbolic times); solving `capacity(F) = demand − tol` — clamped at the
+//!   milestone — gives the next candidate, and every `F` below it is
+//!   *certified* infeasible by that same cut.  The iteration terminates on
+//!   the exact boundary of the feasibility predicate, typically within a
+//!   handful of max-flow runs instead of ~25 bisection probes.
+//! * the blind exponential search for a feasible upper bound is replaced by
+//!   a **certified bound**: serialising all pending work
+//!   ([`DeadlineProblem::serialized_upper_bound`]) is a valid schedule, so
+//!   its max-stretch is always feasible.
+//!
+//! A numerical safety net falls back to plain bisection — still on the
+//! shared parametric structure — if the Newton iteration ever stalls.
+//!
+//! One solver holds its scratch ([`FlowWorkspace`], capacity and cut
+//! buffers) across calls, so the on-line schedulers allocate almost nothing
+//! inside the probe loop.
+
+use crate::deadline::{AllocationPlan, DeadlineProblem, STRETCH_TOL};
+use stretch_flow::{FlowWorkspace, ParametricNetwork};
+
+/// Feasibility tolerance of the flow probes, matching
+/// [`stretch_flow::TransportInstance::is_feasible`].
+const FEAS_TOL: f64 = 1e-6;
+
+/// A reusable engine solving deadline problems by parametric flow probes.
+///
+/// Create one per scheduler (or per run) and feed it every
+/// [`DeadlineProblem`] the scheduler encounters; all scratch memory is
+/// reused across calls.
+#[derive(Default)]
+pub struct ParametricDeadlineSolver {
+    workspace: FlowWorkspace,
+    /// Min-cut scratch: source-side flags over jobs and bins.
+    cut_sources: Vec<bool>,
+    cut_bins: Vec<bool>,
+}
+
+/// The shared structure of a deadline problem's transportation instances,
+/// valid for *every* objective `F`: symbolic epochal times, one bin per
+/// (site, sorted-gap) position and one route per eligible (job, site,
+/// position) triple.
+struct ParametricStructure {
+    /// Symbolic times `a + b·F`, deduplicated by exact `(a, b)` identity.
+    times: Vec<(f64, f64)>,
+    /// Permutation of `times`, sorted by value at the last probed `F`.
+    order: Vec<usize>,
+    /// Values of the ordered times at the last probed `F`.
+    sorted_vals: Vec<f64>,
+    network: ParametricNetwork,
+    num_intervals: usize,
+    site_speeds: Vec<f64>,
+    demands: Vec<f64>,
+    /// Effective ready time (`max(ready, now)`) per job.
+    ready: Vec<f64>,
+    /// Deadline coefficients (release, work) per job.
+    deadline: Vec<(f64, f64)>,
+    /// Capacity scratch, refilled per probe.
+    bin_caps: Vec<f64>,
+    route_caps: Vec<f64>,
+    /// Deadline values at the current probe point, refilled per probe.
+    deadline_vals: Vec<f64>,
+}
+
+impl ParametricStructure {
+    /// Builds the structure once, for probes within `[lo, hi]`; capacities
+    /// are bound per probe.
+    fn new(problem: &DeadlineProblem, lo: f64, hi: f64) -> Self {
+        let mut times: Vec<(f64, f64)> = Vec::with_capacity(2 * problem.jobs.len() + 1);
+        times.push((problem.now, 0.0));
+        for job in &problem.jobs {
+            times.push((job.ready.max(problem.now), 0.0));
+            // For any probed F (at or above the stretch lower bound) every
+            // deadline lies after `now`, so the `max(now, ·)` clamp of
+            // `epochal_times` is inactive and the deadline is linear.
+            times.push((job.release, job.work));
+        }
+        // Identical linear functions never separate: deduplicate by exact
+        // identity (e.g. the shared ready time of the on-line problems).
+        times.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        times.dedup();
+        let k = times.len() - 1;
+        let num_sites = problem.sites.len();
+        let demands: Vec<f64> = problem.jobs.iter().map(|j| j.remaining).collect();
+        // One route per (job, hosting site, sorted position) triple; per
+        // probe, inadmissible routes simply get capacity zero.  Positions a
+        // job can never use anywhere in `[lo, hi]` are pruned up front: a
+        // linear time function sits below a job's ready time (or above its
+        // deadline) on the whole range iff it does at both endpoints.
+        let eval = |&(a, b): &(f64, f64), f: f64| a + b * f;
+        let mut routes = Vec::new();
+        for (j, job) in problem.jobs.iter().enumerate() {
+            let ready = job.ready.max(problem.now);
+            let (d_lo, d_hi) = (job.deadline(lo), job.deadline(hi));
+            // Positions below `i_min` always start before the ready time.
+            let i_min = times
+                .iter()
+                .filter(|t| eval(t, lo) < ready - 1e-9 && eval(t, hi) < ready - 1e-9)
+                .count();
+            // At most `cnt_max` times ever sit at or before the deadline, so
+            // positions needing `i + 2` of them are never admissible.
+            let cnt_max = times
+                .iter()
+                .filter(|t| eval(t, lo) <= d_lo + 1e-9 || eval(t, hi) <= d_hi + 1e-9)
+                .count();
+            let i_max = cnt_max.saturating_sub(2).min(k.saturating_sub(1));
+            for (s, site) in problem.sites.sites.iter().enumerate() {
+                if !site.hosts(job.databank) {
+                    continue;
+                }
+                for i in i_min..=i_max {
+                    routes.push((j, s * k + i));
+                }
+            }
+        }
+        let network = ParametricNetwork::new(&demands, num_sites * k, routes);
+        // Seed the permutation with the order at `lo` so the per-probe
+        // insertion sort starts from a (nearly) sorted state: construction
+        // order — sorted by the (a, b) tuples — can be arbitrarily far from
+        // value order, which would make the first probe quadratic.
+        let mut order: Vec<usize> = (0..times.len()).collect();
+        order.sort_unstable_by(|&x, &y| {
+            let vx = times[x].0 + times[x].1 * lo;
+            let vy = times[y].0 + times[y].1 * lo;
+            vx.partial_cmp(&vy).unwrap()
+        });
+        ParametricStructure {
+            order,
+            sorted_vals: vec![0.0; times.len()],
+            times,
+            network,
+            num_intervals: k,
+            site_speeds: problem.sites.sites.iter().map(|s| s.speed).collect(),
+            demands,
+            ready: problem
+                .jobs
+                .iter()
+                .map(|j| j.ready.max(problem.now))
+                .collect(),
+            deadline: problem.jobs.iter().map(|j| (j.release, j.work)).collect(),
+            bin_caps: Vec::new(),
+            route_caps: Vec::new(),
+            deadline_vals: Vec::new(),
+        }
+    }
+
+    /// One feasibility probe at `stretch`: re-sort the symbolic times,
+    /// rebind every capacity in place, resume the early-exit max-flow.
+    fn probe(&mut self, stretch: f64, ws: &mut FlowWorkspace) -> bool {
+        // The permutation is nearly sorted across probes; a stable insertion
+        // sort keeps this O(k) in the common case.
+        let times = &self.times;
+        let eval = |idx: usize| times[idx].0 + times[idx].1 * stretch;
+        for i in 1..self.order.len() {
+            let mut j = i;
+            while j > 0 && eval(self.order[j - 1]) > eval(self.order[j]) {
+                self.order.swap(j - 1, j);
+                j -= 1;
+            }
+        }
+        for (pos, &idx) in self.order.iter().enumerate() {
+            self.sorted_vals[pos] = eval(idx);
+        }
+
+        let k = self.num_intervals;
+        self.bin_caps.clear();
+        for &speed in &self.site_speeds {
+            for i in 0..k {
+                let len = self.sorted_vals[i + 1] - self.sorted_vals[i];
+                self.bin_caps.push(speed * len.max(0.0));
+            }
+        }
+        self.deadline_vals.clear();
+        self.deadline_vals
+            .extend(self.deadline.iter().map(|&(r, w)| r + w * stretch));
+        self.route_caps.clear();
+        for &(j, bin) in self.network.routes() {
+            let i = bin % k;
+            let admissible = self.ready[j] <= self.sorted_vals[i] + 1e-9
+                && self.deadline_vals[j] >= self.sorted_vals[i + 1] - 1e-9;
+            self.route_caps
+                .push(if admissible { self.demands[j] } else { 0.0 });
+        }
+        let (bin_caps, route_caps) = (&self.bin_caps, &self.route_caps);
+        self.network.set_capacities(bin_caps, route_caps);
+        self.network.probe_feasible(FEAS_TOL, ws)
+    }
+
+    /// The minimum-cut capacity as a linear function `a + b·F`, valid from
+    /// the last probed `F` up to [`ParametricStructure::next_crossing`].
+    ///
+    /// Only meaningful right after an unsuccessful probe (the residual flow
+    /// then is a maximum flow).  Crossing source and route edges contribute
+    /// their (constant) capacities; crossing bin edges contribute their
+    /// linear lengths — except bins already degenerate and shrinking, whose
+    /// true capacity is pinned at zero.
+    fn cut_coefficients(
+        &self,
+        workspace: &mut FlowWorkspace,
+        sources: &mut Vec<bool>,
+        bins: &mut Vec<bool>,
+    ) -> (f64, f64) {
+        self.network.residual_cut(workspace, sources, bins);
+        let mut a = 0.0;
+        let mut b = 0.0;
+        for (j, &reachable) in sources.iter().enumerate() {
+            if !reachable {
+                a += self.demands[j];
+            }
+        }
+        for (idx, &(j, bin)) in self.network.routes().iter().enumerate() {
+            if sources[j] && !bins[bin] {
+                a += self.route_caps[idx];
+            }
+        }
+        let k = self.num_intervals;
+        for (bin, &reach) in bins.iter().enumerate() {
+            if !reach {
+                continue;
+            }
+            let speed = self.site_speeds[bin / k];
+            let i = bin % k;
+            let (a0, b0) = self.times[self.order[i]];
+            let (a1, b1) = self.times[self.order[i + 1]];
+            let (la, lb) = (a1 - a0, b1 - b0);
+            let len_now = self.sorted_vals[i + 1] - self.sorted_vals[i];
+            if len_now <= 1e-12 && lb <= 0.0 {
+                // Degenerate and shrinking: capacity stays zero.
+                continue;
+            }
+            a += speed * la;
+            b += speed * lb;
+        }
+        (a, b)
+    }
+
+    /// The smallest objective strictly above `stretch` where two adjacent
+    /// symbolic times cross (the next milestone), if any.  Cut
+    /// extrapolations are only sound up to this point: beyond it interval
+    /// lengths change sign and route admissibilities flip.
+    fn next_crossing(&self, stretch: f64) -> Option<f64> {
+        let floor = stretch * (1.0 + 1e-12);
+        let mut next: Option<f64> = None;
+        for w in self.order.windows(2) {
+            let (a0, b0) = self.times[w[0]];
+            let (a1, b1) = self.times[w[1]];
+            let (da, db) = (a1 - a0, b1 - b0);
+            // Only converging pairs ever cross.
+            if db >= 0.0 {
+                continue;
+            }
+            let root = -da / db;
+            if root > floor && root.is_finite() {
+                next = Some(next.map_or(root, |n: f64| n.min(root)));
+            }
+        }
+        next
+    }
+}
+
+impl ParametricDeadlineSolver {
+    /// Creates a solver with empty scratch (grows on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// One from-scratch feasibility probe (fresh topology, reused scratch).
+    pub fn feasible(&mut self, problem: &DeadlineProblem, stretch: f64) -> bool {
+        if problem.is_trivial() {
+            return true;
+        }
+        let (t, _) = problem.transport(stretch, |_, _| 0.0);
+        t.is_feasible_with(FEAS_TOL, &mut self.workspace)
+    }
+
+    /// The smallest achievable max-stretch; `None` when some job cannot be
+    /// served by any site.
+    ///
+    /// Functionally equivalent to the from-scratch
+    /// [`DeadlineProblem::min_feasible_stretch_reference`] (within
+    /// [`STRETCH_TOL`]; cross-checked by the property tests), but solved by
+    /// Newton iteration on parametric minimum cuts over a structure built
+    /// once.
+    pub fn min_feasible_stretch(&mut self, problem: &DeadlineProblem) -> Option<f64> {
+        if problem.is_trivial() {
+            return Some(0.0);
+        }
+        let lo_bound = problem.stretch_lower_bound();
+        if !lo_bound.is_finite() {
+            return None;
+        }
+        // Certified upper bound: serialising the pending jobs is a valid
+        // schedule, so its stretch is feasible (up to flow tolerances).
+        let ub = problem.serialized_upper_bound()?.max(lo_bound) * (1.0 + 1e-9);
+
+        let demand: f64 = problem.jobs.iter().map(|j| j.remaining).sum();
+        let slack = FEAS_TOL.max(demand * FEAS_TOL);
+        let target = demand - slack;
+
+        let debug = std::env::var_os("STRETCH_NEWTON_DEBUG").is_some();
+        let mut structure = ParametricStructure::new(problem, lo_bound, ub);
+        // The iteration starts at the lower bound; its first probe doubles
+        // as the `feasible(lo_bound)` fast path.
+        let mut f = lo_bound;
+        for _ in 0..64 {
+            if structure.probe(f, &mut self.workspace) {
+                return Some(f);
+            }
+            // The probe ended at a maximum flow; its minimum cut bounds the
+            // feasible region from below, up to the next milestone.
+            let (a, b) = structure.cut_coefficients(
+                &mut self.workspace,
+                &mut self.cut_sources,
+                &mut self.cut_bins,
+            );
+            let cut_root = if b > 1e-12 {
+                (target - a) / b
+            } else {
+                f64::INFINITY
+            };
+            let crossing = structure.next_crossing(f).unwrap_or(f64::INFINITY);
+            if debug {
+                eprintln!(
+                    "newton: f={f:.9} cut=({a:.6}, {b:.6}) root={cut_root:.9} crossing={crossing:.9} target={target:.6}"
+                );
+            }
+            let mut next = cut_root.min(crossing);
+            // Strict-progress guard against floating-point stalls (the
+            // negation also catches a NaN `next`).
+            let floor = f * (1.0 + 1e-12) + 1e-300;
+            if next.partial_cmp(&floor) != Some(std::cmp::Ordering::Greater) {
+                next = f * (1.0 + 1e-9) + 1e-300;
+            }
+            if next >= ub {
+                // Every F below `next` is infeasible, and the serialised
+                // bound certifies `ub`: the optimum is `ub` itself.
+                return self.confirm_upper_bound(problem, ub);
+            }
+            f = next;
+        }
+        // Newton stalled (pathological numerics): fall back to a plain
+        // bisection on from-scratch probes (the structure's route pruning
+        // only covers `[lo_bound, ub]`, and a widened upper bound may lie
+        // beyond it).  Everything at or below `f` failed a probe, and `ub`
+        // is certified feasible.
+        let mut hi = self.confirm_upper_bound(problem, ub)?.max(f);
+        let mut lo = f;
+        while (hi - lo) > STRETCH_TOL * hi.max(1.0) {
+            let mid = 0.5 * (lo + hi);
+            if self.feasible(problem, mid) {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        Some(hi)
+    }
+
+    /// Verifies the certified upper bound with an actual probe, absorbing
+    /// numerical slack at the feasibility tolerance if needed.
+    fn confirm_upper_bound(&mut self, problem: &DeadlineProblem, ub: f64) -> Option<f64> {
+        let mut hi = ub;
+        let mut widenings = 0;
+        while !self.feasible(problem, hi) {
+            hi *= if widenings < 8 { 1.0 + 1e-3 } else { 2.0 };
+            widenings += 1;
+            if widenings > 48 {
+                return None;
+            }
+        }
+        Some(hi)
+    }
+
+    /// Solves System (2) at objective `stretch`, reusing the solver scratch;
+    /// see [`DeadlineProblem::system2_allocation`].
+    pub fn system2_allocation(
+        &mut self,
+        problem: &DeadlineProblem,
+        stretch: f64,
+    ) -> Option<AllocationPlan> {
+        problem.system2_allocation_with(stretch, &mut self.workspace)
+    }
+
+    /// Ships every remaining unit of work at zero cost (the System-(1)
+    /// feasibility allocation), reusing the solver scratch.
+    pub fn feasibility_allocation(
+        &mut self,
+        problem: &DeadlineProblem,
+        stretch: f64,
+    ) -> Option<AllocationPlan> {
+        problem.feasibility_allocation_with(stretch, &mut self.workspace)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deadline::PendingJob;
+    use crate::sites::{Site, SiteView};
+
+    fn sites() -> SiteView {
+        SiteView {
+            sites: vec![
+                Site {
+                    cluster: 0,
+                    speed: 1.0,
+                    hosted_databanks: vec![0],
+                },
+                Site {
+                    cluster: 1,
+                    speed: 2.0,
+                    hosted_databanks: vec![0, 1],
+                },
+            ],
+        }
+    }
+
+    fn job(id: usize, release: f64, work: f64, databank: usize) -> PendingJob {
+        PendingJob {
+            job_id: id,
+            release,
+            ready: release,
+            work,
+            remaining: work,
+            databank,
+        }
+    }
+
+    #[test]
+    fn matches_the_reference_bisection() {
+        let problems = vec![
+            vec![job(0, 0.0, 4.0, 0)],
+            vec![job(0, 0.0, 1.0, 0), job(1, 0.0, 1.0, 0)],
+            vec![
+                job(0, 0.0, 3.0, 0),
+                job(1, 1.0, 1.0, 0),
+                job(2, 2.0, 2.0, 1),
+            ],
+            vec![
+                job(0, 0.0, 2.5, 1),
+                job(1, 0.5, 1.5, 0),
+                job(2, 0.75, 4.0, 0),
+                job(3, 3.0, 0.5, 1),
+            ],
+        ];
+        let mut solver = ParametricDeadlineSolver::new();
+        for jobs in problems {
+            let p = DeadlineProblem::new(jobs, sites(), 0.0);
+            let fast = solver.min_feasible_stretch(&p).unwrap();
+            let slow = p.min_feasible_stretch_reference().unwrap();
+            assert!(
+                (fast - slow).abs() <= STRETCH_TOL * slow.max(1.0) * 2.0,
+                "parametric {fast} vs reference {slow}"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_reference_on_identical_sibling_jobs() {
+        // Jobs sharing release AND size produce exactly-identical deadline
+        // functions (merged at construction); jobs of equal size but
+        // different release produce parallel ones.
+        let jobs = vec![
+            job(0, 0.0, 2.0, 0),
+            job(1, 0.0, 2.0, 0),
+            job(2, 1.0, 2.0, 1),
+            job(3, 1.0, 2.0, 1),
+        ];
+        let p = DeadlineProblem::new(jobs, sites(), 0.0);
+        let fast = ParametricDeadlineSolver::new()
+            .min_feasible_stretch(&p)
+            .unwrap();
+        let slow = p.min_feasible_stretch_reference().unwrap();
+        assert!(
+            (fast - slow).abs() <= STRETCH_TOL * slow.max(1.0) * 2.0,
+            "parametric {fast} vs reference {slow}"
+        );
+    }
+
+    #[test]
+    fn solver_is_reusable_across_problems() {
+        let mut solver = ParametricDeadlineSolver::new();
+        let p1 = DeadlineProblem::new(vec![job(0, 0.0, 4.0, 0)], sites(), 0.0);
+        let p2 = DeadlineProblem::new(
+            vec![job(0, 0.0, 1.0, 1), job(1, 0.25, 2.0, 0)],
+            sites(),
+            0.25,
+        );
+        let a1 = solver.min_feasible_stretch(&p1).unwrap();
+        let a2 = solver.min_feasible_stretch(&p2).unwrap();
+        // Solving p1 again after p2 gives the same answer: no state leaks.
+        let a1_again = solver.min_feasible_stretch(&p1).unwrap();
+        assert!((a1 - a1_again).abs() <= STRETCH_TOL * a1.max(1.0));
+        assert!(a2.is_finite() && a2 > 0.0);
+    }
+
+    #[test]
+    fn infeasible_databank_is_rejected() {
+        let p = DeadlineProblem::new(vec![job(0, 0.0, 1.0, 9)], sites(), 0.0);
+        assert_eq!(
+            ParametricDeadlineSolver::new().min_feasible_stretch(&p),
+            None
+        );
+    }
+
+    #[test]
+    fn trivial_problem_is_zero() {
+        let p = DeadlineProblem::new(vec![], sites(), 0.0);
+        assert_eq!(
+            ParametricDeadlineSolver::new().min_feasible_stretch(&p),
+            Some(0.0)
+        );
+    }
+
+    #[test]
+    fn answers_sit_on_the_feasibility_boundary() {
+        let p = DeadlineProblem::new(
+            vec![
+                job(0, 0.0, 2.0, 0),
+                job(1, 0.5, 1.0, 0),
+                job(2, 1.0, 3.0, 1),
+            ],
+            sites(),
+            0.0,
+        );
+        let mut solver = ParametricDeadlineSolver::new();
+        let opt = solver.min_feasible_stretch(&p).unwrap();
+        assert!(!solver.feasible(&p, opt * 0.99));
+        assert!(solver.feasible(&p, opt * 1.01));
+    }
+}

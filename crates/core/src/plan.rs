@@ -46,9 +46,12 @@ pub fn site_sequences(
     let num_sites = problem.sites.len();
     let swrpt_key =
         |job_index: usize| problem.jobs[job_index].remaining * problem.jobs[job_index].work;
+    // Index the plan once: the sort comparators below would otherwise scan
+    // every piece per comparison (O(pieces · n log n) per serialisation).
+    let index = plan.index(problem.jobs.len(), num_sites);
     let mut sequences = vec![Vec::new(); num_sites];
 
-    for site in 0..num_sites {
+    for (site, sequence) in sequences.iter_mut().enumerate() {
         match ordering {
             PieceOrdering::Online => {
                 // Gather this site's pieces and sort them by
@@ -60,10 +63,8 @@ pub fn site_sequences(
                     .map(|p| (p.interval, p.job_index, p.work))
                     .collect();
                 pieces.sort_by(|a, b| {
-                    let terminal_a =
-                        plan.completion_interval_on_site(a.1, site) == Some(a.0);
-                    let terminal_b =
-                        plan.completion_interval_on_site(b.1, site) == Some(b.0);
+                    let terminal_a = index.completion_interval_on_site(a.1, site) == Some(a.0);
+                    let terminal_b = index.completion_interval_on_site(b.1, site) == Some(b.0);
                     a.0.cmp(&b.0)
                         .then_with(|| terminal_b.cmp(&terminal_a)) // terminal first
                         .then_with(|| {
@@ -76,34 +77,34 @@ pub fn site_sequences(
                         // so SWRPT ties are common).
                         .then_with(|| a.1.cmp(&b.1))
                 });
-                sequences[site] = pieces.into_iter().map(|(_, j, w)| (j, w)).collect();
+                *sequence = pieces.into_iter().map(|(_, j, w)| (j, w)).collect();
             }
             PieceOrdering::OnlineEdf => {
-                // Aggregate the site's work per job, then order jobs by the
-                // interval in which their share on this site completes.
-                let mut per_job: HashMap<usize, f64> = HashMap::new();
+                // Aggregate the site's work per job (dense accumulator, job
+                // order — deterministic by construction), then order jobs by
+                // the interval in which their share on this site completes.
+                let mut per_job = vec![0.0f64; problem.jobs.len()];
                 for p in plan.pieces.iter().filter(|p| p.site == site) {
-                    *per_job.entry(p.job_index).or_insert(0.0) += p.work;
+                    per_job[p.job_index] += p.work;
                 }
                 let mut jobs: Vec<(usize, f64)> = per_job
                     .into_iter()
+                    .enumerate()
                     .filter(|&(_, w)| w > 1e-12)
                     .collect();
                 jobs.sort_by(|a, b| {
-                    let ia = plan.completion_interval_on_site(a.0, site).unwrap_or(0);
-                    let ib = plan.completion_interval_on_site(b.0, site).unwrap_or(0);
+                    let ia = index.completion_interval_on_site(a.0, site).unwrap_or(0);
+                    let ib = index.completion_interval_on_site(b.0, site).unwrap_or(0);
                     ia.cmp(&ib)
                         .then_with(|| {
                             swrpt_key(a.0)
                                 .partial_cmp(&swrpt_key(b.0))
                                 .unwrap_or(std::cmp::Ordering::Equal)
                         })
-                        // Deterministic tie-break (the per-job aggregation is
-                        // built from a hash map whose order must not leak
-                        // into the schedule).
+                        // Final deterministic tie-break on the job index.
                         .then_with(|| a.0.cmp(&b.0))
                 });
-                sequences[site] = jobs;
+                *sequence = jobs;
             }
         }
     }

@@ -9,8 +9,6 @@
 //! Priorities are expressed as a key to *minimise*: the job with the smallest
 //! key is served first.
 
-use serde::{Deserialize, Serialize};
-
 /// The per-job data a priority rule may look at.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct JobView {
@@ -27,7 +25,7 @@ pub struct JobView {
 }
 
 /// The priority rules studied in the paper.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub enum PriorityRule {
     /// First come, first served — optimal for max-flow (§4.1).
     Fcfs,
@@ -82,9 +80,7 @@ impl PriorityRule {
                 // Larger pseudo-stretch = higher priority, hence the sign.
                 -((now - job.release).max(0.0) / divisor)
             }
-            PriorityRule::Edf => job
-                .deadline
-                .expect("EDF requires a deadline for every job"),
+            PriorityRule::Edf => job.deadline.expect("EDF requires a deadline for every job"),
         }
     }
 

@@ -87,7 +87,8 @@ pub fn solve_system1_interval(problem: &DeadlineProblem, f_lo: f64, f_hi: f64) -
                 let end_mid = times[t + 1].eval(f_mid);
                 // Constraints (1b)/(1c): the job may only use intervals fully
                 // inside its [ready, deadline] window.
-                if job.ready.max(problem.now) <= start_mid + 1e-9 && deadline_mid >= end_mid - 1e-9 {
+                if job.ready.max(problem.now) <= start_mid + 1e-9 && deadline_mid >= end_mid - 1e-9
+                {
                     let v = lp.add_var(format!("a_{s}_{j}_{t}"));
                     alpha.insert((s, j, t), v);
                 }
@@ -231,7 +232,11 @@ mod tests {
         let cases: Vec<Vec<PendingJob>> = vec![
             vec![job(0, 0.0, 2.0, 0)],
             vec![job(0, 0.0, 1.0, 0), job(1, 0.0, 1.0, 0)],
-            vec![job(0, 0.0, 3.0, 0), job(1, 1.0, 1.0, 1), job(2, 2.0, 2.0, 0)],
+            vec![
+                job(0, 0.0, 3.0, 0),
+                job(1, 1.0, 1.0, 1),
+                job(2, 2.0, 2.0, 0),
+            ],
             vec![
                 job(0, 0.0, 4.0, 1),
                 job(1, 0.5, 2.0, 0),

@@ -147,7 +147,11 @@ mod tests {
     fn lp_and_flow_back_ends_agree_on_cost() {
         let cases: Vec<Vec<PendingJob>> = vec![
             vec![job(0, 0.0, 2.0, 0), job(1, 0.0, 1.0, 0)],
-            vec![job(0, 0.0, 3.0, 1), job(1, 1.0, 1.0, 0), job(2, 2.0, 2.0, 0)],
+            vec![
+                job(0, 0.0, 3.0, 1),
+                job(1, 1.0, 1.0, 0),
+                job(2, 2.0, 2.0, 0),
+            ],
         ];
         for jobs in cases {
             let p = DeadlineProblem::new(jobs, sites(), 0.0);

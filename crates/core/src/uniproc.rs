@@ -123,9 +123,8 @@ pub fn optimal_max_stretch(instance: &UniprocInstance) -> f64 {
     let upper = max_stretch_of(instance, &fcfs).max(1.0);
     let mut lo = 1.0;
     let mut hi = upper;
-    let deadlines_for = |f: f64| -> Vec<f64> {
-        instance.jobs.iter().map(|j| j.deadline(f)).collect()
-    };
+    let deadlines_for =
+        |f: f64| -> Vec<f64> { instance.jobs.iter().map(|j| j.deadline(f)).collect() };
     if edf_feasible(instance, &deadlines_for(lo)) {
         return lo;
     }

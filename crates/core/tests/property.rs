@@ -7,12 +7,16 @@
 //! conservation bounds, and determinism.
 
 use proptest::prelude::*;
-use stretch_core::offline::{optimal_max_stretch, OfflineBackend};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use stretch_core::deadline::STRETCH_TOL;
+use stretch_core::offline::{offline_problem, optimal_max_stretch, OfflineBackend};
 use stretch_core::{
-    Bender98Scheduler, ListScheduler, MctScheduler, OfflineScheduler, OnlineScheduler, Scheduler,
+    Bender98Scheduler, ListScheduler, MctScheduler, OfflineScheduler, OnlineScheduler,
+    ParametricDeadlineSolver, Scheduler,
 };
-use stretch_platform::{Cluster, Databank, Platform, Processor};
-use stretch_workload::{Instance, Job};
+use stretch_platform::{Cluster, Databank, Platform, PlatformConfig, PlatformGenerator, Processor};
+use stretch_workload::{Instance, Job, WorkloadConfig, WorkloadGenerator};
 
 /// Builds a two-cluster platform from a compact description.
 fn platform(speed_a: f64, speed_b: f64, shared_only: bool) -> Platform {
@@ -127,6 +131,79 @@ proptest! {
             prop_assert!((result.completion(0) - expected).abs() < 1e-3 * expected.max(1.0),
                 "{}: completion {} vs expected {}", scheduler.name(),
                 result.completion(0), expected);
+        }
+    }
+}
+
+/// Draws a random instance through the `stretch-workload` generator (the
+/// distribution of §5.1), scaled to roughly `target_jobs` jobs.
+fn workload_instance(sites: usize, databanks: usize, target_jobs: usize, seed: u64) -> Instance {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let platform =
+        PlatformGenerator::new(PlatformConfig::new(sites, databanks, 0.6)).generate(&mut rng);
+    let probe = WorkloadGenerator::new(WorkloadConfig {
+        density: 1.2,
+        window: 1.0,
+        scan_fraction: 1.0,
+    });
+    let rate = probe.expected_job_count(&platform).max(1e-9);
+    let generator = WorkloadGenerator::new(WorkloadConfig {
+        density: 1.2,
+        window: (target_jobs as f64 / rate).max(1e-3),
+        scan_fraction: 1.0,
+    });
+    generator.generate_instance(platform, &mut rng)
+}
+
+proptest! {
+    // The parametric engine against the from-scratch reference, on the
+    // paper's own workload distribution.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn parametric_solver_matches_the_from_scratch_path(seed in 0u64..10_000) {
+        let instance = workload_instance(3, 3, 10, seed);
+        let problem = offline_problem(&instance);
+        let mut solver = ParametricDeadlineSolver::new();
+
+        // Same optimal stretch, within the bisection tolerance.
+        let fast = solver.min_feasible_stretch(&problem).expect("feasible");
+        let slow = problem.min_feasible_stretch_reference().expect("feasible");
+        prop_assert!(
+            (fast - slow).abs() <= STRETCH_TOL * slow.abs().max(1.0),
+            "parametric {fast} vs reference {slow} (seed {seed})"
+        );
+
+        // A feasible allocation identical in total work to the from-scratch
+        // path (and to the total remaining work).
+        let slack = fast.max(slow) * (1.0 + 1e-4) + 1e-9;
+        let plan_fast = solver
+            .system2_allocation(&problem, slack)
+            .expect("allocation feasible at slack");
+        let plan_slow = problem
+            .system2_allocation(slack)
+            .expect("allocation feasible at slack");
+        let total_fast: f64 = plan_fast.pieces.iter().map(|p| p.work).sum();
+        let total_slow: f64 = plan_slow.pieces.iter().map(|p| p.work).sum();
+        let remaining: f64 = problem.jobs.iter().map(|j| j.remaining).sum();
+        let tol = 1e-6_f64.max(remaining * 1e-6);
+        prop_assert!(
+            (total_fast - total_slow).abs() <= tol,
+            "total work {total_fast} vs {total_slow} (seed {seed})"
+        );
+        prop_assert!(
+            (total_fast - remaining).abs() <= tol,
+            "total work {total_fast} vs remaining {remaining} (seed {seed})"
+        );
+        // Per-job totals also agree: every job ships its remaining work.
+        for (j, job) in problem.jobs.iter().enumerate() {
+            prop_assert!(
+                (plan_fast.work_of(j) - job.remaining).abs()
+                    <= 1e-6_f64.max(job.remaining * 1e-6),
+                "job {j} shipped {} of {} (seed {seed})",
+                plan_fast.work_of(j),
+                job.remaining
+            );
         }
     }
 }

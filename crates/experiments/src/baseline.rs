@@ -1,0 +1,10 @@
+//! The `BENCH_baseline.json` perf-trajectory file.
+//!
+//! Thin re-export of [`stretch_metrics::baseline`], the single
+//! implementation of the flat `"section/name" → seconds` format.  Two
+//! producers merge into the file: the vendored Criterion harness (after
+//! every `cargo bench`) and [`crate::overhead`] via the `repro_overhead`
+//! binary (per-event scheduler means).  [`upsert`] merges instead of
+//! overwriting, so the sections coexist.
+
+pub use stretch_metrics::baseline::{parse, render, upsert};

@@ -1,5 +1,10 @@
 //! Reproduces the scheduling-overhead comparison of §5.3 (3-cluster
-//! platforms): average wall-clock time spent inside each scheduler.
+//! platforms): average wall-clock time spent inside each scheduler, per
+//! instance and per arrival event.
+//!
+//! The per-event means are merged into `BENCH_baseline.json` (current
+//! directory, or `STRETCH_BENCH_BASELINE`; empty disables the write) so that
+//! future changes can diff scheduler performance against this run.
 
 use stretch_experiments::run_overhead_study;
 
@@ -14,4 +19,15 @@ fn main() {
         .unwrap_or(40);
     let report = run_overhead_study(instances, jobs, 2006);
     println!("{}", report.render());
+    let path = match std::env::var("STRETCH_BENCH_BASELINE") {
+        Ok(p) if p.is_empty() => None,
+        Ok(p) => Some(std::path::PathBuf::from(p)),
+        Err(_) => Some(std::path::PathBuf::from("BENCH_baseline.json")),
+    };
+    if let Some(path) = path {
+        match report.write_baseline(&path) {
+            Ok(()) => eprintln!("Per-event means merged into {}", path.display()),
+            Err(err) => eprintln!("warning: could not write {}: {err}", path.display()),
+        }
+    }
 }

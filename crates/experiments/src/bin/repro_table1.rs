@@ -19,10 +19,9 @@ fn main() {
     );
     let result = run_campaign(&grid, settings);
     println!("{}", table1(&result.observations));
-    if let Ok(json) = serde_json::to_string_pretty(&result.observations) {
-        let path = "table1_observations.json";
-        if std::fs::write(path, json).is_ok() {
-            eprintln!("Raw observations written to {path}");
-        }
+    let json = stretch_experiments::runner::observations_to_json(&result.observations);
+    let path = "table1_observations.json";
+    if std::fs::write(path, json.pretty()).is_ok() {
+        eprintln!("Raw observations written to {path}");
     }
 }

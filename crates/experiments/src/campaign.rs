@@ -3,7 +3,6 @@
 use crate::config::ExperimentConfig;
 use crate::runner::{run_instance, InstanceObservation};
 use rayon::prelude::*;
-use serde::{Deserialize, Serialize};
 
 /// Settings of a campaign run.
 ///
@@ -11,7 +10,7 @@ use serde::{Deserialize, Serialize};
 /// (thousands of jobs); the defaults here are scaled down so the full grid
 /// completes in minutes on a laptop while preserving the heuristic ranking
 /// (see EXPERIMENTS.md for the measured sensitivity to these settings).
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct CampaignSettings {
     /// Random instances drawn per configuration (paper: 200).
     pub instances_per_config: usize,
@@ -65,7 +64,7 @@ impl CampaignSettings {
 }
 
 /// All observations of a campaign.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct CampaignResult {
     /// One entry per (configuration, instance) pair.
     pub observations: Vec<InstanceObservation>,
@@ -76,7 +75,10 @@ pub struct CampaignResult {
 impl CampaignResult {
     /// Observations restricted by a configuration predicate (used to build
     /// the partitioned tables 2–16).
-    pub fn filtered(&self, predicate: impl Fn(&ExperimentConfig) -> bool) -> Vec<&InstanceObservation> {
+    pub fn filtered(
+        &self,
+        predicate: impl Fn(&ExperimentConfig) -> bool,
+    ) -> Vec<&InstanceObservation> {
         self.observations
             .iter()
             .filter(|o| predicate(&o.config))

@@ -1,10 +1,9 @@
 //! The experimental grid of §5.3.
 
-use serde::{Deserialize, Serialize};
 use stretch_platform::reference;
 
 /// One point of the experimental grid: a platform/application configuration.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct ExperimentConfig {
     /// Number of clusters (sites): 3, 10 or 20 in the paper.
     pub sites: usize,

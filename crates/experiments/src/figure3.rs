@@ -11,13 +11,12 @@
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
 use stretch_core::{OfflineBackend, OnlineScheduler, Scheduler};
 use stretch_platform::{PlatformConfig, PlatformGenerator};
 use stretch_workload::{WorkloadConfig, WorkloadGenerator};
 
 /// Settings of the Figure 3 sweep.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Figure3Settings {
     /// Workload densities to sweep (the paper uses 0.0125 … 4.0).
     pub densities: Vec<f64>,
@@ -62,7 +61,7 @@ impl Figure3Settings {
 }
 
 /// One point of the Figure 3 series (one workload density).
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Figure3Point {
     /// The workload density of this point.
     pub density: f64,

@@ -12,10 +12,12 @@
 //! workloads) so a full reproduction runs on a laptop; `EXPERIMENTS.md`
 //! records the exact settings used and the paper-vs-measured comparison.
 
+pub mod baseline;
 pub mod campaign;
 pub mod config;
 pub mod figure3;
 pub mod heuristics;
+pub mod json;
 pub mod overhead;
 pub mod runner;
 pub mod tables;
@@ -26,4 +28,6 @@ pub use figure3::{run_figure3, Figure3Point, Figure3Settings};
 pub use heuristics::{heuristic_battery, HeuristicKind, TABLE1_ORDER};
 pub use overhead::{run_overhead_study, OverheadReport};
 pub use runner::{run_instance, InstanceObservation};
-pub use tables::{table1, tables_by_availability, tables_by_databases, tables_by_density, tables_by_sites};
+pub use tables::{
+    table1, tables_by_availability, tables_by_databases, tables_by_density, tables_by_sites,
+};

@@ -6,22 +6,39 @@
 //! about half a second, and Bender98 — which solves a full off-line problem
 //! at every arrival — needs tens of seconds, which is why it is excluded from
 //! the larger configurations.
+//!
+//! Besides the per-instance totals the study reports the mean time **per
+//! arrival event** (the on-line schedulers re-optimise at every distinct
+//! release date), and can persist those means into the repository's
+//! `BENCH_baseline.json` perf trajectory (see [`crate::baseline`]) so that
+//! successive PRs can diff scheduler performance.
 
 use crate::config::ExperimentConfig;
 use crate::heuristics::TABLE1_ORDER;
 use crate::runner::run_instance;
-use serde::{Deserialize, Serialize};
+
+/// Average scheduling times of one heuristic.
+#[derive(Clone, Debug)]
+pub struct OverheadRow {
+    /// Heuristic name (Table-1 spelling).
+    pub name: String,
+    /// Mean wall-clock time per instance, seconds.
+    pub mean_time: f64,
+    /// Mean wall-clock time per arrival event, seconds.
+    pub mean_time_per_event: f64,
+}
 
 /// Average scheduling time per heuristic.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct OverheadReport {
-    /// `(heuristic name, average scheduling time in seconds)`, in Table-1
-    /// order.
-    pub rows: Vec<(String, f64)>,
+    /// One row per heuristic, in Table-1 order.
+    pub rows: Vec<OverheadRow>,
     /// Number of instances aggregated.
     pub instances: usize,
     /// Average number of jobs per instance.
     pub mean_jobs: f64,
+    /// Average number of arrival events per instance.
+    pub mean_events: f64,
 }
 
 impl OverheadReport {
@@ -29,21 +46,56 @@ impl OverheadReport {
     pub fn time_of(&self, name: &str) -> Option<f64> {
         self.rows
             .iter()
-            .find(|(n, _)| n == name)
-            .map(|&(_, t)| t)
+            .find(|r| r.name == name)
+            .map(|r| r.mean_time)
+    }
+
+    /// Average per-event scheduling time of one heuristic, if it was run.
+    pub fn per_event_time_of(&self, name: &str) -> Option<f64> {
+        self.rows
+            .iter()
+            .find(|r| r.name == name)
+            .map(|r| r.mean_time_per_event)
     }
 
     /// Plain-text rendering.
     pub fn render(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "Scheduling overhead on 3-cluster platforms ({} instances, {:.1} jobs on average)\n",
-            self.instances, self.mean_jobs
+            "Scheduling overhead on 3-cluster platforms ({} instances, {:.1} jobs / {:.1} events on average)\n",
+            self.instances, self.mean_jobs, self.mean_events
         ));
-        for (name, time) in &self.rows {
-            out.push_str(&format!("{name:<14} {:>12.4} s\n", time));
+        out.push_str(&format!(
+            "{:<14} {:>12}   {:>14}\n",
+            "heuristic", "s/instance", "s/event"
+        ));
+        for row in &self.rows {
+            out.push_str(&format!(
+                "{:<14} {:>12.4}   {:>14.6}\n",
+                row.name, row.mean_time, row.mean_time_per_event
+            ));
         }
         out
+    }
+
+    /// The `BENCH_baseline.json` entries of this report
+    /// (`overhead_per_event/<heuristic>` → mean seconds per event).
+    pub fn baseline_entries(&self) -> Vec<(String, f64)> {
+        self.rows
+            .iter()
+            .filter(|r| r.mean_time_per_event.is_finite())
+            .map(|r| {
+                (
+                    format!("overhead_per_event/{}", r.name),
+                    r.mean_time_per_event,
+                )
+            })
+            .collect()
+    }
+
+    /// Merges this report's per-event means into the baseline file.
+    pub fn write_baseline(&self, path: &std::path::Path) -> std::io::Result<()> {
+        crate::baseline::upsert(path, &self.baseline_entries())
     }
 }
 
@@ -57,14 +109,18 @@ pub fn run_overhead_study(instances: usize, target_jobs: usize, seed: u64) -> Ov
         density: 1.5,
     };
     let mut totals = vec![0.0f64; TABLE1_ORDER.len()];
+    let mut per_event_totals = vec![0.0f64; TABLE1_ORDER.len()];
     let mut counts = vec![0usize; TABLE1_ORDER.len()];
     let mut total_jobs = 0usize;
+    let mut total_events = 0usize;
     for i in 0..instances {
         let obs = run_instance(&config, target_jobs, seed + i as u64);
         total_jobs += obs.num_jobs;
+        total_events += obs.num_events;
         for (k, o) in obs.observations.iter().enumerate() {
             if let Some(o) = o {
                 totals[k] += o.scheduling_time;
+                per_event_totals[k] += o.scheduling_time / obs.num_events.max(1) as f64;
                 counts[k] += 1;
             }
         }
@@ -73,18 +129,26 @@ pub fn run_overhead_study(instances: usize, target_jobs: usize, seed: u64) -> Ov
         .iter()
         .enumerate()
         .map(|(k, kind)| {
-            let avg = if counts[k] > 0 {
-                totals[k] / counts[k] as f64
+            let (mean_time, mean_time_per_event) = if counts[k] > 0 {
+                (
+                    totals[k] / counts[k] as f64,
+                    per_event_totals[k] / counts[k] as f64,
+                )
             } else {
-                f64::NAN
+                (f64::NAN, f64::NAN)
             };
-            (kind.name().to_string(), avg)
+            OverheadRow {
+                name: kind.name().to_string(),
+                mean_time,
+                mean_time_per_event,
+            }
         })
         .collect();
     OverheadReport {
         rows,
         instances,
         mean_jobs: total_jobs as f64 / instances.max(1) as f64,
+        mean_events: total_events as f64 / instances.max(1) as f64,
     }
 }
 
@@ -106,5 +170,34 @@ mod tests {
         assert!(crate::heuristics::HeuristicKind::Bender98.runs_on(3));
         let rendered = report.render();
         assert!(rendered.contains("Bender98"));
+        assert!(rendered.contains("s/event"));
+    }
+
+    #[test]
+    fn per_event_times_are_consistent_with_instance_times() {
+        let report = run_overhead_study(1, 10, 5);
+        assert!(report.mean_events >= 1.0);
+        for row in &report.rows {
+            if row.mean_time.is_finite() {
+                // Per-event time never exceeds per-instance time.
+                assert!(
+                    row.mean_time_per_event <= row.mean_time + 1e-12,
+                    "{}: {} vs {}",
+                    row.name,
+                    row.mean_time_per_event,
+                    row.mean_time
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn baseline_entries_cover_every_measured_heuristic() {
+        let report = run_overhead_study(1, 8, 3);
+        let entries = report.baseline_entries();
+        assert!(entries
+            .iter()
+            .all(|(k, v)| { k.starts_with("overhead_per_event/") && v.is_finite() && *v >= 0.0 }));
+        assert!(entries.iter().any(|(k, _)| k.ends_with("/Online")));
     }
 }

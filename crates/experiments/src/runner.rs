@@ -2,14 +2,14 @@
 
 use crate::config::ExperimentConfig;
 use crate::heuristics::{HeuristicKind, TABLE1_ORDER};
+use crate::json::Json;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
 use stretch_platform::{PlatformConfig, PlatformGenerator};
 use stretch_workload::{Instance, WorkloadConfig, WorkloadGenerator};
 
 /// Metrics of one heuristic on one instance.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct HeuristicObservation {
     /// Max-stretch achieved.
     pub max_stretch: f64,
@@ -20,12 +20,15 @@ pub struct HeuristicObservation {
 }
 
 /// Everything measured on one random instance.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct InstanceObservation {
     /// The configuration the instance was drawn from.
     pub config: ExperimentConfig,
     /// Number of jobs of the instance.
     pub num_jobs: usize,
+    /// Number of on-line decision points (distinct release dates) of the
+    /// instance — the denominator of per-event overhead statistics.
+    pub num_events: usize,
     /// Per-heuristic metrics, in [`TABLE1_ORDER`] order; `None` when the
     /// heuristic was skipped (Bender98 on large platforms) or failed.
     pub observations: Vec<Option<HeuristicObservation>>,
@@ -77,8 +80,18 @@ pub fn draw_instance(config: &ExperimentConfig, target_jobs: usize, seed: u64) -
 ///
 /// Heuristics excluded by [`HeuristicKind::runs_on`] (Bender98 beyond 3
 /// sites) are reported as `None`, matching footnote 3 of the paper.
-pub fn run_instance(config: &ExperimentConfig, target_jobs: usize, seed: u64) -> InstanceObservation {
+pub fn run_instance(
+    config: &ExperimentConfig,
+    target_jobs: usize,
+    seed: u64,
+) -> InstanceObservation {
     let instance = draw_instance(config, target_jobs, seed);
+    let num_events = {
+        let mut releases: Vec<f64> = instance.jobs.iter().map(|j| j.release).collect();
+        releases.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        releases.dedup_by(|a, b| (*a - *b).abs() <= 1e-12);
+        releases.len()
+    };
     let mut observations = Vec::with_capacity(TABLE1_ORDER.len());
     for kind in TABLE1_ORDER {
         if !kind.runs_on(config.sites) {
@@ -98,8 +111,52 @@ pub fn run_instance(config: &ExperimentConfig, target_jobs: usize, seed: u64) ->
     InstanceObservation {
         config: *config,
         num_jobs: instance.num_jobs(),
+        num_events,
         observations,
     }
+}
+
+/// Renders campaign observations as JSON (the raw-data dump of
+/// `repro_table1`).
+pub fn observations_to_json(observations: &[InstanceObservation]) -> Json {
+    Json::Arr(
+        observations
+            .iter()
+            .map(|obs| {
+                Json::Obj(vec![
+                    (
+                        "config".into(),
+                        Json::Obj(vec![
+                            ("sites".into(), obs.config.sites.into()),
+                            ("databanks".into(), obs.config.databanks.into()),
+                            ("availability".into(), obs.config.availability.into()),
+                            ("density".into(), obs.config.density.into()),
+                        ]),
+                    ),
+                    ("num_jobs".into(), obs.num_jobs.into()),
+                    ("num_events".into(), obs.num_events.into()),
+                    (
+                        "observations".into(),
+                        Json::Arr(
+                            TABLE1_ORDER
+                                .iter()
+                                .zip(&obs.observations)
+                                .map(|(kind, o)| match o {
+                                    None => Json::Null,
+                                    Some(o) => Json::Obj(vec![
+                                        ("heuristic".into(), Json::str(kind.name())),
+                                        ("max_stretch".into(), o.max_stretch.into()),
+                                        ("sum_stretch".into(), o.sum_stretch.into()),
+                                        ("scheduling_time".into(), o.scheduling_time.into()),
+                                    ]),
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect(),
+    )
 }
 
 #[cfg(test)]

@@ -15,7 +15,9 @@ use stretch_platform::reference;
 
 /// Builds the degradation accumulators (max-stretch and sum-stretch) from a
 /// set of observations.
-fn accumulate(observations: &[&InstanceObservation]) -> (DegradationAccumulator, DegradationAccumulator) {
+fn accumulate(
+    observations: &[&InstanceObservation],
+) -> (DegradationAccumulator, DegradationAccumulator) {
     let names: Vec<&str> = TABLE1_ORDER.iter().map(|k| k.name()).collect();
     let mut max_acc = DegradationAccumulator::new(&names);
     let mut sum_acc = DegradationAccumulator::new(&names);
@@ -58,10 +60,13 @@ pub fn table1(observations: &[InstanceObservation]) -> MetricsTable {
     )
 }
 
+/// One partition of the observation set: label + membership predicate.
+type Partition = (String, Box<dyn Fn(&InstanceObservation) -> bool>);
+
 fn partitioned(
     observations: &[InstanceObservation],
     caption: impl Fn(&str) -> String,
-    axis_values: Vec<(String, Box<dyn Fn(&InstanceObservation) -> bool>)>,
+    axis_values: Vec<Partition>,
 ) -> Vec<MetricsTable> {
     axis_values
         .into_iter()
@@ -129,7 +134,9 @@ pub fn tables_by_availability(observations: &[InstanceObservation]) -> Vec<Metri
             .iter()
             .map(|&a| {
                 let pred: Box<dyn Fn(&InstanceObservation) -> bool> =
-                    Box::new(move |o: &InstanceObservation| (o.config.availability - a).abs() < 1e-9);
+                    Box::new(move |o: &InstanceObservation| {
+                        (o.config.availability - a).abs() < 1e-9
+                    });
                 (format!("{}%", (a * 100.0) as u32), pred)
             })
             .collect(),
@@ -155,7 +162,11 @@ mod tests {
         // The offline optimal is its own reference, so its mean degradation
         // is 1 (tiny numerical slack allowed, cf. the anomaly discussed in
         // §5.3).
-        assert!((offline.mean - 1.0).abs() < 5e-3, "offline mean {}", offline.mean);
+        assert!(
+            (offline.mean - 1.0).abs() < 5e-3,
+            "offline mean {}",
+            offline.mean
+        );
         // MCT is much worse than the optimal on max-stretch.
         let mct = t.row("MCT").unwrap().max_stretch.unwrap();
         assert!(mct.mean > offline.mean);

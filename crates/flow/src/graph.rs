@@ -52,12 +52,30 @@ impl FlowNetwork {
         self.adj.len() - 1
     }
 
+    /// Pre-allocates edge storage (`edges` forward edges and their
+    /// reverses) and per-node adjacency capacity from an exact degree count.
+    /// Purely an allocation hint for bulk construction.
+    pub fn reserve(&mut self, edges: usize, degrees: &[usize]) {
+        self.edges.reserve(2 * edges);
+        for (node, &degree) in degrees.iter().enumerate() {
+            if node < self.adj.len() {
+                self.adj[node].reserve(degree);
+            }
+        }
+    }
+
     /// Adds a directed edge `from -> to` with the given capacity and cost.
     ///
     /// Returns an edge handle usable with [`FlowNetwork::flow_on`].
     pub fn add_edge(&mut self, from: usize, to: usize, cap: f64, cost: f64) -> usize {
-        assert!(from < self.adj.len() && to < self.adj.len(), "node out of range");
-        assert!(cap >= 0.0 && cap.is_finite(), "capacity must be finite and nonnegative");
+        assert!(
+            from < self.adj.len() && to < self.adj.len(),
+            "node out of range"
+        );
+        assert!(
+            cap >= 0.0 && cap.is_finite(),
+            "capacity must be finite and nonnegative"
+        );
         let id = self.edges.len();
         self.edges.push(Edge {
             to,
@@ -118,6 +136,35 @@ impl FlowNetwork {
         }
     }
 
+    /// Rebinds the capacity of a forward edge **in place**, preserving the
+    /// flow currently routed through it.
+    ///
+    /// This is the primitive behind warm-started feasibility probes: a
+    /// parametric solver updates bin capacities between probes without
+    /// rebuilding adjacency lists, and keeps the previous residual flow
+    /// whenever it still fits.  Returns `false` when the existing flow
+    /// exceeds `cap` — the new capacity is recorded either way, but the
+    /// caller must then [`FlowNetwork::reset`] before the next computation
+    /// (partial per-edge flow removal would violate conservation).
+    pub fn try_set_capacity(&mut self, edge: usize, cap: f64) -> bool {
+        assert!(
+            edge.is_multiple_of(2),
+            "capacities are set on forward edges"
+        );
+        assert!(
+            cap >= 0.0 && cap.is_finite(),
+            "capacity must be finite and nonnegative"
+        );
+        let flow = self.flow_on(edge);
+        self.edges[edge].original_cap = cap;
+        if flow <= cap + FLOW_EPS {
+            self.edges[edge].cap = (cap - flow).max(0.0);
+            true
+        } else {
+            false
+        }
+    }
+
     /// Total flow leaving `source` (sum of flow on its forward edges).
     pub fn outflow(&self, source: usize) -> f64 {
         self.adj[source]
@@ -144,6 +191,26 @@ mod tests {
         assert_eq!(g.residual(e ^ 1), 2.0);
         g.reset();
         assert_eq!(g.flow_on(e), 0.0);
+    }
+
+    #[test]
+    fn try_set_capacity_preserves_fitting_flow() {
+        let mut g = FlowNetwork::new(2);
+        let e = g.add_edge(0, 1, 5.0, 0.0);
+        g.push(e, 2.0);
+        // Shrink above the flow: flow preserved, residual shrinks.
+        assert!(g.try_set_capacity(e, 3.0));
+        assert_eq!(g.flow_on(e), 2.0);
+        assert_eq!(g.residual(e), 1.0);
+        // Grow: flow preserved, residual grows.
+        assert!(g.try_set_capacity(e, 10.0));
+        assert_eq!(g.flow_on(e), 2.0);
+        assert_eq!(g.residual(e), 8.0);
+        // Shrink below the flow: rejected, reset required.
+        assert!(!g.try_set_capacity(e, 1.0));
+        g.reset();
+        assert_eq!(g.flow_on(e), 0.0);
+        assert_eq!(g.residual(e), 1.0);
     }
 
     #[test]

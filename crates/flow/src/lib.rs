@@ -17,16 +17,29 @@
 //! which matches the divisible-load model (work amounts are continuous).
 //! A higher-level [`transport`] module exposes the bipartite structure
 //! directly so callers never build raw graphs.
+//!
+//! Two modules serve the hot path of the schedulers:
+//!
+//! * [`workspace`] provides [`FlowWorkspace`], the preallocated scratch all
+//!   `*_with` solver entry points reuse across probes and augmentations;
+//! * [`parametric`] provides [`ParametricNetwork`], a bipartite network with
+//!   frozen adjacency whose bin/route capacities are rebound in place
+//!   between feasibility probes, warm-starting from the previous residual
+//!   flow and stopping as soon as the demand is covered.
 
 pub mod graph;
 pub mod maxflow;
 pub mod mincost;
+pub mod parametric;
 pub mod transport;
+pub mod workspace;
 
 pub use graph::FlowNetwork;
 pub use maxflow::MaxFlowResult;
 pub use mincost::MinCostResult;
+pub use parametric::ParametricNetwork;
 pub use transport::{TransportInstance, TransportSolution};
+pub use workspace::FlowWorkspace;
 
 /// Tolerance under which a residual capacity is considered exhausted.
 pub const FLOW_EPS: f64 = 1e-9;

@@ -1,12 +1,15 @@
 //! Dinic's maximum-flow algorithm on floating-point capacities.
 
 use crate::graph::FlowNetwork;
+use crate::workspace::FlowWorkspace;
 use crate::FLOW_EPS;
 
 /// Result of a max-flow computation.
 #[derive(Clone, Debug)]
 pub struct MaxFlowResult {
-    /// Total flow value pushed from source to sink.
+    /// Total flow value pushed from source to sink *by this call* (when the
+    /// network already carried flow — e.g. a warm-started probe — the
+    /// pre-existing flow is not included).
     pub value: f64,
 }
 
@@ -17,40 +20,74 @@ pub struct MaxFlowResult {
 /// are ignored, which bounds the number of phases in practice (the
 /// transportation networks built by the scheduler have integral structure up
 /// to job sizes, so Dinic's `O(V²E)` phase bound applies as usual).
+///
+/// This convenience wrapper allocates fresh scratch; hot paths should hold a
+/// [`FlowWorkspace`] and call [`max_flow_with`] instead.
 pub fn max_flow(network: &mut FlowNetwork, source: usize, sink: usize) -> MaxFlowResult {
+    max_flow_with(
+        network,
+        source,
+        sink,
+        f64::INFINITY,
+        &mut FlowWorkspace::new(),
+    )
+}
+
+/// [`max_flow`] with caller-provided scratch buffers and an early-exit
+/// target.
+///
+/// The search stops as soon as the flow pushed by this call reaches
+/// `target` — feasibility probes only need to know whether the demand can be
+/// shipped, not the true maximum, so passing `total_demand - tolerance`
+/// skips the final (often most expensive) phases.  Pass `f64::INFINITY` for
+/// a true maximum flow.
+pub fn max_flow_with(
+    network: &mut FlowNetwork,
+    source: usize,
+    sink: usize,
+    target: f64,
+    workspace: &mut FlowWorkspace,
+) -> MaxFlowResult {
     assert!(source < network.num_nodes() && sink < network.num_nodes());
     assert_ne!(source, sink, "source and sink must differ");
     let n = network.num_nodes();
+    workspace.ensure_nodes(n);
     let mut total = 0.0;
-    let mut level = vec![-1i32; n];
-    let mut iter_idx = vec![0usize; n];
 
-    loop {
+    while total < target {
         // BFS: build level graph on residual edges.
+        let level = &mut workspace.level[..n];
         for l in level.iter_mut() {
             *l = -1;
         }
         level[source] = 0;
-        let mut queue = std::collections::VecDeque::new();
-        queue.push_back(source);
-        while let Some(u) = queue.pop_front() {
+        workspace.queue.clear();
+        workspace.queue.push_back(source);
+        while let Some(u) = workspace.queue.pop_front() {
             for &eid in network.edges_from(u) {
                 let e = network.edge(eid);
-                if e.cap > FLOW_EPS && level[e.to] < 0 {
-                    level[e.to] = level[u] + 1;
-                    queue.push_back(e.to);
+                if e.cap > FLOW_EPS && workspace.level[e.to] < 0 {
+                    workspace.level[e.to] = workspace.level[u] + 1;
+                    workspace.queue.push_back(e.to);
                 }
             }
         }
-        if level[sink] < 0 {
+        if workspace.level[sink] < 0 {
             break;
         }
-        for it in iter_idx.iter_mut() {
+        for it in workspace.iter_idx[..n].iter_mut() {
             *it = 0;
         }
-        // Blocking flow via iterative DFS.
-        loop {
-            let pushed = dfs_push(network, source, sink, f64::INFINITY, &level, &mut iter_idx);
+        // Blocking flow via DFS, stopping early once the target is reached.
+        while total < target {
+            let pushed = dfs_push(
+                network,
+                source,
+                sink,
+                f64::INFINITY,
+                &workspace.level,
+                &mut workspace.iter_idx,
+            );
             if pushed <= FLOW_EPS {
                 break;
             }
@@ -149,6 +186,47 @@ mod tests {
         g.add_edge(3, 4, 100.0, 0.0);
         let r = max_flow(&mut g, 0, 4);
         assert!(close(r.value, 0.001));
+    }
+
+    #[test]
+    fn early_exit_stops_at_the_target() {
+        // Max flow is 5, but a feasibility probe for 2 units stops early
+        // (possibly slightly overshooting by one augmenting path).
+        let mut g = FlowNetwork::new(4);
+        let (s, a, b, t) = (0, 1, 2, 3);
+        g.add_edge(s, a, 3.0, 0.0);
+        g.add_edge(s, b, 2.0, 0.0);
+        g.add_edge(a, t, 2.0, 0.0);
+        g.add_edge(b, t, 3.0, 0.0);
+        let mut ws = FlowWorkspace::new();
+        let r = max_flow_with(&mut g, s, t, 2.0, &mut ws);
+        assert!(r.value >= 2.0 - 1e-9);
+        assert!(r.value <= 5.0);
+    }
+
+    #[test]
+    fn workspace_is_reusable_across_networks_of_different_sizes() {
+        let mut ws = FlowWorkspace::new();
+        let mut big = FlowNetwork::new(6);
+        big.add_edge(0, 4, 1.0, 0.0);
+        big.add_edge(4, 5, 1.0, 0.0);
+        let r = max_flow_with(&mut big, 0, 5, f64::INFINITY, &mut ws);
+        assert!(close(r.value, 1.0));
+        let mut small = FlowNetwork::new(2);
+        small.add_edge(0, 1, 2.5, 0.0);
+        let r = max_flow_with(&mut small, 0, 1, f64::INFINITY, &mut ws);
+        assert!(close(r.value, 2.5));
+    }
+
+    #[test]
+    fn warm_start_resumes_from_existing_flow() {
+        // Push 1 unit, then resume: the second call only reports the delta.
+        let mut g = FlowNetwork::new(2);
+        let e = g.add_edge(0, 1, 3.0, 0.0);
+        g.push(e, 1.0);
+        let r = max_flow(&mut g, 0, 1);
+        assert!(close(r.value, 2.0));
+        assert!(close(g.flow_on(e), 3.0));
     }
 
     #[test]

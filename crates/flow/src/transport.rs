@@ -12,8 +12,9 @@
 //!   by the job size) or zero for a pure feasibility check.
 
 use crate::graph::FlowNetwork;
-use crate::maxflow::max_flow;
-use crate::mincost::min_cost_max_flow;
+use crate::maxflow::max_flow_with;
+use crate::mincost::min_cost_flow_up_to;
+use crate::workspace::FlowWorkspace;
 use crate::FLOW_EPS;
 
 /// A bipartite transportation instance.
@@ -114,6 +115,11 @@ impl TransportInstance {
         self.routes.push((source, bin, cost));
     }
 
+    /// The declared routes, as `(source, bin, cost)` triples.
+    pub fn routes(&self) -> &[(usize, usize, f64)] {
+        &self.routes
+    }
+
     /// Total demand of all sources.
     pub fn total_demand(&self) -> f64 {
         self.demands.iter().sum()
@@ -125,6 +131,22 @@ impl TransportInstance {
         let source = ns + nb;
         let sink = ns + nb + 1;
         let mut g = FlowNetwork::new(ns + nb + 2);
+        // Exact degree counts: the network is rebuilt per solve, so bulk
+        // construction without adjacency reallocation matters on hot paths.
+        let mut degrees = vec![0usize; ns + nb + 2];
+        degrees[source] = ns;
+        degrees[sink] = nb;
+        for degree in degrees[..ns].iter_mut() {
+            *degree += 1; // source edge
+        }
+        for degree in degrees[ns..ns + nb].iter_mut() {
+            *degree += 1; // sink edge
+        }
+        for &(j, b, _) in &self.routes {
+            degrees[j] += 1;
+            degrees[ns + b] += 1;
+        }
+        g.reserve(ns + nb + self.routes.len(), &degrees);
         for (j, &d) in self.demands.iter().enumerate() {
             if d > 0.0 {
                 g.add_edge(source, j, d, 0.0);
@@ -149,7 +171,7 @@ impl TransportInstance {
     /// Maximum total amount that can be shipped (regardless of cost).
     pub fn max_shippable(&self) -> f64 {
         let (mut g, _, s, t) = self.build_network();
-        max_flow(&mut g, s, t).value
+        max_flow_with(&mut g, s, t, f64::INFINITY, &mut FlowWorkspace::new()).value
     }
 
     /// `true` when every source can ship its entire demand.
@@ -159,12 +181,20 @@ impl TransportInstance {
 
     /// Feasibility with an explicit relative/absolute tolerance.
     pub fn is_feasible_with_tolerance(&self, tol: f64) -> bool {
+        self.is_feasible_with(tol, &mut FlowWorkspace::new())
+    }
+
+    /// [`TransportInstance::is_feasible_with_tolerance`] reusing caller
+    /// scratch, with an early exit as soon as the demand is covered.
+    pub fn is_feasible_with(&self, tol: f64, workspace: &mut FlowWorkspace) -> bool {
         let demand = self.total_demand();
         if demand <= FLOW_EPS {
             return true;
         }
-        let shipped = self.max_shippable();
-        shipped >= demand - tol.max(demand * tol)
+        let slack = tol.max(demand * tol);
+        let (mut g, _, s, t) = self.build_network();
+        let shipped = max_flow_with(&mut g, s, t, demand - slack, workspace).value;
+        shipped >= demand - slack
     }
 
     /// Ships every demand at minimum total cost.
@@ -173,13 +203,54 @@ impl TransportInstance {
     /// routed), in which case callers should treat the corresponding deadline
     /// set as unachievable.
     pub fn solve_min_cost(&self) -> Option<TransportSolution> {
+        self.solve_min_cost_with(&mut FlowWorkspace::new())
+    }
+
+    /// [`TransportInstance::solve_min_cost`] reusing caller scratch.
+    ///
+    /// When every route cost is zero the min-cost structure is irrelevant
+    /// and the (much faster) blocking-flow max-flow kernel is used instead
+    /// of successive shortest paths.
+    pub fn solve_min_cost_with(&self, workspace: &mut FlowWorkspace) -> Option<TransportSolution> {
+        if self.routes.iter().all(|&(_, _, cost)| cost == 0.0) {
+            return self.solve_feasible_with(workspace);
+        }
         let (mut g, route_edges, s, t) = self.build_network();
-        let r = min_cost_max_flow(&mut g, s, t);
         let demand = self.total_demand();
+        // Stopping a hair under the demand keeps the min-cost-per-value
+        // invariant while skipping the final no-augmenting-path search; the
+        // missing sliver is far below every downstream tolerance.
+        let target = demand - FLOW_EPS.max(demand * 1e-12);
+        let r = min_cost_flow_up_to(&mut g, s, t, target, workspace);
         let tol = 1e-6_f64.max(demand * 1e-9);
         if r.flow < demand - tol {
             return None;
         }
+        Some(self.extract_solution(&g, &route_edges, r.cost, r.flow))
+    }
+
+    /// Ships every demand ignoring costs (all-zero objective): a pure
+    /// max-flow, solved with Dinic's algorithm.  Returns `None` when the
+    /// instance is infeasible.
+    pub fn solve_feasible_with(&self, workspace: &mut FlowWorkspace) -> Option<TransportSolution> {
+        let (mut g, route_edges, s, t) = self.build_network();
+        let demand = self.total_demand();
+        let target = demand - FLOW_EPS.max(demand * 1e-12);
+        let shipped = max_flow_with(&mut g, s, t, target, workspace).value;
+        let tol = 1e-6_f64.max(demand * 1e-9);
+        if shipped < demand - tol {
+            return None;
+        }
+        Some(self.extract_solution(&g, &route_edges, 0.0, shipped))
+    }
+
+    fn extract_solution(
+        &self,
+        g: &FlowNetwork,
+        route_edges: &[usize],
+        cost: f64,
+        shipped: f64,
+    ) -> TransportSolution {
         let mut allocations = Vec::new();
         for (idx, &(j, b, _)) in self.routes.iter().enumerate() {
             let amount = g.flow_on(route_edges[idx]);
@@ -187,11 +258,11 @@ impl TransportInstance {
                 allocations.push((j, b, amount));
             }
         }
-        Some(TransportSolution {
+        TransportSolution {
             allocations,
-            cost: r.cost,
-            shipped: r.flow,
-        })
+            cost,
+            shipped,
+        }
     }
 }
 

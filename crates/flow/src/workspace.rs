@@ -1,0 +1,51 @@
+//! Reusable scratch memory for the flow solvers.
+//!
+//! The deadline-scheduling engine probes feasibility several times per
+//! scheduling decision, and the on-line schedulers repeat that at every
+//! arrival.  Each probe used to allocate its own BFS/search scratch
+//! (`level`, adjacency cursors, a queue) — per probe *and*, for the min-cost
+//! solver, per augmentation.  A [`FlowWorkspace`] owns all of those buffers
+//! once; the `*_with` entry points of [`crate::maxflow`] and
+//! [`crate::mincost`] borrow it, clear (never reallocate) what they need,
+//! and leave the capacity behind for the next probe.
+
+use std::collections::VecDeque;
+
+/// Preallocated scratch buffers shared by all flow computations.
+///
+/// Create one per solver (or per scheduler run) and thread it through the
+/// `*_with` functions; every buffer grows to the largest network seen and is
+/// then reused allocation-free.
+#[derive(Default)]
+pub struct FlowWorkspace {
+    /// Dinic: BFS levels.  The min-cost primal-dual reuses it as the
+    /// admissible-reachability flag.
+    pub(crate) level: Vec<i32>,
+    /// Per-node adjacency cursor of the blocking-flow DFS (shared by Dinic
+    /// and the primal-dual admissible sweep).
+    pub(crate) iter_idx: Vec<usize>,
+    /// BFS queue.
+    pub(crate) queue: VecDeque<usize>,
+    /// Primal-dual node potentials.
+    pub(crate) potential: Vec<f64>,
+    /// Primal-dual blocking flow: DFS stack membership flags.
+    pub(crate) in_stack: Vec<bool>,
+}
+
+impl FlowWorkspace {
+    /// Creates an empty workspace (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Grows every per-node buffer to at least `n` entries.
+    pub(crate) fn ensure_nodes(&mut self, n: usize) {
+        if self.level.len() < n {
+            self.level.resize(n, -1);
+            self.iter_idx.resize(n, 0);
+            self.potential.resize(n, 0.0);
+            self.in_stack.resize(n, false);
+        }
+        self.queue.clear();
+    }
+}

@@ -11,11 +11,7 @@ use stretch_flow::TransportInstance;
 use stretch_lp::problem::{Problem, Relation, Sense};
 
 /// Solves the transportation instance as an explicit LP.
-fn solve_as_lp(
-    demands: &[f64],
-    capacities: &[f64],
-    routes: &[(usize, usize, f64)],
-) -> Option<f64> {
+fn solve_as_lp(demands: &[f64], capacities: &[f64], routes: &[(usize, usize, f64)]) -> Option<f64> {
     let mut p = Problem::new(Sense::Minimize);
     let vars: Vec<_> = routes
         .iter()

@@ -225,20 +225,16 @@ impl Mul for Ratio {
         // Cross-reduce before multiplying to limit growth.
         let g1 = gcd(self.num, rhs.den);
         let g2 = gcd(rhs.num, self.den);
-        let num = Ratio::checked(
-            (self.num / g1).checked_mul(rhs.num / g2),
-            "multiplication",
-        );
-        let den = Ratio::checked(
-            (self.den / g2).checked_mul(rhs.den / g1),
-            "multiplication",
-        );
+        let num = Ratio::checked((self.num / g1).checked_mul(rhs.num / g2), "multiplication");
+        let den = Ratio::checked((self.den / g2).checked_mul(rhs.den / g1), "multiplication");
         Ratio::new(num, den)
     }
 }
 
 impl Div for Ratio {
     type Output = Ratio;
+    // Division via the reciprocal is the intended arithmetic here.
+    #[allow(clippy::suspicious_arithmetic_impl)]
     fn div(self, rhs: Ratio) -> Ratio {
         self * rhs.recip()
     }

@@ -239,13 +239,9 @@ impl<S: LpScalar> SimplexSolver<S> {
             while r < tableau.len() {
                 if is_artificial(basis[r]) {
                     // Find a non-artificial column with a nonzero pivot.
-                    let mut pivot_col = None;
-                    for j in 0..first_artificial {
-                        if !tableau[r][j].is_zero() {
-                            pivot_col = Some(j);
-                            break;
-                        }
-                    }
+                    let pivot_col = tableau[r][..first_artificial]
+                        .iter()
+                        .position(|cell| !cell.is_zero());
                     match pivot_col {
                         Some(j) => {
                             pivot(&mut tableau, &mut basis, r, j, rhs_col);
@@ -311,7 +307,7 @@ enum PhaseResult<S> {
 /// like any other tableau row) so each iteration costs `O(columns)` for the
 /// entering choice instead of `O(rows × columns)`.
 fn run_phases<S: LpScalar>(
-    tableau: &mut Vec<Vec<S>>,
+    tableau: &mut [Vec<S>],
     basis: &mut [usize],
     cost: &[S],
     num_cols: usize,
@@ -344,17 +340,17 @@ fn run_phases<S: LpScalar>(
         // negative one once Bland's anti-cycling rule kicks in.
         let mut entering: Option<usize> = None;
         let mut best_reduced = S::zero();
-        for j in 0..num_cols {
+        for (j, reduced_j) in reduced.iter().enumerate().take(num_cols) {
             if barred(j) || basis.contains(&j) {
                 continue;
             }
-            if reduced[j].is_negative() {
+            if reduced_j.is_negative() {
                 if iteration >= bland_after {
                     entering = Some(j);
                     break;
                 }
-                if entering.is_none() || reduced[j] < best_reduced {
-                    best_reduced = reduced[j].clone();
+                if entering.is_none() || *reduced_j < best_reduced {
+                    best_reduced = reduced_j.clone();
                     entering = Some(j);
                 }
             }
@@ -406,7 +402,17 @@ fn run_phases<S: LpScalar>(
 }
 
 /// Pivots the tableau on `(row, col)`.
-fn pivot<S: LpScalar>(tableau: &mut [Vec<S>], basis: &mut [usize], row: usize, col: usize, rhs_col: usize) {
+// Index-based loops are kept: the elimination touches two rows of the
+// tableau at once, and cloning a row to satisfy the iterator borrow rules
+// would cost an allocation per pivot.
+#[allow(clippy::needless_range_loop)]
+fn pivot<S: LpScalar>(
+    tableau: &mut [Vec<S>],
+    basis: &mut [usize],
+    row: usize,
+    col: usize,
+    rhs_col: usize,
+) {
     let pivot_val = tableau[row][col].clone();
     debug_assert!(!pivot_val.is_zero(), "pivot on a zero element");
     let inv = S::one() / pivot_val;

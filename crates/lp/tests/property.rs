@@ -14,13 +14,11 @@ use stretch_lp::problem::{Problem, Relation, Sense};
 /// Builds a random "packing" LP: maximise c·x subject to A x <= b with
 /// nonnegative data — always feasible (x = 0) and always bounded
 /// (every variable appears in some row with a positive coefficient).
-fn packing_problem(
-    costs: &[f64],
-    rows: &[Vec<f64>],
-    rhs: &[f64],
-) -> Problem {
+fn packing_problem(costs: &[f64], rows: &[Vec<f64>], rhs: &[f64]) -> Problem {
     let mut p = Problem::new(Sense::Maximize);
-    let vars: Vec<_> = (0..costs.len()).map(|i| p.add_var(format!("x{i}"))).collect();
+    let vars: Vec<_> = (0..costs.len())
+        .map(|i| p.add_var(format!("x{i}")))
+        .collect();
     for (i, &c) in costs.iter().enumerate() {
         p.set_objective_coeff(vars[i], c);
     }

@@ -1,9 +1,7 @@
 //! Degradation statistics across many instances (the columns of Tables 1–16).
 
-use serde::{Deserialize, Serialize};
-
 /// Mean / standard deviation / max summary of a series of ratios.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct AggregateStats {
     /// Arithmetic mean.
     pub mean: f64,
@@ -107,7 +105,10 @@ impl DegradationAccumulator {
     /// Merges another accumulator (same heuristics, e.g. from a parallel
     /// worker) into this one.
     pub fn merge(&mut self, other: &DegradationAccumulator) {
-        assert_eq!(self.names, other.names, "accumulators must share heuristics");
+        assert_eq!(
+            self.names, other.names,
+            "accumulators must share heuristics"
+        );
         for (mine, theirs) in self.samples.iter_mut().zip(&other.samples) {
             mine.extend_from_slice(theirs);
         }

@@ -1,0 +1,87 @@
+//! The flat `BENCH_baseline.json` perf-trajectory format.
+//!
+//! The repository records performance as a flat JSON map from
+//! `"section/name"` keys to mean seconds, so successive PRs can diff perf
+//! with a one-line `jq`/`diff`.  Two producers merge into the same file —
+//! the vendored Criterion harness (after every `cargo bench`) and the
+//! `repro_overhead` binary (per-event scheduler means) — and both delegate
+//! to this module so the format has exactly one implementation.
+
+use std::path::Path;
+
+/// Parses the flat `{"key": number, ...}` format written by [`render`].
+pub fn parse(text: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.trim().trim_end_matches(',');
+        let Some(rest) = line.strip_prefix('"') else {
+            continue;
+        };
+        let Some((key, value)) = rest.split_once("\":") else {
+            continue;
+        };
+        if let Ok(v) = value.trim().parse::<f64>() {
+            out.push((key.to_string(), v));
+        }
+    }
+    out
+}
+
+/// Serialises entries as a flat JSON object, keys sorted.
+pub fn render(entries: &[(String, f64)]) -> String {
+    let mut sorted: Vec<_> = entries.to_vec();
+    sorted.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut out = String::from("{\n");
+    for (i, (k, v)) in sorted.iter().enumerate() {
+        let sep = if i + 1 == sorted.len() { "" } else { "," };
+        out.push_str(&format!("  \"{k}\": {v:.9e}{sep}\n"));
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Merges `updates` into the baseline file at `path` (updates win).
+pub fn upsert(path: &Path, updates: &[(String, f64)]) -> std::io::Result<()> {
+    let mut entries = std::fs::read_to_string(path)
+        .map(|t| parse(&t))
+        .unwrap_or_default();
+    for (key, value) in updates {
+        if let Some(e) = entries.iter_mut().find(|(k, _)| k == key) {
+            e.1 = *value;
+        } else {
+            entries.push((key.clone(), *value));
+        }
+    }
+    std::fs::write(path, render(&entries))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_inverts_render() {
+        let entries = vec![
+            ("overhead_per_event/Online".to_string(), 2.5e-4),
+            ("overhead_per_event/SRPT".to_string(), 1.0e-6),
+        ];
+        let mut round = parse(&render(&entries));
+        round.sort_by(|a, b| a.0.cmp(&b.0));
+        assert_eq!(round.len(), 2);
+        assert!((round[0].1 - 2.5e-4).abs() < 1e-15);
+    }
+
+    #[test]
+    fn upsert_merges_sections() {
+        let dir = std::env::temp_dir().join("stretch_metrics_baseline_test");
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("BENCH_baseline.json");
+        let _ = std::fs::remove_file(&path);
+        upsert(&path, &[("a/x".to_string(), 1.0)]).unwrap();
+        upsert(&path, &[("b/y".to_string(), 2.0), ("a/x".to_string(), 3.0)]).unwrap();
+        let entries = parse(&std::fs::read_to_string(&path).unwrap());
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries.iter().find(|(k, _)| k == "a/x").unwrap().1, 3.0);
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -12,6 +12,7 @@
 //! exactly the columns of Tables 1–16.
 
 pub mod aggregate;
+pub mod baseline;
 pub mod objectives;
 pub mod outcome;
 pub mod table;

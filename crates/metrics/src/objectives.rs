@@ -1,10 +1,9 @@
 //! The objective functions of §3, computed from a set of job outcomes.
 
 use crate::outcome::JobOutcome;
-use serde::{Deserialize, Serialize};
 
 /// All the §3 metrics of one schedule.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct ScheduleMetrics {
     /// Makespan `max_j C_j` (system-centric).
     pub makespan: f64,
@@ -26,7 +25,10 @@ impl ScheduleMetrics {
     /// Panics on an empty outcome set: an experiment without jobs has no
     /// well-defined stretch and indicates a bug in the harness.
     pub fn from_outcomes(outcomes: &[JobOutcome]) -> Self {
-        assert!(!outcomes.is_empty(), "cannot compute metrics of an empty schedule");
+        assert!(
+            !outcomes.is_empty(),
+            "cannot compute metrics of an empty schedule"
+        );
         let mut makespan: f64 = 0.0;
         let mut max_flow: f64 = 0.0;
         let mut sum_flow = 0.0;
@@ -114,7 +116,10 @@ mod tests {
         let o = outcomes();
         let weights = [1.0, 0.5, 2.0];
         assert_eq!(ScheduleMetrics::max_weighted_flow(&o, &weights), 2.0);
-        assert_eq!(ScheduleMetrics::sum_weighted_flow(&o, &weights), 2.0 + 2.0 + 2.0);
+        assert_eq!(
+            ScheduleMetrics::sum_weighted_flow(&o, &weights),
+            2.0 + 2.0 + 2.0
+        );
     }
 
     #[test]

@@ -1,9 +1,7 @@
 //! Per-job outcomes, the raw material of every metric.
 
-use serde::{Deserialize, Serialize};
-
 /// What happened to one job in one simulated schedule.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct JobOutcome {
     /// Job identifier (index in the instance).
     pub id: usize,

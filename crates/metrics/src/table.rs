@@ -7,11 +7,10 @@
 //! paper.
 
 use crate::aggregate::AggregateStats;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// One row of a results table.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct TableRow {
     /// Heuristic name.
     pub name: String,
@@ -23,7 +22,7 @@ pub struct TableRow {
 }
 
 /// A full table: a caption plus rows in display order.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct MetricsTable {
     /// Caption printed above the table (e.g. "Table 1: aggregate statistics
     /// over all 162 platform/application configurations").

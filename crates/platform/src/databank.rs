@@ -1,7 +1,5 @@
 //! Protein sequence databanks.
 
-use serde::{Deserialize, Serialize};
-
 /// Identifier of a databank inside a [`crate::Platform`].
 pub type DatabankId = usize;
 
@@ -11,7 +9,7 @@ pub type DatabankId = usize;
 /// processing time of a motif comparison is linear in the number of sequences
 /// scanned (§2.1, property 2), so the size directly scales job processing
 /// times.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Databank {
     /// Index of the databank in the platform.
     pub id: DatabankId,

@@ -5,10 +5,9 @@ use crate::platform::{Cluster, Platform};
 use crate::processor::Processor;
 use crate::reference;
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// The platform-side experimental parameters of a simulation configuration.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct PlatformConfig {
     /// Number of clusters (sites); §5.1 item 1.
     pub num_clusters: usize,
@@ -60,7 +59,10 @@ impl PlatformGenerator {
     /// Creates a generator for `config`.
     pub fn new(config: PlatformConfig) -> Self {
         assert!(config.num_clusters > 0, "at least one cluster");
-        assert!(config.processors_per_cluster > 0, "at least one processor per cluster");
+        assert!(
+            config.processors_per_cluster > 0,
+            "at least one processor per cluster"
+        );
         assert!(config.num_databanks > 0, "at least one databank");
         assert!(
             (0.0..=1.0).contains(&config.availability),
@@ -112,9 +114,9 @@ impl PlatformGenerator {
             let size = rng.gen_range(lo..=hi);
             databanks.push(Databank::new(d, format!("databank-{d}"), size));
             let mut hosted_somewhere = false;
-            for c in 0..cfg.num_clusters {
+            for cluster in clusters.iter_mut() {
                 if rng.gen_bool(cfg.availability) {
-                    clusters[c].hosted_databanks.push(d);
+                    cluster.hosted_databanks.push(d);
                     hosted_somewhere = true;
                 }
             }

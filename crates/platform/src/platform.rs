@@ -2,13 +2,12 @@
 
 use crate::databank::{Databank, DatabankId};
 use crate::processor::{Processor, ProcessorId};
-use serde::{Deserialize, Serialize};
 
 /// Identifier of a cluster (site).
 pub type ClusterId = usize;
 
 /// A site: a group of identical processors co-located with databank replicas.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Cluster {
     /// Index of the cluster in the platform.
     pub id: ClusterId,
@@ -28,7 +27,7 @@ impl Cluster {
 }
 
 /// The complete platform model.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Platform {
     /// All clusters (sites).
     pub clusters: Vec<Cluster>,
@@ -42,10 +41,17 @@ impl Platform {
     /// Builds a platform and checks internal consistency (ids match indices,
     /// every databank is hosted somewhere, clusters reference real
     /// processors).
-    pub fn new(clusters: Vec<Cluster>, processors: Vec<Processor>, databanks: Vec<Databank>) -> Self {
+    pub fn new(
+        clusters: Vec<Cluster>,
+        processors: Vec<Processor>,
+        databanks: Vec<Databank>,
+    ) -> Self {
         for (i, p) in processors.iter().enumerate() {
             assert_eq!(p.id, i, "processor ids must match their index");
-            assert!(p.cluster < clusters.len(), "processor references unknown cluster");
+            assert!(
+                p.cluster < clusters.len(),
+                "processor references unknown cluster"
+            );
         }
         for (i, d) in databanks.iter().enumerate() {
             assert_eq!(d.id, i, "databank ids must match their index");

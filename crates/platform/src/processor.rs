@@ -1,7 +1,5 @@
 //! Individual sequence-comparison servers (processors).
 
-use serde::{Deserialize, Serialize};
-
 /// Identifier of a processor inside a [`crate::Platform`].
 pub type ProcessorId = usize;
 
@@ -12,7 +10,7 @@ pub type ProcessorId = usize;
 /// amount of databank it scans per second.  In the paper's notation the
 /// processor is characterised by `p_i` seconds per unit of work; we store the
 /// reciprocal `speed = 1 / p_i` because the fluid simulator works with rates.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Processor {
     /// Index of the processor in the platform (global, not per cluster).
     pub id: ProcessorId,
@@ -25,7 +23,10 @@ pub struct Processor {
 impl Processor {
     /// Creates a processor with a strictly positive speed.
     pub fn new(id: ProcessorId, cluster: usize, speed: f64) -> Self {
-        assert!(speed > 0.0 && speed.is_finite(), "processor speed must be positive");
+        assert!(
+            speed > 0.0 && speed.is_finite(),
+            "processor speed must be positive"
+        );
         Processor { id, cluster, speed }
     }
 

@@ -40,7 +40,10 @@ impl std::fmt::Display for EngineError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             EngineError::InvalidIndex { machine, job } => {
-                write!(f, "allocation references invalid machine {machine} or job {job}")
+                write!(
+                    f,
+                    "allocation references invalid machine {machine} or job {job}"
+                )
             }
             EngineError::InactiveJob { job } => {
                 write!(f, "allocation gives work to inactive job {job}")
@@ -49,7 +52,10 @@ impl std::fmt::Display for EngineError {
                 write!(f, "machine {machine} allocated {load} > 1.0")
             }
             EngineError::Stalled { at } => {
-                write!(f, "simulation stalled at t = {at}: active jobs but no progress possible")
+                write!(
+                    f,
+                    "simulation stalled at t = {at}: active jobs but no progress possible"
+                )
             }
             EngineError::TooManyEvents => write!(f, "event budget exceeded"),
         }
@@ -259,7 +265,12 @@ mod tests {
     /// exercising preemption and divisibility).
     struct LowestIndexFirst;
     impl RatePolicy for LowestIndexFirst {
-        fn allocate(&mut self, _now: f64, jobs: &[JobState], machines: &[MachineState]) -> Allocation {
+        fn allocate(
+            &mut self,
+            _now: f64,
+            jobs: &[JobState],
+            machines: &[MachineState],
+        ) -> Allocation {
             let mut a = Allocation::idle();
             if let Some((idx, _)) = jobs.iter().enumerate().find(|(_, j)| j.is_active()) {
                 for m in 0..machines.len() {
@@ -276,7 +287,12 @@ mod tests {
     /// Processor-sharing: split every machine equally among active jobs.
     struct ProcessorSharing;
     impl RatePolicy for ProcessorSharing {
-        fn allocate(&mut self, _now: f64, jobs: &[JobState], machines: &[MachineState]) -> Allocation {
+        fn allocate(
+            &mut self,
+            _now: f64,
+            jobs: &[JobState],
+            machines: &[MachineState],
+        ) -> Allocation {
             let active: Vec<usize> = jobs
                 .iter()
                 .enumerate()
@@ -298,7 +314,11 @@ mod tests {
     }
 
     fn machines(speeds: &[f64]) -> Vec<MachineSpec> {
-        speeds.iter().enumerate().map(|(i, &s)| MachineSpec::new(i, s)).collect()
+        speeds
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| MachineSpec::new(i, s))
+            .collect()
     }
 
     #[test]
@@ -313,10 +333,8 @@ mod tests {
     #[test]
     fn divisible_job_uses_aggregate_speed() {
         // Lemma 1: several machines act as one of speed Σ 1/p_i.
-        let mut engine = FluidEngine::new(
-            machines(&[1.0, 2.0, 3.0]),
-            vec![JobSpec::new(0, 0.0, 12.0)],
-        );
+        let mut engine =
+            FluidEngine::new(machines(&[1.0, 2.0, 3.0]), vec![JobSpec::new(0, 0.0, 12.0)]);
         let trace = engine.run(&mut LowestIndexFirst).unwrap();
         assert!((trace.completion_of(0).unwrap() - 12.0 / 6.0).abs() < 1e-9);
     }

@@ -30,7 +30,10 @@ impl Allocation {
 
     /// Adds a share of `machine` devoted to `job`.
     pub fn assign(&mut self, machine: usize, job: usize, share: f64) -> &mut Self {
-        assert!(share >= 0.0 && share.is_finite(), "share must be nonnegative");
+        assert!(
+            share >= 0.0 && share.is_finite(),
+            "share must be nonnegative"
+        );
         if share > 0.0 {
             self.shares.push((machine, job, share));
         }

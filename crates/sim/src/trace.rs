@@ -138,9 +138,27 @@ mod tests {
         let trace = ExecutionTrace {
             completions: vec![],
             segments: vec![
-                Segment { machine: 0, job: 0, start: 0.0, end: 1.0, share: 1.0 },
-                Segment { machine: 1, job: 0, start: 0.0, end: 2.0, share: 0.5 },
-                Segment { machine: 0, job: 1, start: 1.0, end: 2.0, share: 1.0 },
+                Segment {
+                    machine: 0,
+                    job: 0,
+                    start: 0.0,
+                    end: 1.0,
+                    share: 1.0,
+                },
+                Segment {
+                    machine: 1,
+                    job: 0,
+                    start: 0.0,
+                    end: 2.0,
+                    share: 0.5,
+                },
+                Segment {
+                    machine: 0,
+                    job: 1,
+                    start: 1.0,
+                    end: 2.0,
+                    share: 1.0,
+                },
             ],
             events: 0,
             makespan: 2.0,
@@ -154,16 +172,40 @@ mod tests {
     fn oversubscription_detection() {
         let ok = ExecutionTrace {
             segments: vec![
-                Segment { machine: 0, job: 0, start: 0.0, end: 1.0, share: 0.6 },
-                Segment { machine: 0, job: 1, start: 0.0, end: 1.0, share: 0.4 },
+                Segment {
+                    machine: 0,
+                    job: 0,
+                    start: 0.0,
+                    end: 1.0,
+                    share: 0.6,
+                },
+                Segment {
+                    machine: 0,
+                    job: 1,
+                    start: 0.0,
+                    end: 1.0,
+                    share: 0.4,
+                },
             ],
             ..Default::default()
         };
         assert!(ok.machines_never_oversubscribed(1, 1e-9));
         let bad = ExecutionTrace {
             segments: vec![
-                Segment { machine: 0, job: 0, start: 0.0, end: 1.0, share: 0.8 },
-                Segment { machine: 0, job: 1, start: 0.5, end: 1.0, share: 0.5 },
+                Segment {
+                    machine: 0,
+                    job: 0,
+                    start: 0.0,
+                    end: 1.0,
+                    share: 0.8,
+                },
+                Segment {
+                    machine: 0,
+                    job: 1,
+                    start: 0.5,
+                    end: 1.0,
+                    share: 0.5,
+                },
             ],
             ..Default::default()
         };

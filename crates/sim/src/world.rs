@@ -13,7 +13,10 @@ pub struct MachineSpec {
 impl MachineSpec {
     /// Creates a machine spec; `speed` must be strictly positive and finite.
     pub fn new(id: usize, speed: f64) -> Self {
-        assert!(speed > 0.0 && speed.is_finite(), "machine speed must be positive");
+        assert!(
+            speed > 0.0 && speed.is_finite(),
+            "machine speed must be positive"
+        );
         MachineSpec { id, speed }
     }
 }
@@ -32,7 +35,10 @@ pub struct JobSpec {
 impl JobSpec {
     /// Creates a job spec with basic validity checks.
     pub fn new(id: usize, release: f64, work: f64) -> Self {
-        assert!(release >= 0.0 && release.is_finite(), "release date must be nonnegative");
+        assert!(
+            release >= 0.0 && release.is_finite(),
+            "release date must be nonnegative"
+        );
         assert!(work >= 0.0 && work.is_finite(), "work must be nonnegative");
         JobSpec { id, release, work }
     }

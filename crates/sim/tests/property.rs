@@ -3,7 +3,9 @@
 //! processor-sharing policies.
 
 use proptest::prelude::*;
-use stretch_sim::{Allocation, FluidEngine, JobSpec, JobState, MachineSpec, MachineState, RatePolicy};
+use stretch_sim::{
+    Allocation, FluidEngine, JobSpec, JobState, MachineSpec, MachineState, RatePolicy,
+};
 
 /// Equal processor sharing among all active jobs.
 struct ProcessorSharing;

@@ -1,0 +1,252 @@
+//! Offline stand-in for the subset of the
+//! [`criterion`](https://docs.rs/criterion) crate used by this workspace.
+//!
+//! The build container has no access to crates.io, so the benches run against
+//! this minimal harness: it executes each benchmark closure for a warm-up
+//! iteration plus `sample_size` timed iterations, reports the **minimum**
+//! iteration time (the noise-robust estimator on machines with CPU steal —
+//! interference only ever adds time), and — unlike the real crate — **merges
+//! every measurement into a machine-readable `BENCH_baseline.json`** at the
+//! workspace root (override the path with the `STRETCH_BENCH_BASELINE`
+//! environment variable, or set it to the empty string to disable).  The
+//! file maps `"group/benchmark"` keys to seconds per iteration, giving the
+//! repository a perf trajectory that future changes can diff against.
+//!
+//! Passing `--test` (as `cargo bench -- --test` does for smoke runs) executes
+//! every closure exactly once and skips both timing and the baseline write.
+
+use std::time::{Duration, Instant};
+
+/// One measured benchmark: `(full id, mean seconds per iteration)`.
+type Measurement = (String, f64);
+
+/// The benchmark driver handed to the functions in `criterion_group!`.
+pub struct Criterion {
+    test_mode: bool,
+    results: Vec<Measurement>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion {
+            test_mode,
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+
+    /// Benchmarks `f` outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        self.run_one(id, 10, f);
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, id: String, sample_size: usize, mut f: F) {
+        let mut bencher = Bencher {
+            test_mode: self.test_mode,
+            sample_size,
+            best: Duration::MAX,
+        };
+        f(&mut bencher);
+        if self.test_mode {
+            println!("test {id} ... ok");
+            return;
+        }
+        let best = if bencher.best == Duration::MAX {
+            0.0
+        } else {
+            bencher.best.as_secs_f64()
+        };
+        println!("{id:<48} {:>14.6} ms/iter (min)", best * 1e3);
+        self.results.push((id, best));
+    }
+
+    /// Flushes the collected measurements into the baseline file.
+    pub fn finalize(&mut self) {
+        if self.test_mode || self.results.is_empty() {
+            return;
+        }
+        if let Some(path) = baseline::path() {
+            baseline::upsert(&path, &self.results);
+            println!("baseline written to {}", path.display());
+        }
+        self.results.clear();
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed iterations per benchmark.  The
+    /// `STRETCH_BENCH_SAMPLES` environment variable overrides every group's
+    /// setting (useful on noisy machines).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = std::env::var("STRETCH_BENCH_SAMPLES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(n)
+            .max(1);
+        self
+    }
+
+    /// Benchmarks `f` under `group-name/id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into());
+        let sample_size = self.sample_size;
+        self.criterion.run_one(full, sample_size, f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Timing harness passed to each benchmark closure.
+pub struct Bencher {
+    test_mode: bool,
+    sample_size: usize,
+    best: Duration,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly, keeping the fastest iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.test_mode {
+            std::hint::black_box(f());
+            return;
+        }
+        // One untimed warm-up iteration.
+        std::hint::black_box(f());
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            self.best = self.best.min(start.elapsed());
+        }
+    }
+}
+
+/// Reading and rewriting the flat `BENCH_baseline.json` map.
+///
+/// The format implementation lives in [`stretch_metrics::baseline`] (one
+/// writer for the whole workspace); this module adds the path resolution
+/// the bench harness needs.
+pub mod baseline {
+    use std::path::PathBuf;
+    pub use stretch_metrics::baseline::{parse, render, upsert as upsert_result};
+
+    /// Resolves the baseline path; `None` disables the write.
+    ///
+    /// Defaults to `BENCH_baseline.json` at the *workspace* root: `cargo
+    /// bench` runs bench binaries with the package directory as cwd, so the
+    /// topmost ancestor holding a `Cargo.toml` is used.
+    pub fn path() -> Option<PathBuf> {
+        match std::env::var("STRETCH_BENCH_BASELINE") {
+            Ok(p) if p.is_empty() => None,
+            Ok(p) => Some(PathBuf::from(p)),
+            Err(_) => Some(workspace_root().join("BENCH_baseline.json")),
+        }
+    }
+
+    /// The topmost ancestor of the current directory containing a
+    /// `Cargo.toml` (falls back to the current directory).
+    fn workspace_root() -> PathBuf {
+        let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+        let mut root = cwd.clone();
+        for dir in cwd.ancestors() {
+            if dir.join("Cargo.toml").is_file() {
+                root = dir.to_path_buf();
+            }
+        }
+        root
+    }
+
+    /// Merges `updates` into the baseline file (new keys win over old
+    /// ones), reporting failures on stderr only.
+    pub fn upsert(path: &std::path::Path, updates: &[(String, f64)]) {
+        if let Err(err) = upsert_result(path, updates) {
+            eprintln!("warning: could not write {}: {err}", path.display());
+        }
+    }
+}
+
+/// Defines a function running a list of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+            criterion.finalize();
+        }
+    };
+}
+
+/// Defines `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_round_trips() {
+        let entries = vec![
+            ("overhead/Online".to_string(), 1.25e-3),
+            ("solvers/maxflow".to_string(), 4.0e-6),
+        ];
+        let text = baseline::render(&entries);
+        let mut parsed = baseline::parse(&text);
+        parsed.sort_by(|a, b| a.0.cmp(&b.0));
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].0, "overhead/Online");
+        assert!((parsed[0].1 - 1.25e-3).abs() < 1e-12);
+        assert!((parsed[1].1 - 4.0e-6).abs() < 1e-15);
+    }
+
+    #[test]
+    fn groups_measure_and_record() {
+        std::env::set_var("STRETCH_BENCH_BASELINE", "");
+        let mut c = Criterion {
+            test_mode: false,
+            results: Vec::new(),
+        };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        group.bench_function("noop", |b| b.iter(|| 1 + 1));
+        group.finish();
+        assert_eq!(c.results.len(), 1);
+        assert_eq!(c.results[0].0, "g/noop");
+    }
+}

@@ -1,0 +1,44 @@
+//! Offline stand-in for the subset of the [`rayon`](https://docs.rs/rayon)
+//! crate used by this workspace.
+//!
+//! The build container has no access to crates.io, so `par_iter()` is
+//! provided as a *sequential* iterator with the same call shape: campaign
+//! sweeps stay correct (and deterministic), they just do not fan out over
+//! threads.  Swap this stub for the real crate to restore parallelism.
+
+/// Drop-in for `rayon::prelude`.
+pub mod prelude {
+    /// Sequential stand-in for `rayon`'s `IntoParallelRefIterator`.
+    pub trait IntoParallelRefIterator<'a> {
+        /// The iterator type returned by [`Self::par_iter`].
+        type Iter: Iterator;
+        /// A (sequential) "parallel" iterator over references.
+        fn par_iter(&'a self) -> Self::Iter;
+    }
+
+    impl<'a, T: 'a> IntoParallelRefIterator<'a> for [T] {
+        type Iter = std::slice::Iter<'a, T>;
+        fn par_iter(&'a self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    impl<'a, T: 'a> IntoParallelRefIterator<'a> for Vec<T> {
+        type Iter = std::slice::Iter<'a, T>;
+        fn par_iter(&'a self) -> Self::Iter {
+            self.iter()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_visits_everything_in_order() {
+        let v = vec![1, 2, 3];
+        let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6]);
+    }
+}

@@ -9,11 +9,10 @@
 use crate::instance::Instance;
 use crate::job::Job;
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 use stretch_platform::{reference, Platform};
 
 /// Workload-side experimental parameters.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct WorkloadConfig {
     /// Workload density (§5.1 item 6); the values studied in the paper range
     /// from 0.0125 (Figure 3) to 3.0 (Tables 5–10).

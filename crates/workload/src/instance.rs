@@ -2,11 +2,10 @@
 
 use crate::job::{Job, JobId};
 use crate::uniproc::{UniprocInstance, UniprocJob};
-use serde::{Deserialize, Serialize};
 use stretch_platform::{Platform, ProcessorId};
 
 /// A complete problem instance.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Instance {
     /// The computing platform.
     pub platform: Platform,
@@ -69,7 +68,11 @@ impl Instance {
     /// instance).  This is the parameter appearing in all the competitive
     /// ratios of §4.
     pub fn delta(&self) -> f64 {
-        let min = self.jobs.iter().map(|j| j.work).fold(f64::INFINITY, f64::min);
+        let min = self
+            .jobs
+            .iter()
+            .map(|j| j.work)
+            .fold(f64::INFINITY, f64::min);
         let max = self.jobs.iter().map(|j| j.work).fold(0.0, f64::max);
         if self.jobs.is_empty() {
             1.0

@@ -1,13 +1,12 @@
 //! Individual requests (jobs).
 
-use serde::{Deserialize, Serialize};
 use stretch_platform::DatabankId;
 
 /// Identifier of a job inside an [`crate::Instance`].
 pub type JobId = usize;
 
 /// A motif-comparison request.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Job {
     /// Index of the job in the instance; jobs are numbered by increasing
     /// release date, as in the paper.
@@ -24,7 +23,10 @@ pub struct Job {
 impl Job {
     /// Creates a job with validity checks.
     pub fn new(id: JobId, release: f64, work: f64, databank: DatabankId) -> Self {
-        assert!(release >= 0.0 && release.is_finite(), "release must be nonnegative");
+        assert!(
+            release >= 0.0 && release.is_finite(),
+            "release must be nonnegative"
+        );
         assert!(work > 0.0 && work.is_finite(), "work must be positive");
         Job {
             id,

@@ -1,9 +1,7 @@
 //! The Lemma-1 single-processor view of an instance.
 
-use serde::{Deserialize, Serialize};
-
 /// A job of the equivalent single-processor instance.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct UniprocJob {
     /// Index of the job (shared with the multiprocessor instance).
     pub id: usize,
@@ -34,7 +32,7 @@ impl UniprocJob {
 }
 
 /// The equivalent single-processor instance of Lemma 1.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct UniprocInstance {
     /// Jobs with their transformed processing times, in release-date order.
     pub jobs: Vec<UniprocJob>,
@@ -93,7 +91,11 @@ impl UniprocInstance {
             .iter()
             .map(|j| j.processing_time)
             .fold(f64::INFINITY, f64::min);
-        let max = self.jobs.iter().map(|j| j.processing_time).fold(0.0, f64::max);
+        let max = self
+            .jobs
+            .iter()
+            .map(|j| j.processing_time)
+            .fold(0.0, f64::max);
         max / min
     }
 }

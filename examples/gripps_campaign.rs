@@ -19,8 +19,7 @@ fn main() {
 
     // 3 sites x 10 processors, 3 databanks, 60 % availability (a typical
     // point of the paper's experimental grid).
-    let platform =
-        PlatformGenerator::new(PlatformConfig::new(3, 3, 0.6)).generate(&mut rng);
+    let platform = PlatformGenerator::new(PlatformConfig::new(3, 3, 0.6)).generate(&mut rng);
     // Moderate load (density 1.5); the window is sized so that roughly 25
     // requests arrive, keeping the example fast whatever the random databank
     // sizes turn out to be.
@@ -85,5 +84,7 @@ fn main() {
             time
         );
     }
-    println!("\n(The Offline row is the optimal max-stretch; MCT is the production GriPPS policy.)");
+    println!(
+        "\n(The Offline row is the optimal max-stretch; MCT is the production GriPPS policy.)"
+    );
 }

@@ -1,0 +1,13 @@
+//! Umbrella crate of the reproduction of *Minimizing the stretch when
+//! scheduling flows of biological requests* (Legrand, Su, Vivien — SPAA 2006).
+//!
+//! The implementation lives in the `crates/` workspace members; this crate
+//! only hosts the repository-level integration tests (`tests/`) and examples
+//! (`examples/`), and re-exports the member crates under one roof for
+//! convenience.
+
+pub use stretch_core as core;
+pub use stretch_experiments as experiments;
+pub use stretch_metrics as metrics;
+pub use stretch_platform as platform;
+pub use stretch_workload as workload;

@@ -57,7 +57,12 @@ fn every_scheduler_produces_a_complete_valid_schedule() {
         let result = scheduler
             .schedule(&instance)
             .unwrap_or_else(|e| panic!("{} failed: {e}", scheduler.name()));
-        assert_eq!(result.outcomes.len(), instance.num_jobs(), "{}", scheduler.name());
+        assert_eq!(
+            result.outcomes.len(),
+            instance.num_jobs(),
+            "{}",
+            scheduler.name()
+        );
         for outcome in &result.outcomes {
             assert!(
                 outcome.completion >= outcome.release - 1e-9,
@@ -136,7 +141,12 @@ fn larger_platforms_run_the_battery_without_bender98() {
             continue;
         }
         let result = scheduler.schedule(&instance).unwrap();
-        assert_eq!(result.outcomes.len(), instance.num_jobs(), "{}", kind.name());
+        assert_eq!(
+            result.outcomes.len(),
+            instance.num_jobs(),
+            "{}",
+            kind.name()
+        );
     }
 }
 

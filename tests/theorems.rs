@@ -59,9 +59,9 @@ fn lemma1_uniform_divisible_matches_single_processor_preemptive() {
     ] {
         let multi = scheduler.schedule(&instance).unwrap();
         let single = uniproc::simulate_priority(&uni, rule, None);
-        for job in 0..instance.num_jobs() {
+        for (job, single_completion) in single.iter().enumerate().take(instance.num_jobs()) {
             assert!(
-                (multi.completion(job) - single[job]).abs() < 1e-6,
+                (multi.completion(job) - single_completion).abs() < 1e-6,
                 "{:?}: job {job} multi {} vs uniproc {}",
                 rule,
                 multi.completion(job),
@@ -119,14 +119,12 @@ fn theorem1_sum_stretch_algorithms_starve_the_large_job() {
     assert!((opt_large - (1.0 + delta)).abs() < 1e-3);
 
     for rule in [PriorityRule::Srpt, PriorityRule::Swrpt, PriorityRule::Spt] {
-        let ratio_small = uniproc::max_stretch_of(
-            &small,
-            &uniproc::simulate_priority(&small, rule, None),
-        ) / opt_small;
-        let ratio_large = uniproc::max_stretch_of(
-            &large,
-            &uniproc::simulate_priority(&large, rule, None),
-        ) / opt_large;
+        let ratio_small =
+            uniproc::max_stretch_of(&small, &uniproc::simulate_priority(&small, rule, None))
+                / opt_small;
+        let ratio_large =
+            uniproc::max_stretch_of(&large, &uniproc::simulate_priority(&large, rule, None))
+                / opt_large;
         assert!(
             ratio_large > 3.0 * ratio_small,
             "{}: ratio should grow with k ({ratio_small} -> {ratio_large})",
@@ -197,11 +195,8 @@ fn srpt_optimality_for_sum_flow_on_random_streams() {
             PriorityRule::Swpt,
             PriorityRule::Swrpt,
         ] {
-            let flow = uniproc::metrics_of(
-                &inst,
-                &uniproc::simulate_priority(&inst, rule, None),
-            )
-            .sum_flow;
+            let flow =
+                uniproc::metrics_of(&inst, &uniproc::simulate_priority(&inst, rule, None)).sum_flow;
             assert!(
                 srpt_flow <= flow + 1e-6,
                 "seed {seed}: SRPT {srpt_flow} vs {} {flow}",
@@ -228,11 +223,8 @@ fn fcfs_optimality_for_max_flow_on_random_streams() {
         )
         .max_flow;
         for rule in [PriorityRule::Srpt, PriorityRule::Spt, PriorityRule::Swrpt] {
-            let max_flow = uniproc::metrics_of(
-                &inst,
-                &uniproc::simulate_priority(&inst, rule, None),
-            )
-            .max_flow;
+            let max_flow =
+                uniproc::metrics_of(&inst, &uniproc::simulate_priority(&inst, rule, None)).max_flow;
             assert!(
                 fcfs_max_flow <= max_flow + 1e-6,
                 "seed {seed}: FCFS {fcfs_max_flow} vs {} {max_flow}",
@@ -265,15 +257,15 @@ fn srpt_two_competitiveness_for_sum_stretch_holds_empirically() {
             PriorityRule::Spt,
             PriorityRule::Swrpt,
         ] {
-            let s = uniproc::sum_stretch_of(
-                &inst,
-                &uniproc::simulate_priority(&inst, rule, None),
-            );
+            let s = uniproc::sum_stretch_of(&inst, &uniproc::simulate_priority(&inst, rule, None));
             if rule == PriorityRule::Srpt {
                 srpt = s;
             }
             best = best.min(s);
         }
-        assert!(srpt <= 2.0 * best + 1e-6, "seed {seed}: SRPT {srpt} vs best {best}");
+        assert!(
+            srpt <= 2.0 * best + 1e-6,
+            "seed {seed}: SRPT {srpt} vs best {best}"
+        );
     }
 }
