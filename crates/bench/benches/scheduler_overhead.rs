@@ -18,13 +18,14 @@ use std::collections::BinaryHeap;
 use std::hint::black_box;
 use stretch_bench::bench_instance;
 use stretch_core::deadline::{AllocationPlan, DeadlineProblem, PendingJob, STRETCH_TOL};
+use stretch_core::online::run_online_with;
 use stretch_core::plan::{execute_sequences, PieceOrdering};
 use stretch_core::{
     Bender98Scheduler, ListScheduler, MctScheduler, OfflineScheduler, OnlineScheduler,
-    ParametricDeadlineSolver, Scheduler, SiteView,
+    OnlineVariant, ParametricDeadlineSolver, Scheduler, SiteView, SolverConfig,
 };
 use stretch_experiments::run_overhead_study;
-use stretch_flow::{FlowNetwork, TransportInstance};
+use stretch_flow::{FlowNetwork, FlowWorkspace, TransportInstance};
 use stretch_workload::Instance;
 
 // ---------------------------------------------------------------------------
@@ -347,6 +348,56 @@ fn run_online_from_scratch(instance: &Instance, ordering: PieceOrdering) -> f64 
     last_completion
 }
 
+/// Replays the on-line loop once, capturing every per-event System-(2)
+/// problem together with the slackened objective it is solved at — the exact
+/// min-cost workload the backends compete on (the `engine/system2-events/*`
+/// rows).
+fn capture_system2_events(instance: &Instance) -> Vec<(DeadlineProblem, f64)> {
+    let sites = SiteView::of(instance);
+    let mut remaining: Vec<f64> = instance.jobs.iter().map(|j| j.work).collect();
+    let mut events: Vec<f64> = instance.jobs.iter().map(|j| j.release).collect();
+    events.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    events.dedup_by(|a, b| (*a - *b).abs() <= 1e-12);
+    let mut solver = ParametricDeadlineSolver::new();
+    let mut captured = Vec::new();
+    for (e, &now) in events.iter().enumerate() {
+        let horizon = events.get(e + 1).copied().unwrap_or(f64::INFINITY);
+        let pending: Vec<PendingJob> = instance
+            .jobs
+            .iter()
+            .filter(|j| j.release <= now + 1e-12 && remaining[j.id] > 1e-9)
+            .map(|j| PendingJob {
+                job_id: j.id,
+                release: j.release,
+                ready: now,
+                work: j.work,
+                remaining: remaining[j.id],
+                databank: j.databank,
+            })
+            .collect();
+        if pending.is_empty() {
+            continue;
+        }
+        let problem = DeadlineProblem::new(pending, sites.clone(), now);
+        let best = solver.min_feasible_stretch(&problem).expect("feasible");
+        let slack = stretch_core::deadline::certified_slack(best);
+        captured.push((problem.clone(), slack));
+        let plan = solver
+            .system2_allocation(&problem, slack)
+            .expect("feasible");
+        let sequences = stretch_core::plan::site_sequences(&problem, &plan, PieceOrdering::Online);
+        let execution = execute_sequences(&problem, &sequences, now, horizon);
+        for (pending_idx, job) in problem.jobs.iter().enumerate() {
+            remaining[job.job_id] =
+                (remaining[job.job_id] - execution.executed[pending_idx]).max(0.0);
+            if execution.completions.contains_key(&pending_idx) {
+                remaining[job.job_id] = 0.0;
+            }
+        }
+    }
+    captured
+}
+
 fn bench_scheduler_overhead(c: &mut Criterion) {
     let report = run_overhead_study(2, 20, 11);
     println!("\n{}\n", report.render());
@@ -399,6 +450,39 @@ fn bench_scheduler_overhead(c: &mut Criterion) {
         let mut solver = ParametricDeadlineSolver::new();
         b.iter(|| black_box(solver.min_feasible_stretch(&offline).unwrap()))
     });
+
+    // Min-cost backend comparison on the same 3-cluster workload: the
+    // captured per-event System-(2) solves (where the backends actually
+    // differ — the feasibility probes are backend-independent) and the full
+    // on-line loop end to end.  One row per backend; the CI bench-smoke
+    // step checks these keys exist in BENCH_baseline.json.
+    let system2_events = capture_system2_events(&instance);
+    assert!(!system2_events.is_empty());
+    for config in SolverConfig::all_backends() {
+        let mut backend = config.instantiate();
+        let mut ws = FlowWorkspace::new();
+        group.bench_function(format!("system2-events/{}", config.backend.name()), |b| {
+            b.iter(|| {
+                let mut pieces = 0usize;
+                for (problem, slack) in &system2_events {
+                    let plan = problem
+                        .system2_allocation_with_backend(*slack, backend.as_mut(), &mut ws)
+                        .expect("feasible at the captured objective");
+                    pieces += plan.pieces.len();
+                }
+                black_box(pieces)
+            })
+        });
+        group.bench_function(format!("online-loop/{}", config.backend.name()), |b| {
+            b.iter(|| {
+                black_box(
+                    run_online_with(&instance, OnlineVariant::Online, config)
+                        .expect("schedulable")
+                        .len(),
+                )
+            })
+        });
+    }
     group.finish();
 }
 

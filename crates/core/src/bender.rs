@@ -10,6 +10,7 @@
 //! (The companion SODA'02 algorithm, `Bender02`, is a simple pseudo-stretch
 //! priority rule and lives in [`crate::list`] as [`crate::list::ListRule::Bender02`].)
 
+use crate::config::SolverConfig;
 use crate::deadline::{DeadlineProblem, PendingJob};
 use crate::parametric::ParametricDeadlineSolver;
 use crate::plan::execute_list_order;
@@ -19,12 +20,21 @@ use stretch_workload::Instance;
 
 /// The Bender et al. 1998 guaranteed on-line algorithm.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct Bender98Scheduler;
+pub struct Bender98Scheduler {
+    config: SolverConfig,
+}
 
 impl Bender98Scheduler {
-    /// Creates the scheduler.
+    /// Creates the scheduler with the default [`SolverConfig`].
     pub fn new() -> Self {
-        Bender98Scheduler
+        Self::default()
+    }
+
+    /// Creates the scheduler with an explicit solver configuration (the
+    /// per-arrival optimisation is a pure feasibility search, so the
+    /// min-cost backend is only exercised indirectly; kept for uniformity).
+    pub fn with_config(config: SolverConfig) -> Self {
+        Bender98Scheduler { config }
     }
 }
 
@@ -43,7 +53,7 @@ impl Scheduler for Bender98Scheduler {
         events.sort_by(|a, b| a.partial_cmp(b).unwrap());
         events.dedup_by(|a, b| (*a - *b).abs() <= 1e-12);
         // One parametric engine across the per-arrival re-optimisations.
-        let mut solver = ParametricDeadlineSolver::new();
+        let mut solver = ParametricDeadlineSolver::with_config(self.config);
 
         for (e, &now) in events.iter().enumerate() {
             let horizon = events.get(e + 1).copied().unwrap_or(f64::INFINITY);

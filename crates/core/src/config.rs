@@ -1,0 +1,112 @@
+//! Solver configuration threaded through the scheduling layer.
+//!
+//! Every optimisation-based scheduler bottoms out in two flow solves: the
+//! max-flow feasibility probes of the min-stretch search (backend-independent)
+//! and the System-(2) min-cost re-allocation, which runs on a pluggable
+//! [`MinCostBackend`](stretch_flow::MinCostBackend).  A [`SolverConfig`]
+//! names the backend; it is carried by the schedulers
+//! ([`crate::OnlineScheduler::with_config`],
+//! [`crate::OfflineScheduler::with_config`],
+//! [`crate::Bender98Scheduler::with_config`]) and by the reusable
+//! [`crate::ParametricDeadlineSolver`].
+//!
+//! The **default** configuration reads the `STRETCH_MINCOST_BACKEND`
+//! environment variable once per process (`primal-dual`, the reference, when
+//! unset or unrecognised; `simplex` selects the network simplex).  This is
+//! how the CI test matrix runs the whole suite — schedulers, experiments,
+//! property tests — on either backend without touching call sites.
+
+use std::sync::OnceLock;
+use stretch_flow::{BackendKind, MinCostBackend};
+
+/// Configuration of the flow solvers used by the scheduling layer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct SolverConfig {
+    /// Which engine solves the System-(2) min-cost transportation problems.
+    pub backend: BackendKind,
+}
+
+impl SolverConfig {
+    /// The primal-dual reference backend.
+    pub fn primal_dual() -> Self {
+        SolverConfig {
+            backend: BackendKind::PrimalDual,
+        }
+    }
+
+    /// The network-simplex backend.
+    pub fn network_simplex() -> Self {
+        SolverConfig {
+            backend: BackendKind::NetworkSimplex,
+        }
+    }
+
+    /// One configuration per available backend, reference first (the shape
+    /// the differential tests and benches iterate over).
+    pub fn all_backends() -> impl Iterator<Item = SolverConfig> {
+        BackendKind::ALL
+            .into_iter()
+            .map(|backend| SolverConfig { backend })
+    }
+
+    /// Reads `STRETCH_MINCOST_BACKEND` (uncached); unset or unrecognised
+    /// values fall back to the primal-dual reference.
+    pub fn from_env() -> Self {
+        let backend = std::env::var("STRETCH_MINCOST_BACKEND")
+            .ok()
+            .and_then(|v| BackendKind::parse(&v))
+            .unwrap_or_default();
+        SolverConfig { backend }
+    }
+
+    /// Instantiates the configured min-cost backend.
+    pub fn instantiate(&self) -> Box<dyn MinCostBackend + Send> {
+        self.backend.instantiate()
+    }
+}
+
+impl Default for SolverConfig {
+    /// The process-wide default: `STRETCH_MINCOST_BACKEND` read **once** on
+    /// first use (the schedulers construct solvers on hot paths).
+    fn default() -> Self {
+        static DEFAULT: OnceLock<SolverConfig> = OnceLock::new();
+        *DEFAULT.get_or_init(SolverConfig::from_env)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn explicit_constructors_name_their_backends() {
+        assert_eq!(SolverConfig::primal_dual().backend.name(), "primal-dual");
+        assert_eq!(SolverConfig::network_simplex().backend.name(), "simplex");
+        let all: Vec<_> = SolverConfig::all_backends().collect();
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0], SolverConfig::primal_dual());
+    }
+
+    #[test]
+    fn instantiated_backends_match_their_kind() {
+        for config in SolverConfig::all_backends() {
+            assert_eq!(config.instantiate().name(), config.backend.name());
+        }
+    }
+
+    #[test]
+    fn unrecognised_values_fall_back_to_the_reference() {
+        // `from_env` composes `parse` with `unwrap_or_default`; asserting on
+        // those pieces avoids mutating the process environment (this binary
+        // runs tests in parallel, and the CI matrix relies on the variable).
+        let parsed = BackendKind::parse("definitely-not-a-backend");
+        assert_eq!(parsed, None);
+        assert_eq!(parsed.unwrap_or_default(), BackendKind::PrimalDual);
+        assert_eq!(
+            SolverConfig {
+                backend: parsed.unwrap_or_default()
+            },
+            SolverConfig::primal_dual()
+        );
+    }
+}

@@ -12,10 +12,25 @@
 
 use crate::parametric::ParametricDeadlineSolver;
 use crate::sites::SiteView;
-use stretch_flow::{FlowWorkspace, TransportInstance, TransportSolution};
+use stretch_flow::{
+    FlowWorkspace, MinCostBackend, PrimalDualBackend, TransportInstance, TransportSolution,
+};
 
 /// Relative tolerance used when bisecting on the objective `F`.
 pub const STRETCH_TOL: f64 = 1e-7;
+
+/// The objective an allocation is solved at, given the optimal max-stretch
+/// `best` returned by the bisection/Newton search.
+///
+/// The slack must dominate both the search tolerance ([`STRETCH_TOL`],
+/// relative) and the flow feasibility tolerance, otherwise an allocation at
+/// the search's answer can be judged infeasible by the tighter-toleranced
+/// min-cost solve.  Every consumer of a computed optimum (the on-line loop,
+/// the off-line realisation, the benches and the differential tests) must
+/// use this one formula so they solve the same instances.
+pub fn certified_slack(best: f64) -> f64 {
+    best * (1.0 + 1e-4) + 1e-9
+}
 
 /// A job still needing work, as seen by the deadline-scheduling problems.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -414,13 +429,28 @@ impl DeadlineProblem {
         stretch: f64,
         workspace: &mut FlowWorkspace,
     ) -> Option<AllocationPlan> {
+        self.system2_allocation_with_backend(stretch, &mut PrimalDualBackend, workspace)
+    }
+
+    /// [`Self::system2_allocation`] on an explicit min-cost backend.
+    ///
+    /// This is where the [`stretch_flow::MinCostBackend`] abstraction meets
+    /// the scheduler: the System-(2) objective is the only nonzero-cost
+    /// transportation solve on the hot path, so the backend choice of
+    /// [`crate::SolverConfig`] lands here.
+    pub fn system2_allocation_with_backend(
+        &self,
+        stretch: f64,
+        backend: &mut dyn MinCostBackend,
+        workspace: &mut FlowWorkspace,
+    ) -> Option<AllocationPlan> {
         if self.is_trivial() {
             return Some(AllocationPlan::default());
         }
         let (t, intervals) = self.transport(stretch, |job_idx, (start, end)| {
             0.5 * (start + end) / self.jobs[job_idx].work
         });
-        let solution = t.solve_min_cost_with(workspace)?;
+        let solution = t.solve_min_cost_with_backend(backend, workspace)?;
         Some(AllocationPlan::from_transport(self, intervals, &solution))
     }
 

@@ -61,9 +61,17 @@
 //! `Online`/`Online-EDF` per-event loop runs ≥3× faster than the
 //! from-scratch engine it replaced (kept verbatim in the bench as
 //! `engine/online-loop/seed` for future comparisons).
+//!
+//! The remaining per-event cost is the System-(2) min-cost solve, which runs
+//! on a pluggable [`stretch_flow::MinCostBackend`] selected by
+//! [`SolverConfig`]: the primal-dual reference kernel or a warm-startable
+//! network simplex (`STRETCH_MINCOST_BACKEND=simplex`).  Both backends are
+//! cross-checked on generated workloads by the differential-oracle suite in
+//! `tests/backend_diff.rs`.
 
 pub mod adversarial;
 pub mod bender;
+pub mod config;
 pub mod deadline;
 pub mod greedy;
 pub mod list;
@@ -79,6 +87,7 @@ pub mod system2;
 pub mod uniproc;
 
 pub use bender::Bender98Scheduler;
+pub use config::SolverConfig;
 pub use greedy::MctScheduler;
 pub use list::ListScheduler;
 pub use offline::{OfflineBackend, OfflineScheduler, OptimalStretch};
@@ -87,3 +96,4 @@ pub use parametric::ParametricDeadlineSolver;
 pub use priority::PriorityRule;
 pub use scheduler::{ScheduleError, ScheduleResult, Scheduler};
 pub use sites::SiteView;
+pub use stretch_flow::BackendKind;

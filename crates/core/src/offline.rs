@@ -17,7 +17,9 @@
 //! every completion within its deadline and therefore achieves the optimal
 //! max-stretch.
 
+use crate::config::SolverConfig;
 use crate::deadline::{DeadlineProblem, PendingJob};
+use crate::parametric::ParametricDeadlineSolver;
 use crate::plan::{execute_sequences, site_sequences, PieceOrdering};
 use crate::scheduler::{ScheduleError, ScheduleResult, Scheduler};
 use crate::sites::SiteView;
@@ -84,6 +86,7 @@ pub fn optimal_max_stretch(
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct OfflineScheduler {
     backend: OfflineBackend,
+    config: SolverConfig,
 }
 
 impl OfflineScheduler {
@@ -94,7 +97,23 @@ impl OfflineScheduler {
 
     /// Creates the scheduler with an explicit back-end.
     pub fn with_backend(backend: OfflineBackend) -> Self {
-        OfflineScheduler { backend }
+        Self::with_backend_and_config(backend, SolverConfig::default())
+    }
+
+    /// Creates the scheduler with an explicit solver configuration and the
+    /// default (flow) back-end (the realised allocation is a zero-cost
+    /// transportation solve, so the min-cost backend choice only matters for
+    /// uniformity with the on-line schedulers — both backends must, and do,
+    /// accept it).
+    pub fn with_config(config: SolverConfig) -> Self {
+        Self::with_backend_and_config(OfflineBackend::default(), config)
+    }
+
+    /// Creates the scheduler with both axes explicit: which engine computes
+    /// the optimal max-stretch, and which min-cost backend realises the
+    /// allocation.
+    pub fn with_backend_and_config(backend: OfflineBackend, config: SolverConfig) -> Self {
+        OfflineScheduler { backend, config }
     }
 }
 
@@ -114,9 +133,10 @@ impl Scheduler for OfflineScheduler {
         // The slack must dominate both the bisection tolerance (1e-7 relative)
         // and the max-flow feasibility tolerance, otherwise an allocation
         // exactly at the bisection's answer can be judged infeasible.
-        let slack = stretch * (1.0 + 1e-4) + 1e-9;
-        let plan = problem
-            .feasibility_allocation_with(slack, &mut stretch_flow::FlowWorkspace::new())
+        let slack = crate::deadline::certified_slack(stretch);
+        let mut solver = ParametricDeadlineSolver::with_config(self.config);
+        let plan = solver
+            .feasibility_allocation(&problem, slack)
             .ok_or_else(|| {
                 ScheduleError::Optimisation("allocation infeasible at the optimal stretch".into())
             })?;

@@ -23,6 +23,7 @@
 //! simply runs EDF on the resulting deadlines: it is the baseline of the
 //! Figure 3 comparison, showing what the System-(2) refinement buys.
 
+use crate::config::SolverConfig;
 use crate::deadline::{DeadlineProblem, PendingJob};
 use crate::parametric::ParametricDeadlineSolver;
 use crate::plan::{execute_list_order, execute_sequences, site_sequences, PieceOrdering};
@@ -60,12 +61,20 @@ impl OnlineVariant {
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct OnlineScheduler {
     variant: OnlineVariant,
+    config: SolverConfig,
 }
 
 impl OnlineScheduler {
-    /// Creates a scheduler for the given variant.
+    /// Creates a scheduler for the given variant with the default
+    /// [`SolverConfig`].
     pub fn new(variant: OnlineVariant) -> Self {
-        OnlineScheduler { variant }
+        Self::with_config(variant, SolverConfig::default())
+    }
+
+    /// Creates a scheduler for the given variant on an explicit solver
+    /// configuration (min-cost backend selection).
+    pub fn with_config(variant: OnlineVariant, config: SolverConfig) -> Self {
+        OnlineScheduler { variant, config }
     }
 
     /// The `Online` variant.
@@ -92,7 +101,7 @@ impl Scheduler for OnlineScheduler {
     }
 
     fn schedule(&self, instance: &Instance) -> Result<ScheduleResult, ScheduleError> {
-        let completions = run_online(instance, self.variant)?;
+        let completions = run_online_with(instance, self.variant, self.config)?;
         Ok(ScheduleResult::from_completions(
             self.name(),
             instance,
@@ -103,6 +112,15 @@ impl Scheduler for OnlineScheduler {
 
 /// Runs the on-line heuristic and returns per-job completion times.
 pub fn run_online(instance: &Instance, variant: OnlineVariant) -> Result<Vec<f64>, ScheduleError> {
+    run_online_with(instance, variant, SolverConfig::default())
+}
+
+/// [`run_online`] on an explicit solver configuration.
+pub fn run_online_with(
+    instance: &Instance,
+    variant: OnlineVariant,
+    config: SolverConfig,
+) -> Result<Vec<f64>, ScheduleError> {
     let n = instance.num_jobs();
     let sites = SiteView::of(instance);
     let mut remaining: Vec<f64> = instance.jobs.iter().map(|j| j.work).collect();
@@ -112,8 +130,9 @@ pub fn run_online(instance: &Instance, variant: OnlineVariant) -> Result<Vec<f64
     }
     // One parametric engine for the whole run: every per-event optimisation
     // (the min-stretch search and the System-(2) re-allocation) reuses its
-    // scratch buffers instead of reallocating them at each arrival.
-    let mut solver = ParametricDeadlineSolver::new();
+    // scratch buffers — and the configured min-cost backend, which may carry
+    // a warm-startable basis — instead of reallocating them at each arrival.
+    let mut solver = ParametricDeadlineSolver::with_config(config);
 
     // Distinct release dates = the decision points of the on-line algorithm.
     let mut events: Vec<f64> = instance.jobs.iter().map(|j| j.release).collect();
@@ -147,7 +166,7 @@ pub fn run_online(instance: &Instance, variant: OnlineVariant) -> Result<Vec<f64
         })?;
         // Slack above the bisection answer so that the allocation step (which
         // uses tighter flow tolerances) is always feasible.
-        let slack = best * (1.0 + 1e-4) + 1e-9;
+        let slack = crate::deadline::certified_slack(best);
 
         // Steps 3-4: allocate and serialise according to the variant.
         let execution = match variant {

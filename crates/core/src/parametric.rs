@@ -36,8 +36,9 @@
 //! buffers) across calls, so the on-line schedulers allocate almost nothing
 //! inside the probe loop.
 
+use crate::config::SolverConfig;
 use crate::deadline::{AllocationPlan, DeadlineProblem, STRETCH_TOL};
-use stretch_flow::{FlowWorkspace, ParametricNetwork};
+use stretch_flow::{FlowWorkspace, MinCostBackend, ParametricNetwork};
 
 /// Feasibility tolerance of the flow probes, matching
 /// [`stretch_flow::TransportInstance::is_feasible`].
@@ -46,14 +47,24 @@ const FEAS_TOL: f64 = 1e-6;
 /// A reusable engine solving deadline problems by parametric flow probes.
 ///
 /// Create one per scheduler (or per run) and feed it every
-/// [`DeadlineProblem`] the scheduler encounters; all scratch memory is
-/// reused across calls.
-#[derive(Default)]
+/// [`DeadlineProblem`] the scheduler encounters; all scratch memory — and
+/// the min-cost backend named by its [`SolverConfig`], which may carry a
+/// warm-startable basis — is reused across calls.
 pub struct ParametricDeadlineSolver {
     workspace: FlowWorkspace,
     /// Min-cut scratch: source-side flags over jobs and bins.
     cut_sources: Vec<bool>,
     cut_bins: Vec<bool>,
+    /// The configured System-(2) min-cost engine, held across events so a
+    /// warm-startable backend keeps its basis.
+    backend: Box<dyn MinCostBackend + Send>,
+    config: SolverConfig,
+}
+
+impl Default for ParametricDeadlineSolver {
+    fn default() -> Self {
+        Self::with_config(SolverConfig::default())
+    }
 }
 
 /// The shared structure of a deadline problem's transportation instances,
@@ -279,9 +290,26 @@ impl ParametricStructure {
 }
 
 impl ParametricDeadlineSolver {
-    /// Creates a solver with empty scratch (grows on first use).
+    /// Creates a solver with empty scratch (grows on first use) and the
+    /// default [`SolverConfig`] (`STRETCH_MINCOST_BACKEND`, read once).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates a solver with an explicit configuration.
+    pub fn with_config(config: SolverConfig) -> Self {
+        ParametricDeadlineSolver {
+            workspace: FlowWorkspace::new(),
+            cut_sources: Vec::new(),
+            cut_bins: Vec::new(),
+            backend: config.instantiate(),
+            config,
+        }
+    }
+
+    /// The configuration this solver was built with.
+    pub fn config(&self) -> SolverConfig {
+        self.config
     }
 
     /// One from-scratch feasibility probe (fresh topology, reused scratch).
@@ -391,14 +419,15 @@ impl ParametricDeadlineSolver {
         Some(hi)
     }
 
-    /// Solves System (2) at objective `stretch`, reusing the solver scratch;
-    /// see [`DeadlineProblem::system2_allocation`].
+    /// Solves System (2) at objective `stretch` on the configured min-cost
+    /// backend, reusing the solver scratch; see
+    /// [`DeadlineProblem::system2_allocation`].
     pub fn system2_allocation(
         &mut self,
         problem: &DeadlineProblem,
         stretch: f64,
     ) -> Option<AllocationPlan> {
-        problem.system2_allocation_with(stretch, &mut self.workspace)
+        problem.system2_allocation_with_backend(stretch, self.backend.as_mut(), &mut self.workspace)
     }
 
     /// Ships every remaining unit of work at zero cost (the System-(1)

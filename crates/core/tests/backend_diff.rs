@@ -1,0 +1,504 @@
+//! Differential-oracle harness for the min-cost backends.
+//!
+//! A second solver is only trustworthy if it provably agrees with the first,
+//! so this suite cross-checks the network simplex against the primal-dual
+//! reference on proptest-generated platforms and workloads, at two levels:
+//!
+//! * **transport level** — random bipartite transportation instances: both
+//!   backends must agree on feasibility and on the minimum cost, and every
+//!   solution must actually ship each demand within each capacity;
+//! * **scheduler level** — random deadline problems (sites, databanks,
+//!   pending jobs): at a feasible objective both backends' System-(2)
+//!   allocations must have equal cost and both must be *feasible* plans
+//!   (work conserved, bin capacities respected, eligibility respected).
+//!
+//! The vendored `proptest` stub does not shrink, so on a divergence the
+//! harness minimises the counter-example itself — greedily dropping jobs
+//! (or routes) while the divergence persists — and panics with the minimal
+//! reproducer in the message.
+//!
+//! Together with `ProptestConfig::with_cases`, the two generators below
+//! exercise well over 200 distinct instances per run.
+
+use proptest::prelude::*;
+use stretch_core::deadline::{AllocationPlan, DeadlineProblem, PendingJob};
+use stretch_core::sites::{Site, SiteView};
+use stretch_core::SolverConfig;
+use stretch_flow::{FlowWorkspace, TransportInstance};
+
+/// Relative/absolute tolerance for cost and work comparisons.
+const TOL: f64 = 1e-6;
+
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= TOL * (1.0 + a.abs().max(b.abs()))
+}
+
+// ---------------------------------------------------------------------------
+// Transport level
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Debug)]
+struct TransportCase {
+    demands: Vec<f64>,
+    capacities: Vec<f64>,
+    routes: Vec<(usize, usize, f64)>,
+}
+
+impl TransportCase {
+    fn build(&self) -> TransportInstance {
+        let mut t = TransportInstance::new(self.demands.len(), self.capacities.len());
+        for (j, &d) in self.demands.iter().enumerate() {
+            t.set_demand(j, d);
+        }
+        for (b, &c) in self.capacities.iter().enumerate() {
+            t.set_capacity(b, c);
+        }
+        for &(j, b, cost) in &self.routes {
+            t.add_route(j, b, cost);
+        }
+        t
+    }
+
+    /// `Some(divergence report)` when the backends disagree on this case.
+    fn divergence(&self) -> Option<String> {
+        let t = self.build();
+        let mut results = Vec::new();
+        for config in SolverConfig::all_backends() {
+            let mut backend = config.instantiate();
+            let solution =
+                t.solve_min_cost_with_backend(backend.as_mut(), &mut FlowWorkspace::new());
+            if let Some(s) = &solution {
+                if let Some(err) = check_transport_feasibility(self, s) {
+                    return Some(format!(
+                        "{} produced an invalid solution: {err}",
+                        backend.name()
+                    ));
+                }
+            }
+            results.push((backend.name(), solution.map(|s| s.cost)));
+        }
+        let (ref_name, ref_cost) = results[0];
+        for (name, cost) in &results[1..] {
+            match (&ref_cost, cost) {
+                (Some(a), Some(b)) if !close(*a, *b) => {
+                    return Some(format!("cost mismatch: {ref_name}={a} vs {name}={b}"));
+                }
+                (Some(_), None) | (None, Some(_)) => {
+                    return Some(format!(
+                        "feasibility mismatch: {ref_name}={ref_cost:?} vs {name}={cost:?}"
+                    ));
+                }
+                _ => {}
+            }
+        }
+        None
+    }
+
+    /// Greedy shrink: drop routes one at a time while the divergence holds.
+    fn minimise(mut self) -> TransportCase {
+        loop {
+            let mut shrunk = false;
+            for idx in (0..self.routes.len()).rev() {
+                let mut candidate = self.clone();
+                candidate.routes.remove(idx);
+                if candidate.divergence().is_some() {
+                    self = candidate;
+                    shrunk = true;
+                    break;
+                }
+            }
+            if !shrunk {
+                return self;
+            }
+        }
+    }
+}
+
+/// Every demand shipped, every capacity respected, every amount on a
+/// declared route.
+fn check_transport_feasibility(
+    case: &TransportCase,
+    solution: &stretch_flow::TransportSolution,
+) -> Option<String> {
+    for (j, &d) in case.demands.iter().enumerate() {
+        let shipped = solution.shipped_from(j);
+        if !close(shipped, d) {
+            return Some(format!("source {j} ships {shipped}, demand {d}"));
+        }
+    }
+    for (b, &c) in case.capacities.iter().enumerate() {
+        let received = solution.received_by(b);
+        if received > c + TOL * (1.0 + c) {
+            return Some(format!("bin {b} receives {received}, capacity {c}"));
+        }
+    }
+    for &(j, b, amount) in &solution.allocations {
+        if amount < -TOL {
+            return Some(format!("negative amount {amount} on ({j}, {b})"));
+        }
+        if !case.routes.iter().any(|&(rj, rb, _)| rj == j && rb == b) {
+            return Some(format!("allocation on undeclared route ({j}, {b})"));
+        }
+    }
+    None
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn backends_agree_on_random_transport_instances(
+        num_sources in 1usize..6,
+        num_bins in 1usize..6,
+        demand_seed in proptest::collection::vec(0.25f64..5.0, 1..6),
+        capacity_seed in proptest::collection::vec(0.25f64..6.0, 1..6),
+        cost_seed in proptest::collection::vec(0.0f64..8.0, 1..32),
+        density in 0.3f64..1.0,
+    ) {
+        let demands: Vec<f64> = (0..num_sources)
+            .map(|j| demand_seed[j % demand_seed.len()])
+            .collect();
+        let capacities: Vec<f64> = (0..num_bins)
+            .map(|b| capacity_seed[b % capacity_seed.len()])
+            .collect();
+        let mut routes = Vec::new();
+        for j in 0..num_sources {
+            for b in 0..num_bins {
+                let key = ((j * 31 + b * 17) % 10) as f64 / 10.0;
+                if key <= density {
+                    routes.push((j, b, cost_seed[(j * num_bins + b) % cost_seed.len()]));
+                }
+            }
+        }
+        let case = TransportCase { demands, capacities, routes };
+        if let Some(report) = case.divergence() {
+            let minimal = case.minimise();
+            prop_assert!(
+                false,
+                "backend divergence: {report}\nminimal reproducer: {minimal:?}"
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler level
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Debug)]
+struct SchedulerCase {
+    sites: Vec<(f64, Vec<usize>)>,
+    jobs: Vec<(f64, f64, usize)>, // (release, work, databank)
+}
+
+impl SchedulerCase {
+    fn problem(&self) -> DeadlineProblem {
+        let sites = SiteView {
+            sites: self
+                .sites
+                .iter()
+                .enumerate()
+                .map(|(cluster, (speed, banks))| Site {
+                    cluster,
+                    speed: *speed,
+                    hosted_databanks: banks.clone(),
+                })
+                .collect(),
+        };
+        let jobs = self
+            .jobs
+            .iter()
+            .enumerate()
+            .map(|(id, &(release, work, databank))| PendingJob {
+                job_id: id,
+                release,
+                ready: release,
+                work,
+                remaining: work,
+                databank,
+            })
+            .collect();
+        DeadlineProblem::new(jobs, sites, 0.0)
+    }
+
+    /// System-(2) objective value of a plan (interval midpoint over job
+    /// size, summed over pieces), recomputed from first principles.
+    fn objective(&self, plan: &AllocationPlan) -> f64 {
+        plan.pieces
+            .iter()
+            .map(|p| {
+                let (start, end) = plan.intervals[p.interval];
+                p.work * 0.5 * (start + end) / self.jobs[p.job_index].1
+            })
+            .sum()
+    }
+
+    /// The plan ships every remaining unit within capacity and eligibility.
+    fn check_plan_feasibility(
+        &self,
+        problem: &DeadlineProblem,
+        stretch: f64,
+        plan: &AllocationPlan,
+    ) -> Option<String> {
+        for (j, job) in problem.jobs.iter().enumerate() {
+            let assigned = plan.work_of(j);
+            if !close(assigned, job.remaining) {
+                return Some(format!(
+                    "job {j} assigned {assigned}, remaining {}",
+                    job.remaining
+                ));
+            }
+        }
+        let mut received = vec![0.0; problem.sites.len() * plan.intervals.len()];
+        for p in &plan.pieces {
+            let job = &problem.jobs[p.job_index];
+            let site = &problem.sites.sites[p.site];
+            if !site.hosts(job.databank) {
+                return Some(format!(
+                    "piece of job {} on site {} which does not host databank {}",
+                    p.job_index, p.site, job.databank
+                ));
+            }
+            let (start, end) = plan.intervals[p.interval];
+            let deadline = job.deadline(stretch);
+            if job.ready > start + 1e-6 || deadline < end - 1e-6 {
+                return Some(format!(
+                    "piece of job {} in [{start}, {end}) outside [{}, {deadline}]",
+                    p.job_index, job.ready
+                ));
+            }
+            received[p.site * plan.intervals.len() + p.interval] += p.work;
+        }
+        for (bin, &r) in received.iter().enumerate() {
+            let site = bin / plan.intervals.len();
+            let (start, end) = plan.intervals[bin % plan.intervals.len()];
+            let capacity = problem.sites.sites[site].speed * (end - start);
+            if r > capacity + TOL * (1.0 + capacity) {
+                return Some(format!("bin {bin} receives {r}, capacity {capacity}"));
+            }
+        }
+        None
+    }
+
+    /// `Some(report)` when the backends diverge on this problem.
+    fn divergence(&self) -> Option<String> {
+        let problem = self.problem();
+        if problem.is_trivial() {
+            return None;
+        }
+        let best = problem.min_feasible_stretch()?;
+        let stretch = stretch_core::deadline::certified_slack(best);
+        let mut plans = Vec::new();
+        for config in SolverConfig::all_backends() {
+            let mut backend = config.instantiate();
+            let plan = problem.system2_allocation_with_backend(
+                stretch,
+                backend.as_mut(),
+                &mut FlowWorkspace::new(),
+            );
+            let Some(plan) = plan else {
+                return Some(format!(
+                    "{} found the certified objective {stretch} infeasible",
+                    backend.name()
+                ));
+            };
+            if let Some(err) = self.check_plan_feasibility(&problem, stretch, &plan) {
+                return Some(format!(
+                    "{} produced an infeasible plan: {err}",
+                    backend.name()
+                ));
+            }
+            plans.push((backend.name(), self.objective(&plan)));
+        }
+        let (ref_name, ref_cost) = plans[0];
+        for &(name, cost) in &plans[1..] {
+            if !close(ref_cost, cost) {
+                return Some(format!(
+                    "System-(2) objective mismatch: {ref_name}={ref_cost} vs {name}={cost}"
+                ));
+            }
+        }
+        None
+    }
+
+    /// Greedy shrink: drop jobs one at a time while the divergence holds.
+    fn minimise(mut self) -> SchedulerCase {
+        loop {
+            let mut shrunk = false;
+            for idx in (0..self.jobs.len()).rev() {
+                let mut candidate = self.clone();
+                candidate.jobs.remove(idx);
+                if candidate.divergence().is_some() {
+                    self = candidate;
+                    shrunk = true;
+                    break;
+                }
+            }
+            if !shrunk {
+                return self;
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn backends_agree_on_random_deadline_problems(
+        num_sites in 1usize..4,
+        num_banks in 1usize..4,
+        speed_seed in proptest::collection::vec(0.5f64..4.0, 1..4),
+        hosting_seed in proptest::collection::vec(0u64..1_000_000, 1..12),
+        release_seed in proptest::collection::vec(0.0f64..6.0, 1..8),
+        work_seed in proptest::collection::vec(0.5f64..5.0, 1..8),
+        num_jobs in 1usize..8,
+    ) {
+        // Sites: pseudo-random hosting pattern; every databank is forced
+        // onto at least one site so a finite stretch always exists.
+        let mut sites: Vec<(f64, Vec<usize>)> = (0..num_sites)
+            .map(|s| {
+                let speed = speed_seed[s % speed_seed.len()];
+                let banks: Vec<usize> = (0..num_banks)
+                    .filter(|&d| hosting_seed[(s * num_banks + d) % hosting_seed.len()] % 2 == 0)
+                    .collect();
+                (speed, banks)
+            })
+            .collect();
+        for d in 0..num_banks {
+            if !sites.iter().any(|(_, banks)| banks.contains(&d)) {
+                let fallback = d % num_sites;
+                sites[fallback].1.push(d);
+            }
+        }
+        let jobs: Vec<(f64, f64, usize)> = (0..num_jobs)
+            .map(|j| {
+                (
+                    release_seed[j % release_seed.len()],
+                    work_seed[j % work_seed.len()],
+                    (hosting_seed[j % hosting_seed.len()] as usize) % num_banks,
+                )
+            })
+            .collect();
+        let case = SchedulerCase { sites, jobs };
+        if let Some(report) = case.divergence() {
+            let minimal = case.minimise();
+            prop_assert!(
+                false,
+                "backend divergence: {report}\nminimal reproducer: {minimal:?}"
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: the full on-line loop on either backend
+// ---------------------------------------------------------------------------
+
+#[test]
+fn online_schedulers_complete_identical_workloads_on_both_backends() {
+    use stretch_core::{OnlineScheduler, OnlineVariant, Scheduler};
+    use stretch_platform::fixtures::small_platform;
+    use stretch_workload::{Instance, Job};
+
+    let instance = Instance::new(
+        small_platform(),
+        vec![
+            Job::new(0, 0.0, 300.0, 0),
+            Job::new(1, 1.0, 60.0, 1),
+            Job::new(2, 2.5, 120.0, 0),
+            Job::new(3, 4.0, 30.0, 1),
+            Job::new(4, 6.0, 90.0, 0),
+        ],
+    );
+    for variant in [
+        OnlineVariant::Online,
+        OnlineVariant::OnlineEdf,
+        OnlineVariant::OnlineEgdf,
+    ] {
+        let results: Vec<_> = SolverConfig::all_backends()
+            .map(|config| {
+                OnlineScheduler::with_config(variant, config)
+                    .schedule(&instance)
+                    .expect("schedulable")
+            })
+            .collect();
+        // Both backends realise (near-)optimal max-stretch: the achieved
+        // objective may differ only within the allocation slack, whatever
+        // degenerate optimum each backend picked.
+        let reference = results[0].metrics.max_stretch;
+        for r in &results[1..] {
+            assert!(
+                (r.metrics.max_stretch - reference).abs() <= 1e-3 * (1.0 + reference),
+                "{variant:?}: max-stretch {} vs reference {reference}",
+                r.metrics.max_stretch
+            );
+        }
+    }
+}
+
+/// The reference backend must also agree with the `stretch-lp` simplex on
+/// the exact LP formulation — this closes the oracle triangle (primal-dual ↔
+/// network simplex ↔ LP); the flow-vs-LP edge lives in
+/// `crates/flow/tests/lp_cross_validation.rs`.
+#[test]
+fn both_backends_match_the_lp_simplex_on_a_fixed_instance() {
+    use stretch_lp::problem::{Problem, Relation, Sense};
+
+    let case = TransportCase {
+        demands: vec![2.0, 3.0, 1.5],
+        capacities: vec![3.0, 2.5, 4.0],
+        routes: vec![
+            (0, 0, 1.0),
+            (0, 1, 4.0),
+            (1, 0, 2.0),
+            (1, 2, 1.0),
+            (2, 1, 0.5),
+            (2, 2, 3.0),
+        ],
+    };
+    // LP oracle.
+    let mut p = Problem::new(Sense::Minimize);
+    let vars: Vec<_> = (0..case.routes.len())
+        .map(|k| p.add_var(format!("x{k}")))
+        .collect();
+    for (k, &(_, _, cost)) in case.routes.iter().enumerate() {
+        p.set_objective_coeff(vars[k], cost);
+    }
+    for (j, &d) in case.demands.iter().enumerate() {
+        let coeffs: Vec<_> = case
+            .routes
+            .iter()
+            .enumerate()
+            .filter(|(_, &(src, _, _))| src == j)
+            .map(|(k, _)| (vars[k], 1.0))
+            .collect();
+        p.add_constraint_coeffs(&coeffs, Relation::Eq, d);
+    }
+    for (b, &c) in case.capacities.iter().enumerate() {
+        let coeffs: Vec<_> = case
+            .routes
+            .iter()
+            .enumerate()
+            .filter(|(_, &(_, bin, _))| bin == b)
+            .map(|(k, _)| (vars[k], 1.0))
+            .collect();
+        p.add_constraint_coeffs(&coeffs, Relation::Le, c);
+    }
+    let lp_cost = p.solve().expect("feasible").objective;
+
+    let t = case.build();
+    for config in SolverConfig::all_backends() {
+        let mut backend = config.instantiate();
+        let solution = t
+            .solve_min_cost_with_backend(backend.as_mut(), &mut FlowWorkspace::new())
+            .expect("feasible");
+        assert!(
+            close(solution.cost, lp_cost),
+            "{}: {} vs LP {}",
+            backend.name(),
+            solution.cost,
+            lp_cost
+        );
+    }
+}

@@ -1,8 +1,9 @@
 //! Running a full campaign over the experimental grid, in parallel.
 
 use crate::config::ExperimentConfig;
-use crate::runner::{run_instance, InstanceObservation};
+use crate::runner::{run_instance_with, InstanceObservation};
 use rayon::prelude::*;
+use stretch_core::SolverConfig;
 
 /// Settings of a campaign run.
 ///
@@ -19,6 +20,9 @@ pub struct CampaignSettings {
     pub target_jobs: usize,
     /// Base random seed; instance `(c, i)` uses `seed + c·10_000 + i`.
     pub base_seed: u64,
+    /// Solver configuration handed to the LP/flow-based heuristics
+    /// (min-cost backend selection).
+    pub solver: SolverConfig,
 }
 
 impl Default for CampaignSettings {
@@ -27,6 +31,7 @@ impl Default for CampaignSettings {
             instances_per_config: 5,
             target_jobs: 30,
             base_seed: 42,
+            solver: SolverConfig::default(),
         }
     }
 }
@@ -38,7 +43,13 @@ impl CampaignSettings {
             instances_per_config: 1,
             target_jobs: 10,
             base_seed: 7,
+            solver: SolverConfig::default(),
         }
+    }
+
+    /// This settings value on an explicit solver configuration.
+    pub fn with_solver(self, solver: SolverConfig) -> Self {
+        CampaignSettings { solver, ..self }
     }
 
     /// Reads overrides from the environment, so the reproduction binaries can
@@ -47,7 +58,9 @@ impl CampaignSettings {
     ///
     /// * `STRETCH_INSTANCES` — instances per configuration (default 5);
     /// * `STRETCH_JOBS` — expected jobs per instance (default 30);
-    /// * `STRETCH_SEED` — base random seed (default 42).
+    /// * `STRETCH_SEED` — base random seed (default 42);
+    /// * `STRETCH_MINCOST_BACKEND` — min-cost backend of the LP/flow
+    ///   heuristics (`primal-dual`, the default, or `simplex`).
     pub fn from_env() -> Self {
         let read = |name: &str, default: u64| -> u64 {
             std::env::var(name)
@@ -59,6 +72,7 @@ impl CampaignSettings {
             instances_per_config: read("STRETCH_INSTANCES", 5) as usize,
             target_jobs: read("STRETCH_JOBS", 30) as usize,
             base_seed: read("STRETCH_SEED", 42),
+            solver: SolverConfig::from_env(),
         }
     }
 }
@@ -106,7 +120,7 @@ pub fn run_campaign(grid: &[ExperimentConfig], settings: CampaignSettings) -> Ca
         .par_iter()
         .map(|&(c, i)| {
             let seed = settings.base_seed + c as u64 * 10_000 + i as u64;
-            run_instance(&grid[c], settings.target_jobs, seed)
+            run_instance_with(&grid[c], settings.target_jobs, seed, settings.solver)
         })
         .collect();
     CampaignResult {

@@ -1,7 +1,8 @@
 //! The battery of schedulers evaluated in Table 1.
 
 use stretch_core::{
-    Bender98Scheduler, ListScheduler, MctScheduler, OfflineScheduler, OnlineScheduler, Scheduler,
+    Bender98Scheduler, ListScheduler, MctScheduler, OfflineScheduler, OnlineScheduler,
+    OnlineVariant, Scheduler, SolverConfig,
 };
 
 /// The schedulers of Table 1, identified by name.
@@ -65,14 +66,29 @@ impl HeuristicKind {
         }
     }
 
-    /// Builds the corresponding scheduler.
+    /// Builds the corresponding scheduler with the default [`SolverConfig`].
     pub fn scheduler(&self) -> Box<dyn Scheduler + Send + Sync> {
+        self.scheduler_with(SolverConfig::default())
+    }
+
+    /// Builds the corresponding scheduler on an explicit solver
+    /// configuration (min-cost backend selection for the LP/flow-based
+    /// heuristics; the list and greedy rules ignore it).
+    pub fn scheduler_with(&self, config: SolverConfig) -> Box<dyn Scheduler + Send + Sync> {
         match self {
-            HeuristicKind::Offline => Box::new(OfflineScheduler::new()),
-            HeuristicKind::Online => Box::new(OnlineScheduler::online()),
-            HeuristicKind::OnlineEdf => Box::new(OnlineScheduler::online_edf()),
-            HeuristicKind::OnlineEgdf => Box::new(OnlineScheduler::online_egdf()),
-            HeuristicKind::Bender98 => Box::new(Bender98Scheduler::new()),
+            HeuristicKind::Offline => Box::new(OfflineScheduler::with_config(config)),
+            HeuristicKind::Online => {
+                Box::new(OnlineScheduler::with_config(OnlineVariant::Online, config))
+            }
+            HeuristicKind::OnlineEdf => Box::new(OnlineScheduler::with_config(
+                OnlineVariant::OnlineEdf,
+                config,
+            )),
+            HeuristicKind::OnlineEgdf => Box::new(OnlineScheduler::with_config(
+                OnlineVariant::OnlineEgdf,
+                config,
+            )),
+            HeuristicKind::Bender98 => Box::new(Bender98Scheduler::with_config(config)),
             HeuristicKind::Swrpt => Box::new(ListScheduler::swrpt()),
             HeuristicKind::Srpt => Box::new(ListScheduler::srpt()),
             HeuristicKind::Spt => Box::new(ListScheduler::spt()),

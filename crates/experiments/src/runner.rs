@@ -5,6 +5,7 @@ use crate::heuristics::{HeuristicKind, TABLE1_ORDER};
 use crate::json::Json;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+use stretch_core::SolverConfig;
 use stretch_platform::{PlatformConfig, PlatformGenerator};
 use stretch_workload::{Instance, WorkloadConfig, WorkloadGenerator};
 
@@ -85,6 +86,18 @@ pub fn run_instance(
     target_jobs: usize,
     seed: u64,
 ) -> InstanceObservation {
+    run_instance_with(config, target_jobs, seed, SolverConfig::default())
+}
+
+/// [`run_instance`] with an explicit solver configuration for the LP/flow
+/// heuristics (instance generation is unaffected: the same seed draws the
+/// same workload whatever the backend).
+pub fn run_instance_with(
+    config: &ExperimentConfig,
+    target_jobs: usize,
+    seed: u64,
+    solver: SolverConfig,
+) -> InstanceObservation {
     let instance = draw_instance(config, target_jobs, seed);
     let num_events = {
         let mut releases: Vec<f64> = instance.jobs.iter().map(|j| j.release).collect();
@@ -98,7 +111,7 @@ pub fn run_instance(
             observations.push(None);
             continue;
         }
-        let scheduler = kind.scheduler();
+        let scheduler = kind.scheduler_with(solver);
         let start = std::time::Instant::now();
         let result = scheduler.schedule(&instance);
         let elapsed = start.elapsed().as_secs_f64();

@@ -1,0 +1,164 @@
+//! Pluggable back-ends for the minimum-cost solve.
+//!
+//! The System-(2) re-allocation — the dominant per-event cost of the on-line
+//! schedulers — bottoms out in one operation: *ship every demand at minimum
+//! cost on a bipartite transportation network*.  Two algorithm families solve
+//! it with very different constant factors, and which one wins depends on the
+//! instance shape, so the operation is abstracted behind [`MinCostBackend`]:
+//!
+//! * [`PrimalDualBackend`] — the Hungarian-style primal-dual kernel of
+//!   [`crate::mincost`], the **reference implementation**.  Every other
+//!   backend is cross-checked against it by the differential-oracle test
+//!   harness (`crates/core/tests/backend_diff.rs`).
+//! * [`crate::simplex::NetworkSimplexBackend`] — a network simplex on a
+//!   spanning-tree basis with strongly-feasible pivots, warm-startable from
+//!   the previous solve's basis when the arc topology repeats.
+//!
+//! # Contract
+//!
+//! [`MinCostBackend::solve_up_to`] receives a residual network **carrying no
+//! flow** (freshly built, or [`crate::FlowNetwork::reset`]); it must leave the
+//! computed flow *in* the network (so callers read per-edge amounts with
+//! [`crate::FlowNetwork::flow_on`]) and return the shipped value and its
+//! cost.  The returned flow must be
+//!
+//! 1. of value at least `min(target, max-flow value)` — a backend may stop
+//!    early once `target` is covered, or solve to the exact maximum;
+//! 2. of minimum cost **among flows of its value** (the invariant feasibility
+//!    checks and cost comparisons downstream rely on).
+//!
+//! Backend selection is threaded through the scheduling layer by
+//! `stretch_core::SolverConfig`; [`BackendKind`] is the serialisable tag the
+//! configuration, the CI test matrix (`STRETCH_MINCOST_BACKEND`) and the
+//! bench rows use to name a backend.
+
+use crate::graph::FlowNetwork;
+use crate::mincost::{min_cost_flow_up_to, MinCostResult};
+use crate::workspace::FlowWorkspace;
+
+/// A minimum-cost flow solver usable by the scheduling layer.
+///
+/// Implementations are stateful (`&mut self`) so they can keep scratch
+/// memory — and, for the network simplex, the previous spanning-tree basis —
+/// alive across solves; see the module docs for the exact contract.
+pub trait MinCostBackend {
+    /// Stable display name (used by benches and diagnostics).
+    fn name(&self) -> &'static str;
+
+    /// Ships flow from `source` to `sink` at minimum cost, stopping once
+    /// `target` units are shipped (or at the maximum flow if it is smaller).
+    ///
+    /// The network must carry no flow on entry; the computed flow is left in
+    /// the network's residual state.
+    fn solve_up_to(
+        &mut self,
+        network: &mut FlowNetwork,
+        source: usize,
+        sink: usize,
+        target: f64,
+        workspace: &mut FlowWorkspace,
+    ) -> MinCostResult;
+}
+
+/// The reference backend: successive shortest paths in Hungarian primal-dual
+/// form ([`crate::mincost::min_cost_flow_up_to`]).
+///
+/// Stateless — all scratch lives in the caller's [`FlowWorkspace`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PrimalDualBackend;
+
+impl MinCostBackend for PrimalDualBackend {
+    fn name(&self) -> &'static str {
+        "primal-dual"
+    }
+
+    fn solve_up_to(
+        &mut self,
+        network: &mut FlowNetwork,
+        source: usize,
+        sink: usize,
+        target: f64,
+        workspace: &mut FlowWorkspace,
+    ) -> MinCostResult {
+        min_cost_flow_up_to(network, source, sink, target, workspace)
+    }
+}
+
+/// Serialisable tag naming a [`MinCostBackend`] implementation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum BackendKind {
+    /// The primal-dual reference kernel ([`PrimalDualBackend`]).
+    #[default]
+    PrimalDual,
+    /// The network simplex ([`crate::simplex::NetworkSimplexBackend`]).
+    NetworkSimplex,
+}
+
+impl BackendKind {
+    /// Every available backend, reference first.
+    pub const ALL: [BackendKind; 2] = [BackendKind::PrimalDual, BackendKind::NetworkSimplex];
+
+    /// The stable name used by configuration, CI and bench rows.
+    pub fn name(&self) -> &'static str {
+        match self {
+            BackendKind::PrimalDual => "primal-dual",
+            BackendKind::NetworkSimplex => "simplex",
+        }
+    }
+
+    /// Parses the spellings accepted by `STRETCH_MINCOST_BACKEND`.
+    pub fn parse(s: &str) -> Option<BackendKind> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "primal-dual" | "primaldual" | "reference" | "pd" => Some(BackendKind::PrimalDual),
+            "simplex" | "network-simplex" | "networksimplex" | "ns" => {
+                Some(BackendKind::NetworkSimplex)
+            }
+            _ => None,
+        }
+    }
+
+    /// Instantiates the backend this tag names.
+    pub fn instantiate(&self) -> Box<dyn MinCostBackend + Send> {
+        match self {
+            BackendKind::PrimalDual => Box::new(PrimalDualBackend),
+            BackendKind::NetworkSimplex => Box::new(crate::simplex::NetworkSimplexBackend::new()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_round_trip_through_their_names() {
+        for kind in BackendKind::ALL {
+            assert_eq!(BackendKind::parse(kind.name()), Some(kind));
+            assert_eq!(kind.instantiate().name(), kind.name());
+        }
+        assert_eq!(
+            BackendKind::parse("network-simplex"),
+            Some(BackendKind::NetworkSimplex)
+        );
+        assert_eq!(BackendKind::parse("no-such-backend"), None);
+    }
+
+    #[test]
+    fn primal_dual_backend_matches_the_kernel() {
+        let build = || {
+            let mut g = FlowNetwork::new(4);
+            g.add_edge(0, 1, 1.0, 0.0);
+            g.add_edge(1, 3, 1.0, 1.0);
+            g.add_edge(0, 2, 1.0, 0.0);
+            g.add_edge(2, 3, 1.0, 5.0);
+            g
+        };
+        let mut ws = FlowWorkspace::new();
+        let mut g1 = build();
+        let r1 = PrimalDualBackend.solve_up_to(&mut g1, 0, 3, f64::INFINITY, &mut ws);
+        let mut g2 = build();
+        let r2 = crate::mincost::min_cost_max_flow(&mut g2, 0, 3);
+        assert!((r1.flow - r2.flow).abs() < 1e-9);
+        assert!((r1.cost - r2.cost).abs() < 1e-9);
+    }
+}

@@ -165,6 +165,19 @@ impl FlowNetwork {
         }
     }
 
+    /// Rebinds the cost of a forward edge (and of its reverse, negated) **in
+    /// place**.
+    ///
+    /// Together with [`FlowNetwork::try_set_capacity`] this lets a parametric
+    /// caller re-price a frozen topology between solves — the System-(2)
+    /// route costs move with the objective `F` while the adjacency does not.
+    pub fn set_cost(&mut self, edge: usize, cost: f64) {
+        assert!(edge.is_multiple_of(2), "costs are set on forward edges");
+        assert!(cost.is_finite(), "cost must be finite");
+        self.edges[edge].cost = cost;
+        self.edges[edge ^ 1].cost = -cost;
+    }
+
     /// Total flow leaving `source` (sum of flow on its forward edges).
     pub fn outflow(&self, source: usize) -> f64 {
         self.adj[source]

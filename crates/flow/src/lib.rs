@@ -26,18 +26,28 @@
 //!   frozen adjacency whose bin/route capacities are rebound in place
 //!   between feasibility probes, warm-starting from the previous residual
 //!   flow and stopping as soon as the demand is covered.
+//!
+//! The minimum-cost solve itself is pluggable: [`backend`] defines the
+//! [`MinCostBackend`] trait, with the primal-dual kernel as the reference
+//! implementation and a warm-startable network simplex ([`simplex`]) as the
+//! alternative engine; both are cross-checked by the differential-oracle
+//! tests in `stretch-core`.
 
+pub mod backend;
 pub mod graph;
 pub mod maxflow;
 pub mod mincost;
 pub mod parametric;
+pub mod simplex;
 pub mod transport;
 pub mod workspace;
 
+pub use backend::{BackendKind, MinCostBackend, PrimalDualBackend};
 pub use graph::FlowNetwork;
 pub use maxflow::MaxFlowResult;
 pub use mincost::MinCostResult;
 pub use parametric::ParametricNetwork;
+pub use simplex::NetworkSimplexBackend;
 pub use transport::{TransportInstance, TransportSolution};
 pub use workspace::FlowWorkspace;
 

@@ -1,0 +1,830 @@
+//! A network-simplex backend for the minimum-cost solve.
+//!
+//! The primal-dual kernel of [`crate::mincost`] is at its constant-factor
+//! floor: every phase scans the whole edge set, and on the tie-rich
+//! transportation networks of the scheduler most phases move little flow.
+//! The network simplex walks the *vertices* of the flow polytope instead:
+//! it maintains a spanning-tree basis, prices the nonbasic arcs against the
+//! tree's node potentials, and pivots along the unique tree cycle of an
+//! eligible arc.  On product-form transportation costs (the System-(2)
+//! objective) the admissible structure is exactly what a spanning-tree basis
+//! captures, so pivots are few and each one touches only a tree path.
+//!
+//! Implementation notes:
+//!
+//! * **Maximum flow via a big-cost return arc.**  The min-cost *max*-flow
+//!   semantics of [`crate::backend::MinCostBackend`] are obtained by adding a
+//!   `sink → source` arc of cost `-BIG` (with `BIG` dominating any simple
+//!   path cost) and solving a zero-supply min-cost circulation, so flow
+//!   maximisation and cost minimisation happen in one pivot sequence.
+//! * **Strongly feasible basis.**  The initial basis is the star of
+//!   artificial root arcs (every node pointing at an artificial root), which
+//!   is strongly feasible; the leaving-arc rule breaks ratio-test ties the
+//!   standard way (last blocking arc against the cycle orientation), which
+//!   preserves strong feasibility and rules out cycling on degenerate
+//!   pivots.
+//! * **Block pricing.**  The entering arc is the most negative reduced cost
+//!   in the first block (of `≈√m` arcs) containing any eligible arc, with a
+//!   rolling start position — the standard compromise between Dantzig
+//!   pricing and round-robin.
+//! * **Warm starts.**  The backend keeps its basis (arc states + tree
+//!   arrays) between solves.  When the next network has the same arc
+//!   topology — the cross-event case of the on-line schedulers, where only
+//!   capacities and costs move — the previous basis is re-primed: nonbasic
+//!   flows snap to their bounds, tree flows are recomputed by conservation
+//!   (leaf elimination), and the pivot loop resumes from there.  If the old
+//!   basis is infeasible under the new capacities the solver falls back to a
+//!   fresh crash basis; correctness never depends on the warm start.
+//! * **Numerical safety net.**  All comparisons use scale-aware epsilons; if
+//!   the pivot budget is ever exhausted (pathological numerics), the backend
+//!   resets the network and delegates to the primal-dual reference kernel,
+//!   so a degraded instance costs time, not correctness.
+
+use crate::backend::MinCostBackend;
+use crate::graph::FlowNetwork;
+use crate::mincost::{min_cost_flow_up_to, MinCostResult};
+use crate::workspace::FlowWorkspace;
+use crate::FLOW_EPS;
+
+/// Nonbasic arc at its lower bound (zero flow).
+const STATE_LOWER: i8 = 1;
+/// Basic arc (in the spanning tree).
+const STATE_TREE: i8 = 0;
+/// Nonbasic arc at its upper bound (flow = capacity).
+const STATE_UPPER: i8 = -1;
+
+/// Which side of the entering arc's cycle a blocking arc was found on.
+#[derive(Clone, Copy, PartialEq)]
+enum Side {
+    /// The path from the node the augmentation *leaves* the tree towards.
+    First,
+    /// The path from the node the augmentation *enters* the tree from.
+    Second,
+}
+
+/// Min-cost max-flow by network simplex; see the module docs.
+///
+/// Hold one per solver and feed it every instance: scratch memory — and the
+/// spanning-tree basis, when the topology repeats — is reused across solves.
+pub struct NetworkSimplexBackend {
+    // --- arc arrays (real arcs, then the return arc, then root arcs) ---
+    from: Vec<usize>,
+    to: Vec<usize>,
+    cap: Vec<f64>,
+    cost: Vec<f64>,
+    flow: Vec<f64>,
+    state: Vec<i8>,
+    // --- spanning tree ---
+    parent: Vec<usize>,
+    pred: Vec<usize>,
+    depth: Vec<usize>,
+    children: Vec<Vec<usize>>,
+    pi: Vec<f64>,
+    // --- warm-start bookkeeping ---
+    /// `(from << 32) | to` per real arc of the last solve; the warm start is
+    /// attempted only when the next instance matches exactly.
+    signature: Vec<u64>,
+    /// Node count (excluding the artificial root) of the last solve.
+    num_nodes: usize,
+    /// `true` when the stored basis belongs to a completed solve.
+    basis_valid: bool,
+    // --- scratch ---
+    path_nodes: Vec<usize>,
+    path_preds: Vec<usize>,
+    dfs_stack: Vec<usize>,
+    excess: Vec<f64>,
+    /// Rolling start position of the pricing block.
+    block_pos: usize,
+    /// Pivot budget blow-ups so far (each one fell back to the reference
+    /// kernel); exposed for tests and diagnostics.
+    fallbacks: usize,
+}
+
+impl Default for NetworkSimplexBackend {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl NetworkSimplexBackend {
+    /// Creates a backend with empty scratch (grows on first use).
+    pub fn new() -> Self {
+        NetworkSimplexBackend {
+            from: Vec::new(),
+            to: Vec::new(),
+            cap: Vec::new(),
+            cost: Vec::new(),
+            flow: Vec::new(),
+            state: Vec::new(),
+            parent: Vec::new(),
+            pred: Vec::new(),
+            depth: Vec::new(),
+            children: Vec::new(),
+            pi: Vec::new(),
+            signature: Vec::new(),
+            num_nodes: 0,
+            basis_valid: false,
+            path_nodes: Vec::new(),
+            path_preds: Vec::new(),
+            dfs_stack: Vec::new(),
+            excess: Vec::new(),
+            block_pos: 0,
+            fallbacks: 0,
+        }
+    }
+
+    /// How often the pivot budget blew up and the solve fell back to the
+    /// primal-dual reference kernel (diagnostic; should stay at zero).
+    pub fn fallback_count(&self) -> usize {
+        self.fallbacks
+    }
+
+    /// Loads the instance out of `network` (fresh, no flow) into the arc
+    /// arrays.  Returns `true` when the arc topology matches the previous
+    /// solve (same nodes, same endpoints in order), i.e. the stored basis is
+    /// structurally reusable.
+    fn load(&mut self, network: &FlowNetwork, source: usize, sink: usize) -> bool {
+        let n = network.num_nodes();
+        let m_real = network.num_edges();
+        let num_arcs = m_real + 1 + n; // + return arc + root arcs
+        let mut same_topology = self.basis_valid && self.num_nodes == n;
+
+        self.from.clear();
+        self.to.clear();
+        self.cap.clear();
+        self.cost.clear();
+        let mut source_out = 0.0f64;
+        for a in 0..m_real {
+            let eid = 2 * a;
+            let fwd = network.edge(eid);
+            let u = network.edge(eid ^ 1).to;
+            let v = fwd.to;
+            self.from.push(u);
+            self.to.push(v);
+            self.cap.push(fwd.cap); // network carries no flow: cap == original
+            self.cost.push(fwd.cost);
+            if u == source {
+                source_out += fwd.cap;
+            }
+            let sig = ((u as u64) << 32) | v as u64;
+            if same_topology && self.signature.get(a).copied() != Some(sig) {
+                same_topology = false;
+            }
+        }
+        if same_topology && self.signature.len() != m_real {
+            same_topology = false;
+        }
+        if !same_topology {
+            self.signature.clear();
+            self.signature.extend(
+                self.from
+                    .iter()
+                    .zip(&self.to)
+                    .map(|(&u, &v)| ((u as u64) << 32) | v as u64),
+            );
+        }
+
+        // `BIG` must dominate the cost of any simple path so that the return
+        // arc (a) makes every augmenting s→t path a negative cycle and
+        // (b) is never worth reducing once the flow is maximum.
+        let max_cost = self.cost.iter().fold(0.0f64, |m, &c| m.max(c.abs()));
+        let big = (max_cost + 1.0) * (n as f64 + 2.0);
+
+        // Return arc sink → source.
+        self.from.push(sink);
+        self.to.push(source);
+        self.cap.push(source_out);
+        self.cost.push(-big);
+
+        // Artificial root arcs `v → root`; with zero supplies they can never
+        // carry flow (the root has no outgoing arc), so they stay at zero
+        // and only serve as the crash basis.
+        let root = n;
+        for v in 0..n {
+            self.from.push(v);
+            self.to.push(root);
+            self.cap.push(f64::INFINITY);
+            self.cost.push(big);
+        }
+
+        debug_assert_eq!(self.from.len(), num_arcs);
+        self.flow.resize(num_arcs, 0.0);
+        self.num_nodes = n;
+        same_topology && self.state.len() == num_arcs
+    }
+
+    /// Installs the crash basis: every real arc nonbasic at its lower bound,
+    /// the artificial star as the tree.
+    fn crash_basis(&mut self) {
+        let n = self.num_nodes;
+        let root = n;
+        let num_arcs = self.from.len();
+        let m_real = num_arcs - 1 - n;
+        self.state.clear();
+        self.state.resize(num_arcs, STATE_LOWER);
+        self.flow.iter_mut().for_each(|f| *f = 0.0);
+        self.parent.clear();
+        self.parent.resize(n + 1, usize::MAX);
+        self.pred.clear();
+        self.pred.resize(n + 1, usize::MAX);
+        self.depth.clear();
+        self.depth.resize(n + 1, 0);
+        self.pi.clear();
+        self.pi.resize(n + 1, 0.0);
+        self.children.resize_with(n + 1, Vec::new);
+        for c in self.children.iter_mut() {
+            c.clear();
+        }
+        for v in 0..n {
+            let arc = m_real + 1 + v;
+            self.state[arc] = STATE_TREE;
+            self.parent[v] = root;
+            self.pred[v] = arc;
+            self.depth[v] = 1;
+            // rc(v→root) = cost + pi[v] - pi[root] = 0.
+            self.pi[v] = -self.cost[arc];
+            self.children[root].push(v);
+        }
+    }
+
+    /// Re-primes the stored basis for new capacities/costs: nonbasic flows
+    /// snap to their bounds, tree flows are recomputed by conservation, and
+    /// potentials are rebuilt from the tree.  Returns `false` when the old
+    /// basis is infeasible under the new data (caller then crashes fresh).
+    fn warm_basis(&mut self, eps_flow: f64) -> bool {
+        let n = self.num_nodes;
+        let root = n;
+        // Bound-snapping pass; root arcs are tree arcs and handled below.
+        self.excess.clear();
+        self.excess.resize(n + 1, 0.0);
+        for a in 0..self.from.len() {
+            match self.state[a] {
+                STATE_LOWER => self.flow[a] = 0.0,
+                STATE_UPPER => {
+                    if !self.cap[a].is_finite() {
+                        return false;
+                    }
+                    self.flow[a] = self.cap[a];
+                }
+                _ => continue,
+            }
+            if self.flow[a] != 0.0 {
+                self.excess[self.to[a]] += self.flow[a];
+                self.excess[self.from[a]] -= self.flow[a];
+            }
+        }
+        // Leaf elimination in decreasing depth order: the tree arc of each
+        // node absorbs the node's residual imbalance.
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_unstable_by_key(|&v| std::cmp::Reverse(self.depth[v]));
+        for &v in &order {
+            let arc = self.pred[v];
+            if arc == usize::MAX {
+                return false;
+            }
+            let up = self.parent[v];
+            // `excess[v]` must be cancelled by the tree arc's flow.
+            let f = if self.from[arc] == v {
+                // v → parent: flow f contributes -f at v.
+                self.excess[v]
+            } else {
+                // parent → v: flow f contributes +f at v.
+                -self.excess[v]
+            };
+            if f < -eps_flow || f > self.cap[arc] + eps_flow {
+                return false;
+            }
+            let f = f.clamp(0.0, self.cap[arc]);
+            self.flow[arc] = f;
+            if self.from[arc] == v {
+                self.excess[up] += f;
+            } else {
+                self.excess[up] -= f;
+            }
+        }
+        if self.excess[root].abs() > eps_flow.max(1e-6) {
+            return false;
+        }
+        // Potentials from the tree (costs may have changed).
+        self.pi[root] = 0.0;
+        self.dfs_stack.clear();
+        self.dfs_stack.push(root);
+        while let Some(u) = self.dfs_stack.pop() {
+            for i in 0..self.children[u].len() {
+                let v = self.children[u][i];
+                let arc = self.pred[v];
+                self.pi[v] = if self.from[arc] == v {
+                    // rc = cost + pi[v] - pi[u] = 0
+                    self.pi[u] - self.cost[arc]
+                } else {
+                    self.pi[u] + self.cost[arc]
+                };
+                self.dfs_stack.push(v);
+            }
+        }
+        true
+    }
+
+    /// Block pricing: the most negative reduced-cost violation in the first
+    /// block containing any eligible arc.  Returns the entering arc and the
+    /// push direction (+1: along the arc, -1: against it).
+    fn find_entering(&mut self, eps_cost: f64) -> Option<(usize, i8)> {
+        let m = self.from.len();
+        if m == 0 {
+            return None;
+        }
+        let block = ((m as f64).sqrt() as usize).max(16);
+        let mut best: Option<usize> = None;
+        let mut best_violation = eps_cost;
+        let mut pos = self.block_pos % m;
+        let mut scanned = 0;
+        while scanned < m {
+            let chunk = block.min(m - scanned);
+            for _ in 0..chunk {
+                let a = pos;
+                pos = (pos + 1) % m;
+                scanned += 1;
+                let s = self.state[a];
+                if s == STATE_TREE || self.cap[a] <= 0.0 {
+                    continue;
+                }
+                let rc = self.cost[a] + self.pi[self.from[a]] - self.pi[self.to[a]];
+                // An arc at lower bound is eligible when rc < -eps, one at
+                // upper bound when rc > eps: uniformly, -state·rc > eps.
+                let violation = -(s as f64) * rc;
+                if violation > best_violation {
+                    best_violation = violation;
+                    best = Some(a);
+                }
+            }
+            if best.is_some() {
+                break;
+            }
+        }
+        self.block_pos = pos;
+        // The push direction equals the state sign: from the lower bound the
+        // flow increases along the arc, from the upper bound it decreases.
+        best.map(|a| (a, self.state[a]))
+    }
+
+    /// Lowest common ancestor of `a` and `b` under the current tree.
+    fn join(&self, mut a: usize, mut b: usize) -> usize {
+        while self.depth[a] > self.depth[b] {
+            a = self.parent[a];
+        }
+        while self.depth[b] > self.depth[a] {
+            b = self.parent[b];
+        }
+        while a != b {
+            a = self.parent[a];
+            b = self.parent[b];
+        }
+        a
+    }
+
+    /// Residual capacity of the tree arc above `x` when pushing *towards*
+    /// the root (`up == true`) or away from it.
+    fn tree_residual(&self, x: usize, up: bool) -> f64 {
+        let arc = self.pred[x];
+        let along = (self.from[arc] == x) == up;
+        if along {
+            self.cap[arc] - self.flow[arc]
+        } else {
+            self.flow[arc]
+        }
+    }
+
+    /// One pivot on entering arc `e` pushed in direction `dir`.
+    fn pivot(&mut self, e: usize, dir: i8) {
+        // Push direction along the cycle: first --e--> second, then back
+        // through the tree second → join → first.
+        let (first, second) = if dir > 0 {
+            (self.from[e], self.to[e])
+        } else {
+            (self.to[e], self.from[e])
+        };
+        let join = self.join(first, second);
+
+        // Ratio test.  The entering arc's own residual:
+        let mut delta = if dir > 0 {
+            self.cap[e] - self.flow[e]
+        } else {
+            self.flow[e]
+        };
+        let mut leaving: Option<(usize, Side)> = None;
+        // First-side path (join → … → first): augmentation runs *down*
+        // (away from the root), i.e. against the upward walk.
+        let mut x = first;
+        while x != join {
+            let r = self.tree_residual(x, false);
+            if r < delta {
+                delta = r;
+                leaving = Some((x, Side::First));
+            }
+            x = self.parent[x];
+        }
+        // Second-side path (second → … → join): augmentation runs *up*.
+        // `<=` (not `<`) implements the strongly-feasible tie-break.
+        let mut x = second;
+        while x != join {
+            let r = self.tree_residual(x, true);
+            if r <= delta {
+                delta = r;
+                leaving = Some((x, Side::Second));
+            }
+            x = self.parent[x];
+        }
+
+        // Augment.
+        if delta > 0.0 {
+            self.flow[e] += (dir as f64) * delta;
+            let mut x = first;
+            while x != join {
+                let arc = self.pred[x];
+                if self.from[arc] == x {
+                    self.flow[arc] -= delta; // down-push against v→parent
+                } else {
+                    self.flow[arc] += delta;
+                }
+                x = self.parent[x];
+            }
+            let mut x = second;
+            while x != join {
+                let arc = self.pred[x];
+                if self.from[arc] == x {
+                    self.flow[arc] += delta; // up-push along v→parent
+                } else {
+                    self.flow[arc] -= delta;
+                }
+                x = self.parent[x];
+            }
+        }
+
+        let Some((x_out, side)) = leaving else {
+            // The entering arc itself hit its opposite bound: bound flip.
+            self.state[e] = -dir;
+            self.flow[e] = self.flow[e].clamp(0.0, self.cap[e]);
+            return;
+        };
+
+        // Basis exchange: `pred[x_out]` leaves (at whichever bound it hit),
+        // `e` enters.  The subtree detached at `x_out` contains `first` when
+        // the blocking arc was on the first side, `second` otherwise; it is
+        // re-hung from the entering arc.
+        let out_arc = self.pred[x_out];
+        let at_upper = (self.cap[out_arc] - self.flow[out_arc]).abs() <= self.flow[out_arc].abs();
+        self.state[out_arc] = if at_upper { STATE_UPPER } else { STATE_LOWER };
+        self.flow[out_arc] = if at_upper { self.cap[out_arc] } else { 0.0 };
+        self.state[e] = STATE_TREE;
+
+        let (z, w) = match side {
+            Side::First => (first, second),
+            Side::Second => (second, first),
+        };
+
+        // Reverse the parent pointers on the path z → x_out, attaching z
+        // under w via the entering arc.
+        self.path_nodes.clear();
+        self.path_preds.clear();
+        let mut x = z;
+        loop {
+            self.path_nodes.push(x);
+            self.path_preds.push(self.pred[x]);
+            if x == x_out {
+                break;
+            }
+            x = self.parent[x];
+        }
+        let mut new_parent = w;
+        let mut new_pred = e;
+        for i in 0..self.path_nodes.len() {
+            let node = self.path_nodes[i];
+            let old_parent = self.parent[node];
+            // Detach from the old parent's child list.
+            if old_parent != usize::MAX {
+                let list = &mut self.children[old_parent];
+                if let Some(pos) = list.iter().position(|&c| c == node) {
+                    list.swap_remove(pos);
+                }
+            }
+            self.parent[node] = new_parent;
+            self.pred[node] = new_pred;
+            self.children[new_parent].push(node);
+            new_parent = node;
+            new_pred = self.path_preds[i];
+        }
+
+        // Depths and potentials of the re-hung subtree (and only it).
+        self.dfs_stack.clear();
+        self.dfs_stack.push(z);
+        while let Some(u) = self.dfs_stack.pop() {
+            let p = self.parent[u];
+            let arc = self.pred[u];
+            self.depth[u] = self.depth[p] + 1;
+            self.pi[u] = if self.from[arc] == u {
+                self.pi[p] - self.cost[arc]
+            } else {
+                self.pi[p] + self.cost[arc]
+            };
+            for i in 0..self.children[u].len() {
+                let c = self.children[u][i];
+                self.dfs_stack.push(c);
+            }
+        }
+    }
+
+    /// Runs the pivot loop to optimality.  Returns `false` when the pivot
+    /// budget blows up (caller falls back to the reference kernel).
+    fn optimize(&mut self, eps_cost: f64) -> bool {
+        let m = self.from.len();
+        let budget = 200 * m + 2_000;
+        for _ in 0..budget {
+            match self.find_entering(eps_cost) {
+                Some((e, dir)) => self.pivot(e, dir),
+                None => return true,
+            }
+        }
+        false
+    }
+
+    /// Writes the computed flow back into the residual network and sums the
+    /// objective over the real arcs.
+    fn extract(&self, network: &mut FlowNetwork) -> (f64, f64) {
+        let m_real = network.num_edges();
+        let mut cost = 0.0;
+        for a in 0..m_real {
+            let f = self.flow[a].clamp(0.0, self.cap[a]);
+            if f > FLOW_EPS {
+                network.push(2 * a, f);
+                cost += f * self.cost[a];
+            }
+        }
+        (self.flow[m_real], cost) // return arc carries the s→t value
+    }
+}
+
+impl MinCostBackend for NetworkSimplexBackend {
+    fn name(&self) -> &'static str {
+        "simplex"
+    }
+
+    fn solve_up_to(
+        &mut self,
+        network: &mut FlowNetwork,
+        source: usize,
+        sink: usize,
+        target: f64,
+        workspace: &mut FlowWorkspace,
+    ) -> MinCostResult {
+        assert!(source < network.num_nodes() && sink < network.num_nodes());
+        assert_ne!(source, sink);
+        if target <= 0.0 {
+            return MinCostResult {
+                flow: 0.0,
+                cost: 0.0,
+                augmentations: 0,
+                phases: 0,
+            };
+        }
+        let warm_candidate = self.load(network, source, sink);
+        let max_cap = self
+            .cap
+            .iter()
+            .filter(|c| c.is_finite())
+            .fold(0.0f64, |m, &c| m.max(c));
+        let eps_flow = 1e-9 * (1.0 + max_cap);
+        let max_cost = self.cost.iter().fold(0.0f64, |m, &c| m.max(c.abs()));
+        let eps_cost = 1e-11 * (1.0 + max_cost);
+
+        let warmed = warm_candidate && self.warm_basis(eps_flow);
+        if !warmed {
+            self.crash_basis();
+        }
+        self.basis_valid = false; // invalidated until this solve completes
+        if !self.optimize(eps_cost) {
+            // Pathological numerics: certified fallback to the reference
+            // kernel on a clean network.
+            self.fallbacks += 1;
+            network.reset();
+            return min_cost_flow_up_to(network, source, sink, target, workspace);
+        }
+        self.basis_valid = true;
+        let (flow, cost) = self.extract(network);
+        MinCostResult {
+            flow,
+            cost,
+            augmentations: 0,
+            phases: if warmed { 0 } else { 1 },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mincost::min_cost_max_flow;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-6 * (1.0 + a.abs().max(b.abs()))
+    }
+
+    /// Runs both backends on identically-built networks and checks they
+    /// agree on flow value and cost.
+    fn assert_backends_agree(build: impl Fn() -> FlowNetwork, s: usize, t: usize) {
+        let mut g_ref = build();
+        let reference = min_cost_max_flow(&mut g_ref, s, t);
+        let mut g_ns = build();
+        let mut ns = NetworkSimplexBackend::new();
+        let r = ns.solve_up_to(&mut g_ns, s, t, f64::INFINITY, &mut FlowWorkspace::new());
+        assert_eq!(ns.fallback_count(), 0, "simplex fell back");
+        assert!(
+            close(r.flow, reference.flow),
+            "flow {} vs reference {}",
+            r.flow,
+            reference.flow
+        );
+        assert!(
+            close(r.cost, reference.cost),
+            "cost {} vs reference {}",
+            r.cost,
+            reference.cost
+        );
+        // The flow left in the network is conserved and within capacity.
+        for a in 0..g_ns.num_edges() {
+            let f = g_ns.flow_on(2 * a);
+            assert!(f >= -1e-9 && f <= g_ref.edge(2 * a).original_cap + 1e-9);
+        }
+    }
+
+    #[test]
+    fn agrees_on_two_parallel_routes() {
+        assert_backends_agree(
+            || {
+                let mut g = FlowNetwork::new(4);
+                g.add_edge(0, 1, 1.0, 0.0);
+                g.add_edge(1, 3, 1.0, 1.0);
+                g.add_edge(0, 2, 1.0, 0.0);
+                g.add_edge(2, 3, 1.0, 5.0);
+                g
+            },
+            0,
+            3,
+        );
+    }
+
+    #[test]
+    fn agrees_on_fractional_split() {
+        assert_backends_agree(
+            || {
+                let mut g = FlowNetwork::new(3);
+                g.add_edge(0, 1, 1.0, 0.0);
+                g.add_edge(1, 2, 0.4, 1.0);
+                g.add_edge(1, 2, 10.0, 2.0);
+                g
+            },
+            0,
+            2,
+        );
+    }
+
+    #[test]
+    fn agrees_when_negative_costs_are_present() {
+        assert_backends_agree(
+            || {
+                let mut g = FlowNetwork::new(4);
+                g.add_edge(0, 1, 1.0, 0.0);
+                g.add_edge(1, 3, 1.0, -2.0);
+                g.add_edge(0, 2, 1.0, 0.0);
+                g.add_edge(2, 3, 1.0, 4.0);
+                g
+            },
+            0,
+            3,
+        );
+    }
+
+    #[test]
+    fn empty_network_ships_nothing() {
+        let mut g = FlowNetwork::new(2);
+        let mut ns = NetworkSimplexBackend::new();
+        let r = ns.solve_up_to(&mut g, 0, 1, f64::INFINITY, &mut FlowWorkspace::new());
+        assert!(close(r.flow, 0.0) && close(r.cost, 0.0));
+    }
+
+    #[test]
+    fn agrees_on_random_transportation_networks() {
+        // Deterministic pseudo-random bipartite instances (mixed congruential
+        // stream), shaped like the scheduler's: source → jobs → bins → sink.
+        let mut seed = 0x9E37_79B9u64;
+        let mut next = move || {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((seed >> 33) as f64) / (1u64 << 31) as f64
+        };
+        for case in 0..40 {
+            let jobs = 1 + case % 5;
+            let bins = 1 + (case / 2) % 6;
+            let mut demands = Vec::new();
+            let mut caps = Vec::new();
+            let mut routes = Vec::new();
+            for _ in 0..jobs {
+                demands.push(0.25 + 4.0 * next());
+            }
+            for _ in 0..bins {
+                caps.push(0.25 + 5.0 * next());
+            }
+            for j in 0..jobs {
+                for b in 0..bins {
+                    if next() < 0.7 {
+                        routes.push((j, b, 5.0 * next()));
+                    }
+                }
+            }
+            let build = || {
+                let s = jobs + bins;
+                let t = s + 1;
+                let mut g = FlowNetwork::new(jobs + bins + 2);
+                for (j, &d) in demands.iter().enumerate() {
+                    g.add_edge(s, j, d, 0.0);
+                }
+                for (b, &c) in caps.iter().enumerate() {
+                    g.add_edge(jobs + b, t, c, 0.0);
+                }
+                for &(j, b, cost) in &routes {
+                    g.add_edge(j, jobs + b, demands[j], cost);
+                }
+                g
+            };
+            assert_backends_agree(build, jobs + bins, jobs + bins + 1);
+        }
+    }
+
+    #[test]
+    fn warm_start_matches_cold_solves_across_capacity_and_cost_moves() {
+        // Same topology, shifting capacities/costs: the second and third
+        // solves take the warm path and must match fresh-backend solves.
+        let build = |scale: f64, cost: f64| {
+            let mut g = FlowNetwork::new(5);
+            g.add_edge(0, 1, 2.0 * scale, 0.0);
+            g.add_edge(0, 2, 3.0 * scale, 0.0);
+            g.add_edge(1, 3, 2.0 * scale, cost);
+            g.add_edge(2, 3, 3.0 * scale, 2.0 * cost);
+            g.add_edge(3, 4, 4.0 * scale, 0.0);
+            g
+        };
+        let mut shared = NetworkSimplexBackend::new();
+        let mut ws = FlowWorkspace::new();
+        for (scale, cost) in [(1.0, 1.0), (0.5, 3.0), (2.0, 0.25), (2.0, 0.25)] {
+            let mut g_warm = build(scale, cost);
+            let warm = shared.solve_up_to(&mut g_warm, 0, 4, f64::INFINITY, &mut ws);
+            let mut g_cold = build(scale, cost);
+            let cold = NetworkSimplexBackend::new().solve_up_to(
+                &mut g_cold,
+                0,
+                4,
+                f64::INFINITY,
+                &mut FlowWorkspace::new(),
+            );
+            assert!(
+                close(warm.flow, cold.flow),
+                "{} vs {}",
+                warm.flow,
+                cold.flow
+            );
+            assert!(
+                close(warm.cost, cold.cost),
+                "{} vs {}",
+                warm.cost,
+                cold.cost
+            );
+        }
+        assert_eq!(shared.fallback_count(), 0);
+    }
+
+    #[test]
+    fn topology_change_invalidates_the_warm_basis() {
+        let mut ns = NetworkSimplexBackend::new();
+        let mut ws = FlowWorkspace::new();
+        let mut g1 = FlowNetwork::new(3);
+        g1.add_edge(0, 1, 1.0, 1.0);
+        g1.add_edge(1, 2, 1.0, 1.0);
+        let r1 = ns.solve_up_to(&mut g1, 0, 2, f64::INFINITY, &mut ws);
+        assert!(close(r1.flow, 1.0));
+        // Different arc set: must not reuse the basis (and must stay right).
+        let mut g2 = FlowNetwork::new(4);
+        g2.add_edge(0, 1, 2.0, 1.0);
+        g2.add_edge(0, 2, 2.0, 3.0);
+        g2.add_edge(1, 3, 1.0, 0.0);
+        g2.add_edge(2, 3, 2.0, 0.0);
+        let r2 = ns.solve_up_to(&mut g2, 0, 3, f64::INFINITY, &mut ws);
+        let mut g2b = FlowNetwork::new(4);
+        g2b.add_edge(0, 1, 2.0, 1.0);
+        g2b.add_edge(0, 2, 2.0, 3.0);
+        g2b.add_edge(1, 3, 1.0, 0.0);
+        g2b.add_edge(2, 3, 2.0, 0.0);
+        let reference = min_cost_max_flow(&mut g2b, 0, 3);
+        assert!(close(r2.flow, reference.flow));
+        assert!(close(r2.cost, reference.cost));
+    }
+}

@@ -11,9 +11,9 @@
 //!   deadline; its cost is the System-(2) weight (interval midpoint divided
 //!   by the job size) or zero for a pure feasibility check.
 
+use crate::backend::MinCostBackend;
 use crate::graph::FlowNetwork;
 use crate::maxflow::max_flow_with;
-use crate::mincost::min_cost_flow_up_to;
 use crate::workspace::FlowWorkspace;
 use crate::FLOW_EPS;
 
@@ -212,6 +212,20 @@ impl TransportInstance {
     /// and the (much faster) blocking-flow max-flow kernel is used instead
     /// of successive shortest paths.
     pub fn solve_min_cost_with(&self, workspace: &mut FlowWorkspace) -> Option<TransportSolution> {
+        self.solve_min_cost_with_backend(&mut crate::backend::PrimalDualBackend, workspace)
+    }
+
+    /// [`TransportInstance::solve_min_cost_with`] on an explicit
+    /// [`MinCostBackend`].
+    ///
+    /// The zero-cost fast path (pure max-flow) applies whatever the backend:
+    /// with an all-zero objective every feasible shipment is minimum-cost,
+    /// so the choice of min-cost engine is immaterial.
+    pub fn solve_min_cost_with_backend(
+        &self,
+        backend: &mut dyn MinCostBackend,
+        workspace: &mut FlowWorkspace,
+    ) -> Option<TransportSolution> {
         if self.routes.iter().all(|&(_, _, cost)| cost == 0.0) {
             return self.solve_feasible_with(workspace);
         }
@@ -221,7 +235,7 @@ impl TransportInstance {
         // invariant while skipping the final no-augmenting-path search; the
         // missing sliver is far below every downstream tolerance.
         let target = demand - FLOW_EPS.max(demand * 1e-12);
-        let r = min_cost_flow_up_to(&mut g, s, t, target, workspace);
+        let r = backend.solve_up_to(&mut g, s, t, target, workspace);
         let tol = 1e-6_f64.max(demand * 1e-9);
         if r.flow < demand - tol {
             return None;

@@ -7,6 +7,16 @@
 //! ([`rngs::SmallRng`]).  The generator is SplitMix64 — not cryptographic,
 //! but statistically solid for Monte-Carlo workload generation and fully
 //! deterministic in the seed, which is all the experiments require.
+//!
+//! # Determinism guarantee
+//!
+//! The stream of a given seed is part of this stub's **stable contract**:
+//! the same seed yields the same sequence across runs, platforms and
+//! releases, so every generated workload — and therefore every golden
+//! fixture and `BENCH_baseline.json` row keyed to a seed — is reproducible.
+//! The `golden_stream_is_stable` test pins the first values of seed 42;
+//! changing the generator (and silently invalidating every recorded
+//! experiment) fails it.
 
 use std::ops::{Range, RangeInclusive};
 
@@ -134,6 +144,29 @@ mod tests {
         let mut b = SmallRng::seed_from_u64(7);
         for _ in 0..10 {
             assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn golden_stream_is_stable() {
+        // Cross-run/cross-platform determinism (see the crate docs): these
+        // constants were recorded once and must never change — seeds index
+        // workloads in every recorded experiment and golden fixture.
+        let mut rng = SmallRng::seed_from_u64(42);
+        let ints: Vec<u64> = (0..3).map(|_| rng.gen_range(0u64..u64::MAX)).collect();
+        assert_eq!(
+            ints,
+            vec![
+                2949826092126892291,
+                5139283748462763858,
+                6349198060258255764
+            ]
+        );
+        let mut rng = SmallRng::seed_from_u64(42);
+        let floats: Vec<f64> = (0..3).map(|_| rng.gen_range(0.0f64..1.0)).collect();
+        let expected = [0.1599103928769201, 0.27860113025513866, 0.34419071652363753];
+        for (f, e) in floats.iter().zip(expected) {
+            assert_eq!(*f, e, "f64 stream drifted: {floats:?}");
         }
     }
 

@@ -15,6 +15,7 @@ fn miniature_campaign_reproduces_the_qualitative_table1_findings() {
         instances_per_config: 2,
         target_jobs: 14,
         base_seed: 123,
+        ..CampaignSettings::default()
     };
     let result = run_campaign(&reduced_grid(), settings);
     assert_eq!(
@@ -67,6 +68,7 @@ fn partitioned_tables_are_consistent_with_the_global_one() {
         instances_per_config: 1,
         target_jobs: 10,
         base_seed: 7,
+        ..CampaignSettings::default()
     };
     let result = run_campaign(&reduced_grid(), settings);
     let by_sites = tables_by_sites(&result.observations);
