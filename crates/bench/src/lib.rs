@@ -29,12 +29,14 @@ pub fn bench_instance(sites: usize, databanks: usize, target_jobs: usize, seed: 
         density: 1.5,
         window: 1.0,
         scan_fraction: 1.0,
+        ..Default::default()
     });
     let rate = probe.expected_job_count(&platform).max(1e-9);
     let generator = WorkloadGenerator::new(WorkloadConfig {
         density: 1.5,
         window: (target_jobs as f64 / rate).max(1e-3),
         scan_fraction: 1.0,
+        ..Default::default()
     });
     generator.generate_instance(platform, &mut rng)
 }

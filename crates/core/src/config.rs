@@ -12,7 +12,8 @@
 //!
 //! The **default** configuration reads the `STRETCH_MINCOST_BACKEND`
 //! environment variable once per process (`primal-dual`, the reference, when
-//! unset or unrecognised; `simplex` selects the network simplex).  This is
+//! unset; `simplex` selects the network simplex; anything else aborts with
+//! the offending string rather than silently falling back).  This is
 //! how the CI test matrix runs the whole suite — schedulers, experiments,
 //! property tests — on either backend without touching call sites.
 
@@ -49,14 +50,33 @@ impl SolverConfig {
             .map(|backend| SolverConfig { backend })
     }
 
-    /// Reads `STRETCH_MINCOST_BACKEND` (uncached); unset or unrecognised
-    /// values fall back to the primal-dual reference.
+    /// Parses a backend name as `STRETCH_MINCOST_BACKEND` would; unknown
+    /// names **abort with the offending string** and the list of valid
+    /// names (a typo used to silently fall back to the primal-dual
+    /// reference, running the whole CI matrix on the wrong backend).
+    pub fn parse_backend(raw: &str) -> Self {
+        match BackendKind::parse(raw) {
+            Some(backend) => SolverConfig { backend },
+            None => {
+                let valid: Vec<&str> = BackendKind::ALL.iter().map(|b| b.name()).collect();
+                panic!("STRETCH_MINCOST_BACKEND must be one of {valid:?}, got `{raw}`")
+            }
+        }
+    }
+
+    /// Reads `STRETCH_MINCOST_BACKEND` (uncached); unset falls back to the
+    /// primal-dual reference, unrecognised values abort loudly (see
+    /// [`Self::parse_backend`]).
     pub fn from_env() -> Self {
-        let backend = std::env::var("STRETCH_MINCOST_BACKEND")
-            .ok()
-            .and_then(|v| BackendKind::parse(&v))
-            .unwrap_or_default();
-        SolverConfig { backend }
+        match std::env::var("STRETCH_MINCOST_BACKEND") {
+            Err(std::env::VarError::NotPresent) => SolverConfig {
+                backend: BackendKind::default(),
+            },
+            Err(std::env::VarError::NotUnicode(_)) => {
+                panic!("STRETCH_MINCOST_BACKEND must be valid unicode, got undecodable bytes")
+            }
+            Ok(raw) => Self::parse_backend(&raw),
+        }
     }
 
     /// Instantiates the configured min-cost backend.
@@ -95,18 +115,23 @@ mod tests {
     }
 
     #[test]
-    fn unrecognised_values_fall_back_to_the_reference() {
-        // `from_env` composes `parse` with `unwrap_or_default`; asserting on
-        // those pieces avoids mutating the process environment (this binary
-        // runs tests in parallel, and the CI matrix relies on the variable).
-        let parsed = BackendKind::parse("definitely-not-a-backend");
-        assert_eq!(parsed, None);
-        assert_eq!(parsed.unwrap_or_default(), BackendKind::PrimalDual);
+    fn recognised_backend_names_parse() {
+        // Exercising `parse_backend` directly avoids mutating the process
+        // environment (this binary runs tests in parallel, and the CI matrix
+        // relies on the variable).
         assert_eq!(
-            SolverConfig {
-                backend: parsed.unwrap_or_default()
-            },
+            SolverConfig::parse_backend("primal-dual"),
             SolverConfig::primal_dual()
         );
+        assert_eq!(
+            SolverConfig::parse_backend("simplex"),
+            SolverConfig::network_simplex()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "got `definitely-not-a-backend`")]
+    fn unrecognised_backend_names_abort_with_the_offending_string() {
+        SolverConfig::parse_backend("definitely-not-a-backend");
     }
 }

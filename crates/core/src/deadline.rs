@@ -19,6 +19,52 @@ use stretch_flow::{
 /// Relative tolerance used when bisecting on the objective `F`.
 pub const STRETCH_TOL: f64 = 1e-7;
 
+// ---------------------------------------------------------------------------
+// The numerical-tolerance family.
+//
+// Every epsilon below used to be an ad-hoc literal scattered through this
+// file; they are named (and related) here so paper-scale magnitudes (release
+// dates ~1e3 s, works ~1e3 MB, stretches spanning 1e-2…1e2) meet one
+// consistent hierarchy:
+//
+//     WORK_EPS  =  MILESTONE_DEDUP_RTOL  «  EPOCHAL_DEDUP_RTOL
+//               =  INTERVAL_SLACK_RTOL   «  STRETCH_TOL
+//
+// The *_RTOL values are relative (scaled by `|x|.max(1.0)` at the use
+// site); WORK_EPS is absolute, far below the smallest meaningful amount of
+// work (databanks are ≥ 10 MB).  EPOCHAL_DEDUP_RTOL and
+// INTERVAL_SLACK_RTOL are deliberately the same value *and the same
+// units*: whenever the dedup merges a job's ready time into a slightly
+// earlier epochal time, the membership slack must re-admit the job into
+// the interval starting there, at any clock magnitude.  STRETCH_TOL — the
+// objective-search tolerance — must dominate them all, otherwise the
+// search can terminate on a value whose epochal structure is still
+// numerically ambiguous.
+// ---------------------------------------------------------------------------
+
+/// Relative tolerance for deduplicating milestone values of `F`
+/// (§4.3.1): two milestones closer than this are one candidate.
+pub const MILESTONE_DEDUP_RTOL: f64 = 1e-12;
+
+/// Relative tolerance for deduplicating epochal times (ready times and
+/// deadlines): coarser than [`MILESTONE_DEDUP_RTOL`] because epochal times
+/// feed interval widths, where near-zero gaps create degenerate
+/// transportation bins.
+pub const EPOCHAL_DEDUP_RTOL: f64 = 1e-9;
+
+/// Absolute work threshold (MB) below which a piece, or a job's remaining
+/// work, is treated as zero.
+pub const WORK_EPS: f64 = 1e-12;
+
+/// Relative slack for interval-membership tests when routing work into
+/// `(site, interval)` bins: a job may use an interval whose start precedes
+/// its ready time (or whose end overshoots its deadline) by up to
+/// `INTERVAL_SLACK_RTOL · |t|.max(1.0)`.  Must be at least
+/// [`EPOCHAL_DEDUP_RTOL`]: the dedup may move a ready time *backwards* by
+/// that relative amount, and the job must still be admitted into the
+/// interval starting at the merged epoch.
+pub const INTERVAL_SLACK_RTOL: f64 = 1e-9;
+
 /// The objective an allocation is solved at, given the optimal max-stretch
 /// `best` returned by the bisection/Newton search.
 ///
@@ -132,7 +178,7 @@ impl AllocationPlan {
         };
         for p in &self.pieces {
             index.work[p.job_index] += p.work;
-            if p.work > 1e-12 {
+            if p.work > WORK_EPS {
                 let all = &mut index.completion[p.job_index];
                 *all = Some(all.map_or(p.interval, |i| i.max(p.interval)));
                 let on_site = &mut index.completion_on_site[p.job_index * num_sites + p.site];
@@ -179,7 +225,7 @@ impl AllocationPlan {
     pub fn completion_interval(&self, job_index: usize) -> Option<usize> {
         self.pieces
             .iter()
-            .filter(|p| p.job_index == job_index && p.work > 1e-12)
+            .filter(|p| p.job_index == job_index && p.work > WORK_EPS)
             .map(|p| p.interval)
             .max()
     }
@@ -189,7 +235,7 @@ impl AllocationPlan {
     pub fn completion_interval_on_site(&self, job_index: usize, site: usize) -> Option<usize> {
         self.pieces
             .iter()
-            .filter(|p| p.job_index == job_index && p.site == site && p.work > 1e-12)
+            .filter(|p| p.job_index == job_index && p.site == site && p.work > WORK_EPS)
             .map(|p| p.interval)
             .max()
     }
@@ -209,7 +255,10 @@ pub struct DeadlineProblem {
 impl DeadlineProblem {
     /// Creates a problem; jobs with no remaining work are dropped.
     pub fn new(jobs: Vec<PendingJob>, sites: SiteView, now: f64) -> Self {
-        let jobs = jobs.into_iter().filter(|j| j.remaining > 1e-12).collect();
+        let jobs = jobs
+            .into_iter()
+            .filter(|j| j.remaining > WORK_EPS)
+            .collect();
         DeadlineProblem { jobs, sites, now }
     }
 
@@ -231,7 +280,7 @@ impl DeadlineProblem {
                     ms.push(f);
                 }
                 // Deadline of j meets deadline of k.
-                if (j.work - k.work).abs() > 1e-12 {
+                if (j.work - k.work).abs() > WORK_EPS {
                     let f = (k.release - j.release) / (j.work - k.work);
                     if f > 0.0 && f.is_finite() {
                         ms.push(f);
@@ -240,7 +289,7 @@ impl DeadlineProblem {
             }
         }
         ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        ms.dedup_by(|a, b| (*a - *b).abs() <= 1e-12 * b.abs().max(1.0));
+        ms.dedup_by(|a, b| (*a - *b).abs() <= MILESTONE_DEDUP_RTOL * b.abs().max(1.0));
         ms
     }
 
@@ -253,7 +302,7 @@ impl DeadlineProblem {
             times.push(j.deadline(stretch).max(self.now));
         }
         times.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        times.dedup_by(|a, b| (*a - *b).abs() <= 1e-9 * b.abs().max(1.0));
+        times.dedup_by(|a, b| (*a - *b).abs() <= EPOCHAL_DEDUP_RTOL * b.abs().max(1.0));
         times
     }
 
@@ -294,7 +343,10 @@ impl DeadlineProblem {
                     continue;
                 }
                 for (i, &(start, end)) in intervals.iter().enumerate() {
-                    if job.ready.max(self.now) <= start + 1e-9 && deadline >= end - 1e-9 {
+                    let start_slack = INTERVAL_SLACK_RTOL * start.abs().max(1.0);
+                    let end_slack = INTERVAL_SLACK_RTOL * end.abs().max(1.0);
+                    if job.ready.max(self.now) <= start + start_slack && deadline >= end - end_slack
+                    {
                         let bin = s * intervals.len() + i;
                         t.add_route(j, bin, cost(j, (start, end)));
                     }
@@ -644,6 +696,125 @@ mod tests {
         for w in ms.windows(2) {
             assert!(w[0] < w[1]);
         }
+    }
+
+    #[test]
+    fn near_duplicate_milestones_dedup_at_paper_scale_magnitudes() {
+        // Paper-scale magnitudes: release dates across a 15-minute window,
+        // works of thousands of MB, milestone values in the thousands.  Two
+        // milestones differing by less than MILESTONE_DEDUP_RTOL·|m| must
+        // collapse into one candidate; a clearly distinct one must survive.
+        let jobs = vec![
+            job(0, 0.0, 1.0, 0),
+            // Ready times produce milestones f = k.ready / 1.0 for job 0.
+            job(1, 10_000.0, 2.0, 0),
+            job(2, 10_000.0 * (1.0 + 1e-13), 3.0, 0),
+            job(3, 10_001.0, 5.0, 0),
+        ];
+        let p = DeadlineProblem::new(jobs, one_site(1.0), 0.0);
+        let ms = p.milestones();
+        let near_10k = ms.iter().filter(|&&m| (m - 10_000.0).abs() < 0.5).count();
+        assert_eq!(near_10k, 1, "near-duplicates must dedup: {ms:?}");
+        assert!(
+            ms.iter().any(|&m| (m - 10_001.0).abs() < 0.5),
+            "distinct milestones must survive: {ms:?}"
+        );
+        // The dedup hierarchy: consecutive milestones are separated by more
+        // than the dedup tolerance at their own magnitude.
+        for w in ms.windows(2) {
+            assert!(w[1] - w[0] > MILESTONE_DEDUP_RTOL * w[1].abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn near_duplicate_epochal_times_dedup_at_large_clocks() {
+        // Simulated clocks far from zero (hour-long traces): ready times
+        // closer than EPOCHAL_DEDUP_RTOL·t must merge into one epochal
+        // time, otherwise the transport gets degenerate zero-width bins.
+        let t0 = 1.0e6;
+        let jobs = vec![
+            PendingJob {
+                job_id: 0,
+                release: t0,
+                ready: t0,
+                work: 100.0,
+                remaining: 100.0,
+                databank: 0,
+            },
+            PendingJob {
+                job_id: 1,
+                release: t0 + 1.0e-4,
+                ready: t0 + 1.0e-4,
+                work: 100.0,
+                remaining: 100.0,
+                databank: 0,
+            },
+        ];
+        let p = DeadlineProblem::new(jobs, one_site(1.0), t0);
+        let times = p.epochal_times(1.0);
+        let near_t0 = times.iter().filter(|&&t| (t - t0).abs() < 1.0).count();
+        assert_eq!(
+            near_t0, 1,
+            "near-duplicate ready times must merge: {times:?}"
+        );
+        // And the resulting intervals all have positive width.
+        for (start, end) in p.intervals(1.0) {
+            assert!(end > start, "degenerate interval [{start}, {end})");
+        }
+        // The solve still goes through at this magnitude.
+        let s = p.min_feasible_stretch().expect("feasible");
+        assert!(s.is_finite() && s > 0.0);
+    }
+
+    #[test]
+    fn interval_membership_survives_epochal_dedup_at_large_clocks() {
+        // Translation invariance of stretch: the same two-job problem
+        // solved at clock 0 and at clock 1e6 must give (nearly) the same
+        // optimum.  At 1e6 the relative epochal dedup merges the ready
+        // times (1e-4 apart < 1e-9·1e6); the membership slack must then
+        // re-admit the later job into the interval starting at the merged
+        // epoch, or it loses that interval's entire capacity and the
+        // optimum inflates.
+        let problem_at = |t0: f64| {
+            let jobs = (0..2)
+                .map(|k| PendingJob {
+                    job_id: k,
+                    release: t0 + k as f64 * 1.0e-4,
+                    ready: t0 + k as f64 * 1.0e-4,
+                    work: 100.0,
+                    remaining: 100.0,
+                    databank: 0,
+                })
+                .collect();
+            DeadlineProblem::new(jobs, one_site(1.0), t0)
+        };
+        let at_zero = problem_at(0.0).min_feasible_stretch().expect("feasible");
+        let large = problem_at(1.0e6);
+        let at_large = large.min_feasible_stretch().expect("feasible");
+        assert!(
+            (at_zero - at_large).abs() <= 1e-4 * at_zero,
+            "stretch must be translation-invariant: {at_zero} at t=0 vs {at_large} at t=1e6"
+        );
+        // The transport-based paths must agree: with the absolute slack this
+        // returned false/None (the merged-epoch interval rejected job 1, so
+        // a comfortably feasible stretch was judged infeasible).
+        assert!(
+            large.feasible(at_zero * 1.05),
+            "transport membership lost a job"
+        );
+        let reference = large
+            .min_feasible_stretch_reference()
+            .expect("reference bisection must agree the problem is feasible");
+        assert!(
+            (reference - at_zero).abs() <= 1e-4 * at_zero,
+            "reference {reference}"
+        );
+        // And the System-(2) allocation at the optimum ships all the work.
+        let plan = large
+            .system2_allocation(certified_slack(at_large))
+            .expect("allocation at the certified objective");
+        assert!((plan.work_of(0) - 100.0).abs() < 1e-5);
+        assert!((plan.work_of(1) - 100.0).abs() < 1e-5);
     }
 
     #[test]

@@ -145,12 +145,14 @@ fn workload_instance(sites: usize, databanks: usize, target_jobs: usize, seed: u
         density: 1.2,
         window: 1.0,
         scan_fraction: 1.0,
+        ..Default::default()
     });
     let rate = probe.expected_job_count(&platform).max(1e-9);
     let generator = WorkloadGenerator::new(WorkloadConfig {
         density: 1.2,
         window: (target_jobs as f64 / rate).max(1e-3),
         scan_fraction: 1.0,
+        ..Default::default()
     });
     generator.generate_instance(platform, &mut rng)
 }

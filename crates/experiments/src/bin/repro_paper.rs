@@ -1,0 +1,61 @@
+//! The paper-scale §5 campaign: 200 instances per configuration, fixed
+//! 15-minute arrival windows, streaming aggregation (memory stays bounded
+//! by the chunk size however many thousand jobs each instance carries).
+//!
+//! ```text
+//! # The real thing (hours of CPU; fans out over STRETCH_THREADS workers):
+//! cargo run --release -p stretch-experiments --bin repro_paper
+//!
+//! # The CI smoke leg: 1 instance per configuration, 30-second windows,
+//! # first 2 grid configurations only:
+//! STRETCH_INSTANCES=1 STRETCH_WINDOW=30 STRETCH_PAPER_CONFIGS=2 \
+//!     cargo run --release -p stretch-experiments --bin repro_paper
+//! ```
+//!
+//! `STRETCH_PAPER_CONFIGS` truncates the grid (strictly parsed, like every
+//! other knob); everything else comes from `CampaignSettings::paper_from_env`.
+
+use stretch_experiments::campaign::{parse_positive_count, read_env};
+use stretch_experiments::{full_grid, run_campaign_streaming, CampaignSettings};
+use stretch_platform::reference;
+
+fn main() {
+    let settings = CampaignSettings::paper_from_env();
+    let mut grid = full_grid();
+    if let Some(n) = read_env("STRETCH_PAPER_CONFIGS", None, |name, raw| {
+        Some(parse_positive_count(name, raw))
+    }) {
+        grid.truncate(n);
+    }
+    eprintln!(
+        "Paper-scale campaign: {} configurations x {} instances, {}s windows, {} threads",
+        grid.len(),
+        settings.instances_per_config,
+        settings.window_secs.unwrap_or(0.0),
+        rayon::current_num_threads(),
+    );
+
+    let summary = run_campaign_streaming(&grid, settings);
+
+    println!("{}", summary.table1());
+    for &sites in &reference::PLATFORM_SIZES {
+        let table = summary.table(
+            &format!("Paper-scale partition: configurations using {sites} sites"),
+            |c| c.sites == sites,
+        );
+        if table.rows.iter().any(|r| r.max_stretch.is_some()) {
+            println!("{table}");
+        }
+    }
+
+    println!(
+        "{} instances, {:.0} jobs total (p50 {:.0} / p99 {:.0} per instance), \
+         {:.1}s wall-clock, {:.1} jobs/sec",
+        summary.instances(),
+        summary.total_jobs(),
+        summary.jobs_p50.value().unwrap_or(0.0),
+        summary.jobs_p99.value().unwrap_or(0.0),
+        summary.elapsed_seconds,
+        summary.jobs_per_second(),
+    );
+}

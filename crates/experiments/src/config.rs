@@ -1,6 +1,7 @@
-//! The experimental grid of §5.3.
+//! The experimental grid of §5.3, extended with scenario families.
 
 use stretch_platform::reference;
+use stretch_workload::Scenario;
 
 /// One point of the experimental grid: a platform/application configuration.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -13,23 +14,45 @@ pub struct ExperimentConfig {
     pub availability: f64,
     /// Workload density: 0.75 … 3.0.
     pub density: f64,
+    /// Workload scenario family; [`Scenario::Steady`] is the paper's model,
+    /// the other families (bursty arrivals, heavy-tailed request sizes,
+    /// skewed databank popularity) stress the heuristics at equal load.
+    pub scenario: Scenario,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig {
+            sites: 3,
+            databanks: 3,
+            availability: 0.6,
+            density: 1.0,
+            scenario: Scenario::Steady,
+        }
+    }
 }
 
 impl ExperimentConfig {
-    /// A compact label used in logs and result files.
+    /// A compact label used in logs and result files.  Steady configurations
+    /// keep the paper-era spelling; other scenarios append their family.
     pub fn label(&self) -> String {
-        format!(
+        let base = format!(
             "sites{}_db{}_avail{:02}_dens{:.2}",
             self.sites,
             self.databanks,
             (self.availability * 100.0) as u32,
             self.density
-        )
+        );
+        match self.scenario {
+            Scenario::Steady => base,
+            other => format!("{base}_{}", other.label()),
+        }
     }
 }
 
 /// The full 162-configuration grid of §5.3
-/// (3 platform sizes × 3 databank counts × 3 availabilities × 6 densities).
+/// (3 platform sizes × 3 databank counts × 3 availabilities × 6 densities),
+/// all under the paper's steady scenario.
 pub fn full_grid() -> Vec<ExperimentConfig> {
     let mut grid = Vec::new();
     for &sites in &reference::PLATFORM_SIZES {
@@ -41,6 +64,7 @@ pub fn full_grid() -> Vec<ExperimentConfig> {
                         databanks,
                         availability,
                         density,
+                        scenario: Scenario::Steady,
                     });
                 }
             }
@@ -58,20 +82,50 @@ pub fn reduced_grid() -> Vec<ExperimentConfig> {
             databanks: 3,
             availability: 0.6,
             density: 1.0,
+            scenario: Scenario::Steady,
         },
         ExperimentConfig {
             sites: 10,
             databanks: 10,
             availability: 0.6,
             density: 1.5,
+            scenario: Scenario::Steady,
         },
         ExperimentConfig {
             sites: 3,
             databanks: 10,
             availability: 0.9,
             density: 3.0,
+            scenario: Scenario::Steady,
         },
     ]
+}
+
+/// The scenario families studied beyond the paper (paper-steady first, so
+/// every scenario table has the §5 baseline alongside).
+pub fn scenario_families() -> Vec<Scenario> {
+    vec![
+        Scenario::Steady,
+        Scenario::Bursty {
+            cycles: 3,
+            duty: 0.25,
+        },
+        Scenario::HeavyTailed { alpha: 1.5 },
+        Scenario::SkewedPopularity { exponent: 1.0 },
+    ]
+}
+
+/// The scenario grid: every [`reduced_grid`] platform point crossed with
+/// every scenario family — the diversity axis the paper does not explore.
+/// Used by `repro_scenarios` and the scenario smoke tests.
+pub fn scenario_grid() -> Vec<ExperimentConfig> {
+    let mut grid = Vec::new();
+    for scenario in scenario_families() {
+        for base in reduced_grid() {
+            grid.push(ExperimentConfig { scenario, ..base });
+        }
+    }
+    grid
 }
 
 #[cfg(test)]
@@ -105,7 +159,28 @@ mod tests {
             databanks: 10,
             availability: 0.9,
             density: 1.25,
+            scenario: Scenario::Steady,
         };
         assert_eq!(c.label(), "sites3_db10_avail90_dens1.25");
+        let b = ExperimentConfig {
+            scenario: Scenario::Bursty {
+                cycles: 3,
+                duty: 0.25,
+            },
+            ..c
+        };
+        assert_eq!(b.label(), "sites3_db10_avail90_dens1.25_bursty3x0.25");
+    }
+
+    #[test]
+    fn scenario_grid_crosses_families_with_platforms() {
+        let grid = scenario_grid();
+        assert_eq!(grid.len(), reduced_grid().len() * scenario_families().len());
+        let labels: std::collections::HashSet<String> = grid.iter().map(|c| c.label()).collect();
+        assert_eq!(labels.len(), grid.len(), "labels must stay distinct");
+        // Every family appears.
+        for family in scenario_families() {
+            assert!(grid.iter().any(|c| c.scenario == family));
+        }
     }
 }

@@ -98,12 +98,14 @@ pub fn run_figure3(settings: &Figure3Settings) -> Vec<Figure3Point> {
                 density,
                 window: 1.0,
                 scan_fraction: 1.0,
+                ..Default::default()
             });
             let rate = probe.expected_job_count(&platform).max(1e-9);
             let generator = WorkloadGenerator::new(WorkloadConfig {
                 density,
                 window: (settings.target_jobs as f64 / rate).max(1e-3),
                 scan_fraction: 1.0,
+                ..Default::default()
             });
             let instance = generator.generate_instance(platform, &mut rng);
 

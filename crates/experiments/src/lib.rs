@@ -20,14 +20,19 @@ pub mod heuristics;
 pub mod json;
 pub mod overhead;
 pub mod runner;
+pub mod scale;
 pub mod tables;
 
-pub use campaign::{run_campaign, CampaignResult, CampaignSettings};
-pub use config::{full_grid, reduced_grid, ExperimentConfig};
+pub use campaign::{
+    instance_seed, run_campaign, run_campaign_streaming, CampaignResult, CampaignSettings,
+    CampaignSummary,
+};
+pub use config::{full_grid, reduced_grid, scenario_families, scenario_grid, ExperimentConfig};
 pub use figure3::{run_figure3, Figure3Point, Figure3Settings};
 pub use heuristics::{heuristic_battery, HeuristicKind, TABLE1_ORDER};
 pub use overhead::{run_overhead_study, OverheadReport};
-pub use runner::{run_instance, InstanceObservation};
+pub use runner::{run_instance, InstanceObservation, InstanceScale};
+pub use scale::{run_scale_study, ScaleSettings};
 pub use tables::{
     table1, tables_by_availability, tables_by_databases, tables_by_density, tables_by_sites,
 };

@@ -107,6 +107,7 @@ pub fn run_overhead_study(instances: usize, target_jobs: usize, seed: u64) -> Ov
         databanks: 3,
         availability: 0.6,
         density: 1.5,
+        scenario: stretch_workload::Scenario::Steady,
     };
     let mut totals = vec![0.0f64; TABLE1_ORDER.len()];
     let mut per_event_totals = vec![0.0f64; TABLE1_ORDER.len()];

@@ -13,6 +13,25 @@ use crate::runner::InstanceObservation;
 use stretch_metrics::{DegradationAccumulator, MetricsTable};
 use stretch_platform::reference;
 
+/// The per-instance degradation inputs shared by the batch and streaming
+/// accumulators: max-stretch values, sum-stretch values (both `INFINITY`
+/// for skipped heuristics) and the max-stretch reference (the off-line
+/// optimum of the instance, when it ran).
+pub fn degradation_values(obs: &InstanceObservation) -> (Vec<f64>, Vec<f64>, Option<f64>) {
+    let max_values: Vec<f64> = obs
+        .observations
+        .iter()
+        .map(|o| o.map(|v| v.max_stretch).unwrap_or(f64::INFINITY))
+        .collect();
+    let sum_values: Vec<f64> = obs
+        .observations
+        .iter()
+        .map(|o| o.map(|v| v.sum_stretch).unwrap_or(f64::INFINITY))
+        .collect();
+    let offline = obs.of(HeuristicKind::Offline).map(|o| o.max_stretch);
+    (max_values, sum_values, offline)
+}
+
 /// Builds the degradation accumulators (max-stretch and sum-stretch) from a
 /// set of observations.
 fn accumulate(
@@ -22,20 +41,10 @@ fn accumulate(
     let mut max_acc = DegradationAccumulator::new(&names);
     let mut sum_acc = DegradationAccumulator::new(&names);
     for obs in observations {
-        let max_values: Vec<f64> = obs
-            .observations
-            .iter()
-            .map(|o| o.map(|v| v.max_stretch).unwrap_or(f64::INFINITY))
-            .collect();
-        let sum_values: Vec<f64> = obs
-            .observations
-            .iter()
-            .map(|o| o.map(|v| v.sum_stretch).unwrap_or(f64::INFINITY))
-            .collect();
-        // Max-stretch degradation is measured against the off-line optimum.
-        let offline = obs.of(HeuristicKind::Offline).map(|o| o.max_stretch);
+        let (max_values, sum_values, offline) = degradation_values(obs);
+        // Max-stretch degradation is measured against the off-line optimum;
+        // sum-stretch against the best heuristic.
         max_acc.record(&max_values, offline);
-        // Sum-stretch degradation is measured against the best heuristic.
         sum_acc.record(&sum_values, None);
     }
     (max_acc, sum_acc)

@@ -1,0 +1,28 @@
+//! `CampaignSettings::paper_from_env` contract: `STRETCH_JOBS` is
+//! meaningless under fixed windows and must abort loudly, not be ignored.
+//!
+//! This lives in its own integration-test binary (one test, own process)
+//! because it mutates the environment, which would race with the other
+//! test binaries' env reads if it shared a process with them.
+
+use stretch_experiments::CampaignSettings;
+
+#[test]
+fn paper_from_env_rejects_stretch_jobs() {
+    std::env::set_var("STRETCH_JOBS", "500");
+    let outcome = std::panic::catch_unwind(CampaignSettings::paper_from_env);
+    std::env::remove_var("STRETCH_JOBS");
+    let payload = outcome.expect_err("STRETCH_JOBS must abort under the paper preset");
+    let message = payload
+        .downcast_ref::<String>()
+        .cloned()
+        .unwrap_or_default();
+    assert!(
+        message.contains("STRETCH_JOBS") && message.contains("STRETCH_WINDOW"),
+        "panic must name the knob and the fix: {message}"
+    );
+
+    // Without the knob the paper defaults come through.
+    let settings = CampaignSettings::paper_from_env();
+    assert_eq!(settings.window_secs, CampaignSettings::paper().window_secs);
+}

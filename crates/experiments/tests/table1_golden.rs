@@ -3,8 +3,9 @@
 //! The Table-1 statistics (max-stretch and sum-stretch degradation per
 //! heuristic) on the deterministic smoke campaign are frozen into
 //! checked-in fixtures, one per min-cost backend, and compared **exactly**:
-//! the instance generator is seed-deterministic, the vendored `rayon` is
-//! sequential, and every scheduler is deterministic, so any diff means a
+//! the instance generator is seed-deterministic, the vendored `rayon` pool
+//! collects results at their input index (byte-identical whatever the
+//! thread count), and every scheduler is deterministic, so any diff means a
 //! solver change altered observable results.  Degenerate min-cost optima
 //! are real (several allocations share the optimal cost), which is why each
 //! backend owns its fixture — a swap can change which optimum is picked,

@@ -15,9 +15,11 @@ pub mod aggregate;
 pub mod baseline;
 pub mod objectives;
 pub mod outcome;
+pub mod streaming;
 pub mod table;
 
 pub use aggregate::{AggregateStats, DegradationAccumulator};
 pub use objectives::ScheduleMetrics;
 pub use outcome::JobOutcome;
+pub use streaming::{P2Quantile, StreamingDegradation, StreamingStats};
 pub use table::{MetricsTable, TableRow};

@@ -1,44 +1,388 @@
 //! Offline stand-in for the subset of the [`rayon`](https://docs.rs/rayon)
-//! crate used by this workspace.
+//! crate used by this workspace — now backed by a **real thread pool**.
 //!
-//! The build container has no access to crates.io, so `par_iter()` is
-//! provided as a *sequential* iterator with the same call shape: campaign
-//! sweeps stay correct (and deterministic), they just do not fan out over
-//! threads.  Swap this stub for the real crate to restore parallelism.
+//! The build container has no access to crates.io, so this crate vendors the
+//! exact API surface the workspace uses (`par_iter().map(..).collect()`),
+//! implemented as a chunk-dealing pool over [`std::thread`]:
+//!
+//! * every `collect()` writes each item's result into its **original index**
+//!   (indexed collect), so the output is byte-identical to what the old
+//!   sequential stub produced, whatever the thread count or interleaving;
+//! * workers claim fixed-size index chunks from a shared atomic counter, so
+//!   load imbalance (one slow instance) never idles the rest of the pool for
+//!   longer than one chunk;
+//! * a panic in any worker is propagated to the caller once every worker has
+//!   drained (via [`std::thread::scope`]), never swallowed.
+//!
+//! # Thread-count selection
+//!
+//! The pool size is resolved per `collect()` call, in priority order:
+//!
+//! 1. a scoped override installed by [`with_threads`] (used by tests to pin
+//!    determinism checks to exact counts without touching the environment);
+//! 2. the `STRETCH_THREADS` environment variable — malformed values and `0`
+//!    **abort loudly** with the offending string rather than silently running
+//!    sequentially;
+//! 3. [`std::thread::available_parallelism`], the default.
+//!
+//! A resolved count of 1 (or a single-item input) short-circuits to a plain
+//! sequential loop on the calling thread: no threads are spawned, and the
+//! result is — by construction — the sequential order.
+
+use std::cell::Cell;
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 /// Drop-in for `rayon::prelude`.
 pub mod prelude {
-    /// Sequential stand-in for `rayon`'s `IntoParallelRefIterator`.
-    pub trait IntoParallelRefIterator<'a> {
-        /// The iterator type returned by [`Self::par_iter`].
-        type Iter: Iterator;
-        /// A (sequential) "parallel" iterator over references.
-        fn par_iter(&'a self) -> Self::Iter;
-    }
+    pub use crate::{IntoParallelRefIterator, ParallelIterator};
+}
 
-    impl<'a, T: 'a> IntoParallelRefIterator<'a> for [T] {
-        type Iter = std::slice::Iter<'a, T>;
-        fn par_iter(&'a self) -> Self::Iter {
-            self.iter()
+thread_local! {
+    /// Scoped thread-count override installed by [`with_threads`].
+    static THREAD_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Runs `f` with the pool size pinned to `threads` on this thread.
+///
+/// Used by the determinism tests ([`STRETCH_THREADS`-style matrix without
+/// mutating the process environment) and by benchmarks sweeping thread
+/// counts.  Nested calls restore the previous override on exit, including
+/// on panic.
+pub fn with_threads<T>(threads: usize, f: impl FnOnce() -> T) -> T {
+    assert!(threads > 0, "thread count must be at least 1");
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            THREAD_OVERRIDE.with(|o| o.set(self.0));
         }
     }
+    let _restore = Restore(THREAD_OVERRIDE.with(|o| o.replace(Some(threads))));
+    f()
+}
 
-    impl<'a, T: 'a> IntoParallelRefIterator<'a> for Vec<T> {
-        type Iter = std::slice::Iter<'a, T>;
-        fn par_iter(&'a self) -> Self::Iter {
-            self.iter()
+/// The number of worker threads the next `collect()` on this thread will use.
+///
+/// Resolution order: [`with_threads`] override, then `STRETCH_THREADS`
+/// (malformed or zero values panic with the offending string), then
+/// [`std::thread::available_parallelism`].
+pub fn current_num_threads() -> usize {
+    if let Some(n) = THREAD_OVERRIDE.with(|o| o.get()) {
+        return n;
+    }
+    match std::env::var("STRETCH_THREADS") {
+        Ok(raw) => match raw.trim().parse::<usize>() {
+            Ok(0) => panic!("STRETCH_THREADS must be at least 1, got `{raw}`"),
+            Ok(n) => n,
+            Err(_) => panic!("STRETCH_THREADS must be a positive integer, got `{raw}`"),
+        },
+        Err(std::env::VarError::NotPresent) => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        Err(std::env::VarError::NotUnicode(_)) => {
+            panic!("STRETCH_THREADS must be a positive integer, got non-unicode bytes")
         }
+    }
+}
+
+/// Write-once output slots shared across workers.
+///
+/// Each index is claimed by exactly one worker (disjoint chunks handed out
+/// by an atomic counter), so concurrent writes never alias; the `scope` join
+/// sequences every write before the caller reads the slots back.
+struct Slots<'a, R> {
+    cells: &'a [UnsafeCell<Option<R>>],
+}
+
+// SAFETY: workers write disjoint indices (see `run_indexed`), and the scoped
+// join provides the happens-before edge to the final read.
+unsafe impl<R: Send> Sync for Slots<'_, R> {}
+
+impl<R> Slots<'_, R> {
+    /// Stores the result for index `i`.
+    ///
+    /// # Safety
+    /// `i` must be claimed by exactly one worker and written exactly once
+    /// (guaranteed by the disjoint chunk hand-out in `run_indexed`).
+    unsafe fn set(&self, i: usize, value: R) {
+        *self.cells[i].get() = Some(value);
+    }
+}
+
+/// Computes `produce(i)` for every `i < len` on the resolved pool and
+/// returns the results **in index order**.
+fn run_indexed<R: Send>(len: usize, produce: impl Fn(usize) -> R + Sync) -> Vec<R> {
+    let threads = current_num_threads().min(len.max(1));
+    if threads <= 1 || len <= 1 {
+        return (0..len).map(produce).collect();
+    }
+    let slots: Vec<UnsafeCell<Option<R>>> = (0..len).map(|_| UnsafeCell::new(None)).collect();
+    // Chunks several times smaller than a fair share keep the pool busy when
+    // item costs are skewed (large instances next to small ones) while still
+    // amortising the counter traffic.
+    let chunk = (len / (threads * 8)).max(1);
+    let next = AtomicUsize::new(0);
+    // Set when any worker panics: surviving workers stop claiming chunks
+    // instead of draining the remaining (possibly hours of) work before the
+    // panic can propagate.
+    let poisoned = AtomicBool::new(false);
+    let shared = Slots { cells: &slots };
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                if poisoned.load(Ordering::Relaxed) {
+                    break;
+                }
+                let start = next.fetch_add(chunk, Ordering::Relaxed);
+                if start >= len {
+                    break;
+                }
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    for i in start..(start + chunk).min(len) {
+                        let value = produce(i);
+                        // SAFETY: `i` is owned by this worker alone
+                        // (disjoint chunk claims), and each slot is written
+                        // exactly once.
+                        unsafe { shared.set(i, value) };
+                    }
+                }));
+                if let Err(payload) = outcome {
+                    poisoned.store(true, Ordering::Relaxed);
+                    // Re-raise on this worker so the scope join propagates
+                    // the original panic to the caller.
+                    std::panic::resume_unwind(payload);
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|c| c.into_inner().expect("every index was claimed"))
+        .collect()
+}
+
+/// Subset of `rayon::iter::ParallelIterator` (map + collect).
+pub trait ParallelIterator: Sized {
+    /// Item type produced by the iterator.
+    type Item: Send;
+
+    /// Computes item `i`; implementations must be pure in `i` so the indexed
+    /// collect can evaluate items in any order.
+    fn produce(&self, index: usize) -> Self::Item;
+
+    /// Number of items.
+    fn len(&self) -> usize;
+
+    /// `true` when the iterator has no items.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Maps every item through `f` (lazily; runs on the pool at `collect`).
+    fn map<F, R>(self, f: F) -> Map<Self, F>
+    where
+        F: Fn(Self::Item) -> R + Sync,
+        R: Send,
+    {
+        Map { base: self, f }
+    }
+
+    /// Runs the pipeline on the thread pool and gathers the results in
+    /// **input order** (indexed collect: byte-identical to sequential).
+    fn collect<C: FromParallelIterator<Self::Item>>(self) -> C
+    where
+        Self: Sync,
+    {
+        C::from_par_iter(self)
+    }
+}
+
+/// Collection types `ParallelIterator::collect` can target
+/// (subset of `rayon::iter::FromParallelIterator`).
+pub trait FromParallelIterator<T: Send>: Sized {
+    /// Builds the collection by draining `iter` on the pool.
+    fn from_par_iter<I: ParallelIterator<Item = T> + Sync>(iter: I) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<I: ParallelIterator<Item = T> + Sync>(iter: I) -> Self {
+        run_indexed(iter.len(), |i| iter.produce(i))
+    }
+}
+
+/// Borrowing parallel iterator over a slice (the `par_iter()` shape).
+pub struct ParIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for ParIter<'a, T> {
+    type Item = &'a T;
+
+    fn produce(&self, index: usize) -> &'a T {
+        &self.slice[index]
+    }
+
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+}
+
+/// Lazy `map` adaptor.
+pub struct Map<I, F> {
+    base: I,
+    f: F,
+}
+
+impl<I, F, R> ParallelIterator for Map<I, F>
+where
+    I: ParallelIterator,
+    F: Fn(I::Item) -> R + Sync,
+    R: Send,
+{
+    type Item = R;
+
+    fn produce(&self, index: usize) -> R {
+        (self.f)(self.base.produce(index))
+    }
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+}
+
+/// Drop-in for `rayon`'s `IntoParallelRefIterator`.
+pub trait IntoParallelRefIterator<'a> {
+    /// The parallel iterator type returned by [`Self::par_iter`].
+    type Iter: ParallelIterator;
+    /// A parallel iterator over references.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Iter = ParIter<'a, T>;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { slice: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Iter = ParIter<'a, T>;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { slice: self }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use super::*;
 
     #[test]
-    fn par_iter_visits_everything_in_order() {
-        let v = vec![1, 2, 3];
-        let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
-        assert_eq!(doubled, vec![2, 4, 6]);
+    fn par_iter_collects_in_input_order() {
+        let v: Vec<usize> = (0..1000).collect();
+        for threads in [1, 2, 3, 8] {
+            let doubled: Vec<usize> =
+                with_threads(threads, || v.par_iter().map(|x| x * 2).collect());
+            assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn parallel_output_is_byte_identical_to_sequential() {
+        // f64 results compared bit-for-bit: the indexed collect must not
+        // change results with the thread count.
+        let v: Vec<f64> = (0..257).map(|i| i as f64 * 0.37).collect();
+        let work = |x: &f64| (x.sin() * 1e6).sqrt().to_bits();
+        let sequential: Vec<u64> = with_threads(1, || v.par_iter().map(work).collect());
+        for threads in [2, 5, 16] {
+            let parallel: Vec<u64> = with_threads(threads, || v.par_iter().map(work).collect());
+            assert_eq!(parallel, sequential, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn pool_actually_fans_out() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let seen = Mutex::new(HashSet::new());
+        let v: Vec<usize> = (0..64).collect();
+        let _: Vec<()> = with_threads(4, || {
+            v.par_iter()
+                .map(|_| {
+                    // Long enough that the chunk queue outlives worker spawn
+                    // latency, so several workers get to claim chunks.
+                    std::thread::sleep(std::time::Duration::from_micros(500));
+                    seen.lock().unwrap().insert(std::thread::current().id());
+                })
+                .collect()
+        });
+        // 64 items in chunks of 2 (64 / (4·8)): with 4 workers and ~32 ms of
+        // queued work, at least two distinct threads must claim chunks.
+        assert!(
+            seen.lock().unwrap().len() >= 2,
+            "expected multiple worker threads"
+        );
+    }
+
+    #[test]
+    fn worker_panic_propagates_to_the_caller() {
+        let v: Vec<usize> = (0..64).collect();
+        let result = std::panic::catch_unwind(|| {
+            let _: Vec<usize> = with_threads(4, || {
+                v.par_iter()
+                    .map(|&x| {
+                        if x == 33 {
+                            panic!("boom at {x}");
+                        }
+                        x
+                    })
+                    .collect()
+            });
+        });
+        assert!(result.is_err(), "panic in a worker must not be swallowed");
+    }
+
+    #[test]
+    fn worker_panic_cancels_remaining_chunks() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let produced = AtomicUsize::new(0);
+        let v: Vec<usize> = (0..512).collect();
+        let result = std::panic::catch_unwind(|| {
+            let _: Vec<()> = with_threads(4, || {
+                v.par_iter()
+                    .map(|&x| {
+                        if x == 0 {
+                            panic!("early failure");
+                        }
+                        std::thread::sleep(std::time::Duration::from_micros(200));
+                        produced.fetch_add(1, Ordering::Relaxed);
+                    })
+                    .collect()
+            });
+        });
+        assert!(result.is_err());
+        // Survivors bail at their next chunk claim instead of draining all
+        // 512 items; allow generous slack for chunks already in flight.
+        let done = produced.load(Ordering::Relaxed);
+        assert!(done < 512, "pool drained everything after a panic ({done})");
+    }
+
+    #[test]
+    fn empty_and_single_item_inputs_work() {
+        let empty: Vec<u32> = Vec::new();
+        let out: Vec<u32> = empty.par_iter().map(|x| *x).collect();
+        assert!(out.is_empty());
+        let one = [41u32];
+        let out: Vec<u32> = one.par_iter().map(|x| x + 1).collect();
+        assert_eq!(out, vec![42]);
+    }
+
+    #[test]
+    fn with_threads_restores_the_previous_override() {
+        with_threads(3, || {
+            assert_eq!(current_num_threads(), 3);
+            with_threads(2, || assert_eq!(current_num_threads(), 2));
+            assert_eq!(current_num_threads(), 3);
+        });
     }
 }

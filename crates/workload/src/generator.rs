@@ -8,6 +8,7 @@
 
 use crate::instance::Instance;
 use crate::job::Job;
+use crate::scenario::Scenario;
 use rand::Rng;
 use stretch_platform::{reference, Platform};
 
@@ -23,6 +24,10 @@ pub struct WorkloadConfig {
     /// requests scan the whole databank (1.0); smaller values produce shorter
     /// jobs with the same arrival intensity.
     pub scan_fraction: f64,
+    /// Arrival/size/popularity family; [`Scenario::Steady`] is the paper's
+    /// model, the others stress the heuristics while preserving the expected
+    /// load (see [`crate::scenario`]).
+    pub scenario: Scenario,
 }
 
 impl Default for WorkloadConfig {
@@ -31,6 +36,7 @@ impl Default for WorkloadConfig {
             density: 1.0,
             window: reference::ARRIVAL_WINDOW_S,
             scan_fraction: 1.0,
+            scenario: Scenario::Steady,
         }
     }
 }
@@ -62,6 +68,7 @@ impl WorkloadGenerator {
             config.scan_fraction > 0.0 && config.scan_fraction <= 1.0,
             "scan fraction must be in (0, 1]"
         );
+        config.scenario.validate();
         WorkloadGenerator { config }
     }
 
@@ -70,38 +77,76 @@ impl WorkloadGenerator {
         &self.config
     }
 
-    /// Poisson arrival rate (jobs per second) for one databank on `platform`.
-    ///
-    /// `density = rate · job_size / aggregate_speed_for(databank)`, hence
-    /// `rate = density · aggregate_speed / job_size`.
-    pub fn arrival_rate(&self, platform: &Platform, databank: usize) -> f64 {
+    /// The paper's (steady) arrival rate: `density = rate · job_size /
+    /// aggregate_speed_for(databank)`, hence `rate = density ·
+    /// aggregate_speed / job_size`.
+    fn base_rate(&self, platform: &Platform, databank: usize) -> f64 {
         let job_size = platform.databanks[databank].size_mb * self.config.scan_fraction;
         let power = platform.aggregate_speed_for(databank);
         self.config.density * power / job_size
+    }
+
+    /// Poisson arrival rate (jobs per second) for one databank on `platform`.
+    ///
+    /// The steady [`Self::base_rate`] scaled by the scenario's popularity
+    /// weight, re-normalised against this platform's base rates so the
+    /// platform-wide expected job count is **exactly** scenario-independent
+    /// (popularity redistributes requests between databanks, it never adds
+    /// load).
+    pub fn arrival_rate(&self, platform: &Platform, databank: usize) -> f64 {
+        if !matches!(self.config.scenario, Scenario::SkewedPopularity { .. }) {
+            return self.base_rate(platform, databank);
+        }
+        let count = platform.num_databanks();
+        let weight = self.config.scenario.popularity_weight(databank, count);
+        let total_base: f64 = (0..count).map(|d| self.base_rate(platform, d)).sum();
+        let total_weighted: f64 = (0..count)
+            .map(|d| self.base_rate(platform, d) * self.config.scenario.popularity_weight(d, count))
+            .sum();
+        self.base_rate(platform, databank) * weight * total_base / total_weighted
     }
 
     /// Draws a workload (a job flow) for `platform`.
     ///
     /// For each databank, inter-arrival times are exponential with the rate
     /// given by [`WorkloadGenerator::arrival_rate`]; arrivals beyond the
-    /// window are discarded.  The per-databank flows are merged and sorted by
-    /// release date.  The result always contains at least one job (if every
-    /// Poisson draw came out empty, one job on databank 0 is released at
-    /// time 0 so downstream metrics are well defined).
+    /// window are discarded.  Non-steady scenarios reshape the flow without
+    /// changing its expected load: bursty arrivals are drawn homogeneously
+    /// in *active time* and mapped into the on-phases, heavy-tailed sizes
+    /// multiply each job by a unit-mean Pareto factor.  The per-databank
+    /// flows are merged and sorted by release date.  The result always
+    /// contains at least one job (if every Poisson draw came out empty, one
+    /// job on databank 0 is released at time 0 so downstream metrics are
+    /// well defined).
     pub fn generate<R: Rng + ?Sized>(&self, platform: &Platform, rng: &mut R) -> Vec<Job> {
+        let scenario = self.config.scenario;
         let mut jobs = Vec::new();
         for db in &platform.databanks {
             let rate = self.arrival_rate(platform, db.id);
             let job_size = db.size_mb * self.config.scan_fraction;
+            // Homogeneous arrivals on the active-time axis; same expected
+            // count as `rate` over the full window.  Only bursty scenarios
+            // rescale the axis: for everything else the rate is used as-is
+            // (`rate * w / w` is not an f64 no-op, and the steady stream
+            // must stay bit-identical to the paper-era generator).
+            let (active_window, active_rate) = match scenario {
+                Scenario::Bursty { .. } => {
+                    let active = scenario.active_window(self.config.window);
+                    (active, rate * self.config.window / active)
+                }
+                _ => (self.config.window, rate),
+            };
             let mut t = 0.0;
             loop {
-                // Exponential inter-arrival time with mean 1/rate.
+                // Exponential inter-arrival time with mean 1/active_rate.
                 let u: f64 = rng.gen_range(f64::EPSILON..1.0);
-                t += -u.ln() / rate;
-                if t > self.config.window {
+                t += -u.ln() / active_rate;
+                if t > active_window {
                     break;
                 }
-                jobs.push(Job::new(jobs.len(), t, job_size, db.id));
+                let release = scenario.arrival_time(t, self.config.window);
+                let work = job_size * scenario.size_factor(rng);
+                jobs.push(Job::new(jobs.len(), release, work, db.id));
             }
         }
         if jobs.is_empty() {
@@ -158,6 +203,7 @@ mod tests {
             density: 1.0,
             window: 100.0,
             scan_fraction: 1.0,
+            ..Default::default()
         });
         let jobs = generator.generate(&platform, &mut rng);
         assert!(!jobs.is_empty());
@@ -178,6 +224,7 @@ mod tests {
             density: 1.5,
             window: 400.0,
             scan_fraction: 1.0,
+            ..Default::default()
         });
         let expected = generator.expected_job_count(&platform);
         let mut total = 0usize;
@@ -203,6 +250,7 @@ mod tests {
             density: 1.0,
             window: 50.0,
             scan_fraction: 0.25,
+            ..Default::default()
         });
         let jobs = generator.generate(&platform, &mut rng);
         for j in &jobs {
@@ -230,6 +278,146 @@ mod tests {
             density: 0.0,
             window: 1.0,
             scan_fraction: 1.0,
+            ..Default::default()
         });
+    }
+
+    #[test]
+    fn scenarios_preserve_the_expected_job_count() {
+        // The load-preservation contract: every family's empirical job count
+        // tracks the *steady* expectation at the same density.
+        let platform = small_platform();
+        let steady = WorkloadGenerator::new(WorkloadConfig {
+            density: 1.0,
+            window: 600.0,
+            scan_fraction: 1.0,
+            ..Default::default()
+        });
+        let expected = steady.expected_job_count(&platform);
+        for scenario in [
+            Scenario::Bursty {
+                cycles: 5,
+                duty: 0.2,
+            },
+            Scenario::HeavyTailed { alpha: 1.8 },
+            Scenario::SkewedPopularity { exponent: 1.0 },
+        ] {
+            let generator = WorkloadGenerator::new(WorkloadConfig {
+                density: 1.0,
+                window: 600.0,
+                scan_fraction: 1.0,
+                scenario,
+            });
+            assert!(
+                (generator.expected_job_count(&platform) - expected).abs() / expected < 1e-9,
+                "{scenario:?} changes the analytic expectation"
+            );
+            let mut rng = SmallRng::seed_from_u64(17);
+            let runs = 30;
+            let total: usize = (0..runs)
+                .map(|_| generator.generate(&platform, &mut rng).len())
+                .sum();
+            let mean = total as f64 / runs as f64;
+            assert!(
+                (mean - expected).abs() / expected < 0.2,
+                "{scenario:?}: mean {mean} vs expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn bursty_scenario_confines_arrivals_to_bursts() {
+        let platform = small_platform();
+        let mut rng = SmallRng::seed_from_u64(23);
+        let generator = WorkloadGenerator::new(WorkloadConfig {
+            density: 2.0,
+            window: 100.0,
+            scan_fraction: 1.0,
+            scenario: Scenario::Bursty {
+                cycles: 4,
+                duty: 0.25,
+            },
+        });
+        let jobs = generator.generate(&platform, &mut rng);
+        assert!(jobs.len() > 10);
+        for j in &jobs {
+            let offset = j.release % 25.0;
+            assert!(
+                offset <= 25.0 * 0.25 + 1e-9,
+                "job at {} off-burst",
+                j.release
+            );
+        }
+    }
+
+    #[test]
+    fn heavy_tailed_sizes_vary_but_keep_the_mean_work() {
+        let platform = small_platform();
+        let mut rng = SmallRng::seed_from_u64(31);
+        let generator = WorkloadGenerator::new(WorkloadConfig {
+            density: 1.0,
+            window: 2000.0,
+            scan_fraction: 1.0,
+            scenario: Scenario::HeavyTailed { alpha: 2.5 },
+        });
+        let jobs = generator.generate(&platform, &mut rng);
+        // Sizes are no longer a single point mass per databank.
+        let db0: Vec<f64> = jobs
+            .iter()
+            .filter(|j| j.databank == 0)
+            .map(|j| j.work)
+            .collect();
+        assert!(db0.len() > 50);
+        let mean = db0.iter().sum::<f64>() / db0.len() as f64;
+        let base = platform.databanks[0].size_mb;
+        assert!(
+            (mean - base).abs() / base < 0.25,
+            "mean work {mean} vs {base}"
+        );
+        let distinct: std::collections::HashSet<u64> = db0.iter().map(|w| w.to_bits()).collect();
+        assert!(distinct.len() > db0.len() / 2, "sizes should vary");
+    }
+
+    #[test]
+    fn skewed_popularity_orders_databank_request_counts() {
+        let platform = small_platform();
+        let mut rng = SmallRng::seed_from_u64(37);
+        let generator = WorkloadGenerator::new(WorkloadConfig {
+            density: 1.0,
+            window: 1500.0,
+            scan_fraction: 1.0,
+            scenario: Scenario::SkewedPopularity { exponent: 2.0 },
+        });
+        let jobs = generator.generate(&platform, &mut rng);
+        let count = |d: usize| jobs.iter().filter(|j| j.databank == d).count();
+        // Databank 0 gets the lion's share under exponent 2.
+        assert!(
+            count(0) > count(1),
+            "zipf skew should favour databank 0: {} vs {}",
+            count(0),
+            count(1)
+        );
+    }
+
+    #[test]
+    fn steady_scenario_field_does_not_change_the_stream() {
+        // Adding the scenario field must not perturb the paper's generator:
+        // the steady path draws exactly the same randoms as before.
+        let platform = small_platform();
+        let a = WorkloadGenerator::new(WorkloadConfig {
+            density: 1.0,
+            window: 200.0,
+            scan_fraction: 1.0,
+            scenario: Scenario::Steady,
+        })
+        .generate(&platform, &mut SmallRng::seed_from_u64(51));
+        let b = WorkloadGenerator::new(WorkloadConfig {
+            density: 1.0,
+            window: 200.0,
+            scan_fraction: 1.0,
+            ..Default::default()
+        })
+        .generate(&platform, &mut SmallRng::seed_from_u64(51));
+        assert_eq!(a, b);
     }
 }

@@ -27,12 +27,14 @@ fn main() {
         density: 1.5,
         window: 1.0,
         scan_fraction: 1.0,
+        ..Default::default()
     });
     let window = (25.0 / probe.expected_job_count(&platform).max(1e-9)).max(1e-3);
     let generator = WorkloadGenerator::new(WorkloadConfig {
         density: 1.5,
         window,
         scan_fraction: 1.0,
+        ..Default::default()
     });
     let instance = generator.generate_instance(platform, &mut rng);
     println!(

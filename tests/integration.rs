@@ -20,12 +20,14 @@ fn random_instance(seed: u64, target: usize, sites: usize, availability: f64) ->
         density: 1.5,
         window: 1.0,
         scan_fraction: 1.0,
+        ..Default::default()
     });
     let window = (target as f64 / probe.expected_job_count(&platform).max(1e-9)).max(1e-3);
     let generator = WorkloadGenerator::new(WorkloadConfig {
         density: 1.5,
         window,
         scan_fraction: 1.0,
+        ..Default::default()
     });
     generator.generate_instance(platform, &mut rng)
 }
