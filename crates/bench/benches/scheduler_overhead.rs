@@ -454,14 +454,21 @@ fn bench_scheduler_overhead(c: &mut Criterion) {
     // Min-cost backend comparison on the same 3-cluster workload: the
     // captured per-event System-(2) solves (where the backends actually
     // differ — the feasibility probes are backend-independent) and the full
-    // on-line loop end to end.  One row per backend; the CI bench-smoke
-    // step checks these keys exist in BENCH_baseline.json.
+    // on-line loop end to end.  One row per backend, measured **cold across
+    // events** (no cross-event solver memory — the PR 2 baseline semantics),
+    // plus `-warm` rows with the cross-event memory on: basis remapping for
+    // the System-(2) sweep, basis remapping *and* residual carry-over for
+    // the full loop.  Warm and cold produce bit-identical schedules (pinned
+    // by the differential-oracle suite), so the row pairs measure the same
+    // work — only the solver state differs.  The CI bench-smoke step checks
+    // all of these keys exist in BENCH_baseline.json.
     let system2_events = capture_system2_events(&instance);
     assert!(!system2_events.is_empty());
     for config in SolverConfig::all_backends() {
-        let mut backend = config.instantiate();
+        let cold = config.with_warm_start(false);
+        let mut backend = cold.instantiate();
         let mut ws = FlowWorkspace::new();
-        group.bench_function(format!("system2-events/{}", config.backend.name()), |b| {
+        group.bench_function(format!("system2-events/{}", cold.backend.name()), |b| {
             b.iter(|| {
                 let mut pieces = 0usize;
                 for (problem, slack) in &system2_events {
@@ -473,13 +480,41 @@ fn bench_scheduler_overhead(c: &mut Criterion) {
                 black_box(pieces)
             })
         });
-        group.bench_function(format!("online-loop/{}", config.backend.name()), |b| {
+        group.bench_function(format!("online-loop/{}", cold.backend.name()), |b| {
+            b.iter(|| {
+                black_box(
+                    run_online_with(&instance, OnlineVariant::Online, cold)
+                        .expect("schedulable")
+                        .len(),
+                )
+            })
+        });
+        group.bench_function(format!("online-loop/{}-warm", config.backend.name()), |b| {
             b.iter(|| {
                 black_box(
                     run_online_with(&instance, OnlineVariant::Online, config)
                         .expect("schedulable")
                         .len(),
                 )
+            })
+        });
+    }
+    // The warm System-(2) sweep only exists for the simplex (the primal-dual
+    // kernel is stateless, so its warm row would re-measure the cold one).
+    {
+        let warm = SolverConfig::network_simplex();
+        let mut backend = warm.instantiate();
+        let mut ws = FlowWorkspace::new();
+        group.bench_function("system2-events/simplex-warm", |b| {
+            b.iter(|| {
+                let mut pieces = 0usize;
+                for (problem, slack) in &system2_events {
+                    let plan = problem
+                        .system2_allocation_with_backend(*slack, backend.as_mut(), &mut ws)
+                        .expect("feasible at the captured objective");
+                    pieces += plan.pieces.len();
+                }
+                black_box(pieces)
             })
         });
     }

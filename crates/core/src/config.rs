@@ -3,19 +3,39 @@
 //! Every optimisation-based scheduler bottoms out in two flow solves: the
 //! max-flow feasibility probes of the min-stretch search (backend-independent)
 //! and the System-(2) min-cost re-allocation, which runs on a pluggable
-//! [`MinCostBackend`](stretch_flow::MinCostBackend).  A [`SolverConfig`]
-//! names the backend; it is carried by the schedulers
-//! ([`crate::OnlineScheduler::with_config`],
+//! [`MinCostBackend`].  A [`SolverConfig`]
+//! names the backend and decides whether solver state may be **carried
+//! across events** (simplex basis remapping, residual-flow carry-over); it
+//! is carried by the schedulers ([`crate::OnlineScheduler::with_config`],
 //! [`crate::OfflineScheduler::with_config`],
 //! [`crate::Bender98Scheduler::with_config`]) and by the reusable
 //! [`crate::ParametricDeadlineSolver`].
 //!
-//! The **default** configuration reads the `STRETCH_MINCOST_BACKEND`
-//! environment variable once per process (`primal-dual`, the reference, when
-//! unset; `simplex` selects the network simplex; anything else aborts with
-//! the offending string rather than silently falling back).  This is
-//! how the CI test matrix runs the whole suite — schedulers, experiments,
-//! property tests — on either backend without touching call sites.
+//! # Environment defaults are read once per process
+//!
+//! The **default** configuration reads two environment variables, and it
+//! reads them **exactly once per process** (memoised in a `OnceLock`,
+//! because schedulers construct solvers on hot paths):
+//!
+//! * `STRETCH_MINCOST_BACKEND` — `primal-dual` (the reference, also the
+//!   unset default) or `simplex`; anything else aborts with the offending
+//!   string rather than silently falling back.  This is how the CI test
+//!   matrix runs the whole suite — schedulers, experiments, property tests —
+//!   on either backend without touching call sites.
+//! * `STRETCH_WARM_START` — `1`/`true` (the default) enables cross-event
+//!   solver memory, `0`/`false` disables it; anything else aborts.  Warm
+//!   start is a speed lever only: results are bit-identical either way
+//!   (pinned by the differential-oracle suite), so the CI matrix crossing
+//!   this knob is a determinism check, not a behaviour switch.
+//!
+//! Once-per-process means **changing the variables after the first
+//! [`SolverConfig::default`] call has no effect** — tests that want to run
+//! under several configurations must either pass explicit configs through
+//! the `with_config` constructors (the usual way: no environment involved
+//! at all) or, for code paths that really consult the process default, use
+//! the `#[cfg(test)]`-only `SolverConfig::scoped_default` override, which
+//! swaps the default for the duration of a closure on the current thread —
+//! no subprocess per matrix cell needed.
 
 use std::sync::OnceLock;
 use stretch_flow::{BackendKind, MinCostBackend};
@@ -25,29 +45,46 @@ use stretch_flow::{BackendKind, MinCostBackend};
 pub struct SolverConfig {
     /// Which engine solves the System-(2) min-cost transportation problems.
     pub backend: BackendKind,
+    /// Whether solver state (the simplex spanning-tree basis, the residual
+    /// flow of the feasibility probes) may be carried across events.
+    ///
+    /// Default `true`.  Purely a performance knob: warm-started and cold
+    /// solves return bit-identical objectives and allocations (the
+    /// warm/cold identity contract, pinned by
+    /// `crates/core/tests/backend_diff.rs`).
+    pub warm_start: bool,
 }
 
 impl SolverConfig {
-    /// The primal-dual reference backend.
+    /// The primal-dual reference backend (warm start enabled).
     pub fn primal_dual() -> Self {
         SolverConfig {
             backend: BackendKind::PrimalDual,
+            warm_start: true,
         }
     }
 
-    /// The network-simplex backend.
+    /// The network-simplex backend (warm start enabled).
     pub fn network_simplex() -> Self {
         SolverConfig {
             backend: BackendKind::NetworkSimplex,
+            warm_start: true,
         }
+    }
+
+    /// This configuration with cross-event solver memory switched on or off.
+    pub fn with_warm_start(mut self, warm_start: bool) -> Self {
+        self.warm_start = warm_start;
+        self
     }
 
     /// One configuration per available backend, reference first (the shape
     /// the differential tests and benches iterate over).
     pub fn all_backends() -> impl Iterator<Item = SolverConfig> {
-        BackendKind::ALL
-            .into_iter()
-            .map(|backend| SolverConfig { backend })
+        BackendKind::ALL.into_iter().map(|backend| SolverConfig {
+            backend,
+            warm_start: true,
+        })
     }
 
     /// Parses a backend name as `STRETCH_MINCOST_BACKEND` would; unknown
@@ -56,7 +93,10 @@ impl SolverConfig {
     /// reference, running the whole CI matrix on the wrong backend).
     pub fn parse_backend(raw: &str) -> Self {
         match BackendKind::parse(raw) {
-            Some(backend) => SolverConfig { backend },
+            Some(backend) => SolverConfig {
+                backend,
+                warm_start: true,
+            },
             None => {
                 let valid: Vec<&str> = BackendKind::ALL.iter().map(|b| b.name()).collect();
                 panic!("STRETCH_MINCOST_BACKEND must be one of {valid:?}, got `{raw}`")
@@ -64,31 +104,103 @@ impl SolverConfig {
         }
     }
 
-    /// Reads `STRETCH_MINCOST_BACKEND` (uncached); unset falls back to the
-    /// primal-dual reference, unrecognised values abort loudly (see
-    /// [`Self::parse_backend`]).
-    pub fn from_env() -> Self {
-        match std::env::var("STRETCH_MINCOST_BACKEND") {
-            Err(std::env::VarError::NotPresent) => SolverConfig {
-                backend: BackendKind::default(),
-            },
-            Err(std::env::VarError::NotUnicode(_)) => {
-                panic!("STRETCH_MINCOST_BACKEND must be valid unicode, got undecodable bytes")
-            }
-            Ok(raw) => Self::parse_backend(&raw),
+    /// Parses a warm-start switch as `STRETCH_WARM_START` would: exactly
+    /// `1`/`true`/`on` (enabled) or `0`/`false`/`off` (disabled),
+    /// case-insensitive and whitespace-trimmed; anything else aborts with
+    /// the offending string, consistent with the strict-parse policy of
+    /// every other `STRETCH_*` knob.
+    pub fn parse_warm_start(raw: &str) -> bool {
+        match raw.trim().to_ascii_lowercase().as_str() {
+            "1" | "true" | "on" => true,
+            "0" | "false" | "off" => false,
+            _ => panic!("STRETCH_WARM_START must be one of 0/1, true/false or on/off, got `{raw}`"),
         }
     }
 
-    /// Instantiates the configured min-cost backend.
+    /// Reads `STRETCH_MINCOST_BACKEND` and `STRETCH_WARM_START`
+    /// (**uncached** — callers wanting the memoised process default use
+    /// [`SolverConfig::default`]); unset variables fall back to the
+    /// primal-dual reference with warm start on, unrecognised values abort
+    /// loudly (see [`Self::parse_backend`], [`Self::parse_warm_start`]).
+    pub fn from_env() -> Self {
+        let backend = match std::env::var("STRETCH_MINCOST_BACKEND") {
+            Err(std::env::VarError::NotPresent) => BackendKind::default(),
+            Err(std::env::VarError::NotUnicode(_)) => {
+                panic!("STRETCH_MINCOST_BACKEND must be valid unicode, got undecodable bytes")
+            }
+            Ok(raw) => Self::parse_backend(&raw).backend,
+        };
+        let warm_start = match std::env::var("STRETCH_WARM_START") {
+            Err(std::env::VarError::NotPresent) => true,
+            Err(std::env::VarError::NotUnicode(_)) => {
+                panic!("STRETCH_WARM_START must be valid unicode, got undecodable bytes")
+            }
+            Ok(raw) => Self::parse_warm_start(&raw),
+        };
+        SolverConfig {
+            backend,
+            warm_start,
+        }
+    }
+
+    /// Instantiates the configured min-cost backend (honouring
+    /// [`Self::warm_start`]: a cold configuration gets a backend that never
+    /// reuses state across solves).
     pub fn instantiate(&self) -> Box<dyn MinCostBackend + Send> {
-        self.backend.instantiate()
+        self.backend.instantiate_with(self.warm_start)
+    }
+
+    /// Runs `f` with `config` installed as the process default **on the
+    /// current thread** — the in-process alternative to spawning one
+    /// subprocess per cell of the backend × warm-start matrix.
+    ///
+    /// Test-only by design (`#[cfg(test)]`): production code must never
+    /// depend on a mutable default.  Overrides nest; the previous default is
+    /// restored when `f` returns or panics.  Integration tests (which see
+    /// the crate without `cfg(test)`) should pass explicit configurations
+    /// through the `with_config` constructors instead.
+    #[cfg(test)]
+    pub fn scoped_default<R>(config: SolverConfig, f: impl FnOnce() -> R) -> R {
+        struct Guard;
+        impl Drop for Guard {
+            fn drop(&mut self) {
+                test_override::OVERRIDE.with(|stack| {
+                    stack.borrow_mut().pop();
+                });
+            }
+        }
+        test_override::OVERRIDE.with(|stack| stack.borrow_mut().push(config));
+        let _guard = Guard;
+        f()
+    }
+}
+
+#[cfg(test)]
+mod test_override {
+    use super::SolverConfig;
+    use std::cell::RefCell;
+
+    thread_local! {
+        /// Stack of scoped default overrides; see [`SolverConfig::scoped_default`].
+        pub(super) static OVERRIDE: RefCell<Vec<SolverConfig>> = const { RefCell::new(Vec::new()) };
+    }
+
+    /// The innermost scoped override on this thread, if any.
+    pub(super) fn current() -> Option<SolverConfig> {
+        OVERRIDE.with(|stack| stack.borrow().last().copied())
     }
 }
 
 impl Default for SolverConfig {
-    /// The process-wide default: `STRETCH_MINCOST_BACKEND` read **once** on
-    /// first use (the schedulers construct solvers on hot paths).
+    /// The process-wide default: `STRETCH_MINCOST_BACKEND` and
+    /// `STRETCH_WARM_START` read **once** on first use (the schedulers
+    /// construct solvers on hot paths; see the module docs for the
+    /// consequences and the test-only escape hatch).
     fn default() -> Self {
+        #[cfg(test)]
+        if let Some(config) = test_override::current() {
+            return config;
+        }
         static DEFAULT: OnceLock<SolverConfig> = OnceLock::new();
         *DEFAULT.get_or_init(SolverConfig::from_env)
     }
@@ -105,12 +217,18 @@ mod tests {
         let all: Vec<_> = SolverConfig::all_backends().collect();
         assert_eq!(all.len(), 2);
         assert_eq!(all[0], SolverConfig::primal_dual());
+        assert!(
+            all.iter().all(|c| c.warm_start),
+            "warm start is the default"
+        );
     }
 
     #[test]
     fn instantiated_backends_match_their_kind() {
         for config in SolverConfig::all_backends() {
             assert_eq!(config.instantiate().name(), config.backend.name());
+            let cold = config.with_warm_start(false);
+            assert_eq!(cold.instantiate().name(), config.backend.name());
         }
     }
 
@@ -130,8 +248,56 @@ mod tests {
     }
 
     #[test]
+    fn warm_start_switch_parses_strictly() {
+        assert!(SolverConfig::parse_warm_start("1"));
+        assert!(SolverConfig::parse_warm_start("true"));
+        assert!(!SolverConfig::parse_warm_start("0"));
+        assert!(!SolverConfig::parse_warm_start(" off "));
+    }
+
+    #[test]
     #[should_panic(expected = "got `definitely-not-a-backend`")]
     fn unrecognised_backend_names_abort_with_the_offending_string() {
         SolverConfig::parse_backend("definitely-not-a-backend");
+    }
+
+    #[test]
+    #[should_panic(expected = "got `2`")]
+    fn unrecognised_warm_start_values_abort_with_the_offending_string() {
+        SolverConfig::parse_warm_start("2");
+    }
+
+    #[test]
+    fn scoped_default_overrides_and_restores() {
+        let ambient = SolverConfig::default();
+        let forced = SolverConfig::network_simplex().with_warm_start(false);
+        let seen = SolverConfig::scoped_default(forced, SolverConfig::default);
+        assert_eq!(seen, forced, "the override is the default inside");
+        // Overrides nest.
+        let inner = SolverConfig::scoped_default(forced, || {
+            SolverConfig::scoped_default(SolverConfig::primal_dual(), SolverConfig::default)
+        });
+        assert_eq!(inner, SolverConfig::primal_dual());
+        assert_eq!(
+            SolverConfig::default(),
+            ambient,
+            "the ambient default is restored outside"
+        );
+    }
+
+    #[test]
+    fn scoped_default_drives_default_built_solvers() {
+        // The point of the override: code that takes no config — here the
+        // default-config parametric solver — runs under the forced matrix
+        // cell without a subprocess.
+        for backend in [SolverConfig::primal_dual(), SolverConfig::network_simplex()] {
+            for warm in [false, true] {
+                let forced = backend.with_warm_start(warm);
+                let seen = SolverConfig::scoped_default(forced, || {
+                    crate::ParametricDeadlineSolver::new().config()
+                });
+                assert_eq!(seen, forced);
+            }
+        }
     }
 }

@@ -490,6 +490,15 @@ impl DeadlineProblem {
     /// the scheduler: the System-(2) objective is the only nonzero-cost
     /// transportation solve on the hot path, so the backend choice of
     /// [`crate::SolverConfig`] lands here.
+    ///
+    /// The instance is labelled with **stable identities** — jobs by their
+    /// instance-wide [`PendingJob::job_id`] (unchanged however many events a
+    /// job survives), bins by `(site, interval position)` — and those labels
+    /// reach the backend as a [`MinCostBackend::warm_hint`].  A
+    /// basis-carrying backend (the network simplex) uses them to remap its
+    /// previous event's basis onto this event's network; stateless backends
+    /// ignore them.  Either way the allocation is bit-identical: the hint
+    /// only changes how many pivots the solve needs.
     pub fn system2_allocation_with_backend(
         &self,
         stretch: f64,
@@ -499,9 +508,19 @@ impl DeadlineProblem {
         if self.is_trivial() {
             return Some(AllocationPlan::default());
         }
-        let (t, intervals) = self.transport(stretch, |job_idx, (start, end)| {
+        let (mut t, intervals) = self.transport(stretch, |job_idx, (start, end)| {
             0.5 * (start + end) / self.jobs[job_idx].work
         });
+        let num_intervals = intervals.len();
+        let source_keys = self.jobs.iter().map(|j| j.job_id as u64).collect();
+        // Bins are keyed by (site, position-from-now); tagged into a range
+        // disjoint from any realistic job id.
+        let bin_keys = (0..self.sites.len() * num_intervals)
+            .map(|bin| {
+                (1u64 << 48) | (((bin / num_intervals) as u64) << 24) | (bin % num_intervals) as u64
+            })
+            .collect();
+        t.set_stable_keys(source_keys, bin_keys);
         let solution = t.solve_min_cost_with_backend(backend, workspace)?;
         Some(AllocationPlan::from_transport(self, intervals, &solution))
     }

@@ -9,7 +9,7 @@
 //! epochal time is a *linear* function `a + b·F` of the objective, so the
 //! whole family of transportation instances shares one structure:
 //!
-//! * the **network is built once per problem** ([`ParametricStructure`]):
+//! * the **network is built once per problem** (`ParametricStructure`):
 //!   one bin per (site × sorted-time-gap) position, one route per eligible
 //!   (job, site, position) triple.  A probe at any `F` re-sorts the symbolic
 //!   times (an `O(k)` pass on the nearly-sorted permutation), rebinds bin
@@ -35,10 +35,33 @@
 //! One solver holds its scratch ([`FlowWorkspace`], capacity and cut
 //! buffers) across calls, so the on-line schedulers allocate almost nothing
 //! inside the probe loop.
+//!
+//! # Cross-event solver memory
+//!
+//! A solver fed a *stream* of problems — the on-line schedulers call it at
+//! every arrival and completion — additionally carries state **across
+//! events** when its [`SolverConfig`] has `warm_start` on (the default):
+//!
+//! * **Residual carry-over.**  The flow of the last feasible probe is
+//!   remembered per `(job id, site, interval position)` — all three stable
+//!   across events — and replayed, clamped to the new capacities, into the
+//!   next event's network before its first probe
+//!   ([`ParametricNetwork::seed_route_flow`]).  Consecutive events share
+//!   most of their jobs, so the first (most expensive) probe only has to
+//!   route the new arrivals and whatever the capacity shift displaced,
+//!   instead of rebuilding the whole flow from zero.
+//! * **Basis remapping.**  The System-(2) min-cost solve hands the backend
+//!   stable node keys (same identities as above), letting the network
+//!   simplex remap its previous spanning-tree basis onto the new event's
+//!   network — see [`stretch_flow::BasisRemap`].
+//!
+//! Both are speed levers only: warm-started and cold solves return
+//! **bit-identical** objectives and allocations (`STRETCH_WARM_START={0,1}`
+//! in CI, pinned by the differential-oracle suite).
 
 use crate::config::SolverConfig;
 use crate::deadline::{AllocationPlan, DeadlineProblem, STRETCH_TOL};
-use stretch_flow::{FlowWorkspace, MinCostBackend, ParametricNetwork};
+use stretch_flow::{FastMap, FlowWorkspace, MinCostBackend, ParametricNetwork};
 
 /// Feasibility tolerance of the flow probes, matching
 /// [`stretch_flow::TransportInstance::is_feasible`].
@@ -56,8 +79,22 @@ pub struct ParametricDeadlineSolver {
     cut_sources: Vec<bool>,
     cut_bins: Vec<bool>,
     /// The configured System-(2) min-cost engine, held across events so a
-    /// warm-startable backend keeps its basis.
+    /// warm-startable backend keeps (and remaps) its basis.
     backend: Box<dyn MinCostBackend + Send>,
+    /// Cross-event residual carry: flow of the previous event's final
+    /// feasible probe, grouped per job.  `carry_jobs` maps an instance-wide
+    /// job id to a `(start, len)` slice of `carry_flows`, whose entries are
+    /// `(site, interval position, flow)` — all identities stable across
+    /// events even though every event rebuilds the epochal structure from
+    /// scratch.  Empty when `config.warm_start` is off or the previous solve
+    /// exited through a fallback path.
+    ///
+    /// Grouping by job (instead of one map entry per route) keeps the
+    /// per-event seeding cost proportional to the *carried flow pattern* —
+    /// a handful of entries per surviving job — rather than to the route
+    /// count, which is orders of magnitude larger.
+    carry_jobs: FastMap<usize, (u32, u32)>,
+    carry_flows: Vec<(u32, u32, f64)>,
     config: SolverConfig,
 }
 
@@ -91,6 +128,17 @@ struct ParametricStructure {
     route_caps: Vec<f64>,
     /// Deadline values at the current probe point, refilled per probe.
     deadline_vals: Vec<f64>,
+    /// Per-job route layout (`jobs.len() + 1` prefix offsets into the route
+    /// list, which is built job-contiguous): the carry-over seeding jumps
+    /// straight to a job's routes instead of scanning all of them.
+    route_start: Vec<usize>,
+    /// Per-job first admissible interval position (routes cover
+    /// `i_min..=i_max` per hosting site).
+    route_imin: Vec<usize>,
+    /// Per-job one-past-last admissible position.
+    route_iend: Vec<usize>,
+    /// Hosting sites of each job, in route construction order.
+    hosting: Vec<Vec<usize>>,
 }
 
 impl ParametricStructure {
@@ -120,7 +168,12 @@ impl ParametricStructure {
         // deadline) on the whole range iff it does at both endpoints.
         let eval = |&(a, b): &(f64, f64), f: f64| a + b * f;
         let mut routes = Vec::new();
+        let mut route_start = Vec::with_capacity(problem.jobs.len() + 1);
+        let mut route_imin = Vec::with_capacity(problem.jobs.len());
+        let mut route_iend = Vec::with_capacity(problem.jobs.len());
+        let mut hosting = Vec::with_capacity(problem.jobs.len());
         for (j, job) in problem.jobs.iter().enumerate() {
+            route_start.push(routes.len());
             let ready = job.ready.max(problem.now);
             let (d_lo, d_hi) = (job.deadline(lo), job.deadline(hi));
             // Positions below `i_min` always start before the ready time.
@@ -135,15 +188,25 @@ impl ParametricStructure {
                 .filter(|t| eval(t, lo) <= d_lo + 1e-9 || eval(t, hi) <= d_hi + 1e-9)
                 .count();
             let i_max = cnt_max.saturating_sub(2).min(k.saturating_sub(1));
+            let mut job_sites = Vec::new();
             for (s, site) in problem.sites.sites.iter().enumerate() {
                 if !site.hosts(job.databank) {
                     continue;
                 }
+                job_sites.push(s);
                 for i in i_min..=i_max {
                     routes.push((j, s * k + i));
                 }
             }
+            route_imin.push(i_min);
+            route_iend.push(if routes.len() > *route_start.last().unwrap() {
+                i_max + 1
+            } else {
+                i_min
+            });
+            hosting.push(job_sites);
         }
+        route_start.push(routes.len());
         let network = ParametricNetwork::new(&demands, num_sites * k, routes);
         // Seed the permutation with the order at `lo` so the per-probe
         // insertion sort starts from a (nearly) sorted state: construction
@@ -172,12 +235,18 @@ impl ParametricStructure {
             bin_caps: Vec::new(),
             route_caps: Vec::new(),
             deadline_vals: Vec::new(),
+            route_start,
+            route_imin,
+            route_iend,
+            hosting,
         }
     }
 
-    /// One feasibility probe at `stretch`: re-sort the symbolic times,
-    /// rebind every capacity in place, resume the early-exit max-flow.
-    fn probe(&mut self, stretch: f64, ws: &mut FlowWorkspace) -> bool {
+    /// Binds the structure to objective `stretch`: re-sort the symbolic
+    /// times and rebind every capacity in place.  [`Self::probe_current`]
+    /// then runs the flow; splitting the two lets the caller seed
+    /// carried-over flow in between.
+    fn bind(&mut self, stretch: f64) {
         // The permutation is nearly sorted across probes; a stable insertion
         // sort keeps this O(k) in the common case.
         let times = &self.times;
@@ -214,6 +283,12 @@ impl ParametricStructure {
         }
         let (bin_caps, route_caps) = (&self.bin_caps, &self.route_caps);
         self.network.set_capacities(bin_caps, route_caps);
+    }
+
+    /// One feasibility probe at the currently bound objective: resume the
+    /// early-exit max-flow from whatever residual flow survived the rebind
+    /// (previous probe, or carried-over seed).
+    fn probe_current(&mut self, ws: &mut FlowWorkspace) -> bool {
         self.network.probe_feasible(FEAS_TOL, ws)
     }
 
@@ -303,6 +378,8 @@ impl ParametricDeadlineSolver {
             cut_sources: Vec::new(),
             cut_bins: Vec::new(),
             backend: config.instantiate(),
+            carry_jobs: FastMap::default(),
+            carry_flows: Vec::new(),
             config,
         }
     }
@@ -335,11 +412,16 @@ impl ParametricDeadlineSolver {
         }
         let lo_bound = problem.stretch_lower_bound();
         if !lo_bound.is_finite() {
+            self.clear_carry();
             return None;
         }
         // Certified upper bound: serialising the pending jobs is a valid
         // schedule, so its stretch is feasible (up to flow tolerances).
-        let ub = problem.serialized_upper_bound()?.max(lo_bound) * (1.0 + 1e-9);
+        let Some(ub) = problem.serialized_upper_bound() else {
+            self.clear_carry();
+            return None;
+        };
+        let ub = ub.max(lo_bound) * (1.0 + 1e-9);
 
         let demand: f64 = problem.jobs.iter().map(|j| j.remaining).sum();
         let slack = FEAS_TOL.max(demand * FEAS_TOL);
@@ -350,8 +432,19 @@ impl ParametricDeadlineSolver {
         // The iteration starts at the lower bound; its first probe doubles
         // as the `feasible(lo_bound)` fast path.
         let mut f = lo_bound;
+        let mut first_probe = true;
         for _ in 0..64 {
-            if structure.probe(f, &mut self.workspace) {
+            structure.bind(f);
+            if std::mem::take(&mut first_probe) && self.config.warm_start {
+                // Cross-event residual carry: replay the previous event's
+                // flow (surviving jobs only — departed keys simply miss)
+                // before the expensive first augmentation run.
+                self.seed_carry(problem, &mut structure);
+            }
+            if structure.probe_current(&mut self.workspace) {
+                if self.config.warm_start {
+                    self.record_carry(problem, &structure);
+                }
                 return Some(f);
             }
             // The probe ended at a maximum flow; its minimum cut bounds the
@@ -361,8 +454,15 @@ impl ParametricDeadlineSolver {
                 &mut self.cut_sources,
                 &mut self.cut_bins,
             );
+            // Land a hair *above* the cut root: at the exact root the cut
+            // capacity equals the probe target, so the feasibility verdict
+            // there would hinge on floating-point noise — and the verdict
+            // must not depend on which residual flow (cold, or carried
+            // over) the probe happened to start from.  The overshoot gives
+            // the comparison a real margin at a cost of ≤1e-9 relative on
+            // the answer, far inside STRETCH_TOL.
             let cut_root = if b > 1e-12 {
-                (target - a) / b
+                ((target - a) / b) * (1.0 + 1e-9)
             } else {
                 f64::INFINITY
             };
@@ -382,6 +482,7 @@ impl ParametricDeadlineSolver {
             if next >= ub {
                 // Every F below `next` is infeasible, and the serialised
                 // bound certifies `ub`: the optimum is `ub` itself.
+                self.clear_carry();
                 return self.confirm_upper_bound(problem, ub);
             }
             f = next;
@@ -390,7 +491,9 @@ impl ParametricDeadlineSolver {
         // bisection on from-scratch probes (the structure's route pruning
         // only covers `[lo_bound, ub]`, and a widened upper bound may lie
         // beyond it).  Everything at or below `f` failed a probe, and `ub`
-        // is certified feasible.
+        // is certified feasible.  The fallback probes don't maintain the
+        // carry, so the next event starts its probes cold.
+        self.clear_carry();
         let mut hi = self.confirm_upper_bound(problem, ub)?.max(f);
         let mut lo = f;
         while (hi - lo) > STRETCH_TOL * hi.max(1.0) {
@@ -402,6 +505,70 @@ impl ParametricDeadlineSolver {
             }
         }
         Some(hi)
+    }
+
+    /// Drops the cross-event carry (fallback exits, infeasible problems).
+    fn clear_carry(&mut self) {
+        self.carry_jobs.clear();
+        self.carry_flows.clear();
+    }
+
+    /// Seeds the freshly bound `structure` with the remembered flow of the
+    /// previous event, restricted to surviving `(job, site, position)`
+    /// routes and clamped to the new capacities.  Purely a warm start: the
+    /// subsequent probe computes the same maximum flow either way.
+    ///
+    /// Cost: one map lookup per pending job plus one O(1) route-index
+    /// computation per carried flow entry, using the job-contiguous route
+    /// layout recorded by [`ParametricStructure::new`].
+    fn seed_carry(&mut self, problem: &DeadlineProblem, structure: &mut ParametricStructure) {
+        if self.carry_jobs.is_empty() {
+            return;
+        }
+        for (j, job) in problem.jobs.iter().enumerate() {
+            let Some(&(start, len)) = self.carry_jobs.get(&job.job_id) else {
+                continue;
+            };
+            let i_min = structure.route_imin[j];
+            let i_end = structure.route_iend[j];
+            let span = i_end - i_min;
+            if span == 0 {
+                continue;
+            }
+            for &(site, pos, amount) in &self.carry_flows[start as usize..(start + len) as usize] {
+                let (site, pos) = (site as usize, pos as usize);
+                if pos < i_min || pos >= i_end {
+                    continue;
+                }
+                let Some(rank) = structure.hosting[j].iter().position(|&s| s == site) else {
+                    continue;
+                };
+                let idx = structure.route_start[j] + rank * span + (pos - i_min);
+                structure.network.seed_route_flow(idx, amount);
+            }
+        }
+    }
+
+    /// Remembers where the final (feasible) probe of this event routed its
+    /// flow, as the seed for the next event's first probe.
+    fn record_carry(&mut self, problem: &DeadlineProblem, structure: &ParametricStructure) {
+        self.clear_carry();
+        let k = structure.num_intervals;
+        for (j, job) in problem.jobs.iter().enumerate() {
+            let start = self.carry_flows.len() as u32;
+            for idx in structure.route_start[j]..structure.route_start[j + 1] {
+                let flow = structure.network.flow_on_route(idx);
+                if flow > 1e-12 {
+                    let (_, bin) = structure.network.routes()[idx];
+                    self.carry_flows
+                        .push(((bin / k) as u32, (bin % k) as u32, flow));
+                }
+            }
+            let len = self.carry_flows.len() as u32 - start;
+            if len > 0 {
+                self.carry_jobs.insert(job.job_id, (start, len));
+            }
+        }
     }
 
     /// Verifies the certified upper bound with an actual probe, absorbing

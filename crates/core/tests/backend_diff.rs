@@ -392,6 +392,198 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------------
+// Warm vs cold: cross-event solver memory must be invisible in the results
+// ---------------------------------------------------------------------------
+//
+// `warm_start` carries two kinds of state across the events of an on-line
+// run: the network simplex remaps its spanning-tree basis onto the next
+// event's System-(2) network (stretch_flow::BasisRemap), and the parametric
+// deadline solver replays the previous event's residual flow into the next
+// event's first feasibility probe.  The contract is that both are pure speed
+// levers: a warm-started run returns **bit-identical** objectives,
+// allocations and completions to a cold run.  (The solver earns this with a
+// lexicographic tie-break and a canonical basis extraction — the System-(2)
+// costs are site-tied, so without them each start basis would legitimately
+// land on a different optimal vertex.)
+
+/// Runs one instance through the on-line loop warm and cold and reports the
+/// first bitwise divergence, if any.
+fn warm_cold_divergence(instance: &stretch_workload::Instance) -> Option<String> {
+    use stretch_core::online::run_online_with;
+    use stretch_core::OnlineVariant;
+
+    for config in SolverConfig::all_backends() {
+        let warm = run_online_with(
+            instance,
+            OnlineVariant::Online,
+            config.with_warm_start(true),
+        );
+        let cold = run_online_with(
+            instance,
+            OnlineVariant::Online,
+            config.with_warm_start(false),
+        );
+        match (warm, cold) {
+            (Ok(w), Ok(c)) => {
+                for (job, (a, b)) in w.iter().zip(&c).enumerate() {
+                    if a.to_bits() != b.to_bits() {
+                        return Some(format!(
+                            "{}: job {job} completes at {a:?} warm vs {b:?} cold",
+                            config.backend.name()
+                        ));
+                    }
+                }
+            }
+            (w, c) => {
+                return Some(format!(
+                    "{}: warm {:?} vs cold {:?}",
+                    config.backend.name(),
+                    w.is_ok(),
+                    c.is_ok()
+                ))
+            }
+        }
+    }
+    None
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Randomised event streams (every distinct release date is an event at
+    /// which the solver re-runs): completions must be bit-identical with
+    /// cross-event solver memory on and off, on both backends.
+    #[test]
+    fn warm_and_cold_event_streams_are_bit_identical(
+        num_jobs in 3usize..14,
+        release_seed in proptest::collection::vec(0.0f64..10.0, 1..12),
+        work_seed in proptest::collection::vec(20.0f64..400.0, 1..12),
+        bank_seed in proptest::collection::vec(0u64..1_000, 1..12),
+    ) {
+        use stretch_platform::fixtures::small_platform;
+        use stretch_workload::{Instance, Job};
+
+        let jobs: Vec<Job> = (0..num_jobs)
+            .map(|j| {
+                Job::new(
+                    j,
+                    release_seed[j % release_seed.len()] * (1.0 + 0.13 * j as f64),
+                    work_seed[j % work_seed.len()] * (1.0 + 0.07 * j as f64),
+                    (bank_seed[j % bank_seed.len()] as usize) % 2,
+                )
+            })
+            .collect();
+        let instance = Instance::new(small_platform(), jobs);
+        if let Some(report) = warm_cold_divergence(&instance) {
+            prop_assert!(false, "warm/cold divergence: {report}");
+        }
+    }
+}
+
+/// The solver-level version of the same contract, with the remap tier
+/// *proven* to fire: a shared network-simplex backend is fed the System-(2)
+/// instances of a synthetic event stream (jobs completing, jobs arriving,
+/// intervals moving — so the topology never repeats exactly), and every
+/// allocation must match a cold backend's bit for bit while the cross-event
+/// basis remap is actually exercised.
+#[test]
+fn remapped_system2_solves_match_cold_solves_bitwise() {
+    use stretch_flow::NetworkSimplexBackend;
+
+    let sites = SiteView {
+        sites: vec![
+            Site {
+                cluster: 0,
+                speed: 1.0,
+                hosted_databanks: vec![0],
+            },
+            Site {
+                cluster: 1,
+                speed: 2.0,
+                hosted_databanks: vec![0, 1],
+            },
+        ],
+    };
+    let job = |id: usize, release: f64, work: f64, remaining: f64, bank: usize| PendingJob {
+        job_id: id,
+        release,
+        ready: release,
+        work,
+        remaining,
+        databank: bank,
+    };
+    // Four events: job 0 shrinks and completes, jobs 2/3 arrive, job 1
+    // persists throughout — overlapping job sets, never-identical topology.
+    let events: Vec<(f64, Vec<PendingJob>)> = vec![
+        (
+            0.0,
+            vec![job(0, 0.0, 4.0, 4.0, 0), job(1, 0.0, 3.0, 3.0, 1)],
+        ),
+        (
+            1.0,
+            vec![
+                job(0, 0.0, 4.0, 2.5, 0),
+                job(1, 0.0, 3.0, 2.0, 1),
+                job(2, 1.0, 2.0, 2.0, 0),
+            ],
+        ),
+        (
+            2.5,
+            vec![
+                job(1, 0.0, 3.0, 1.0, 1),
+                job(2, 1.0, 2.0, 1.25, 0),
+                job(3, 2.5, 5.0, 5.0, 1),
+            ],
+        ),
+        (
+            4.0,
+            vec![job(2, 1.0, 2.0, 0.5, 0), job(3, 2.5, 5.0, 3.0, 1)],
+        ),
+    ];
+
+    let mut warm = NetworkSimplexBackend::new();
+    let mut warm_ws = FlowWorkspace::new();
+    for (now, jobs) in &events {
+        let problem = DeadlineProblem::new(jobs.clone(), sites.clone(), *now);
+        let best = problem.min_feasible_stretch().expect("feasible");
+        let stretch = stretch_core::deadline::certified_slack(best);
+        let warm_plan = problem
+            .system2_allocation_with_backend(stretch, &mut warm, &mut warm_ws)
+            .expect("feasible warm");
+        let mut cold = NetworkSimplexBackend::with_warm_start(false);
+        let cold_plan = problem
+            .system2_allocation_with_backend(stretch, &mut cold, &mut FlowWorkspace::new())
+            .expect("feasible cold");
+        assert_eq!(
+            warm_plan.pieces.len(),
+            cold_plan.pieces.len(),
+            "piece count diverged at t={now}"
+        );
+        for (w, c) in warm_plan.pieces.iter().zip(&cold_plan.pieces) {
+            assert_eq!(
+                (w.job_index, w.site, w.interval),
+                (c.job_index, c.site, c.interval),
+                "piece placement diverged at t={now}"
+            );
+            assert_eq!(
+                w.work.to_bits(),
+                c.work.to_bits(),
+                "piece amount diverged at t={now}: {} vs {}",
+                w.work,
+                c.work
+            );
+        }
+    }
+    assert!(
+        warm.remap_count() >= 2,
+        "the cross-event basis remap never fired ({} remaps): the warm/cold \
+         test would be vacuous",
+        warm.remap_count()
+    );
+    assert_eq!(warm.fallback_count(), 0);
+}
+
+// ---------------------------------------------------------------------------
 // End-to-end: the full on-line loop on either backend
 // ---------------------------------------------------------------------------
 

@@ -12,7 +12,9 @@
 //!   harness (`crates/core/tests/backend_diff.rs`).
 //! * [`crate::simplex::NetworkSimplexBackend`] — a network simplex on a
 //!   spanning-tree basis with strongly-feasible pivots, warm-startable from
-//!   the previous solve's basis when the arc topology repeats.
+//!   the previous solve's basis: in place when the arc topology repeats, or
+//!   through a [`crate::remap::BasisRemap`] when the shape changed but the
+//!   caller supplied stable node keys via [`MinCostBackend::warm_hint`].
 //!
 //! # Contract
 //!
@@ -36,14 +38,54 @@ use crate::graph::FlowNetwork;
 use crate::mincost::{min_cost_flow_up_to, MinCostResult};
 use crate::workspace::FlowWorkspace;
 
+/// Reserved stable key of the super-source node in a
+/// [`MinCostBackend::warm_hint`] key vector.
+///
+/// Callers key *their* nodes (jobs, bins) however they like, but the two
+/// artificial endpoints of a transportation network should use these
+/// reserved values so they match across events whatever the network shape.
+pub const KEY_SUPER_SOURCE: u64 = u64::MAX - 1;
+
+/// Reserved stable key of the super-sink node in a
+/// [`MinCostBackend::warm_hint`] key vector; see [`KEY_SUPER_SOURCE`].
+pub const KEY_SUPER_SINK: u64 = u64::MAX - 2;
+
 /// A minimum-cost flow solver usable by the scheduling layer.
 ///
 /// Implementations are stateful (`&mut self`) so they can keep scratch
 /// memory — and, for the network simplex, the previous spanning-tree basis —
 /// alive across solves; see the module docs for the exact contract.
+///
+/// ```
+/// use stretch_flow::{FlowNetwork, FlowWorkspace, MinCostBackend, PrimalDualBackend};
+///
+/// let mut g = FlowNetwork::new(3);
+/// g.add_edge(0, 1, 2.0, 0.0);
+/// g.add_edge(1, 2, 2.0, 3.0);
+/// let mut backend = PrimalDualBackend;
+/// let r = backend.solve_up_to(&mut g, 0, 2, f64::INFINITY, &mut FlowWorkspace::new());
+/// assert!((r.flow - 2.0).abs() < 1e-9);
+/// assert!((r.cost - 6.0).abs() < 1e-9);
+/// // The flow is left in the network for the caller to read back.
+/// assert!((g.flow_on(2) - 2.0).abs() < 1e-9);
+/// ```
 pub trait MinCostBackend {
     /// Stable display name (used by benches and diagnostics).
     fn name(&self) -> &'static str;
+
+    /// Supplies stable node identities for the **next** [`Self::solve_up_to`]
+    /// call: `node_keys[v]` is a caller-chosen key for node `v` of the next
+    /// network, equal across solves exactly when the node denotes the same
+    /// logical entity (the scheduling layer keys jobs by instance-wide job
+    /// id and bins by `(site, interval position)`; the artificial endpoints
+    /// use [`KEY_SUPER_SOURCE`] / [`KEY_SUPER_SINK`]).
+    ///
+    /// Purely a performance hint: backends with cross-solve state (the
+    /// network simplex) use it to remap the previous basis onto the next
+    /// network even when the topology changed; stateless backends ignore it,
+    /// and results must be identical either way (the warm/cold bit-identity
+    /// contract, pinned by the differential-oracle suite).
+    fn warm_hint(&mut self, _node_keys: &[u64]) {}
 
     /// Ships flow from `source` to `sink` at minimum cost, stopping once
     /// `target` units are shipped (or at the maximum flow if it is smaller).
@@ -117,11 +159,25 @@ impl BackendKind {
         }
     }
 
-    /// Instantiates the backend this tag names.
+    /// Instantiates the backend this tag names, with every cross-solve
+    /// warm-start tier enabled.
     pub fn instantiate(&self) -> Box<dyn MinCostBackend + Send> {
+        self.instantiate_with(true)
+    }
+
+    /// Instantiates the backend this tag names, selecting whether it may
+    /// keep solver state (basis memory) across solves.
+    ///
+    /// `warm_start = false` yields the *cold* reference configuration: every
+    /// solve starts from scratch and [`MinCostBackend::warm_hint`] is
+    /// ignored.  Results must be bit-identical either way — warm start is a
+    /// speed lever, never a semantics lever.
+    pub fn instantiate_with(&self, warm_start: bool) -> Box<dyn MinCostBackend + Send> {
         match self {
             BackendKind::PrimalDual => Box::new(PrimalDualBackend),
-            BackendKind::NetworkSimplex => Box::new(crate::simplex::NetworkSimplexBackend::new()),
+            BackendKind::NetworkSimplex => Box::new(
+                crate::simplex::NetworkSimplexBackend::with_warm_start(warm_start),
+            ),
         }
     }
 }

@@ -31,23 +31,36 @@
 //! [`MinCostBackend`] trait, with the primal-dual kernel as the reference
 //! implementation and a warm-startable network simplex ([`simplex`]) as the
 //! alternative engine; both are cross-checked by the differential-oracle
-//! tests in `stretch-core`.
+//! tests in `stretch-core`.  The simplex carries its spanning-tree basis
+//! **across events**: [`remap`] maps the previous solve's basis onto a
+//! structurally different network through the stable node keys supplied via
+//! [`MinCostBackend::warm_hint`], and a lexicographic tie-break plus
+//! canonical basis extraction keep warm-started and cold solves
+//! bit-identical.
+
+#![deny(missing_docs)]
 
 pub mod backend;
+pub mod fasthash;
 pub mod graph;
 pub mod maxflow;
 pub mod mincost;
 pub mod parametric;
+pub mod remap;
 pub mod simplex;
 pub mod transport;
 pub mod workspace;
 
-pub use backend::{BackendKind, MinCostBackend, PrimalDualBackend};
+pub use backend::{
+    BackendKind, MinCostBackend, PrimalDualBackend, KEY_SUPER_SINK, KEY_SUPER_SOURCE,
+};
+pub use fasthash::FastMap;
 pub use graph::FlowNetwork;
 pub use maxflow::MaxFlowResult;
 pub use mincost::MinCostResult;
 pub use parametric::ParametricNetwork;
-pub use simplex::NetworkSimplexBackend;
+pub use remap::BasisRemap;
+pub use simplex::{NetworkSimplexBackend, STATE_LOWER, STATE_TREE, STATE_UPPER};
 pub use transport::{TransportInstance, TransportSolution};
 pub use workspace::FlowWorkspace;
 

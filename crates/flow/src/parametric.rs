@@ -26,6 +26,20 @@ use crate::FLOW_EPS;
 
 /// A bipartite transportation network with frozen topology and mutable bin
 /// capacities.
+///
+/// ```
+/// use stretch_flow::{FlowWorkspace, ParametricNetwork};
+///
+/// // Two jobs, two bins, three admissible routes — built once.
+/// let mut network = ParametricNetwork::new(&[2.0, 1.0], 2, vec![(0, 0), (0, 1), (1, 1)]);
+/// let mut ws = FlowWorkspace::new();
+/// // Each probe rebinds capacities in place and resumes from the previous
+/// // residual flow.
+/// network.set_bin_capacities(&[1.0, 1.0]);
+/// assert!(!network.probe_feasible(1e-6, &mut ws)); // 3 units into 2
+/// network.set_bin_capacities(&[2.0, 1.5]);
+/// assert!(network.probe_feasible(1e-6, &mut ws));
+/// ```
 #[derive(Clone, Debug)]
 pub struct ParametricNetwork {
     num_sources: usize,
@@ -38,6 +52,9 @@ pub struct ParametricNetwork {
     bin_edges: Vec<usize>,
     /// Forward-edge handle of each route edge (same order as `routes`).
     route_edges: Vec<usize>,
+    /// Forward-edge handle of each source -> job edge (`usize::MAX` for
+    /// zero-demand jobs, which get no edge).
+    source_edges: Vec<usize>,
     source: usize,
     sink: usize,
     /// Flow shipped by the probes since the last reset.
@@ -69,11 +86,17 @@ impl ParametricNetwork {
             *degree += 1; // sink edge
         }
         network.reserve(num_sources + num_bins + routes.len(), &degrees);
-        for (j, &d) in demands.iter().enumerate() {
-            if d > 0.0 {
-                network.add_edge(source, j, d, 0.0);
-            }
-        }
+        let source_edges = demands
+            .iter()
+            .enumerate()
+            .map(|(j, &d)| {
+                if d > 0.0 {
+                    network.add_edge(source, j, d, 0.0)
+                } else {
+                    usize::MAX
+                }
+            })
+            .collect();
         let bin_edges = (0..num_bins)
             .map(|b| network.add_edge(num_sources + b, sink, 0.0, 0.0))
             .collect();
@@ -94,6 +117,7 @@ impl ParametricNetwork {
             network,
             bin_edges,
             route_edges,
+            source_edges,
             source,
             sink,
             shipped: 0.0,
@@ -168,10 +192,10 @@ impl ParametricNetwork {
     /// Like the capacities, the System-(2) costs are functions of the
     /// objective `F` (interval midpoints move linearly), so re-pricing the
     /// frozen topology *can* replace the per-solve network rebuild.  The
-    /// scheduler hot path does not use this yet (it still rebuilds a
-    /// [`crate::TransportInstance`] per System-(2) solve — see the ROADMAP's
-    /// cross-event warm-start item); the API is exercised and guarded by the
-    /// workspace-reuse invariant tests.
+    /// scheduler hot path still rebuilds a [`crate::TransportInstance`] per
+    /// System-(2) solve — its cross-event reuse happens one level down, in
+    /// the backend's basis memory ([`crate::remap::BasisRemap`]) — so this
+    /// API is exercised and guarded by the workspace-reuse invariant tests.
     pub fn set_route_costs(&mut self, costs: &[f64]) {
         assert_eq!(costs.len(), self.route_edges.len(), "one cost per route");
         for (&edge, &cost) in self.route_edges.iter().zip(costs) {
@@ -233,6 +257,43 @@ impl ParametricNetwork {
             self.shipped += r.value;
         }
         self.shipped >= self.total_demand - slack
+    }
+
+    /// Seeds up to `amount` units of flow along route `idx` — through the
+    /// source edge, the route edge and the bin edge — clamped to the three
+    /// residual capacities, and returns the amount actually seeded.
+    ///
+    /// This is the **cross-event residual carry-over** primitive: a solver
+    /// that remembered where the previous event's (maximum) flow ran can
+    /// replay the surviving jobs' shares into a freshly bound network before
+    /// the first probe, so the probe only has to route what changed.  Any
+    /// seeded flow is conserving and capacity-respecting by construction, so
+    /// — like every warm start in this crate — seeding can only change how
+    /// much augmentation work a probe does, never its answer.
+    ///
+    /// Call after the capacities are bound for the probe
+    /// ([`ParametricNetwork::set_capacities`]); a later rebind that shrinks
+    /// a capacity below the seeded flow resets the network as usual.
+    pub fn seed_route_flow(&mut self, idx: usize, amount: f64) -> f64 {
+        let (j, b) = self.routes[idx];
+        let se = self.source_edges[j];
+        if se == usize::MAX {
+            return 0.0;
+        }
+        let re = self.route_edges[idx];
+        let be = self.bin_edges[b];
+        let f = amount
+            .min(self.network.residual(se))
+            .min(self.network.residual(re))
+            .min(self.network.residual(be));
+        if f <= FLOW_EPS {
+            return 0.0;
+        }
+        self.network.push(se, f);
+        self.network.push(re, f);
+        self.network.push(be, f);
+        self.shipped += f;
+        f
     }
 
     /// Flow currently routed through route `idx` (order of construction).
@@ -431,6 +492,37 @@ mod tests {
         assert!(p
             .solve_min_cost_with(1e-6, &mut PrimalDualBackend, &mut ws)
             .is_none());
+    }
+
+    #[test]
+    fn seeded_flow_is_clamped_and_probes_stay_correct() {
+        let demands = [2.0, 2.0];
+        let routes = vec![(0, 0), (1, 0), (1, 1)];
+        let mut p = ParametricNetwork::new(&demands, 2, routes.clone());
+        let mut ws = FlowWorkspace::new();
+        p.set_bin_capacities(&[3.0, 1.0]);
+        // Seed more than fits anywhere: clamped to the tightest of the
+        // source, route and bin residuals.
+        let seeded = p.seed_route_flow(0, 10.0);
+        assert!((seeded - 2.0).abs() < 1e-9, "clamped to the job demand");
+        assert!((p.flow_on_route(0) - 2.0).abs() < 1e-9);
+        // Bin 0 has 1.0 residual left; seeding route 1 respects it.
+        let seeded = p.seed_route_flow(1, 2.0);
+        assert!((seeded - 1.0).abs() < 1e-9, "clamped to the bin residual");
+        // The probe completes the flow and agrees with from-scratch.
+        let fast = p.probe_feasible(1e-6, &mut ws);
+        assert_eq!(fast, reference_feasible(&demands, &[3.0, 1.0], &routes));
+        // And an infeasible rebind after seeding is still detected.
+        p.set_bin_capacities(&[1.0, 0.5]);
+        assert!(!p.probe_feasible(1e-6, &mut ws));
+    }
+
+    #[test]
+    fn zero_demand_jobs_cannot_be_seeded() {
+        let mut p = ParametricNetwork::new(&[0.0, 1.0], 1, vec![(0, 0), (1, 0)]);
+        p.set_bin_capacities(&[2.0]);
+        assert_eq!(p.seed_route_flow(0, 1.0), 0.0);
+        assert!((p.seed_route_flow(1, 1.0) - 1.0).abs() < 1e-9);
     }
 
     #[test]

@@ -25,16 +25,41 @@
 //!   pivots.
 //! * **Block pricing.**  The entering arc is the most negative reduced cost
 //!   in the first block (of `≈√m` arcs) containing any eligible arc, with a
-//!   rolling start position — the standard compromise between Dantzig
-//!   pricing and round-robin.
-//! * **Warm starts.**  The backend keeps its basis (arc states + tree
-//!   arrays) between solves.  When the next network has the same arc
-//!   topology — the cross-event case of the on-line schedulers, where only
-//!   capacities and costs move — the previous basis is re-primed: nonbasic
-//!   flows snap to their bounds, tree flows are recomputed by conservation
-//!   (leaf elimination), and the pivot loop resumes from there.  If the old
-//!   basis is infeasible under the new capacities the solver falls back to a
-//!   fresh crash basis; correctness never depends on the warm start.
+//!   per-solve rolling start position — the standard compromise between
+//!   Dantzig pricing and round-robin.  The start position resets at every
+//!   solve so a solve is a pure function of its instance and start basis.
+//! * **Deterministic optimum (lexicographic tie-break).**  The System-(2)
+//!   costs are massively tied — a job's work costs the same in a given
+//!   interval on *every* site hosting its databank — so the optimal face
+//!   has many vertices and the one a pivot sequence lands on depends on the
+//!   start basis.  To make warm-started and cold solves agree **bit for
+//!   bit**, every arc carries a secondary integer cost (a pseudo-random
+//!   function of its endpoints' stable keys when the caller supplied them,
+//!   of its index otherwise; exact in `f64`), pricing compares reduced
+//!   costs lexicographically (phase 2 of [`NetworkSimplexBackend`]'s pivot
+//!   loop), and the solve only stops at the unique lexicographic optimum.
+//!   Keying the tie-break by stable identities also makes the canonical
+//!   vertex *stable across events*, which is what keeps the phase-2 face
+//!   walk short for remapped warm starts.  The final basis is then
+//!   *canonicalised*: flows are re-derived from the vertex itself, not from
+//!   the pivot history, so any two pivot paths reaching the optimum produce
+//!   identical bytes.
+//! * **Warm starts.**  Three tiers, checked in order.  The first two
+//!   re-prime the basis for the new data: nonbasic flows snap to their
+//!   bounds, tree flows are recomputed by conservation (leaf elimination,
+//!   with a bounded big-M repair hanging any misfit on artificial arcs)
+//!   and potentials are rebuilt; if re-priming fails outright the solver
+//!   crashes fresh, so correctness never depends on the warm start.
+//!   1. **Exact topology** — the next network has the same arc list (the
+//!      repeated-solve case): the previous basis is re-primed in place.
+//!   2. **Basis remap** ([`crate::remap::BasisRemap`]) — the network changed
+//!      shape but the caller supplied stable node keys through
+//!      [`MinCostBackend::warm_hint`] (the cross-*event* case of the on-line
+//!      schedulers: jobs complete, intervals move, most of the network
+//!      persists): surviving arcs keep their basis state, departed arcs are
+//!      pruned, new arcs enter nonbasic, and a bounded union–find repair
+//!      pass restores a spanning tree.
+//!   3. **Cold** — the crash basis of artificial root arcs.
 //! * **Numerical safety net.**  All comparisons use scale-aware epsilons; if
 //!   the pivot budget is ever exhausted (pathological numerics), the backend
 //!   resets the network and delegates to the primal-dual reference kernel,
@@ -43,15 +68,56 @@
 use crate::backend::MinCostBackend;
 use crate::graph::FlowNetwork;
 use crate::mincost::{min_cost_flow_up_to, MinCostResult};
+use crate::remap::{repair_spanning_tree, BasisRemap};
 use crate::workspace::FlowWorkspace;
 use crate::FLOW_EPS;
 
 /// Nonbasic arc at its lower bound (zero flow).
-const STATE_LOWER: i8 = 1;
+pub const STATE_LOWER: i8 = 1;
 /// Basic arc (in the spanning tree).
-const STATE_TREE: i8 = 0;
+pub const STATE_TREE: i8 = 0;
 /// Nonbasic arc at its upper bound (flow = capacity).
-const STATE_UPPER: i8 = -1;
+pub const STATE_UPPER: i8 = -1;
+
+/// One splitmix64 finalisation round.
+fn mix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Secondary (tie-break) cost of arc `a` when no stable keys are known: a
+/// pseudo-random 30-bit integer derived from the arc index.
+///
+/// Integer-valued and bounded by 2³⁰, so sums of up to ~2²³ of them along
+/// tree paths stay exact in `f64` (far beyond any realistic node count);
+/// pseudo-random, so alternating sums along cycles are nonzero with
+/// overwhelming probability — which is what makes the lexicographic
+/// optimum unique and the solve start-basis-independent.  The width
+/// matters: the System-(2) tie structure yields on the order of
+/// `jobs² · sites² · intervals` primary-tied 4-cycles per instance, so a
+/// 20-bit channel would be expected to hit a zero alternating sum at paper
+/// scale; at 30 bits the expected count stays far below one.  (A
+/// monotone-in-index ramp would shorten the phase-2 face walk a little,
+/// but its alternating sums cancel on short cycles, which loses uniqueness
+/// — and with it the warm/cold bit-identity.)
+fn tie_cost(a: usize) -> f64 {
+    (mix64(a as u64) >> 34) as f64
+}
+
+/// Secondary cost of an arc identified by its endpoints' **stable keys**.
+///
+/// Same uniqueness properties as [`tie_cost`], with one decisive extra:
+/// the value is *stable across events*.  The canonical (lexicographically
+/// optimal) vertex of one event then restricts to almost the canonical
+/// vertex of the next, so a warm start remapped from the previous canonical
+/// basis begins phase 2 already at — or a few pivots from — its target,
+/// while an index-keyed tie-break would re-randomise the target at every
+/// event and send warm starts on a long face walk.
+fn keyed_tie_cost(key_from: u64, key_to: u64) -> f64 {
+    (mix64(mix64(key_from) ^ key_to.rotate_left(32)) >> 34) as f64
+}
 
 /// Which side of the entering arc's cycle a blocking arc was found on.
 #[derive(Clone, Copy, PartialEq)]
@@ -62,16 +128,31 @@ enum Side {
     Second,
 }
 
+/// Which warm-start tier [`NetworkSimplexBackend::load`] selected.
+#[derive(Clone, Copy, PartialEq)]
+enum WarmPath {
+    /// Same arc list as the previous solve: re-prime the basis in place.
+    Exact,
+    /// Different shape, stable keys available: remap the basis.
+    Remap,
+    /// No reusable basis: crash fresh.
+    Cold,
+}
+
 /// Min-cost max-flow by network simplex; see the module docs.
 ///
 /// Hold one per solver and feed it every instance: scratch memory — and the
-/// spanning-tree basis, when the topology repeats — is reused across solves.
+/// spanning-tree basis, re-primed on exact topology repeats and *remapped*
+/// across shape changes when [`MinCostBackend::warm_hint`] supplies stable
+/// node keys — is reused across solves.
 pub struct NetworkSimplexBackend {
     // --- arc arrays (real arcs, then the return arc, then root arcs) ---
     from: Vec<usize>,
     to: Vec<usize>,
     cap: Vec<f64>,
     cost: Vec<f64>,
+    /// Secondary integer costs of the lexicographic tie-break.
+    cost2: Vec<f64>,
     flow: Vec<f64>,
     state: Vec<i8>,
     // --- spanning tree ---
@@ -80,24 +161,44 @@ pub struct NetworkSimplexBackend {
     depth: Vec<usize>,
     children: Vec<Vec<usize>>,
     pi: Vec<f64>,
+    /// Secondary potentials (exact integers, paired with `cost2`).
+    pi2: Vec<f64>,
     // --- warm-start bookkeeping ---
-    /// `(from << 32) | to` per real arc of the last solve; the warm start is
-    /// attempted only when the next instance matches exactly.
+    /// `(from << 32) | to` per real arc of the last solve; the exact-topology
+    /// warm start is attempted only when the next instance matches exactly.
     signature: Vec<u64>,
     /// Node count (excluding the artificial root) of the last solve.
     num_nodes: usize,
     /// `true` when the stored basis belongs to a completed solve.
     basis_valid: bool,
+    /// `false` disables every cross-solve reuse tier (the "cold" reference
+    /// configuration of the `STRETCH_WARM_START` matrix).
+    warm_start: bool,
+    /// Stable node keys supplied for the *next* solve via
+    /// [`MinCostBackend::warm_hint`].
+    hint: Vec<u64>,
+    hint_valid: bool,
+    /// Cross-event basis memory (keyed by the hint of the solve it recorded).
+    remap: BasisRemap,
     // --- scratch ---
+    remap_states: Vec<i8>,
+    state_backup: Vec<i8>,
+    flow_backup: Vec<f64>,
+    uf: Vec<usize>,
+    tree_adj: Vec<Vec<(usize, usize)>>,
+    visited: Vec<bool>,
+    elim_order: Vec<usize>,
     path_nodes: Vec<usize>,
     path_preds: Vec<usize>,
     dfs_stack: Vec<usize>,
     excess: Vec<f64>,
-    /// Rolling start position of the pricing block.
+    /// Rolling start position of the pricing block (reset per solve).
     block_pos: usize,
     /// Pivot budget blow-ups so far (each one fell back to the reference
     /// kernel); exposed for tests and diagnostics.
     fallbacks: usize,
+    /// Solves that took the basis-remap warm tier; diagnostic.
+    remapped_solves: usize,
 }
 
 impl Default for NetworkSimplexBackend {
@@ -107,13 +208,24 @@ impl Default for NetworkSimplexBackend {
 }
 
 impl NetworkSimplexBackend {
-    /// Creates a backend with empty scratch (grows on first use).
+    /// Creates a backend with empty scratch (grows on first use) and every
+    /// warm-start tier enabled.
     pub fn new() -> Self {
+        Self::with_warm_start(true)
+    }
+
+    /// Creates a backend with cross-solve basis reuse switched on or off.
+    ///
+    /// With `false`, every solve crashes a fresh basis and
+    /// [`MinCostBackend::warm_hint`] is ignored — the "cold" reference the
+    /// warm/cold bit-identity contract is pinned against.
+    pub fn with_warm_start(warm_start: bool) -> Self {
         NetworkSimplexBackend {
             from: Vec::new(),
             to: Vec::new(),
             cap: Vec::new(),
             cost: Vec::new(),
+            cost2: Vec::new(),
             flow: Vec::new(),
             state: Vec::new(),
             parent: Vec::new(),
@@ -121,15 +233,28 @@ impl NetworkSimplexBackend {
             depth: Vec::new(),
             children: Vec::new(),
             pi: Vec::new(),
+            pi2: Vec::new(),
             signature: Vec::new(),
             num_nodes: 0,
             basis_valid: false,
+            warm_start,
+            hint: Vec::new(),
+            hint_valid: false,
+            remap: BasisRemap::default(),
+            remap_states: Vec::new(),
+            state_backup: Vec::new(),
+            flow_backup: Vec::new(),
+            uf: Vec::new(),
+            tree_adj: Vec::new(),
+            visited: Vec::new(),
+            elim_order: Vec::new(),
             path_nodes: Vec::new(),
             path_preds: Vec::new(),
             dfs_stack: Vec::new(),
             excess: Vec::new(),
             block_pos: 0,
             fallbacks: 0,
+            remapped_solves: 0,
         }
     }
 
@@ -139,15 +264,20 @@ impl NetworkSimplexBackend {
         self.fallbacks
     }
 
+    /// How many solves started from a remapped (cross-event) basis;
+    /// diagnostic for tests and benches.
+    pub fn remap_count(&self) -> usize {
+        self.remapped_solves
+    }
+
     /// Loads the instance out of `network` (fresh, no flow) into the arc
-    /// arrays.  Returns `true` when the arc topology matches the previous
-    /// solve (same nodes, same endpoints in order), i.e. the stored basis is
-    /// structurally reusable.
-    fn load(&mut self, network: &FlowNetwork, source: usize, sink: usize) -> bool {
+    /// arrays and picks the warm-start tier (see the module docs).
+    fn load(&mut self, network: &FlowNetwork, source: usize, sink: usize) -> WarmPath {
         let n = network.num_nodes();
         let m_real = network.num_edges();
-        let num_arcs = m_real + 1 + n; // + return arc + root arcs
-        let mut same_topology = self.basis_valid && self.num_nodes == n;
+        // + return arc + up root arcs (v → root) + down root arcs (root → v).
+        let num_arcs = m_real + 1 + 2 * n;
+        let mut same_topology = self.warm_start && self.basis_valid && self.num_nodes == n;
 
         self.from.clear();
         self.to.clear();
@@ -196,9 +326,13 @@ impl NetworkSimplexBackend {
         self.cap.push(source_out);
         self.cost.push(-big);
 
-        // Artificial root arcs `v → root`; with zero supplies they can never
-        // carry flow (the root has no outgoing arc), so they stay at zero
-        // and only serve as the crash basis.
+        // Artificial root arcs, one pair per node: `v → root` (the crash
+        // basis star) and `root → v`.  Both cost `+BIG`, so no optimal
+        // solution ever uses them (any root cycle pays ≥ +BIG even against
+        // the return arc); mid-solve they serve two purposes — the up arcs
+        // are the crash basis, and the warm-start repair pass hangs the
+        // *misfit* of a remapped basis on whichever orientation the local
+        // imbalance needs, for the pivots to drain.
         let root = n;
         for v in 0..n {
             self.from.push(v);
@@ -206,11 +340,48 @@ impl NetworkSimplexBackend {
             self.cap.push(f64::INFINITY);
             self.cost.push(big);
         }
+        for v in 0..n {
+            self.from.push(root);
+            self.to.push(v);
+            self.cap.push(f64::INFINITY);
+            self.cost.push(big);
+        }
+        // Secondary costs: keyed by stable identities when the caller
+        // supplied them (event-stable canonical vertex — see
+        // [`keyed_tie_cost`]), by arc index otherwise.  Note the hint is
+        // used here even by a `warm_start = false` backend: it describes
+        // *this* instance, not cross-solve state, and warm and cold solves
+        // of one instance must price the same tie-break to land on the same
+        // optimum.
+        let have_keys = self.hint_valid && self.hint.len() == n;
+        self.cost2.clear();
+        if have_keys {
+            let hint = &self.hint;
+            let key_of = |v: usize| if v < n { hint[v] } else { u64::MAX };
+            self.cost2.extend(
+                self.from
+                    .iter()
+                    .zip(&self.to)
+                    .map(|(&u, &v)| keyed_tie_cost(key_of(u), key_of(v))),
+            );
+        } else {
+            self.cost2.extend((0..num_arcs).map(tie_cost));
+        }
 
         debug_assert_eq!(self.from.len(), num_arcs);
         self.flow.resize(num_arcs, 0.0);
         self.num_nodes = n;
-        same_topology && self.state.len() == num_arcs
+        if same_topology && self.state.len() == num_arcs {
+            WarmPath::Exact
+        } else if self.warm_start
+            && self.remap.is_valid()
+            && self.hint_valid
+            && self.hint.len() == n
+        {
+            WarmPath::Remap
+        } else {
+            WarmPath::Cold
+        }
     }
 
     /// Installs the crash basis: every real arc nonbasic at its lower bound,
@@ -219,7 +390,7 @@ impl NetworkSimplexBackend {
         let n = self.num_nodes;
         let root = n;
         let num_arcs = self.from.len();
-        let m_real = num_arcs - 1 - n;
+        let m_real = num_arcs - 1 - 2 * n;
         self.state.clear();
         self.state.resize(num_arcs, STATE_LOWER);
         self.flow.iter_mut().for_each(|f| *f = 0.0);
@@ -231,6 +402,8 @@ impl NetworkSimplexBackend {
         self.depth.resize(n + 1, 0);
         self.pi.clear();
         self.pi.resize(n + 1, 0.0);
+        self.pi2.clear();
+        self.pi2.resize(n + 1, 0.0);
         self.children.resize_with(n + 1, Vec::new);
         for c in self.children.iter_mut() {
             c.clear();
@@ -241,23 +414,118 @@ impl NetworkSimplexBackend {
             self.parent[v] = root;
             self.pred[v] = arc;
             self.depth[v] = 1;
-            // rc(v→root) = cost + pi[v] - pi[root] = 0.
+            // rc(v→root) = cost + pi[v] - pi[root] = 0 (both channels).
             self.pi[v] = -self.cost[arc];
+            self.pi2[v] = -self.cost2[arc];
             self.children[root].push(v);
         }
     }
 
-    /// Re-primes the stored basis for new capacities/costs: nonbasic flows
-    /// snap to their bounds, tree flows are recomputed by conservation, and
-    /// potentials are rebuilt from the tree.  Returns `false` when the old
-    /// basis is infeasible under the new data (caller then crashes fresh).
-    fn warm_basis(&mut self, eps_flow: f64) -> bool {
+    /// Rebuilds the tree arrays (`parent`/`pred`/`depth`/`children`) from the
+    /// arcs currently marked [`STATE_TREE`], by a deterministic depth-first
+    /// walk from the artificial root (tree arcs visited in index order).
+    /// Returns `false` when the marked arcs do not span all nodes.
+    fn rebuild_tree_from_states(&mut self) -> bool {
         let n = self.num_nodes;
         let root = n;
-        // Bound-snapping pass; root arcs are tree arcs and handled below.
+        if self.tree_adj.len() < n + 1 {
+            self.tree_adj.resize_with(n + 1, Vec::new);
+        }
+        for l in self.tree_adj[..n + 1].iter_mut() {
+            l.clear();
+        }
+        for a in 0..self.from.len() {
+            if self.state[a] == STATE_TREE {
+                self.tree_adj[self.from[a]].push((self.to[a], a));
+                self.tree_adj[self.to[a]].push((self.from[a], a));
+            }
+        }
+        self.parent.clear();
+        self.parent.resize(n + 1, usize::MAX);
+        self.pred.clear();
+        self.pred.resize(n + 1, usize::MAX);
+        self.depth.clear();
+        self.depth.resize(n + 1, 0);
+        self.children.resize_with(n + 1, Vec::new);
+        for c in self.children.iter_mut() {
+            c.clear();
+        }
+        self.visited.clear();
+        self.visited.resize(n + 1, false);
+        self.visited[root] = true;
+        self.dfs_stack.clear();
+        self.dfs_stack.push(root);
+        let mut reached = 1usize;
+        while let Some(u) = self.dfs_stack.pop() {
+            for i in 0..self.tree_adj[u].len() {
+                let (v, arc) = self.tree_adj[u][i];
+                if self.visited[v] {
+                    continue;
+                }
+                self.visited[v] = true;
+                self.parent[v] = u;
+                self.pred[v] = arc;
+                self.depth[v] = self.depth[u] + 1;
+                self.children[u].push(v);
+                self.dfs_stack.push(v);
+                reached += 1;
+            }
+        }
+        reached == n + 1
+    }
+
+    /// Maps the remembered cross-event basis onto the freshly loaded arc
+    /// arrays (see [`BasisRemap`]) and rebuilds the tree.  Returns `false`
+    /// when the repaired arc set fails to span (caller crashes fresh).
+    fn apply_remap(&mut self) -> bool {
+        let mut states = std::mem::take(&mut self.remap_states);
+        let up_base = self.from.len() - 2 * self.num_nodes;
+        self.remap.plan(
+            &self.hint,
+            &self.from,
+            &self.to,
+            self.num_nodes,
+            up_base,
+            &mut states,
+        );
+        self.state.clear();
+        self.state.extend_from_slice(&states);
+        self.remap_states = states;
+        self.rebuild_tree_from_states()
+    }
+
+    /// Re-primes the current basis (tree arrays + states) for the loaded
+    /// capacities/costs: nonbasic flows snap to their bounds, tree flows are
+    /// recomputed by conservation, and potentials are rebuilt from the tree.
+    /// Returns `false` when the basis is infeasible under the new data
+    /// (caller then crashes fresh).
+    ///
+    /// With `repair` on — the warm-start tiers — an out-of-bounds tree flow
+    /// does **not** reject the basis: the violating arc is clamped to the
+    /// bound it broke (and demoted there), the node is re-hung on the
+    /// artificial root arc of the orientation its leftover imbalance needs,
+    /// and that artificial carries the misfit at `+BIG` cost for the pivot
+    /// loop to drain.  This is the bounded Phase-1 replacement: across
+    /// events most of the old flow pattern still fits, so only the misfit —
+    /// not the whole flow — costs pivots.  With `repair` off (the canonical
+    /// extraction of an optimal vertex, where violations would mean broken
+    /// numerics) the strict reject is kept.
+    ///
+    /// The leaf-elimination order is canonical — decreasing depth, ties by
+    /// node index — so the flows this pass derives are a pure function of
+    /// (basis, capacities): this is what makes the canonicalised output of
+    /// [`Self::canonicalize`] byte-reproducible across pivot histories.
+    fn warm_basis(&mut self, eps_flow: f64, repair: bool) -> bool {
+        let n = self.num_nodes;
+        let root = n;
+        let num_arcs = self.from.len();
+        let m_real = num_arcs - 1 - 2 * n;
+        let up_base = m_real + 1;
+        let down_base = up_base + n;
+        // Bound-snapping pass; tree arcs are handled below.
         self.excess.clear();
         self.excess.resize(n + 1, 0.0);
-        for a in 0..self.from.len() {
+        for a in 0..num_arcs {
             match self.state[a] {
                 STATE_LOWER => self.flow[a] = 0.0,
                 STATE_UPPER => {
@@ -273,28 +541,83 @@ impl NetworkSimplexBackend {
                 self.excess[self.from[a]] -= self.flow[a];
             }
         }
-        // Leaf elimination in decreasing depth order: the tree arc of each
-        // node absorbs the node's residual imbalance.
-        let mut order: Vec<usize> = (0..n).collect();
-        order.sort_unstable_by_key(|&v| std::cmp::Reverse(self.depth[v]));
-        for &v in &order {
+        // Leaf elimination in canonical order: the tree arc of each node
+        // absorbs the node's residual imbalance.
+        self.elim_order.clear();
+        self.elim_order.extend(0..n);
+        {
+            let depth = &self.depth;
+            self.elim_order
+                .sort_unstable_by_key(|&v| (std::cmp::Reverse(depth[v]), v));
+        }
+        let mut rehung = false;
+        for i in 0..self.elim_order.len() {
+            let v = self.elim_order[i];
             let arc = self.pred[v];
             if arc == usize::MAX {
                 return false;
             }
             let up = self.parent[v];
             // `excess[v]` must be cancelled by the tree arc's flow.
-            let f = if self.from[arc] == v {
+            let f_req = if self.from[arc] == v {
                 // v → parent: flow f contributes -f at v.
                 self.excess[v]
             } else {
                 // parent → v: flow f contributes +f at v.
                 -self.excess[v]
             };
-            if f < -eps_flow || f > self.cap[arc] + eps_flow {
-                return false;
+            if f_req < -eps_flow || f_req > self.cap[arc] + eps_flow {
+                if !repair {
+                    return false;
+                }
+                // The old tree arc can't carry what conservation demands:
+                // pin it at the bound it broke, hand the leftover to an
+                // artificial, and re-hang `v` directly under the root.
+                let f_clamp = f_req.clamp(0.0, self.cap[arc]);
+                self.state[arc] = if f_clamp == 0.0 {
+                    STATE_LOWER
+                } else {
+                    STATE_UPPER
+                };
+                self.flow[arc] = f_clamp;
+                // Leftover at `v` (after the clamped arc's contribution):
+                // positive must flow v → root, negative root → v.
+                let leftover = if self.from[arc] == v {
+                    self.excess[v] - f_clamp
+                } else {
+                    self.excess[v] + f_clamp
+                };
+                let art = if leftover >= 0.0 {
+                    up_base + v
+                } else {
+                    down_base + v
+                };
+                self.state[art] = STATE_TREE;
+                self.flow[art] = leftover.abs();
+                if up != usize::MAX {
+                    let list = &mut self.children[up];
+                    if let Some(pos) = list.iter().position(|&c| c == v) {
+                        list.swap_remove(pos);
+                    }
+                }
+                self.parent[v] = root;
+                self.pred[v] = art;
+                self.children[root].push(v);
+                rehung = true;
+                // The clamped flow still reaches the old parent; the
+                // artificial's flow cancels at the root by construction.
+                if self.from[arc] == v {
+                    self.excess[up] += f_clamp;
+                } else {
+                    self.excess[up] -= f_clamp;
+                }
+                // Either orientation delivers `leftover` to the root's
+                // balance: `v → root` receives it, `root → v` sends its
+                // negation.
+                self.excess[root] += leftover;
+                continue;
             }
-            let f = f.clamp(0.0, self.cap[arc]);
+            let f = f_req.clamp(0.0, self.cap[arc]);
             self.flow[arc] = f;
             if self.from[arc] == v {
                 self.excess[up] += f;
@@ -305,37 +628,64 @@ impl NetworkSimplexBackend {
         if self.excess[root].abs() > eps_flow.max(1e-6) {
             return false;
         }
+        if rehung {
+            // Depths of re-hung subtrees are stale; recompute all of them
+            // from the (children-consistent) tree in one walk.
+            self.depth[root] = 0;
+            self.dfs_stack.clear();
+            self.dfs_stack.push(root);
+            while let Some(u) = self.dfs_stack.pop() {
+                for i in 0..self.children[u].len() {
+                    let v = self.children[u][i];
+                    self.depth[v] = self.depth[u] + 1;
+                    self.dfs_stack.push(v);
+                }
+            }
+        }
         // Potentials from the tree (costs may have changed).
+        self.pi.resize(n + 1, 0.0);
+        self.pi2.resize(n + 1, 0.0);
         self.pi[root] = 0.0;
+        self.pi2[root] = 0.0;
         self.dfs_stack.clear();
         self.dfs_stack.push(root);
         while let Some(u) = self.dfs_stack.pop() {
             for i in 0..self.children[u].len() {
                 let v = self.children[u][i];
                 let arc = self.pred[v];
-                self.pi[v] = if self.from[arc] == v {
+                if self.from[arc] == v {
                     // rc = cost + pi[v] - pi[u] = 0
-                    self.pi[u] - self.cost[arc]
+                    self.pi[v] = self.pi[u] - self.cost[arc];
+                    self.pi2[v] = self.pi2[u] - self.cost2[arc];
                 } else {
-                    self.pi[u] + self.cost[arc]
-                };
+                    self.pi[v] = self.pi[u] + self.cost[arc];
+                    self.pi2[v] = self.pi2[u] + self.cost2[arc];
+                }
                 self.dfs_stack.push(v);
             }
         }
         true
     }
 
-    /// Block pricing: the most negative reduced-cost violation in the first
-    /// block containing any eligible arc.  Returns the entering arc and the
-    /// push direction (+1: along the arc, -1: against it).
-    fn find_entering(&mut self, eps_cost: f64) -> Option<(usize, i8)> {
+    /// Block pricing: the most violating reduced cost in the first block
+    /// containing any eligible arc.  With `lex` off (phase 1, the bulk of
+    /// the solve) only the primary channel is priced, exactly as a plain
+    /// network simplex would.  With `lex` on (phase 2) an arc is also
+    /// eligible when its primary reduced cost is a tie (within `eps_cost`)
+    /// and the secondary integer channel strictly improves, and candidates
+    /// compare lexicographically — this is what walks the tied optimal face
+    /// to its unique vertex.  The secondary channel is only computed for
+    /// arcs that survive the primary filter, so phase 2's extra cost is
+    /// proportional to the tie structure, not to the arc count.  Returns the
+    /// entering arc and the push direction (+1: along the arc, -1: against
+    /// it).
+    fn find_entering(&mut self, eps_cost: f64, lex: bool) -> Option<(usize, i8)> {
         let m = self.from.len();
         if m == 0 {
             return None;
         }
         let block = ((m as f64).sqrt() as usize).max(16);
-        let mut best: Option<usize> = None;
-        let mut best_violation = eps_cost;
+        let mut best: Option<(usize, f64, f64)> = None;
         let mut pos = self.block_pos % m;
         let mut scanned = 0;
         while scanned < m {
@@ -351,10 +701,29 @@ impl NetworkSimplexBackend {
                 let rc = self.cost[a] + self.pi[self.from[a]] - self.pi[self.to[a]];
                 // An arc at lower bound is eligible when rc < -eps, one at
                 // upper bound when rc > eps: uniformly, -state·rc > eps.
-                let violation = -(s as f64) * rc;
-                if violation > best_violation {
-                    best_violation = violation;
-                    best = Some(a);
+                let v1 = -(s as f64) * rc;
+                let eligible_primary = v1 > eps_cost;
+                if !eligible_primary && (!lex || v1 <= -eps_cost) {
+                    continue;
+                }
+                // The secondary channel is only computed for arcs that
+                // survived the primary filter — in phase 1 that is a
+                // handful per block, so steering *candidate selection* by
+                // it (which nudges phase 1 towards the canonical vertex and
+                // keeps the phase-2 walk short) costs almost nothing.  On a
+                // primary tie (|v1| ≤ eps, phase 2 only) it also decides
+                // eligibility: integer arithmetic, a true violation is ≥ 1.
+                let v2 =
+                    -(s as f64) * (self.cost2[a] + self.pi2[self.from[a]] - self.pi2[self.to[a]]);
+                if !eligible_primary && v2 <= 0.5 {
+                    continue;
+                }
+                let better = match best {
+                    None => true,
+                    Some((_, b1, b2)) => v1 > b1 + eps_cost || (v1 > b1 - eps_cost && v2 > b2),
+                };
+                if better {
+                    best = Some((a, v1, v2));
                 }
             }
             if best.is_some() {
@@ -364,7 +733,7 @@ impl NetworkSimplexBackend {
         self.block_pos = pos;
         // The push direction equals the state sign: from the lower bound the
         // flow increases along the arc, from the upper bound it decreases.
-        best.map(|a| (a, self.state[a]))
+        best.map(|(a, _, _)| (a, self.state[a]))
     }
 
     /// Lowest common ancestor of `a` and `b` under the current tree.
@@ -521,11 +890,13 @@ impl NetworkSimplexBackend {
             let p = self.parent[u];
             let arc = self.pred[u];
             self.depth[u] = self.depth[p] + 1;
-            self.pi[u] = if self.from[arc] == u {
-                self.pi[p] - self.cost[arc]
+            if self.from[arc] == u {
+                self.pi[u] = self.pi[p] - self.cost[arc];
+                self.pi2[u] = self.pi2[p] - self.cost2[arc];
             } else {
-                self.pi[p] + self.cost[arc]
-            };
+                self.pi[u] = self.pi[p] + self.cost[arc];
+                self.pi2[u] = self.pi2[p] + self.cost2[arc];
+            }
             for i in 0..self.children[u].len() {
                 let c = self.children[u][i];
                 self.dfs_stack.push(c);
@@ -533,22 +904,95 @@ impl NetworkSimplexBackend {
         }
     }
 
-    /// Runs the pivot loop to optimality.  Returns `false` when the pivot
-    /// budget blows up (caller falls back to the reference kernel).
+    /// Runs the pivot loop to lexicographic optimality: phase 1 prices the
+    /// primary channel only until no primary violation remains, then phase 2
+    /// (primary *and* secondary) walks the tied optimal face to its unique
+    /// vertex.  Phase 2's entering rule subsumes phase 1's, so any primary
+    /// violation resurfacing within phase 2 (they stay within `eps` of
+    /// optimal — face pivots move potentials by at most the tie tolerance)
+    /// is still picked up; splitting merely keeps the secondary pricing off
+    /// the hot part of the solve.  Returns `false` when the pivot budget
+    /// blows up (caller falls back to the reference kernel).
     fn optimize(&mut self, eps_cost: f64) -> bool {
         let m = self.from.len();
         let budget = 200 * m + 2_000;
-        for _ in 0..budget {
-            match self.find_entering(eps_cost) {
-                Some((e, dir)) => self.pivot(e, dir),
-                None => return true,
+        let mut spent = 0usize;
+        for lex in [false, true] {
+            loop {
+                if spent >= budget {
+                    return false;
+                }
+                spent += 1;
+                match self.find_entering(eps_cost, lex) {
+                    Some((e, dir)) => self.pivot(e, dir),
+                    None => break,
+                }
             }
         }
-        false
+        true
+    }
+
+    /// Canonicalises the optimal solution so the emitted bytes depend only
+    /// on the *vertex* the pivot loop reached, not on the pivot history:
+    ///
+    /// 1. every arc is re-classified from its flow (at lower bound / at
+    ///    upper bound / strictly between — the *free* arcs, which form a
+    ///    forest at any vertex);
+    /// 2. the free forest is completed into a canonical spanning tree (arc
+    ///    index order, artificial arcs last) by the same union–find repair
+    ///    as the cross-event remap;
+    /// 3. flows and potentials are re-derived from that canonical basis by
+    ///    [`Self::warm_basis`]'s deterministic conservation pass.
+    ///
+    /// Two pivot paths reaching the same optimum — a warm-started and a cold
+    /// solve, say — thereby produce bit-identical flows, and the basis
+    /// remembered for the next event is canonical too.  If re-derivation
+    /// fails (pathological numerics), the incremental result is restored:
+    /// canonicalisation is a determinism device, never a correctness risk.
+    fn canonicalize(&mut self, eps_flow: f64) {
+        self.state_backup.clone_from(&self.state);
+        self.flow_backup.clone_from(&self.flow);
+        for a in 0..self.from.len() {
+            let f = self.flow[a];
+            let c = self.cap[a];
+            self.state[a] = if f <= eps_flow {
+                STATE_LOWER
+            } else if c.is_finite() && f >= c - eps_flow {
+                STATE_UPPER
+            } else {
+                STATE_TREE
+            };
+        }
+        // Fast path: when the classification reproduces the final basis
+        // exactly, the vertex is nondegenerate there — its basis is unique,
+        // hence already start-independent — and only the flows need the
+        // canonical re-derivation (on the tree arrays optimize() left
+        // behind, which are still valid).
+        let rebuilt = if self.state == self.state_backup {
+            true
+        } else {
+            let up_base = self.from.len() - 2 * self.num_nodes;
+            repair_spanning_tree(
+                &mut self.uf,
+                &self.from,
+                &self.to,
+                self.num_nodes,
+                up_base,
+                &mut self.state,
+            );
+            self.rebuild_tree_from_states()
+        };
+        if !rebuilt || !self.warm_basis(eps_flow, false) {
+            // Restore the incremental (correct, merely path-dependent)
+            // solution and its actual basis.
+            self.state.clone_from(&self.state_backup);
+            self.flow.clone_from(&self.flow_backup);
+            let _ = self.rebuild_tree_from_states();
+        }
     }
 
     /// Writes the computed flow back into the residual network and sums the
-    /// objective over the real arcs.
+    /// objective over the real arcs (fixed order: bit-reproducible).
     fn extract(&self, network: &mut FlowNetwork) -> (f64, f64) {
         let m_real = network.num_edges();
         let mut cost = 0.0;
@@ -568,6 +1012,16 @@ impl MinCostBackend for NetworkSimplexBackend {
         "simplex"
     }
 
+    fn warm_hint(&mut self, node_keys: &[u64]) {
+        // Stored even when cross-solve reuse is disabled: the keys also
+        // seed the lexicographic tie-break of the *next* solve, which must
+        // be identical between a warm and a cold backend fed the same
+        // instance (the bit-identity contract).
+        self.hint.clear();
+        self.hint.extend_from_slice(node_keys);
+        self.hint_valid = true;
+    }
+
     fn solve_up_to(
         &mut self,
         network: &mut FlowNetwork,
@@ -579,6 +1033,9 @@ impl MinCostBackend for NetworkSimplexBackend {
         assert!(source < network.num_nodes() && sink < network.num_nodes());
         assert_ne!(source, sink);
         if target <= 0.0 {
+            // A hint pending for this (skipped) solve must not leak into
+            // the next instance's tie-break or remap keying.
+            self.hint_valid = false;
             return MinCostResult {
                 flow: 0.0,
                 cost: 0.0,
@@ -586,7 +1043,7 @@ impl MinCostBackend for NetworkSimplexBackend {
                 phases: 0,
             };
         }
-        let warm_candidate = self.load(network, source, sink);
+        let path = self.load(network, source, sink);
         let max_cap = self
             .cap
             .iter()
@@ -596,19 +1053,46 @@ impl MinCostBackend for NetworkSimplexBackend {
         let max_cost = self.cost.iter().fold(0.0f64, |m, &c| m.max(c.abs()));
         let eps_cost = 1e-11 * (1.0 + max_cost);
 
-        let warmed = warm_candidate && self.warm_basis(eps_flow);
+        let warmed = match path {
+            WarmPath::Exact => self.warm_basis(eps_flow, true),
+            WarmPath::Remap => {
+                let ok = self.apply_remap() && self.warm_basis(eps_flow, true);
+                if ok {
+                    // Counted only once the re-priming accepted the basis:
+                    // a rejected remap runs cold and must not show up in
+                    // the diagnostic the vacuity guards assert on.
+                    self.remapped_solves += 1;
+                }
+                ok
+            }
+            WarmPath::Cold => false,
+        };
         if !warmed {
             self.crash_basis();
         }
         self.basis_valid = false; // invalidated until this solve completes
+        self.block_pos = 0; // stateless pricing: per-solve determinism
+        let had_hint = self.hint_valid;
+        self.hint_valid = false;
         if !self.optimize(eps_cost) {
             // Pathological numerics: certified fallback to the reference
-            // kernel on a clean network.
+            // kernel on a clean network.  The basis memory is dropped — the
+            // reference solution is not a basis this backend could resume.
             self.fallbacks += 1;
+            self.remap.invalidate();
             network.reset();
             return min_cost_flow_up_to(network, source, sink, target, workspace);
         }
+        self.canonicalize(eps_flow);
         self.basis_valid = true;
+        if had_hint && self.warm_start {
+            self.remap
+                .remember(&self.hint, &self.from, &self.to, &self.state);
+        } else {
+            // Cross-solve memory disabled, or this solve's nodes carry no
+            // stable identity to key a cross-event remap by.
+            self.remap.invalidate();
+        }
         let (flow, cost) = self.extract(network);
         MinCostResult {
             flow,
@@ -826,5 +1310,135 @@ mod tests {
         let reference = min_cost_max_flow(&mut g2b, 0, 3);
         assert!(close(r2.flow, reference.flow));
         assert!(close(r2.cost, reference.cost));
+    }
+
+    /// Builds a jobs × bins transportation network from explicit routes,
+    /// with stable keys `job_keys[j]` / `bin_keys[b]` for the remap tests.
+    fn keyed_transport(
+        demands: &[f64],
+        caps: &[f64],
+        routes: &[(usize, usize, f64)],
+    ) -> (FlowNetwork, Vec<u64>, usize, usize) {
+        let (nj, nb) = (demands.len(), caps.len());
+        let s = nj + nb;
+        let t = s + 1;
+        let mut g = FlowNetwork::new(nj + nb + 2);
+        for (j, &d) in demands.iter().enumerate() {
+            g.add_edge(s, j, d, 0.0);
+        }
+        for (b, &c) in caps.iter().enumerate() {
+            g.add_edge(nj + b, t, c, 0.0);
+        }
+        for &(j, b, cost) in routes {
+            g.add_edge(j, nj + b, demands[j], cost);
+        }
+        let keys = Vec::new();
+        (g, keys, s, t)
+    }
+
+    #[test]
+    fn remapped_solves_take_the_warm_tier_and_stay_bit_identical_to_cold() {
+        // Event 1: jobs {10, 11} over bins {b0, b1}.  Event 2: job 10
+        // completed, job 12 arrived — different topology, overlapping keys.
+        // The shared backend must take the remap tier on event 2 and agree
+        // *bitwise* with a fresh cold backend.
+        let e1_demands = [2.0, 3.0];
+        let e1_caps = [2.5, 4.0];
+        let e1_routes = [(0, 0, 1.0), (0, 1, 2.0), (1, 0, 1.5), (1, 1, 0.5)];
+        let e1_keys: Vec<u64> = vec![10, 11, 1 << 32, (1 << 32) | 1, u64::MAX - 1, u64::MAX - 2];
+        // One fewer route than event 1: the arc list differs, so only the
+        // key-based remap tier (not the exact-topology tier) can fire.
+        let e2_demands = [3.0, 1.0];
+        let e2_caps = [2.5, 4.0];
+        let e2_routes = [(0, 0, 1.5), (0, 1, 0.5), (1, 1, 2.0)];
+        let e2_keys: Vec<u64> = vec![11, 12, 1 << 32, (1 << 32) | 1, u64::MAX - 1, u64::MAX - 2];
+
+        let mut shared = NetworkSimplexBackend::new();
+        let mut ws = FlowWorkspace::new();
+        let (mut g1, _, s, t) = keyed_transport(&e1_demands, &e1_caps, &e1_routes);
+        shared.warm_hint(&e1_keys);
+        shared.solve_up_to(&mut g1, s, t, f64::INFINITY, &mut ws);
+        assert_eq!(shared.remap_count(), 0);
+
+        let (mut g2, _, s, t) = keyed_transport(&e2_demands, &e2_caps, &e2_routes);
+        shared.warm_hint(&e2_keys);
+        let warm = shared.solve_up_to(&mut g2, s, t, f64::INFINITY, &mut ws);
+        assert_eq!(shared.remap_count(), 1, "event 2 must take the remap tier");
+        assert_eq!(shared.fallback_count(), 0);
+
+        let (mut g2c, _, s, t) = keyed_transport(&e2_demands, &e2_caps, &e2_routes);
+        let mut cold = NetworkSimplexBackend::with_warm_start(false);
+        // The cold solve gets the same per-instance hint (it seeds the
+        // tie-break, not any cross-solve state).
+        cold.warm_hint(&e2_keys);
+        let cold_r = cold.solve_up_to(&mut g2c, s, t, f64::INFINITY, &mut FlowWorkspace::new());
+        assert_eq!(warm.flow.to_bits(), cold_r.flow.to_bits());
+        assert_eq!(warm.cost.to_bits(), cold_r.cost.to_bits());
+        for a in 0..g2.num_edges() {
+            assert_eq!(
+                g2.flow_on(2 * a).to_bits(),
+                g2c.flow_on(2 * a).to_bits(),
+                "edge {a} flow diverged between remap-warm and cold"
+            );
+        }
+    }
+
+    #[test]
+    fn cost_ties_resolve_identically_from_any_start_basis() {
+        // Two bins at *identical* cost (the System-(2) same-interval,
+        // different-site tie): a warm-started solve arriving with the flow
+        // on one bin and a cold solve crashing fresh must still pick the
+        // same optimum, because the lexicographic tie-break makes it unique.
+        let demands = [2.0];
+        let caps = [2.0, 2.0];
+        let routes = [(0, 0, 1.0), (0, 1, 1.0)];
+        let keys: Vec<u64> = vec![7, 1 << 32, (1 << 32) | 1, u64::MAX - 1, u64::MAX - 2];
+
+        let mut shared = NetworkSimplexBackend::new();
+        let mut ws = FlowWorkspace::new();
+        // Prime the shared backend with a network whose optimum sits on bin
+        // 1 only (bin 0 inadmissible), then re-solve the tied instance warm.
+        let primer = [(0, 1, 1.0)];
+        let (mut g0, _, s, t) = keyed_transport(&demands, &caps, &primer);
+        shared.warm_hint(&keys[..]);
+        shared.solve_up_to(&mut g0, s, t, f64::INFINITY, &mut ws);
+
+        let (mut g_warm, _, s, t) = keyed_transport(&demands, &caps, &routes);
+        shared.warm_hint(&keys[..]);
+        shared.solve_up_to(&mut g_warm, s, t, f64::INFINITY, &mut ws);
+
+        let (mut g_cold, _, s, t) = keyed_transport(&demands, &caps, &routes);
+        let mut cold = NetworkSimplexBackend::with_warm_start(false);
+        cold.warm_hint(&keys[..]);
+        cold.solve_up_to(&mut g_cold, s, t, f64::INFINITY, &mut FlowWorkspace::new());
+
+        for a in 0..g_warm.num_edges() {
+            assert_eq!(
+                g_warm.flow_on(2 * a).to_bits(),
+                g_cold.flow_on(2 * a).to_bits(),
+                "tied optimum must be start-basis-independent (edge {a})"
+            );
+        }
+    }
+
+    #[test]
+    fn disabled_warm_start_never_reuses_state() {
+        let mut ns = NetworkSimplexBackend::with_warm_start(false);
+        let mut ws = FlowWorkspace::new();
+        let build = || {
+            let mut g = FlowNetwork::new(3);
+            g.add_edge(0, 1, 2.0, 1.0);
+            g.add_edge(1, 2, 2.0, 1.0);
+            g
+        };
+        ns.warm_hint(&[1, 2, 3]); // ignored
+        let mut g1 = build();
+        let r1 = ns.solve_up_to(&mut g1, 0, 2, f64::INFINITY, &mut ws);
+        let mut g2 = build();
+        let r2 = ns.solve_up_to(&mut g2, 0, 2, f64::INFINITY, &mut ws);
+        assert_eq!(ns.remap_count(), 0);
+        assert_eq!(r1.phases, 1, "cold solve");
+        assert_eq!(r2.phases, 1, "still cold: reuse disabled");
+        assert_eq!(r1.flow.to_bits(), r2.flow.to_bits());
     }
 }

@@ -23,6 +23,9 @@ pub struct TransportInstance {
     demands: Vec<f64>,
     capacities: Vec<f64>,
     routes: Vec<(usize, usize, f64)>,
+    /// Optional stable identities (per source, per bin) handed to the
+    /// min-cost backend as a cross-solve warm-start hint.
+    stable_keys: Option<(Vec<u64>, Vec<u64>)>,
 }
 
 /// Solution of a transportation instance.
@@ -73,7 +76,27 @@ impl TransportInstance {
             demands: vec![0.0; num_sources],
             capacities: vec![0.0; num_bins],
             routes: Vec::new(),
+            stable_keys: None,
         }
+    }
+
+    /// Attaches stable identities to the sources and bins, forwarded to the
+    /// min-cost backend as a [`MinCostBackend::warm_hint`] before solving.
+    ///
+    /// Keys equal across instances exactly when the node denotes the same
+    /// logical entity (the scheduler keys jobs by instance-wide job id and
+    /// bins by `(site, interval position)`), letting a basis-carrying
+    /// backend warm-start across *events* even though every event builds a
+    /// fresh instance of a different shape.  The keys also seed the
+    /// backend's deterministic tie-break among equal-cost optima, so two
+    /// solves of the same instance are bit-identical exactly when they are
+    /// given the same keys (warm or cold, with or without carried state) —
+    /// a keyed and an unkeyed solve may legitimately return different
+    /// optimal vertices.
+    pub fn set_stable_keys(&mut self, source_keys: Vec<u64>, bin_keys: Vec<u64>) {
+        assert_eq!(source_keys.len(), self.num_sources(), "one key per source");
+        assert_eq!(bin_keys.len(), self.num_bins(), "one key per bin");
+        self.stable_keys = Some((source_keys, bin_keys));
     }
 
     /// Number of sources (jobs).
@@ -228,6 +251,16 @@ impl TransportInstance {
     ) -> Option<TransportSolution> {
         if self.routes.iter().all(|&(_, _, cost)| cost == 0.0) {
             return self.solve_feasible_with(workspace);
+        }
+        if let Some((source_keys, bin_keys)) = &self.stable_keys {
+            // Node order mirrors `build_network`: sources, bins, then the
+            // two artificial endpoints under their reserved keys.
+            let mut keys = Vec::with_capacity(source_keys.len() + bin_keys.len() + 2);
+            keys.extend_from_slice(source_keys);
+            keys.extend_from_slice(bin_keys);
+            keys.push(crate::backend::KEY_SUPER_SOURCE);
+            keys.push(crate::backend::KEY_SUPER_SINK);
+            backend.warm_hint(&keys);
         }
         let (mut g, route_edges, s, t) = self.build_network();
         let demand = self.total_demand();

@@ -16,6 +16,19 @@ use std::collections::VecDeque;
 /// Create one per solver (or per scheduler run) and thread it through the
 /// `*_with` functions; every buffer grows to the largest network seen and is
 /// then reused allocation-free.
+///
+/// ```
+/// use stretch_flow::{FlowWorkspace, TransportInstance};
+///
+/// let mut ws = FlowWorkspace::new();
+/// let mut t = TransportInstance::new(1, 1);
+/// t.set_demand(0, 1.0);
+/// t.set_capacity(0, 2.0);
+/// t.add_route(0, 0, 0.0);
+/// // The same workspace serves every solve — probes, min-cost, cuts.
+/// assert!(t.is_feasible_with(1e-6, &mut ws));
+/// assert!(t.solve_min_cost_with(&mut ws).is_some());
+/// ```
 #[derive(Default)]
 pub struct FlowWorkspace {
     /// Dinic: BFS levels.  The min-cost primal-dual reuses it as the

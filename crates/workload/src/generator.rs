@@ -88,7 +88,7 @@ impl WorkloadGenerator {
 
     /// Poisson arrival rate (jobs per second) for one databank on `platform`.
     ///
-    /// The steady [`Self::base_rate`] scaled by the scenario's popularity
+    /// The steady per-databank base rate scaled by the scenario's popularity
     /// weight, re-normalised against this platform's base rates so the
     /// platform-wide expected job count is **exactly** scenario-independent
     /// (popularity redistributes requests between databanks, it never adds
