@@ -348,56 +348,6 @@ fn run_online_from_scratch(instance: &Instance, ordering: PieceOrdering) -> f64 
     last_completion
 }
 
-/// Replays the on-line loop once, capturing every per-event System-(2)
-/// problem together with the slackened objective it is solved at — the exact
-/// min-cost workload the backends compete on (the `engine/system2-events/*`
-/// rows).
-fn capture_system2_events(instance: &Instance) -> Vec<(DeadlineProblem, f64)> {
-    let sites = SiteView::of(instance);
-    let mut remaining: Vec<f64> = instance.jobs.iter().map(|j| j.work).collect();
-    let mut events: Vec<f64> = instance.jobs.iter().map(|j| j.release).collect();
-    events.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    events.dedup_by(|a, b| (*a - *b).abs() <= 1e-12);
-    let mut solver = ParametricDeadlineSolver::new();
-    let mut captured = Vec::new();
-    for (e, &now) in events.iter().enumerate() {
-        let horizon = events.get(e + 1).copied().unwrap_or(f64::INFINITY);
-        let pending: Vec<PendingJob> = instance
-            .jobs
-            .iter()
-            .filter(|j| j.release <= now + 1e-12 && remaining[j.id] > 1e-9)
-            .map(|j| PendingJob {
-                job_id: j.id,
-                release: j.release,
-                ready: now,
-                work: j.work,
-                remaining: remaining[j.id],
-                databank: j.databank,
-            })
-            .collect();
-        if pending.is_empty() {
-            continue;
-        }
-        let problem = DeadlineProblem::new(pending, sites.clone(), now);
-        let best = solver.min_feasible_stretch(&problem).expect("feasible");
-        let slack = stretch_core::deadline::certified_slack(best);
-        captured.push((problem.clone(), slack));
-        let plan = solver
-            .system2_allocation(&problem, slack)
-            .expect("feasible");
-        let sequences = stretch_core::plan::site_sequences(&problem, &plan, PieceOrdering::Online);
-        let execution = execute_sequences(&problem, &sequences, now, horizon);
-        for (pending_idx, job) in problem.jobs.iter().enumerate() {
-            remaining[job.job_id] =
-                (remaining[job.job_id] - execution.executed[pending_idx]).max(0.0);
-            if execution.completions.contains_key(&pending_idx) {
-                remaining[job.job_id] = 0.0;
-            }
-        }
-    }
-    captured
-}
-
 fn bench_scheduler_overhead(c: &mut Criterion) {
     let report = run_overhead_study(2, 20, 11);
     println!("\n{}\n", report.render());
@@ -462,7 +412,10 @@ fn bench_scheduler_overhead(c: &mut Criterion) {
     // by the differential-oracle suite), so the row pairs measure the same
     // work — only the solver state differs.  The CI bench-smoke step checks
     // all of these keys exist in BENCH_baseline.json.
-    let system2_events = capture_system2_events(&instance);
+    // The captured per-event System-(2) instances — the exact min-cost
+    // workload the backends compete on (shared with the CI perf-drift gate
+    // through `stretch_core::refstream`, so both measure identical work).
+    let system2_events = stretch_core::refstream::capture_system2_events(&instance);
     assert!(!system2_events.is_empty());
     for config in SolverConfig::all_backends() {
         let cold = config.with_warm_start(false);
@@ -499,24 +452,31 @@ fn bench_scheduler_overhead(c: &mut Criterion) {
             })
         });
     }
-    // The warm System-(2) sweep only exists for the simplex (the primal-dual
-    // kernel is stateless, so its warm row would re-measure the cold one).
+    // The warm System-(2) sweep only exists for the basis-carrying backends
+    // (the primal-dual kernel is stateless, so its warm row would re-measure
+    // the cold one).  Derived from the backend list — the same rule the
+    // drift gate's `engine_row_keys()` and the CI completeness list encode —
+    // so a future backend records its warm row without touching this file.
+    for warm in SolverConfig::all_backends()
+        .filter(|config| config.backend != stretch_flow::BackendKind::PrimalDual)
     {
-        let warm = SolverConfig::network_simplex();
         let mut backend = warm.instantiate();
         let mut ws = FlowWorkspace::new();
-        group.bench_function("system2-events/simplex-warm", |b| {
-            b.iter(|| {
-                let mut pieces = 0usize;
-                for (problem, slack) in &system2_events {
-                    let plan = problem
-                        .system2_allocation_with_backend(*slack, backend.as_mut(), &mut ws)
-                        .expect("feasible at the captured objective");
-                    pieces += plan.pieces.len();
-                }
-                black_box(pieces)
-            })
-        });
+        group.bench_function(
+            format!("system2-events/{}-warm", warm.backend.name()),
+            |b| {
+                b.iter(|| {
+                    let mut pieces = 0usize;
+                    for (problem, slack) in &system2_events {
+                        let plan = problem
+                            .system2_allocation_with_backend(*slack, backend.as_mut(), &mut ws)
+                            .expect("feasible at the captured objective");
+                        pieces += plan.pieces.len();
+                    }
+                    black_box(pieces)
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -14,31 +14,17 @@
 //! | `adversarial` | the Theorem 1 and Theorem 2 instances |
 //! | `exact_vs_float` | the exact-rational vs floating-point simplex ablation |
 
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
-use stretch_platform::{PlatformConfig, PlatformGenerator};
-use stretch_workload::{Instance, WorkloadConfig, WorkloadGenerator};
+use stretch_workload::Instance;
 
 /// Draws a deterministic random instance of roughly `target_jobs` jobs on a
 /// platform with the given number of sites.
+///
+/// Thin alias of [`stretch_core::refstream::reference_instance`] — the
+/// single implementation the benches, the CI perf-drift gate and the
+/// detector regression tests all draw from, so their workloads can never
+/// silently diverge.
 pub fn bench_instance(sites: usize, databanks: usize, target_jobs: usize, seed: u64) -> Instance {
-    let mut rng = SmallRng::seed_from_u64(seed);
-    let platform =
-        PlatformGenerator::new(PlatformConfig::new(sites, databanks, 0.6)).generate(&mut rng);
-    let probe = WorkloadGenerator::new(WorkloadConfig {
-        density: 1.5,
-        window: 1.0,
-        scan_fraction: 1.0,
-        ..Default::default()
-    });
-    let rate = probe.expected_job_count(&platform).max(1e-9);
-    let generator = WorkloadGenerator::new(WorkloadConfig {
-        density: 1.5,
-        window: (target_jobs as f64 / rate).max(1e-3),
-        scan_fraction: 1.0,
-        ..Default::default()
-    });
-    generator.generate_instance(platform, &mut rng)
+    stretch_core::refstream::reference_instance(sites, databanks, target_jobs, seed)
 }
 
 #[cfg(test)]

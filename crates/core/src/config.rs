@@ -18,8 +18,8 @@
 //! because schedulers construct solvers on hot paths):
 //!
 //! * `STRETCH_MINCOST_BACKEND` — `primal-dual` (the reference, also the
-//!   unset default) or `simplex`; anything else aborts with the offending
-//!   string rather than silently falling back.  This is how the CI test
+//!   unset default), `simplex` or `monge`; anything else aborts with the
+//!   offending string rather than silently falling back.  This is how the CI test
 //!   matrix runs the whole suite — schedulers, experiments, property tests —
 //!   on either backend without touching call sites.
 //! * `STRETCH_WARM_START` — `1`/`true` (the default) enables cross-event
@@ -68,6 +68,14 @@ impl SolverConfig {
     pub fn network_simplex() -> Self {
         SolverConfig {
             backend: BackendKind::NetworkSimplex,
+            warm_start: true,
+        }
+    }
+
+    /// The Monge/greedy product-form backend (warm start enabled).
+    pub fn monge() -> Self {
+        SolverConfig {
+            backend: BackendKind::Monge,
             warm_start: true,
         }
     }
@@ -214,8 +222,9 @@ mod tests {
     fn explicit_constructors_name_their_backends() {
         assert_eq!(SolverConfig::primal_dual().backend.name(), "primal-dual");
         assert_eq!(SolverConfig::network_simplex().backend.name(), "simplex");
+        assert_eq!(SolverConfig::monge().backend.name(), "monge");
         let all: Vec<_> = SolverConfig::all_backends().collect();
-        assert_eq!(all.len(), 2);
+        assert_eq!(all.len(), 3);
         assert_eq!(all[0], SolverConfig::primal_dual());
         assert!(
             all.iter().all(|c| c.warm_start),
@@ -245,6 +254,31 @@ mod tests {
             SolverConfig::parse_backend("simplex"),
             SolverConfig::network_simplex()
         );
+        assert_eq!(SolverConfig::parse_backend("monge"), SolverConfig::monge());
+    }
+
+    #[test]
+    fn backend_abort_message_lists_every_valid_name() {
+        // PR 3 convention: malformed STRETCH_MINCOST_BACKEND values abort
+        // loudly — and the message must name every parseable backend, so a
+        // typo'd CI matrix cell tells the operator the full menu.  This
+        // regression-proofs the list against future backend additions:
+        // `BackendKind::ALL` drives both the parser and the message.
+        let panic = std::panic::catch_unwind(|| SolverConfig::parse_backend("bogus"))
+            .expect_err("unknown names must abort");
+        let message = panic
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| panic.downcast_ref::<&str>().map(|s| s.to_string()))
+            .expect("panic payload is a string");
+        for kind in BackendKind::ALL {
+            assert!(
+                message.contains(kind.name()),
+                "abort message must list `{}`, got: {message}",
+                kind.name()
+            );
+        }
+        assert!(message.contains("`bogus`"), "offending string echoed");
     }
 
     #[test]

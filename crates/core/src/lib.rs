@@ -80,6 +80,7 @@ pub mod online;
 pub mod parametric;
 pub mod plan;
 pub mod priority;
+pub mod refstream;
 pub mod scheduler;
 pub mod sites;
 pub mod system1;

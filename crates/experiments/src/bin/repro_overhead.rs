@@ -5,10 +5,71 @@
 //! The per-event means are merged into `BENCH_baseline.json` (current
 //! directory, or `STRETCH_BENCH_BASELINE`; empty disables the write) so that
 //! future changes can diff scheduler performance against this run.
+//!
+//! # Perf-drift gate (`STRETCH_DRIFT_CHECK=1`)
+//!
+//! With `STRETCH_DRIFT_CHECK=1` the binary runs the CI perf-drift gate
+//! instead ([`stretch_experiments::drift`]): every `engine/*` row of the
+//! baseline file is re-measured on the reference workload and the process
+//! exits non-zero when any row is more than
+//! [`stretch_experiments::DRIFT_FACTOR`]× slower than its recorded entry.
+//! Nothing is written in this mode — CI noise must never overwrite the
+//! recorded trajectory.  Malformed values abort loudly, like every other
+//! `STRETCH_*` knob.
 
-use stretch_experiments::run_overhead_study;
+use stretch_experiments::{run_drift_check, run_overhead_study, DRIFT_SAMPLES};
+
+/// Strict parse of `STRETCH_DRIFT_CHECK` (`1`/`0`, unset means off).
+fn drift_check_requested() -> bool {
+    match std::env::var("STRETCH_DRIFT_CHECK") {
+        Err(std::env::VarError::NotPresent) => false,
+        Err(std::env::VarError::NotUnicode(_)) => {
+            panic!("STRETCH_DRIFT_CHECK must be valid unicode, got undecodable bytes")
+        }
+        Ok(raw) => match raw.trim() {
+            "1" => true,
+            "0" => false,
+            _ => panic!("STRETCH_DRIFT_CHECK must be 0 or 1, got `{raw}`"),
+        },
+    }
+}
+
+fn baseline_path() -> Option<std::path::PathBuf> {
+    match std::env::var("STRETCH_BENCH_BASELINE") {
+        Ok(p) if p.is_empty() => None,
+        Ok(p) => Some(std::path::PathBuf::from(p)),
+        Err(_) => Some(std::path::PathBuf::from("BENCH_baseline.json")),
+    }
+}
 
 fn main() {
+    if drift_check_requested() {
+        let path = baseline_path().expect(
+            "STRETCH_DRIFT_CHECK=1 needs a baseline file (STRETCH_BENCH_BASELINE is empty)",
+        );
+        match run_drift_check(&path, DRIFT_SAMPLES) {
+            Ok(report) => {
+                println!("{}", report.render());
+                let violations = report.violations();
+                if !violations.is_empty() {
+                    eprintln!(
+                        "perf drift: {} engine row(s) regressed beyond {:.1}x the recorded \
+                         baseline; if intentional, re-record with `cargo bench -p stretch-bench \
+                         --bench scheduler_overhead`",
+                        violations.len(),
+                        report.factor
+                    );
+                    std::process::exit(1);
+                }
+            }
+            Err(err) => {
+                eprintln!("perf drift gate could not run: {err}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
     let instances = std::env::var("STRETCH_INSTANCES")
         .ok()
         .and_then(|v| v.parse().ok())
@@ -19,12 +80,7 @@ fn main() {
         .unwrap_or(40);
     let report = run_overhead_study(instances, jobs, 2006);
     println!("{}", report.render());
-    let path = match std::env::var("STRETCH_BENCH_BASELINE") {
-        Ok(p) if p.is_empty() => None,
-        Ok(p) => Some(std::path::PathBuf::from(p)),
-        Err(_) => Some(std::path::PathBuf::from("BENCH_baseline.json")),
-    };
-    if let Some(path) = path {
+    if let Some(path) = baseline_path() {
         match report.write_baseline(&path) {
             Ok(()) => eprintln!("Per-event means merged into {}", path.display()),
             Err(err) => eprintln!("warning: could not write {}: {err}", path.display()),

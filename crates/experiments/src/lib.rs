@@ -15,6 +15,7 @@
 pub mod baseline;
 pub mod campaign;
 pub mod config;
+pub mod drift;
 pub mod figure3;
 pub mod heuristics;
 pub mod json;
@@ -28,6 +29,7 @@ pub use campaign::{
     CampaignSummary,
 };
 pub use config::{full_grid, reduced_grid, scenario_families, scenario_grid, ExperimentConfig};
+pub use drift::{engine_row_keys, run_drift_check, DriftReport, DRIFT_FACTOR, DRIFT_SAMPLES};
 pub use figure3::{run_figure3, Figure3Point, Figure3Settings};
 pub use heuristics::{heuristic_battery, HeuristicKind, TABLE1_ORDER};
 pub use overhead::{run_overhead_study, OverheadReport};

@@ -181,8 +181,9 @@ mod tests {
     #[test]
     fn smoke_study_covers_both_axes_and_backends() {
         let points = run_scale_study(&ScaleSettings::smoke());
-        // 2 backends × (2 sizes + 2 thread counts) × 2 metrics.
-        assert_eq!(points.len(), 2 * (2 + 2) * 2);
+        // One rung set per backend: (2 sizes + 2 thread counts) × 2 metrics.
+        let backends = SolverConfig::all_backends().count();
+        assert_eq!(points.len(), backends * (2 + 2) * 2);
         for p in &points {
             assert!(
                 p.value.is_finite() && p.value > 0.0,
@@ -191,7 +192,7 @@ mod tests {
                 p.value
             );
         }
-        for backend in ["primal-dual", "simplex"] {
+        for backend in ["primal-dual", "simplex", "monge"] {
             assert!(points
                 .iter()
                 .any(|p| p.key == format!("scale/jobs-per-sec/n20/{backend}")));

@@ -1,0 +1,104 @@
+//! CI-coverage completeness: a min-cost backend can never again land
+//! without CI coverage.
+//!
+//! The CI workflow runs the whole suite once per backend
+//! (`STRETCH_MINCOST_BACKEND` matrix) and requires one recorded bench row
+//! per backend (baseline-completeness key list).  Both lists live in YAML,
+//! which nothing type-checks — so these tests parse `.github/workflows/
+//! ci.yml` and cross-check it against the single source of truth in code:
+//! `BackendKind::ALL` (which also drives `SolverConfig`'s parser and the
+//! abort message) and `stretch_experiments::engine_row_keys()` (which also
+//! drives the perf-drift gate).  Adding a backend without touching CI now
+//! fails here, in every cell of the existing matrix.
+
+use stretch_experiments::engine_row_keys;
+use stretch_flow::BackendKind;
+
+fn ci_yml() -> String {
+    let path =
+        std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../.github/workflows/ci.yml");
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()))
+}
+
+/// The `backend: [...]` matrix line, parsed into its cell names.
+fn matrix_backends(yml: &str) -> Vec<String> {
+    let line = yml
+        .lines()
+        .map(str::trim)
+        .find(|l| l.starts_with("backend:"))
+        .expect("ci.yml has a `backend:` matrix line");
+    let inner = line
+        .split_once('[')
+        .and_then(|(_, rest)| rest.split_once(']'))
+        .map(|(inner, _)| inner)
+        .expect("`backend:` line is a flow list");
+    inner
+        .split(',')
+        .map(|cell| {
+            cell.trim()
+                .trim_matches(|c| c == '"' || c == '\'')
+                .to_string()
+        })
+        .filter(|cell| !cell.is_empty())
+        .collect()
+}
+
+#[test]
+fn every_backend_has_a_ci_matrix_cell() {
+    let yml = ci_yml();
+    let cells = matrix_backends(&yml);
+    for kind in BackendKind::ALL {
+        assert!(
+            cells.iter().any(|c| c == kind.name()),
+            "backend `{}` is parseable (STRETCH_MINCOST_BACKEND accepts it) but \
+             .github/workflows/ci.yml has no matrix cell for it; cells: {cells:?}",
+            kind.name()
+        );
+    }
+}
+
+#[test]
+fn every_ci_matrix_cell_names_a_parseable_backend() {
+    // The reverse direction: a stale cell (renamed or removed backend)
+    // would make that whole CI column run under an aborting configuration.
+    for cell in matrix_backends(&ci_yml()) {
+        assert!(
+            BackendKind::parse(&cell).is_some(),
+            "ci.yml matrix cell `{cell}` is not a recognised STRETCH_MINCOST_BACKEND value"
+        );
+    }
+}
+
+#[test]
+fn baseline_completeness_list_covers_every_engine_row() {
+    // The bench-smoke job greps one key per engine row; that list must stay
+    // in lockstep with the rows the bench records and the drift gate
+    // re-measures (`engine_row_keys` — itself derived from
+    // `BackendKind::ALL`).
+    let yml = ci_yml();
+    for key in engine_row_keys() {
+        assert!(
+            yml.contains(&format!("\"{key}\"")),
+            "ci.yml baseline-completeness step is missing \"{key}\""
+        );
+    }
+}
+
+#[test]
+fn recorded_baseline_carries_every_engine_row() {
+    // And the checked-in trajectory itself must already have the rows —
+    // the in-repo version of the CI grep, so a missing re-record fails
+    // locally too.
+    let path =
+        std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_baseline.json");
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    let entries = stretch_experiments::baseline::parse(&text);
+    for key in engine_row_keys() {
+        assert!(
+            entries.iter().any(|(k, _)| *k == key),
+            "BENCH_baseline.json is missing \"{key}\"; re-record with \
+             `cargo bench -p stretch-bench --bench scheduler_overhead`"
+        );
+    }
+}

@@ -15,6 +15,12 @@
 //!   the previous solve's basis: in place when the arc topology repeats, or
 //!   through a [`crate::remap::BasisRemap`] when the shape changed but the
 //!   caller supplied stable node keys via [`MinCostBackend::warm_hint`].
+//! * [`crate::monge::MongeBackend`] — a structural detector plus greedy
+//!   north-west-corner kernel for product-form (Monge) transportation
+//!   costs, the exact shape of the System-(2) instances: certified
+//!   instances are solved with zero pivoting and verified through the
+//!   simplex's canonicalising tail (bit-identical to a `simplex` solve by
+//!   construction); uncertified ones fall through to the simplex.
 //!
 //! # Contract
 //!
@@ -134,17 +140,27 @@ pub enum BackendKind {
     PrimalDual,
     /// The network simplex ([`crate::simplex::NetworkSimplexBackend`]).
     NetworkSimplex,
+    /// The Monge/greedy product-form backend
+    /// ([`crate::monge::MongeBackend`]): certified instances are solved by
+    /// a pivot-free greedy sweep, everything else falls through to the
+    /// simplex.
+    Monge,
 }
 
 impl BackendKind {
     /// Every available backend, reference first.
-    pub const ALL: [BackendKind; 2] = [BackendKind::PrimalDual, BackendKind::NetworkSimplex];
+    pub const ALL: [BackendKind; 3] = [
+        BackendKind::PrimalDual,
+        BackendKind::NetworkSimplex,
+        BackendKind::Monge,
+    ];
 
     /// The stable name used by configuration, CI and bench rows.
     pub fn name(&self) -> &'static str {
         match self {
             BackendKind::PrimalDual => "primal-dual",
             BackendKind::NetworkSimplex => "simplex",
+            BackendKind::Monge => "monge",
         }
     }
 
@@ -155,6 +171,7 @@ impl BackendKind {
             "simplex" | "network-simplex" | "networksimplex" | "ns" => {
                 Some(BackendKind::NetworkSimplex)
             }
+            "monge" | "greedy" | "product-form" | "productform" => Some(BackendKind::Monge),
             _ => None,
         }
     }
@@ -178,6 +195,7 @@ impl BackendKind {
             BackendKind::NetworkSimplex => Box::new(
                 crate::simplex::NetworkSimplexBackend::with_warm_start(warm_start),
             ),
+            BackendKind::Monge => Box::new(crate::monge::MongeBackend::with_warm_start(warm_start)),
         }
     }
 }
