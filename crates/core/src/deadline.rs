@@ -288,7 +288,7 @@ impl DeadlineProblem {
                 }
             }
         }
-        ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        ms.sort_by(|a, b| a.total_cmp(b));
         ms.dedup_by(|a, b| (*a - *b).abs() <= MILESTONE_DEDUP_RTOL * b.abs().max(1.0));
         ms
     }
@@ -301,7 +301,7 @@ impl DeadlineProblem {
             times.push(j.ready.max(self.now));
             times.push(j.deadline(stretch).max(self.now));
         }
-        times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        times.sort_by(|a, b| a.total_cmp(b));
         times.dedup_by(|a, b| (*a - *b).abs() <= EPOCHAL_DEDUP_RTOL * b.abs().max(1.0));
         times
     }
@@ -389,7 +389,7 @@ impl DeadlineProblem {
     /// needed.  Returns `None` when some job has no eligible site.
     pub fn serialized_upper_bound(&self) -> Option<f64> {
         let mut order: Vec<&PendingJob> = self.jobs.iter().collect();
-        order.sort_by(|a, b| a.ready.partial_cmp(&b.ready).unwrap());
+        order.sort_by(|a, b| a.ready.total_cmp(&b.ready));
         let mut clock = self.now;
         let mut bound = 0.0f64;
         for job in order {

@@ -136,7 +136,7 @@ pub fn run_online_with(
 
     // Distinct release dates = the decision points of the on-line algorithm.
     let mut events: Vec<f64> = instance.jobs.iter().map(|j| j.release).collect();
-    events.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    events.sort_by(|a, b| a.total_cmp(b));
     events.dedup_by(|a, b| (*a - *b).abs() <= 1e-12);
 
     for (e, &now) in events.iter().enumerate() {

@@ -67,7 +67,7 @@ pub fn capture_system2_events_with(
     let sites = SiteView::of(instance);
     let mut remaining: Vec<f64> = instance.jobs.iter().map(|j| j.work).collect();
     let mut events: Vec<f64> = instance.jobs.iter().map(|j| j.release).collect();
-    events.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    events.sort_by(|a, b| a.total_cmp(b));
     events.dedup_by(|a, b| (*a - *b).abs() <= 1e-12);
     let mut solver = ParametricDeadlineSolver::with_config(config);
     let mut captured = Vec::new();

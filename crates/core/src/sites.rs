@@ -8,6 +8,7 @@
 //! magnitude without changing any completion time, so the off-line and
 //! on-line LP-based schedulers all use this view.
 
+use stretch_platform::Platform;
 use stretch_workload::Instance;
 
 /// One site: a cluster collapsed into a single equivalent processor.
@@ -38,7 +39,13 @@ pub struct SiteView {
 impl SiteView {
     /// Builds the site view of an instance.
     pub fn of(instance: &Instance) -> Self {
-        let platform = &instance.platform;
+        Self::of_platform(&instance.platform)
+    }
+
+    /// Builds the site view of a platform directly — the entry point for
+    /// long-lived services (`stretch-serve`) that hold a platform but no
+    /// batch [`Instance`].
+    pub fn of_platform(platform: &Platform) -> Self {
         let sites = platform
             .clusters
             .iter()

@@ -1,0 +1,226 @@
+//! Drives the reference stream through the crash-safe `stretch-serve`
+//! service, and provides the two halves of the kill-and-recover harness.
+//!
+//! Modes, selected by `STRETCH_SERVE_MODE` (malformed values abort loudly,
+//! like every other `STRETCH_*` knob):
+//!
+//! * unset or `verify` — feed the reference stream (plus deliberately
+//!   malformed submissions) through the event bus, drain, and check the
+//!   completions are bit-identical to `run_online_with` on the same
+//!   instance; prints the live counters and the dead-letter reasons.
+//! * `crash` — create a service on `STRETCH_SERVE_JOURNAL`, touch
+//!   `STRETCH_SERVE_MARKER`, then submit the stream with a small delay per
+//!   submission (`STRETCH_SERVE_SUBMIT_DELAY_US`, default 2000) and hang
+//!   forever: the harness SIGKILLs the process at an arbitrary instant
+//!   mid-stream, possibly mid-write.
+//! * `resume` — recover from `STRETCH_SERVE_JOURNAL`, submit whatever part
+//!   of the stream the journal does not already hold, drain, and check the
+//!   final state is bit-identical to an uninterrupted in-process run.
+//!
+//! The solver cell (backend × warm start) comes from the usual
+//! `STRETCH_MINCOST_BACKEND` / `STRETCH_WARM_START` variables via
+//! [`SolverConfig::from_env`].
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use stretch_core::online::run_online_with;
+use stretch_core::refstream::reference_instance;
+use stretch_core::{OnlineVariant, SolverConfig};
+use stretch_serve::{spawn_service, ServeConfig, StretchServe, Submission};
+use stretch_workload::Instance;
+
+/// The reference stream every mode replays: the §5.3 bench instance.
+fn reference_stream() -> Instance {
+    reference_instance(3, 3, 20, 3)
+}
+
+fn env_var(name: &str) -> Option<String> {
+    match std::env::var(name) {
+        Err(std::env::VarError::NotPresent) => None,
+        Err(std::env::VarError::NotUnicode(_)) => {
+            panic!("{name} must be valid unicode, got undecodable bytes")
+        }
+        Ok(raw) => Some(raw),
+    }
+}
+
+fn env_path(name: &str) -> Option<PathBuf> {
+    env_var(name).map(PathBuf::from)
+}
+
+fn required_path(name: &str, mode: &str) -> PathBuf {
+    env_path(name).unwrap_or_else(|| panic!("STRETCH_SERVE_MODE={mode} requires {name}"))
+}
+
+fn submit_delay() -> Duration {
+    match env_var("STRETCH_SERVE_SUBMIT_DELAY_US") {
+        None => Duration::from_micros(2000),
+        Some(raw) => match raw.trim().parse::<u64>() {
+            Ok(us) => Duration::from_micros(us),
+            Err(_) => panic!("STRETCH_SERVE_SUBMIT_DELAY_US must be an integer, got `{raw}`"),
+        },
+    }
+}
+
+fn config() -> ServeConfig {
+    ServeConfig::with_solver(SolverConfig::from_env())
+}
+
+fn bits(xs: &[f64]) -> Vec<u64> {
+    xs.iter().map(|x| x.to_bits()).collect()
+}
+
+/// Uninterrupted in-process run of the reference stream — the ground truth
+/// the resume mode compares against.
+fn run_uninterrupted(instance: &Instance, config: ServeConfig) -> StretchServe {
+    let mut path = std::env::temp_dir();
+    path.push(format!("repro-serve-uninterrupted-{}", std::process::id()));
+    let mut serve = StretchServe::create(&path, instance.platform.clone(), config)
+        .expect("create uninterrupted journal");
+    for job in &instance.jobs {
+        let outcome = serve
+            .submit(Submission::new(job.release, job.work, job.databank))
+            .expect("journal append");
+        assert!(outcome.is_accepted(), "reference job rejected: {outcome:?}");
+    }
+    serve.finish().expect("drain uninterrupted run");
+    let _ = std::fs::remove_file(&path);
+    serve
+}
+
+fn verify_mode() {
+    let instance = reference_stream();
+    let solver = SolverConfig::from_env();
+    let expected = run_online_with(&instance, OnlineVariant::Online, solver)
+        .expect("run_online on the reference instance");
+
+    let journal = env_path("STRETCH_SERVE_JOURNAL").unwrap_or_else(|| {
+        let mut p = std::env::temp_dir();
+        p.push(format!("repro-serve-verify-{}", std::process::id()));
+        p
+    });
+    let serve = StretchServe::create(&journal, instance.platform.clone(), config())
+        .expect("create journal");
+    let (handle, consumer) = spawn_service(serve, 64);
+    for (i, job) in instance.jobs.iter().enumerate() {
+        // Interleave garbage with the real stream: it must all dead-letter
+        // without disturbing the schedule.
+        if i % 5 == 0 {
+            handle
+                .submit(Submission::new(f64::NAN, job.work, job.databank))
+                .expect("bus send");
+            handle
+                .submit(Submission::new(job.release, -1.0, job.databank))
+                .expect("bus send");
+            handle
+                .submit(Submission::new(job.release, job.work, usize::MAX))
+                .expect("bus send");
+        }
+        handle
+            .submit(Submission::new(job.release, job.work, job.databank))
+            .expect("bus send");
+    }
+    handle.finish().expect("bus finish");
+    let serve = consumer
+        .join()
+        .expect("consumer thread")
+        .expect("serve loop");
+
+    let metrics = serve.metrics();
+    println!("repro_serve verify: {}", metrics.render(handle.depth()));
+    for letter in serve.dlq().letters().take(6) {
+        println!("  dead-letter: {}", letter.reason);
+    }
+    assert_eq!(metrics.accepted as usize, instance.jobs.len());
+    assert_eq!(
+        metrics.dead_lettered as usize,
+        3 * instance.jobs.len().div_ceil(5)
+    );
+    assert_eq!(
+        bits(serve.completions()),
+        bits(&expected),
+        "service completions diverged from run_online"
+    );
+    let _ = std::fs::remove_file(&journal);
+    println!("repro_serve: OK (backend {})", solver.backend.name());
+}
+
+fn crash_mode() {
+    let instance = reference_stream();
+    let journal = required_path("STRETCH_SERVE_JOURNAL", "crash");
+    let marker = required_path("STRETCH_SERVE_MARKER", "crash");
+    let delay = submit_delay();
+    let mut serve = StretchServe::create(&journal, instance.platform.clone(), config())
+        .expect("create journal");
+    std::fs::write(&marker, b"serving\n").expect("write marker");
+    for job in &instance.jobs {
+        serve
+            .submit(Submission::new(job.release, job.work, job.databank))
+            .expect("journal append");
+        std::thread::sleep(delay);
+    }
+    // Stream fully submitted but never drained: wait for the SIGKILL.
+    println!("repro_serve crash mode: stream submitted, awaiting kill");
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}
+
+fn resume_mode() {
+    let instance = reference_stream();
+    let journal = required_path("STRETCH_SERVE_JOURNAL", "resume");
+    let (mut serve, report) = StretchServe::recover(&journal, instance.platform.clone(), config())
+        .expect("recover from journal");
+    println!(
+        "repro_serve resume: replayed {} records ({} submissions, {} decisions), torn tail: {}",
+        report.records,
+        report.submissions,
+        report.decisions,
+        report.torn.map_or_else(
+            || "none".to_string(),
+            |r| format!("{r} ({} bytes)", report.truncated_bytes)
+        ),
+    );
+    let done = usize::try_from(report.submissions).expect("submission count");
+    assert!(
+        done <= instance.jobs.len(),
+        "journal holds {done} submissions but the stream has {}",
+        instance.jobs.len()
+    );
+    for job in &instance.jobs[done..] {
+        let outcome = serve
+            .submit(Submission::new(job.release, job.work, job.databank))
+            .expect("journal append");
+        assert!(outcome.is_accepted(), "continuation rejected: {outcome:?}");
+    }
+    serve.finish().expect("drain recovered run");
+
+    let reference = run_uninterrupted(&instance, config());
+    assert_eq!(
+        serve.state_digest(),
+        reference.state_digest(),
+        "recovered state digest diverged from the uninterrupted run"
+    );
+    assert_eq!(
+        bits(serve.completions()),
+        bits(reference.completions()),
+        "recovered completions diverged from the uninterrupted run"
+    );
+    println!(
+        "repro_serve: RECOVERED OK (digest {:016x}, {} jobs)",
+        serve.state_digest(),
+        serve.completions().len()
+    );
+}
+
+fn main() {
+    match env_var("STRETCH_SERVE_MODE").as_deref() {
+        None | Some("verify") => verify_mode(),
+        Some("crash") => crash_mode(),
+        Some("resume") => resume_mode(),
+        Some(other) => {
+            panic!("STRETCH_SERVE_MODE must be verify, crash or resume, got `{other}`")
+        }
+    }
+}

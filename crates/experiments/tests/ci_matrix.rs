@@ -70,6 +70,30 @@ fn every_ci_matrix_cell_names_a_parseable_backend() {
 }
 
 #[test]
+fn serve_smoke_leg_is_pinned() {
+    // The crash-safety leg: reference stream through `stretch-serve`,
+    // SIGKILL mid-stream, journal-replay recovery, diff against the
+    // uninterrupted run.  Dropping the job (or any of its three steps)
+    // would silently un-test the serve layer's recovery contract, so the
+    // job name and each command are pinned here.
+    let yml = ci_yml();
+    assert!(
+        yml.contains("serve-smoke:"),
+        "ci.yml lost the `serve-smoke` job"
+    );
+    for needle in [
+        "--bin repro_serve",
+        "--test serve_recover",
+        "cargo test -q -p stretch-serve",
+    ] {
+        assert!(
+            yml.contains(needle),
+            "ci.yml serve-smoke job is missing the `{needle}` step"
+        );
+    }
+}
+
+#[test]
 fn baseline_completeness_list_covers_every_engine_row() {
     // The bench-smoke job greps one key per engine row; that list must stay
     // in lockstep with the rows the bench records and the drift gate

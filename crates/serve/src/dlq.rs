@@ -1,0 +1,122 @@
+//! Bounded dead-letter queue.
+//!
+//! Rejected submissions are data, not crashes: each one is parked here with
+//! its typed [`RejectReason`] so operators can inspect (and possibly replay)
+//! them.  The queue is bounded — under a flood of garbage the *oldest*
+//! letters are dropped and counted, so the DLQ itself can never exhaust
+//! memory.
+
+use std::collections::VecDeque;
+
+use crate::event::{RejectReason, Submission};
+
+/// One dead letter: the rejected submission plus why it was rejected.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DeadLetter {
+    /// The submission as received.
+    pub submission: Submission,
+    /// Why it was rejected.
+    pub reason: RejectReason,
+    /// Wall-clock stamp (microseconds since epoch) at rejection time.
+    /// Debugging only, like every wall-clock in this crate.
+    pub wall_micros: u64,
+}
+
+/// Bounded FIFO of dead letters.
+#[derive(Clone, Debug)]
+pub struct DeadLetterQueue {
+    letters: VecDeque<DeadLetter>,
+    capacity: usize,
+    total: u64,
+    dropped: u64,
+}
+
+impl DeadLetterQueue {
+    /// A queue retaining at most `capacity` letters (capacity 0 counts but
+    /// retains nothing).
+    pub fn new(capacity: usize) -> Self {
+        DeadLetterQueue {
+            letters: VecDeque::with_capacity(capacity.min(1024)),
+            capacity,
+            total: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Parks a rejected submission, evicting the oldest letter when full.
+    pub fn push(&mut self, letter: DeadLetter) {
+        self.total += 1;
+        if self.capacity == 0 {
+            self.dropped += 1;
+            return;
+        }
+        if self.letters.len() == self.capacity {
+            self.letters.pop_front();
+            self.dropped += 1;
+        }
+        self.letters.push_back(letter);
+    }
+
+    /// Letters currently retained, oldest first.
+    pub fn letters(&self) -> impl Iterator<Item = &DeadLetter> {
+        self.letters.iter()
+    }
+
+    /// Number of letters currently retained.
+    pub fn len(&self) -> usize {
+        self.letters.len()
+    }
+
+    /// `true` when no letter is retained.
+    pub fn is_empty(&self) -> bool {
+        self.letters.is_empty()
+    }
+
+    /// Total letters ever pushed (retained + dropped).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Letters evicted because the queue was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn letter(databank: usize) -> DeadLetter {
+        DeadLetter {
+            submission: Submission::new(0.0, 10.0, databank),
+            reason: RejectReason::UnknownDatabank {
+                databank,
+                num_databanks: 2,
+            },
+            wall_micros: 0,
+        }
+    }
+
+    #[test]
+    fn bounded_queue_evicts_oldest_and_counts_drops() {
+        let mut dlq = DeadLetterQueue::new(2);
+        for d in 0..5 {
+            dlq.push(letter(d + 10));
+        }
+        assert_eq!(dlq.len(), 2);
+        assert_eq!(dlq.total(), 5);
+        assert_eq!(dlq.dropped(), 3);
+        let kept: Vec<usize> = dlq.letters().map(|l| l.submission.databank).collect();
+        assert_eq!(kept, vec![13, 14]);
+    }
+
+    #[test]
+    fn zero_capacity_counts_without_retaining() {
+        let mut dlq = DeadLetterQueue::new(0);
+        dlq.push(letter(3));
+        assert!(dlq.is_empty());
+        assert_eq!(dlq.total(), 1);
+        assert_eq!(dlq.dropped(), 1);
+    }
+}

@@ -1,0 +1,458 @@
+//! The durable event journal: an append-only, length-prefixed and
+//! checksummed record log, written *before* the scheduler consumes each
+//! event (write-ahead).
+//!
+//! File layout:
+//!
+//! ```text
+//! [ 8-byte magic "STRJRN01" ]
+//! [ u32 payload_len | u32 crc32(payload) | payload ]*
+//! ```
+//!
+//! All integers little-endian.  The journal is the *only* source of truth:
+//! scheduler state is a pure function of the record sequence, so recovery is
+//! replay.  A crash can leave a torn tail — a partial header, a partial
+//! payload, or a payload whose checksum no longer matches; [`load`] stops at
+//! the first such record and reports where the valid prefix ends, and
+//! [`JournalWriter::append_at`] truncates the file there before appending
+//! again.  Torn tails are *data loss of at most the in-flight record*, never
+//! corruption of the prefix.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use crate::event::{decode_payload, encode_payload, JournalRecord, PayloadError};
+
+/// Magic bytes opening every journal file (format version 01).
+pub const MAGIC: [u8; 8] = *b"STRJRN01";
+
+/// Frame header size: `u32` length + `u32` checksum.
+pub const RECORD_HEADER_LEN: usize = 8;
+
+/// Sanity cap on a single payload: anything larger is torn/garbage, not a
+/// record this crate ever writes.
+pub const MAX_PAYLOAD_LEN: u32 = 1 << 20;
+
+/// CRC-32 (IEEE 802.3, reflected, init/xorout `0xFFFF_FFFF`) — the ubiquitous
+/// `crc32` of zlib/PNG.  Bitwise implementation: journal records are tens of
+/// bytes, a lookup table would be noise.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc: u32 = 0xFFFF_FFFF;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// I/O or format failure of the journal itself (as opposed to a torn tail,
+/// which is an expected crash artefact reported via [`TailStatus`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JournalError {
+    /// An OS-level I/O operation failed.
+    Io {
+        /// What the journal was doing (`"open"`, `"append"`, …).
+        op: &'static str,
+        /// The journal path.
+        path: PathBuf,
+        /// The rendered OS error.
+        message: String,
+    },
+    /// The file does not start with [`MAGIC`]: it is not a journal (or the
+    /// creating process died before the header hit the disk).  Refusing to
+    /// guess beats replaying garbage.
+    BadMagic {
+        /// The offending path.
+        path: PathBuf,
+    },
+}
+
+impl std::fmt::Display for JournalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JournalError::Io { op, path, message } => {
+                write!(f, "journal {op} failed on {}: {message}", path.display())
+            }
+            JournalError::BadMagic { path } => {
+                write!(f, "{} is not a journal (bad magic)", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+fn io_err(op: &'static str, path: &Path, e: std::io::Error) -> JournalError {
+    JournalError::Io {
+        op,
+        path: path.to_path_buf(),
+        message: e.to_string(),
+    }
+}
+
+/// Why the tail of a journal was discarded.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TornReason {
+    /// Fewer than [`RECORD_HEADER_LEN`] bytes remained.
+    TruncatedHeader,
+    /// The length prefix exceeds [`MAX_PAYLOAD_LEN`].
+    OversizedLength,
+    /// The payload is shorter than its length prefix.
+    TruncatedPayload,
+    /// The payload checksum does not match.
+    ChecksumMismatch,
+    /// The checksum matched but the payload does not decode (only reachable
+    /// through a checksum collision on corrupted bytes).
+    MalformedPayload(PayloadError),
+}
+
+impl std::fmt::Display for TornReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TornReason::TruncatedHeader => write!(f, "truncated record header"),
+            TornReason::OversizedLength => write!(f, "oversized record length"),
+            TornReason::TruncatedPayload => write!(f, "truncated record payload"),
+            TornReason::ChecksumMismatch => write!(f, "record checksum mismatch"),
+            TornReason::MalformedPayload(e) => write!(f, "malformed record payload: {e}"),
+        }
+    }
+}
+
+/// State of the journal tail after [`load`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TailStatus {
+    /// Every byte of the file parsed as a valid record.
+    Clean,
+    /// The file ends in a torn record starting at `valid_bytes`.
+    Torn {
+        /// Length of the valid prefix (magic + whole records); the file
+        /// should be truncated here before appending.
+        valid_bytes: u64,
+        /// What was wrong with the first invalid record.
+        reason: TornReason,
+    },
+}
+
+impl TailStatus {
+    /// Length of the valid prefix in bytes (`file length` when clean is
+    /// resolved by the caller, so clean returns `None`).
+    pub fn torn_at(&self) -> Option<u64> {
+        match self {
+            TailStatus::Clean => None,
+            TailStatus::Torn { valid_bytes, .. } => Some(*valid_bytes),
+        }
+    }
+}
+
+/// Parses journal bytes (already read from disk) into records plus the tail
+/// status.  Pure function of the bytes — the testable core of [`load`].
+pub fn parse(bytes: &[u8], path: &Path) -> Result<(Vec<JournalRecord>, TailStatus), JournalError> {
+    if bytes.len() < MAGIC.len() || bytes[..MAGIC.len()] != MAGIC {
+        return Err(JournalError::BadMagic {
+            path: path.to_path_buf(),
+        });
+    }
+    let mut records = Vec::new();
+    let mut offset = MAGIC.len();
+    let torn = |offset: usize, reason: TornReason| TailStatus::Torn {
+        valid_bytes: offset as u64,
+        reason,
+    };
+    loop {
+        let remaining = bytes.len() - offset;
+        if remaining == 0 {
+            return Ok((records, TailStatus::Clean));
+        }
+        if remaining < RECORD_HEADER_LEN {
+            return Ok((records, torn(offset, TornReason::TruncatedHeader)));
+        }
+        let len = u32::from_le_bytes(bytes[offset..offset + 4].try_into().unwrap());
+        let crc = u32::from_le_bytes(bytes[offset + 4..offset + 8].try_into().unwrap());
+        if len > MAX_PAYLOAD_LEN {
+            return Ok((records, torn(offset, TornReason::OversizedLength)));
+        }
+        let len = len as usize;
+        if remaining - RECORD_HEADER_LEN < len {
+            return Ok((records, torn(offset, TornReason::TruncatedPayload)));
+        }
+        let payload = &bytes[offset + RECORD_HEADER_LEN..offset + RECORD_HEADER_LEN + len];
+        if crc32(payload) != crc {
+            return Ok((records, torn(offset, TornReason::ChecksumMismatch)));
+        }
+        match decode_payload(payload) {
+            Ok(record) => records.push(record),
+            Err(e) => return Ok((records, torn(offset, TornReason::MalformedPayload(e)))),
+        }
+        offset += RECORD_HEADER_LEN + len;
+    }
+}
+
+/// Reads a journal file and parses its valid prefix.
+///
+/// A torn tail is *not* an error: the records of the valid prefix are
+/// returned together with [`TailStatus::Torn`] telling the caller where to
+/// truncate.  Errors are reserved for I/O failures and non-journal files.
+pub fn load(path: &Path) -> Result<(Vec<JournalRecord>, TailStatus), JournalError> {
+    let mut file = File::open(path).map_err(|e| io_err("open", path, e))?;
+    let mut bytes = Vec::new();
+    file.read_to_end(&mut bytes)
+        .map_err(|e| io_err("read", path, e))?;
+    parse(&bytes, path)
+}
+
+/// Append handle on a journal file.
+///
+/// Every append writes the full frame with a single `write_all` and then
+/// `sync_data`s, so the record is durable before the scheduler consumes the
+/// event (the write-ahead contract).
+#[derive(Debug)]
+pub struct JournalWriter {
+    file: File,
+    path: PathBuf,
+}
+
+impl JournalWriter {
+    /// Creates (or truncates) a fresh journal at `path` and writes the magic
+    /// header durably.
+    pub fn create(path: &Path) -> Result<Self, JournalError> {
+        let mut file = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)
+            .map_err(|e| io_err("create", path, e))?;
+        file.write_all(&MAGIC)
+            .map_err(|e| io_err("write-magic", path, e))?;
+        file.sync_data().map_err(|e| io_err("sync", path, e))?;
+        Ok(JournalWriter {
+            file,
+            path: path.to_path_buf(),
+        })
+    }
+
+    /// Reopens an existing journal for appending, first truncating it to
+    /// `valid_bytes` (the prefix [`load`] validated) so a torn tail can never
+    /// shadow future appends.
+    pub fn append_at(path: &Path, valid_bytes: u64) -> Result<Self, JournalError> {
+        let mut file = OpenOptions::new()
+            .write(true)
+            .open(path)
+            .map_err(|e| io_err("open", path, e))?;
+        file.set_len(valid_bytes)
+            .map_err(|e| io_err("truncate", path, e))?;
+        file.sync_data().map_err(|e| io_err("sync", path, e))?;
+        file.seek(SeekFrom::End(0))
+            .map_err(|e| io_err("seek", path, e))?;
+        Ok(JournalWriter {
+            file,
+            path: path.to_path_buf(),
+        })
+    }
+
+    /// Appends one record durably (frame write + `sync_data`).
+    pub fn append(&mut self, record: &JournalRecord) -> Result<(), JournalError> {
+        let payload = encode_payload(record);
+        let mut frame = Vec::with_capacity(RECORD_HEADER_LEN + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        self.file
+            .write_all(&frame)
+            .map_err(|e| io_err("append", &self.path, e))?;
+        self.file
+            .sync_data()
+            .map_err(|e| io_err("sync", &self.path, e))
+    }
+
+    /// Forces an explicit flush (appends already sync; this is for
+    /// close-time belt and braces).
+    pub fn sync(&self) -> Result<(), JournalError> {
+        self.file
+            .sync_data()
+            .map_err(|e| io_err("sync", &self.path, e))
+    }
+
+    /// The journal path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// Current wall clock in microseconds since the Unix epoch (0 if the clock
+/// reads before the epoch).  Stamped into records for debugging; replay
+/// never reads it.
+pub fn wall_clock_micros() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_micros() as u64)
+        .unwrap_or(0)
+}
+
+/// Copies `src` to `dst` with every wall-clock stamp zeroed — the tool behind
+/// the "timestamps never influence replay" pin.  Fails on a torn source (the
+/// caller should recover first).
+pub fn rewrite_zeroed(src: &Path, dst: &Path) -> Result<usize, JournalError> {
+    let (records, tail) = load(src)?;
+    if tail != TailStatus::Clean {
+        return Err(JournalError::Io {
+            op: "rewrite-zeroed",
+            path: src.to_path_buf(),
+            message: "source journal has a torn tail; recover it first".into(),
+        });
+    }
+    let mut writer = JournalWriter::create(dst)?;
+    for record in &records {
+        writer.append(&JournalRecord {
+            wall_micros: 0,
+            event: record.event,
+        })?;
+    }
+    Ok(records.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{JournalEvent, SolveTier};
+
+    fn tmp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!(
+            "stretch-serve-journal-{name}-{}",
+            std::process::id()
+        ));
+        p
+    }
+
+    fn sample_records() -> Vec<JournalRecord> {
+        vec![
+            JournalRecord {
+                wall_micros: 11,
+                event: JournalEvent::Submitted {
+                    seq: 0,
+                    release: 0.0,
+                    work: 120.0,
+                    databank: 0,
+                },
+            },
+            JournalRecord {
+                wall_micros: 22,
+                event: JournalEvent::Decision {
+                    tier: SolveTier::Monge,
+                },
+            },
+            JournalRecord {
+                wall_micros: 33,
+                event: JournalEvent::Submitted {
+                    seq: 1,
+                    release: 2.5,
+                    work: 60.0,
+                    databank: 1,
+                },
+            },
+        ]
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard zlib/PNG check values.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn append_then_load_round_trips() {
+        let path = tmp("roundtrip");
+        let mut w = JournalWriter::create(&path).unwrap();
+        for r in sample_records() {
+            w.append(&r).unwrap();
+        }
+        let (records, tail) = load(&path).unwrap();
+        assert_eq!(records, sample_records());
+        assert_eq!(tail, TailStatus::Clean);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn truncation_yields_valid_prefix_and_torn_tail() {
+        let path = tmp("torn");
+        let mut w = JournalWriter::create(&path).unwrap();
+        for r in sample_records() {
+            w.append(&r).unwrap();
+        }
+        let bytes = std::fs::read(&path).unwrap();
+        // Chop mid-way through the last record's payload.
+        let cut = bytes.len() - 5;
+        std::fs::write(&path, &bytes[..cut]).unwrap();
+        let (records, tail) = load(&path).unwrap();
+        assert_eq!(records, sample_records()[..2]);
+        match tail {
+            TailStatus::Torn { valid_bytes, .. } => {
+                // Truncate + append must recover a writable journal.
+                let mut w = JournalWriter::append_at(&path, valid_bytes).unwrap();
+                w.append(&sample_records()[2]).unwrap();
+                let (records, tail) = load(&path).unwrap();
+                assert_eq!(records, sample_records());
+                assert_eq!(tail, TailStatus::Clean);
+            }
+            TailStatus::Clean => panic!("expected torn tail"),
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corrupted_byte_is_a_checksum_mismatch_not_a_panic() {
+        let path = tmp("corrupt");
+        let mut w = JournalWriter::create(&path).unwrap();
+        for r in sample_records() {
+            w.append(&r).unwrap();
+        }
+        let mut bytes = std::fs::read(&path).unwrap();
+        let flip = bytes.len() - 3;
+        bytes[flip] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        let (records, tail) = load(&path).unwrap();
+        assert_eq!(records, sample_records()[..2]);
+        assert!(matches!(
+            tail,
+            TailStatus::Torn {
+                reason: TornReason::ChecksumMismatch,
+                ..
+            }
+        ));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn non_journal_file_is_a_typed_error() {
+        let path = tmp("badmagic");
+        std::fs::write(&path, b"not a journal at all").unwrap();
+        assert!(matches!(load(&path), Err(JournalError::BadMagic { .. })));
+        std::fs::write(&path, b"STR").unwrap();
+        assert!(matches!(load(&path), Err(JournalError::BadMagic { .. })));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn rewrite_zeroed_strips_wall_clock_only() {
+        let src = tmp("zero-src");
+        let dst = tmp("zero-dst");
+        let mut w = JournalWriter::create(&src).unwrap();
+        for r in sample_records() {
+            w.append(&r).unwrap();
+        }
+        assert_eq!(rewrite_zeroed(&src, &dst).unwrap(), 3);
+        let (records, tail) = load(&dst).unwrap();
+        assert_eq!(tail, TailStatus::Clean);
+        for (zeroed, original) in records.iter().zip(sample_records()) {
+            assert_eq!(zeroed.wall_micros, 0);
+            assert_eq!(zeroed.event, original.event);
+        }
+        std::fs::remove_file(&src).unwrap();
+        std::fs::remove_file(&dst).unwrap();
+    }
+}

@@ -1,0 +1,47 @@
+//! # stretch-serve
+//!
+//! A crash-safe streaming front-end for the on-line max-stretch scheduler:
+//! the paper's per-event algorithm (§4.3.2 of Legrand–Su–Vivien, SPAA 2006)
+//! packaged as a long-lived service you can feed forever, kill at any
+//! instant, and recover bit-identically.
+//!
+//! The design follows the execution-journal pattern: an append-only,
+//! length-prefixed and checksummed [`journal`] is the *only* source of
+//! truth, written before the scheduler consumes each event (write-ahead);
+//! scheduler state is a pure function of the record sequence, so crash
+//! recovery is replay ([`StretchServe::recover`]), tolerating torn tails by
+//! truncating at the first bad checksum.  Wall-clock timestamps are stamped
+//! into records for debugging but **never** consulted on replay.
+//!
+//! Around the scheduler sit the robustness layers:
+//!
+//! * **validation + dead-letter queue** ([`dlq`]) — malformed or infeasible
+//!   submissions (NaN work, unknown databank, out-of-order release) are
+//!   parked with a typed [`RejectReason`], never panicking;
+//! * **degradation ladder** ([`service`]) — each decision tries
+//!   monge → simplex → primal-dual with escalating time budgets, falls back
+//!   on failure or timeout, and a circuit breaker sheds to the EDF heuristic
+//!   after consecutive budget busts; the chosen tier is journaled so replay
+//!   reproduces the degradation exactly;
+//! * **live counters** ([`metrics`]) — accept/reject/dead-letter tallies,
+//!   fallbacks, breaker state, queue depth and solve-latency quantiles.
+
+#![deny(missing_docs)]
+
+pub mod bus;
+pub mod dlq;
+pub mod event;
+pub mod journal;
+pub mod metrics;
+pub mod scheduler;
+pub mod service;
+
+pub use bus::{spawn_service, BusHandle, BusMessage, BusSendError};
+pub use dlq::{DeadLetter, DeadLetterQueue};
+pub use event::{
+    validate_submission, JournalEvent, JournalRecord, RejectReason, SolveTier, Submission,
+};
+pub use journal::{JournalError, JournalWriter, TailStatus, TornReason};
+pub use metrics::ServeMetrics;
+pub use scheduler::{AcceptedJob, PreparedDecision, ServeScheduler, SolveFailure};
+pub use service::{RecoverError, RecoveryReport, ServeConfig, StretchServe, SubmitOutcome};

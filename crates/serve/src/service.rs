@@ -1,0 +1,563 @@
+//! The long-lived serve loop: validation → dead-letter queue, write-ahead
+//! journaling, the degradation ladder with retry/backoff and a circuit
+//! breaker, and crash recovery by journal replay.
+//!
+//! ## The write-ahead contract
+//!
+//! Every state transition of the [`ServeScheduler`] is journaled *before* it
+//! is applied:
+//!
+//! * a decision is journaled as [`JournalEvent::Decision`] (the tier the
+//!   ladder settled on) before [`ServeScheduler::install`];
+//! * an accepted submission is journaled as [`JournalEvent::Submitted`]
+//!   before [`ServeScheduler::stage`] — and any decision/advance *caused* by
+//!   the submission (the frontier moving to its release date) happens, and
+//!   is journaled, first, so the journal order is exactly the transition
+//!   order.
+//!
+//! Replay applies the same transitions in the same order, so a recovered
+//! process reaches bit-identical scheduler state.  Timing, fallbacks and
+//! circuit breaking are *live-only policy*: their outcome (which tier
+//! decided) is journaled, the wall clock never is consulted on replay.
+//!
+//! ## The degradation ladder
+//!
+//! A decision tries the solver tiers from the configured backend's rung
+//! downwards (monge → simplex → primal-dual), each rung with an escalating
+//! (`retry_backoff`×) time budget.  A rung that fails (infeasible /
+//! certification failure / injected chaos) or overruns its budget falls
+//! through to the next; the last rung keeps its result even when late
+//! (a late decision beats none).  When every rung fails, or when the circuit
+//! breaker is open after `breaker_threshold` consecutive over-budget
+//! decisions, the EDF shed tier — plain list scheduling by virtual
+//! deadlines, no flow solve — takes the decision instead.
+
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+use stretch_core::{SiteView, SolverConfig};
+use stretch_platform::Platform;
+
+use crate::dlq::{DeadLetter, DeadLetterQueue};
+use crate::event::{
+    validate_submission, JournalEvent, JournalRecord, RejectReason, SolveTier, Submission,
+};
+use crate::journal::{self, JournalError, JournalWriter, TailStatus, TornReason};
+use crate::metrics::ServeMetrics;
+use crate::scheduler::{PreparedDecision, ServeScheduler, SolveFailure, EVENT_TOL};
+
+/// Configuration of the serve loop.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Primary solver configuration: the backend names the *top* rung of the
+    /// degradation ladder, `warm_start` is forwarded to every tier.
+    pub solver: SolverConfig,
+    /// Time budget of the first ladder rung.
+    pub solve_budget: Duration,
+    /// Budget multiplier applied at each fallback rung (retry with backoff).
+    pub retry_backoff: u32,
+    /// Consecutive over-budget decisions that trip the circuit breaker.
+    pub breaker_threshold: u32,
+    /// Decisions shed to EDF while the breaker is open, before it closes
+    /// again.
+    pub breaker_cooldown: u32,
+    /// Dead-letter queue retention.
+    pub dlq_capacity: usize,
+    /// Chaos injection for tests: `(decision_index, tier)` pairs that force
+    /// the given solver rung to fail at the given decision.  Only solver
+    /// rungs are affected (the EDF tier cannot fail).
+    pub chaos_tier_failures: Vec<(u64, SolveTier)>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            solver: SolverConfig::default(),
+            solve_budget: Duration::from_millis(250),
+            retry_backoff: 2,
+            breaker_threshold: 3,
+            breaker_cooldown: 4,
+            dlq_capacity: 1024,
+            chaos_tier_failures: Vec::new(),
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Default config on an explicit solver configuration.
+    pub fn with_solver(solver: SolverConfig) -> Self {
+        ServeConfig {
+            solver,
+            ..Default::default()
+        }
+    }
+
+    /// The solver rungs of the degradation ladder: the suffix of
+    /// monge → simplex → primal-dual starting at the configured backend.
+    /// (The EDF shed tier sits below and is handled separately.)
+    pub fn solve_ladder(&self) -> Vec<SolveTier> {
+        const RUNGS: [SolveTier; 3] = [SolveTier::Monge, SolveTier::Simplex, SolveTier::PrimalDual];
+        let top = SolveTier::of_backend(self.solver.backend);
+        let start = RUNGS.iter().position(|&t| t == top).unwrap_or(0);
+        RUNGS[start..].to_vec()
+    }
+}
+
+/// What [`StretchServe::submit`] did with a submission.  Rejection is normal
+/// flow (the letter is parked in the DLQ), not an error; the `Err` channel
+/// of `submit` is reserved for journal I/O failures.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SubmitOutcome {
+    /// Validated, journaled and staged; carries the assigned job id.
+    Accepted(u64),
+    /// Dead-lettered with this reason.
+    Rejected(RejectReason),
+}
+
+impl SubmitOutcome {
+    /// `true` for [`SubmitOutcome::Accepted`].
+    pub fn is_accepted(&self) -> bool {
+        matches!(self, SubmitOutcome::Accepted(_))
+    }
+}
+
+/// Why recovery failed.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RecoverError {
+    /// The journal file could not be read or is not a journal.
+    Journal(JournalError),
+    /// The journal parsed but its record sequence is semantically impossible
+    /// (bad sequence number, out-of-order releases, a decision that does not
+    /// replay) — checksum-valid garbage or a foreign file.
+    Corrupt {
+        /// Index of the offending record.
+        record: usize,
+        /// What was wrong.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for RecoverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecoverError::Journal(e) => write!(f, "{e}"),
+            RecoverError::Corrupt { record, reason } => {
+                write!(f, "journal record {record} is corrupt: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RecoverError {}
+
+impl From<JournalError> for RecoverError {
+    fn from(e: JournalError) -> Self {
+        RecoverError::Journal(e)
+    }
+}
+
+/// Summary of a successful recovery.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RecoveryReport {
+    /// Records replayed from the valid prefix.
+    pub records: usize,
+    /// Submissions among them.
+    pub submissions: u64,
+    /// Decisions among them.
+    pub decisions: u64,
+    /// Why the tail was torn, when it was.
+    pub torn: Option<TornReason>,
+    /// Bytes of torn tail truncated before reopening for append.
+    pub truncated_bytes: u64,
+}
+
+/// The crash-safe streaming scheduler service.
+pub struct StretchServe {
+    platform: Platform,
+    config: ServeConfig,
+    scheduler: ServeScheduler,
+    journal: JournalWriter,
+    dlq: DeadLetterQueue,
+    metrics: ServeMetrics,
+    /// Next submission sequence number.
+    seq: u64,
+    finished: bool,
+    /// Consecutive over-budget decisions (breaker arming state).
+    breaker_busts: u32,
+    /// Shed decisions left before the breaker closes; `> 0` means open.
+    breaker_open_cooldown: u32,
+}
+
+impl StretchServe {
+    /// Starts a fresh service journaling to `path` (truncates any existing
+    /// file there).
+    pub fn create(
+        path: &Path,
+        platform: Platform,
+        config: ServeConfig,
+    ) -> Result<Self, JournalError> {
+        let journal = JournalWriter::create(path)?;
+        Ok(Self::assemble(platform, config, journal))
+    }
+
+    fn assemble(platform: Platform, config: ServeConfig, journal: JournalWriter) -> Self {
+        let scheduler =
+            ServeScheduler::new(SiteView::of_platform(&platform), config.solver.warm_start);
+        let dlq = DeadLetterQueue::new(config.dlq_capacity);
+        StretchServe {
+            platform,
+            config,
+            scheduler,
+            journal,
+            dlq,
+            metrics: ServeMetrics::new(),
+            seq: 0,
+            finished: false,
+            breaker_busts: 0,
+            breaker_open_cooldown: 0,
+        }
+    }
+
+    /// Recovers a service from an existing journal: parses the valid prefix,
+    /// truncates any torn tail, and replays every record through the
+    /// deterministic scheduler — reaching bit-identical state to the process
+    /// that wrote the journal (pinned by the kill-and-recover tests).
+    ///
+    /// Circuit-breaker arming state is *not* recovered: it is live timing
+    /// policy, and its past effects are already explicit in the journaled
+    /// tiers.
+    pub fn recover(
+        path: &Path,
+        platform: Platform,
+        config: ServeConfig,
+    ) -> Result<(Self, RecoveryReport), RecoverError> {
+        let (records, tail) = journal::load(path)?;
+        let mut scheduler =
+            ServeScheduler::new(SiteView::of_platform(&platform), config.solver.warm_start);
+        let mut metrics = ServeMetrics::new();
+        let mut seq = 0u64;
+        let mut submissions = 0u64;
+        let mut decisions = 0u64;
+        for (idx, record) in records.iter().enumerate() {
+            let corrupt = |reason: String| RecoverError::Corrupt {
+                record: idx,
+                reason,
+            };
+            match record.event {
+                JournalEvent::Submitted {
+                    seq: s,
+                    release,
+                    work,
+                    databank,
+                } => {
+                    if s != seq {
+                        return Err(corrupt(format!("expected sequence {seq}, found {s}")));
+                    }
+                    let databank = usize::try_from(databank)
+                        .map_err(|_| corrupt(format!("databank id {databank} overflows usize")))?;
+                    let submission = Submission::new(release, work, databank);
+                    validate_submission(&submission, &platform)
+                        .map_err(|e| corrupt(format!("journaled submission invalid: {e}")))?;
+                    if scheduler.started() {
+                        let frontier = scheduler.stage_time();
+                        if release < frontier - EVENT_TOL
+                            || (scheduler.has_active() && release <= frontier + EVENT_TOL)
+                        {
+                            return Err(corrupt(format!(
+                                "release {release} behind the replayed frontier {frontier}"
+                            )));
+                        }
+                        if release > frontier + EVENT_TOL {
+                            if scheduler.needs_decision() {
+                                return Err(corrupt(
+                                    "frontier moves with a decision due but no decision record"
+                                        .into(),
+                                ));
+                            }
+                            scheduler.advance(release);
+                        }
+                    }
+                    scheduler.stage(release, work, databank);
+                    seq += 1;
+                    submissions += 1;
+                }
+                JournalEvent::Decision { tier } => {
+                    if !scheduler.needs_decision() {
+                        return Err(corrupt(format!(
+                            "{} decision record but no decision is due",
+                            tier.name()
+                        )));
+                    }
+                    match scheduler.try_solve(tier) {
+                        Ok(prepared) => scheduler.install(prepared),
+                        Err(e) => {
+                            return Err(corrupt(format!(
+                                "journaled {} decision does not replay: {e}",
+                                tier.name()
+                            )))
+                        }
+                    }
+                    decisions += 1;
+                    metrics.decisions += 1;
+                    metrics.decisions_by_tier[tier.code() as usize] += 1;
+                }
+            }
+            metrics.replayed_records += 1;
+        }
+        metrics.submitted = submissions;
+        metrics.accepted = submissions;
+
+        let file_len = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+        let (torn, valid_bytes) = match tail {
+            TailStatus::Clean => (None, file_len),
+            TailStatus::Torn {
+                valid_bytes,
+                reason,
+            } => (Some(reason), valid_bytes),
+        };
+        metrics.torn_bytes_truncated = file_len.saturating_sub(valid_bytes);
+        let journal = JournalWriter::append_at(path, valid_bytes)?;
+
+        let report = RecoveryReport {
+            records: records.len(),
+            submissions,
+            decisions,
+            torn,
+            truncated_bytes: file_len.saturating_sub(valid_bytes),
+        };
+        let dlq = DeadLetterQueue::new(config.dlq_capacity);
+        let serve = StretchServe {
+            platform,
+            config,
+            scheduler,
+            journal,
+            dlq,
+            metrics,
+            seq,
+            finished: false,
+            breaker_busts: 0,
+            breaker_open_cooldown: 0,
+        };
+        Ok((serve, report))
+    }
+
+    fn reject(
+        &mut self,
+        submission: Submission,
+        reason: RejectReason,
+    ) -> Result<SubmitOutcome, JournalError> {
+        self.metrics.dead_lettered += 1;
+        self.dlq.push(DeadLetter {
+            submission,
+            reason,
+            wall_micros: journal::wall_clock_micros(),
+        });
+        Ok(SubmitOutcome::Rejected(reason))
+    }
+
+    /// Offers a submission to the service.
+    ///
+    /// Malformed, infeasible or out-of-order submissions are dead-lettered
+    /// (that is the `Ok(Rejected)` arm — never a panic, never an `Err`);
+    /// `Err` is reserved for journal I/O failures, after which the service
+    /// should be abandoned and recovered from the journal.
+    pub fn submit(&mut self, submission: Submission) -> Result<SubmitOutcome, JournalError> {
+        self.metrics.submitted += 1;
+        if self.finished {
+            return self.reject(submission, RejectReason::Closed);
+        }
+        if let Err(reason) = validate_submission(&submission, &self.platform) {
+            return self.reject(submission, reason);
+        }
+        if self.scheduler.started() {
+            let frontier = self.scheduler.stage_time();
+            // Behind the frontier, or *at* the frontier after its decision
+            // was already taken (only possible right after a recovery whose
+            // journal ended in a decision record): accepting would rewrite
+            // scheduled history.
+            if submission.release < frontier - EVENT_TOL
+                || (self.scheduler.has_active() && submission.release <= frontier + EVENT_TOL)
+            {
+                return self.reject(
+                    submission,
+                    RejectReason::OutOfOrder {
+                        release: submission.release,
+                        frontier,
+                    },
+                );
+            }
+            if submission.release > frontier + EVENT_TOL {
+                // The frontier moves: decide for the jobs pending at the old
+                // frontier (unless an installed decision already covers
+                // them), then execute up to the new event time.
+                if self.scheduler.needs_decision() {
+                    self.decide()?;
+                }
+                self.scheduler.advance(submission.release);
+            }
+        }
+        self.journal.append(&JournalRecord {
+            wall_micros: journal::wall_clock_micros(),
+            event: JournalEvent::Submitted {
+                seq: self.seq,
+                release: submission.release,
+                work: submission.work,
+                databank: submission.databank as u64,
+            },
+        })?;
+        self.seq += 1;
+        let id = self
+            .scheduler
+            .stage(submission.release, submission.work, submission.databank);
+        self.metrics.accepted += 1;
+        Ok(SubmitOutcome::Accepted(id as u64))
+    }
+
+    /// Runs the degradation ladder for the decision due at the frontier,
+    /// journals the winning tier (write-ahead) and installs the decision.
+    fn decide(&mut self) -> Result<(), JournalError> {
+        let decision_index = self.scheduler.decisions();
+        let shedding = self.breaker_open_cooldown > 0;
+        let mut chosen: Option<(PreparedDecision, Duration)> = None;
+        let mut busted = false;
+        if !shedding {
+            let ladder = self.config.solve_ladder();
+            let rungs = ladder.len();
+            let mut budget = self.config.solve_budget;
+            for (i, tier) in ladder.into_iter().enumerate() {
+                if self
+                    .config
+                    .chaos_tier_failures
+                    .contains(&(decision_index, tier))
+                {
+                    self.metrics.fallbacks += 1;
+                    budget = budget.saturating_mul(self.config.retry_backoff.max(1));
+                    continue;
+                }
+                let t0 = Instant::now();
+                match self.scheduler.try_solve(tier) {
+                    // Nothing pending: no decision to take at all.
+                    Err(SolveFailure::NothingPending) => return Ok(()),
+                    Err(_) => self.metrics.fallbacks += 1,
+                    Ok(prepared) => {
+                        let elapsed = t0.elapsed();
+                        if elapsed <= budget || i + 1 == rungs {
+                            // Within budget, or the last rung: a late
+                            // decision beats none, so keep it (but count the
+                            // bust below).
+                            busted = busted || elapsed > budget;
+                            chosen = Some((prepared, elapsed));
+                            break;
+                        }
+                        // Over budget with rungs left: discard and fall
+                        // through (the prepared decision was never
+                        // installed, so state is untouched).
+                        busted = true;
+                        self.metrics.fallbacks += 1;
+                    }
+                }
+                budget = budget.saturating_mul(self.config.retry_backoff.max(1));
+            }
+        }
+        let (prepared, elapsed) = match chosen {
+            Some(c) => c,
+            None => {
+                // Breaker open, or every solver rung failed: shed to EDF,
+                // which cannot fail on pending work.
+                let t0 = Instant::now();
+                match self.scheduler.try_solve(SolveTier::Edf) {
+                    Ok(prepared) => {
+                        if shedding {
+                            self.metrics.shed_decisions += 1;
+                        }
+                        (prepared, t0.elapsed())
+                    }
+                    Err(_) => return Ok(()),
+                }
+            }
+        };
+        // Breaker bookkeeping — live-only policy; replay reproduces its
+        // *effects* from the journaled tiers, never this arithmetic.
+        if busted {
+            self.metrics.budget_busts += 1;
+            self.breaker_busts += 1;
+            if self.breaker_open_cooldown == 0
+                && self.breaker_busts >= self.config.breaker_threshold
+            {
+                self.breaker_open_cooldown = self.config.breaker_cooldown;
+                self.metrics.breaker_opens += 1;
+                self.breaker_busts = 0;
+            }
+        } else if self.breaker_open_cooldown == 0 {
+            self.breaker_busts = 0;
+        }
+        if shedding {
+            self.breaker_open_cooldown -= 1;
+        }
+        self.journal.append(&JournalRecord {
+            wall_micros: journal::wall_clock_micros(),
+            event: JournalEvent::Decision {
+                tier: prepared.tier(),
+            },
+        })?;
+        self.metrics
+            .observe_decision(prepared.tier(), elapsed.as_secs_f64());
+        self.scheduler.install(prepared);
+        Ok(())
+    }
+
+    /// Drains the service: takes the final decision if one is due, executes
+    /// to completion (infinite horizon) and closes the stream.  Idempotent.
+    pub fn finish(&mut self) -> Result<(), JournalError> {
+        if !self.finished {
+            if self.scheduler.needs_decision() {
+                self.decide()?;
+            }
+            self.scheduler.advance(f64::INFINITY);
+            self.journal.sync()?;
+            self.finished = true;
+        }
+        Ok(())
+    }
+
+    /// `true` after [`StretchServe::finish`].
+    pub fn is_finished(&self) -> bool {
+        self.finished
+    }
+
+    /// Completion time per accepted job (`NaN` while unfinished).
+    pub fn completions(&self) -> &[f64] {
+        self.scheduler.completions()
+    }
+
+    /// Digest of the replayed scheduler state (see
+    /// [`ServeScheduler::state_digest`]).
+    pub fn state_digest(&self) -> u64 {
+        self.scheduler.state_digest()
+    }
+
+    /// The underlying scheduler state (read-only).
+    pub fn scheduler(&self) -> &ServeScheduler {
+        &self.scheduler
+    }
+
+    /// Live counters.
+    pub fn metrics(&self) -> &ServeMetrics {
+        &self.metrics
+    }
+
+    /// The dead-letter queue.
+    pub fn dlq(&self) -> &DeadLetterQueue {
+        &self.dlq
+    }
+
+    /// The service configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// The journal path.
+    pub fn journal_path(&self) -> PathBuf {
+        self.journal.path().to_path_buf()
+    }
+}

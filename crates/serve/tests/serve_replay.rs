@@ -1,0 +1,294 @@
+//! Replay-determinism contract of the serve layer.
+//!
+//! * **Differential**: feeding a reference stream through [`StretchServe`]
+//!   produces bit-identical completions to `run_online_with` on the same
+//!   instance — the service is the on-line algorithm, re-packaged, on every
+//!   backend, warm and cold.
+//! * **Zeroed timestamps**: wall-clock fields never influence replay.
+//! * **Degradation**: chaos-injected fallbacks and circuit-breaker shedding
+//!   are journaled as tiers, so a recovered process reproduces the degraded
+//!   schedule bit for bit.
+
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+use stretch_core::online::run_online_with;
+use stretch_core::refstream::reference_instance;
+use stretch_core::{BackendKind, OnlineVariant, SolverConfig};
+use stretch_platform::fixtures::small_platform;
+use stretch_serve::{
+    journal, RejectReason, ServeConfig, SolveTier, StretchServe, Submission, SubmitOutcome,
+};
+use stretch_workload::Instance;
+
+fn tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!(
+        "stretch-serve-replay-{name}-{}",
+        std::process::id()
+    ));
+    p
+}
+
+/// Streams an instance's jobs (already sorted by release) through a fresh
+/// service and drains it.
+fn serve_instance(path: &Path, instance: &Instance, config: ServeConfig) -> StretchServe {
+    let mut serve = StretchServe::create(path, instance.platform.clone(), config).unwrap();
+    for job in &instance.jobs {
+        let outcome = serve
+            .submit(Submission::new(job.release, job.work, job.databank))
+            .unwrap();
+        assert!(outcome.is_accepted(), "rejected: {outcome:?}");
+    }
+    serve.finish().unwrap();
+    serve
+}
+
+fn bits(xs: &[f64]) -> Vec<u64> {
+    xs.iter().map(|x| x.to_bits()).collect()
+}
+
+/// A config whose solve budget a loaded CI machine can never bust, so the
+/// tier-count assertions below see no accidental degradation.
+fn lenient(solver: SolverConfig) -> ServeConfig {
+    let mut config = ServeConfig::with_solver(solver);
+    config.solve_budget = Duration::from_secs(60);
+    config
+}
+
+#[test]
+fn service_matches_run_online_on_every_backend_warm_and_cold() {
+    let instance = reference_instance(3, 3, 20, 3);
+    for backend in BackendKind::ALL {
+        for warm_start in [true, false] {
+            let solver = SolverConfig {
+                backend,
+                warm_start,
+            };
+            let expected = run_online_with(&instance, OnlineVariant::Online, solver).unwrap();
+            let path = tmp(&format!("diff-{}-{warm_start}", backend.name()));
+            let serve = serve_instance(&path, &instance, lenient(solver));
+            assert_eq!(
+                bits(serve.completions()),
+                bits(&expected),
+                "backend {} warm {warm_start}: service diverged from run_online",
+                backend.name()
+            );
+            // Only the primary tier ever decided: no degradation happened.
+            let tiers = serve.metrics().decisions_by_tier;
+            assert_eq!(
+                tiers[SolveTier::of_backend(backend).code() as usize],
+                serve.metrics().decisions
+            );
+            std::fs::remove_file(&path).unwrap();
+        }
+    }
+}
+
+#[test]
+fn zeroed_timestamps_replay_to_identical_state() {
+    let instance = reference_instance(3, 3, 20, 3);
+    let path = tmp("zero-live");
+    let zeroed = tmp("zero-copy");
+    let serve = serve_instance(&path, &instance, ServeConfig::default());
+    let live_digest = serve.state_digest();
+    drop(serve);
+
+    journal::rewrite_zeroed(&path, &zeroed).unwrap();
+    let (mut a, ra) =
+        StretchServe::recover(&path, instance.platform.clone(), ServeConfig::default()).unwrap();
+    let (mut b, rb) =
+        StretchServe::recover(&zeroed, instance.platform.clone(), ServeConfig::default()).unwrap();
+    assert_eq!(ra, rb);
+    assert_eq!(
+        a.state_digest(),
+        b.state_digest(),
+        "wall-clock stamps leaked into replay"
+    );
+    a.finish().unwrap();
+    b.finish().unwrap();
+    assert_eq!(a.state_digest(), b.state_digest());
+    assert_eq!(a.state_digest(), live_digest);
+    assert_eq!(bits(a.completions()), bits(b.completions()));
+    std::fs::remove_file(&path).unwrap();
+    std::fs::remove_file(&zeroed).unwrap();
+}
+
+#[test]
+fn chaos_fallbacks_are_journaled_and_replayed() {
+    let instance = reference_instance(3, 3, 20, 3);
+    // Decision 0: monge fails -> simplex.  Decision 1: monge and simplex
+    // fail -> primal-dual.  Everything else on the primary rung.
+    let mut config = lenient(SolverConfig {
+        backend: BackendKind::Monge,
+        warm_start: true,
+    });
+    config.chaos_tier_failures = vec![
+        (0, SolveTier::Monge),
+        (1, SolveTier::Monge),
+        (1, SolveTier::Simplex),
+    ];
+    let path = tmp("chaos");
+    let mut live = serve_instance(&path, &instance, config.clone());
+    let m = live.metrics().clone();
+    assert!(
+        m.decisions >= 3,
+        "stream too short: {} decisions",
+        m.decisions
+    );
+    assert_eq!(m.decisions_by_tier[SolveTier::Simplex.code() as usize], 1);
+    assert_eq!(
+        m.decisions_by_tier[SolveTier::PrimalDual.code() as usize],
+        1
+    );
+    assert_eq!(
+        m.decisions_by_tier[SolveTier::Monge.code() as usize],
+        m.decisions - 2
+    );
+    assert_eq!(m.fallbacks, 3);
+    live.finish().unwrap();
+
+    // Recovery must reproduce the degraded tiers from the journal alone —
+    // the recovering config carries no chaos.
+    let (mut recovered, report) = StretchServe::recover(
+        &path,
+        instance.platform.clone(),
+        ServeConfig::with_solver(config.solver),
+    )
+    .unwrap();
+    assert_eq!(report.decisions, m.decisions);
+    let rm = recovered.metrics().clone();
+    assert_eq!(rm.decisions_by_tier, m.decisions_by_tier);
+    recovered.finish().unwrap();
+    assert_eq!(recovered.state_digest(), live.state_digest());
+    assert_eq!(bits(recovered.completions()), bits(live.completions()));
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn breaker_sheds_to_edf_and_replays_identically() {
+    let instance = reference_instance(3, 3, 20, 3);
+    // A zero budget busts every solve; after `breaker_threshold` busts the
+    // breaker opens and sheds `breaker_cooldown` decisions to EDF.
+    let config = ServeConfig {
+        solve_budget: Duration::ZERO,
+        breaker_threshold: 2,
+        breaker_cooldown: 3,
+        ..ServeConfig::default()
+    };
+    let path = tmp("breaker");
+    let mut live = serve_instance(&path, &instance, config.clone());
+    let m = live.metrics().clone();
+    assert!(m.budget_busts >= 2, "busts {}", m.budget_busts);
+    assert!(m.breaker_opens >= 1, "breaker never opened");
+    assert!(
+        m.shed_decisions >= config.breaker_cooldown as u64
+            || m.decisions < (config.breaker_threshold + config.breaker_cooldown) as u64,
+        "breaker opened but shed only {} decisions",
+        m.shed_decisions
+    );
+    assert!(m.decisions_by_tier[SolveTier::Edf.code() as usize] >= m.shed_decisions);
+    live.finish().unwrap();
+
+    // The shed EDF decisions are in the journal; recovery (with a sane
+    // budget) replays the identical degraded schedule.
+    let (mut recovered, _) =
+        StretchServe::recover(&path, instance.platform.clone(), ServeConfig::default()).unwrap();
+    assert_eq!(
+        recovered.metrics().decisions_by_tier,
+        m.decisions_by_tier,
+        "replayed tiers diverged from the live degradation"
+    );
+    recovered.finish().unwrap();
+    assert_eq!(recovered.state_digest(), live.state_digest());
+    assert_eq!(bits(recovered.completions()), bits(live.completions()));
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn malformed_and_out_of_order_submissions_are_dead_lettered() {
+    let path = tmp("dlq");
+    let mut serve = StretchServe::create(&path, small_platform(), ServeConfig::default()).unwrap();
+    assert!(serve
+        .submit(Submission::new(5.0, 100.0, 0))
+        .unwrap()
+        .is_accepted());
+
+    let rejected = [
+        Submission::new(f64::NAN, 10.0, 0),
+        Submission::new(-1.0, 10.0, 0),
+        Submission::new(5.0, f64::NAN, 0),
+        Submission::new(5.0, -3.0, 0),
+        Submission::new(5.0, 0.0, 0),
+        Submission::new(5.0, 10.0, 42),
+        Submission::new(1.0, 10.0, 0), // behind the frontier
+    ];
+    for s in rejected {
+        match serve.submit(s).unwrap() {
+            SubmitOutcome::Rejected(_) => {}
+            SubmitOutcome::Accepted(id) => panic!("{s:?} accepted as job {id}"),
+        }
+    }
+    let reasons: Vec<_> = serve.dlq().letters().map(|l| l.reason).collect();
+    assert_eq!(reasons.len(), 7);
+    assert!(matches!(reasons[0], RejectReason::InvalidJob(_)));
+    assert!(matches!(reasons[5], RejectReason::UnknownDatabank { .. }));
+    assert!(matches!(
+        reasons[6],
+        RejectReason::OutOfOrder { frontier, .. } if frontier == 5.0
+    ));
+
+    // The accepted stream is unaffected by the garbage around it.
+    serve.finish().unwrap();
+    assert_eq!(serve.metrics().accepted, 1);
+    assert_eq!(serve.metrics().dead_lettered, 7);
+    assert!(serve.completions()[0].is_finite());
+    // Closed service rejects further submissions instead of panicking.
+    assert_eq!(
+        serve.submit(Submission::new(9.0, 10.0, 0)).unwrap(),
+        SubmitOutcome::Rejected(RejectReason::Closed)
+    );
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn recovery_mid_stream_continues_to_the_uninterrupted_result() {
+    // Split the stream at every prefix point: run the first k submissions in
+    // one "process", recover, run the rest, and compare against the
+    // uninterrupted run — the in-process version of the SIGKILL harness.
+    let instance = reference_instance(3, 3, 12, 7);
+    let full_path = tmp("split-full");
+    let full = serve_instance(&full_path, &instance, ServeConfig::default());
+    for k in 0..=instance.jobs.len() {
+        let path = tmp(&format!("split-{k}"));
+        {
+            let mut first =
+                StretchServe::create(&path, instance.platform.clone(), ServeConfig::default())
+                    .unwrap();
+            for job in &instance.jobs[..k] {
+                first
+                    .submit(Submission::new(job.release, job.work, job.databank))
+                    .unwrap();
+            }
+            // Dropped without finish(): the "crash".
+        }
+        let (mut second, _) =
+            StretchServe::recover(&path, instance.platform.clone(), ServeConfig::default())
+                .unwrap();
+        for job in &instance.jobs[k..] {
+            let outcome = second
+                .submit(Submission::new(job.release, job.work, job.databank))
+                .unwrap();
+            assert!(outcome.is_accepted(), "k={k}: {outcome:?}");
+        }
+        second.finish().unwrap();
+        assert_eq!(
+            second.state_digest(),
+            full.state_digest(),
+            "k={k}: recovered run diverged"
+        );
+        assert_eq!(bits(second.completions()), bits(full.completions()));
+        std::fs::remove_file(&path).unwrap();
+    }
+    std::fs::remove_file(&full_path).unwrap();
+}

@@ -153,7 +153,7 @@ impl WorkloadGenerator {
             let db = &platform.databanks[0];
             jobs.push(Job::new(0, 0.0, db.size_mb * self.config.scan_fraction, 0));
         }
-        jobs.sort_by(|a, b| a.release.partial_cmp(&b.release).unwrap());
+        jobs.sort_by(|a, b| a.release.total_cmp(&b.release));
         for (k, j) in jobs.iter_mut().enumerate() {
             j.id = k;
         }

@@ -4,6 +4,46 @@ use crate::job::{Job, JobId};
 use crate::uniproc::{UniprocInstance, UniprocJob};
 use stretch_platform::{Platform, ProcessorId};
 
+/// Why a set of jobs cannot form an [`Instance`] on a given platform
+/// (submission-shaped input: the serve layer dead-letters these instead of
+/// aborting).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InstanceValidationError {
+    /// A job targets a databank id the platform does not know.
+    UnknownDatabank {
+        /// Id of the offending job (as numbered by the caller).
+        job: JobId,
+        /// The unknown databank id.
+        databank: usize,
+    },
+    /// A job targets a databank hosted by no cluster: no processor could
+    /// ever execute it, so no finite stretch is achievable.
+    UnhostedDatabank {
+        /// Id of the offending job (as numbered by the caller).
+        job: JobId,
+        /// The unhosted databank id.
+        databank: usize,
+    },
+}
+
+impl std::fmt::Display for InstanceValidationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InstanceValidationError::UnknownDatabank { job, databank } => {
+                write!(f, "job {job} targets unknown databank {databank}")
+            }
+            InstanceValidationError::UnhostedDatabank { job, databank } => {
+                write!(
+                    f,
+                    "job {job} targets databank {databank} which is hosted nowhere"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for InstanceValidationError {}
+
 /// A complete problem instance.
 #[derive(Clone, Debug)]
 pub struct Instance {
@@ -19,27 +59,45 @@ impl Instance {
     /// them so that `jobs[k].id == k` (the paper's convention).
     ///
     /// Panics when a job targets a databank that no cluster hosts (such a job
-    /// could never be executed).
-    pub fn new(platform: Platform, mut jobs: Vec<Job>) -> Self {
-        for job in &jobs {
-            assert!(
-                job.databank < platform.num_databanks(),
-                "job {} targets unknown databank {}",
-                job.id,
-                job.databank
-            );
-            assert!(
-                !platform.eligible_processors(job.databank).is_empty(),
-                "job {} targets databank {} which is hosted nowhere",
-                job.id,
-                job.databank
-            );
+    /// could never be executed).  For submission-derived job lists use
+    /// [`Instance::try_new`], which reports the offender as a typed error.
+    pub fn new(platform: Platform, jobs: Vec<Job>) -> Self {
+        match Self::try_new(platform, jobs) {
+            Ok(instance) => instance,
+            Err(e) => panic!("{e}"),
         }
-        jobs.sort_by(|a, b| a.release.partial_cmp(&b.release).unwrap());
+    }
+
+    /// [`Instance::new`] with typed validation errors instead of panics:
+    /// returns the first job whose databank is unknown to the platform or
+    /// hosted nowhere.
+    pub fn try_new(
+        platform: Platform,
+        mut jobs: Vec<Job>,
+    ) -> Result<Self, InstanceValidationError> {
+        for job in &jobs {
+            if job.databank >= platform.num_databanks() {
+                return Err(InstanceValidationError::UnknownDatabank {
+                    job: job.id,
+                    databank: job.databank,
+                });
+            }
+            if platform.eligible_processors(job.databank).is_empty() {
+                return Err(InstanceValidationError::UnhostedDatabank {
+                    job: job.id,
+                    databank: job.databank,
+                });
+            }
+        }
+        // total_cmp, not partial_cmp().unwrap(): release dates are validated
+        // finite at Job construction, but a NaN smuggled in through a raw
+        // struct literal must not turn a sort into a panic on this
+        // ingestion-reachable path (NaNs simply sort last).
+        jobs.sort_by(|a, b| a.release.total_cmp(&b.release));
         for (k, job) in jobs.iter_mut().enumerate() {
             job.id = k;
         }
-        Instance { platform, jobs }
+        Ok(Instance { platform, jobs })
     }
 
     /// Number of jobs.
@@ -184,5 +242,19 @@ mod tests {
     fn job_with_unknown_databank_rejected() {
         let job = Job::new(0, 0.0, 10.0, 17);
         Instance::new(small_platform(), vec![job]);
+    }
+
+    #[test]
+    fn try_new_reports_typed_validation_errors() {
+        let bad = Job::new(3, 0.0, 10.0, 17);
+        let err = Instance::try_new(small_platform(), vec![bad]).unwrap_err();
+        assert_eq!(
+            err,
+            InstanceValidationError::UnknownDatabank {
+                job: 3,
+                databank: 17
+            }
+        );
+        assert!(Instance::try_new(small_platform(), sample_jobs()).is_ok());
     }
 }

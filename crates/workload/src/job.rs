@@ -5,6 +5,43 @@ use stretch_platform::DatabankId;
 /// Identifier of a job inside an [`crate::Instance`].
 pub type JobId = usize;
 
+/// Why a job description is invalid (submission-shaped input).
+///
+/// Ingestion layers (the `stretch-serve` event bus) validate submissions
+/// with [`Job::try_new`] and dead-letter the offenders carrying one of these
+/// reasons; internal construction sites that *know* their inputs are sound
+/// keep using [`Job::new`], which aborts with the same diagnostics.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum JobValidationError {
+    /// The release date is NaN or infinite.
+    NonFiniteRelease(f64),
+    /// The release date is negative.
+    NegativeRelease(f64),
+    /// The work is NaN or infinite.
+    NonFiniteWork(f64),
+    /// The work is zero or negative.
+    NonPositiveWork(f64),
+}
+
+impl std::fmt::Display for JobValidationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobValidationError::NonFiniteRelease(r) => {
+                write!(f, "release must be finite, got {r}")
+            }
+            JobValidationError::NegativeRelease(r) => {
+                write!(f, "release must be nonnegative, got {r}")
+            }
+            JobValidationError::NonFiniteWork(w) => write!(f, "work must be finite, got {w}"),
+            JobValidationError::NonPositiveWork(w) => {
+                write!(f, "work must be positive, got {w}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for JobValidationError {}
+
 /// A motif-comparison request.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Job {
@@ -21,19 +58,50 @@ pub struct Job {
 }
 
 impl Job {
-    /// Creates a job with validity checks.
+    /// Creates a job with validity checks, aborting on invalid input.
+    ///
+    /// For inputs derived from untrusted submissions use [`Job::try_new`],
+    /// which returns a typed error instead of panicking.
     pub fn new(id: JobId, release: f64, work: f64, databank: DatabankId) -> Self {
-        assert!(
-            release >= 0.0 && release.is_finite(),
-            "release must be nonnegative"
-        );
-        assert!(work > 0.0 && work.is_finite(), "work must be positive");
-        Job {
+        match Self::try_new(id, release, work, databank) {
+            Ok(job) => job,
+            Err(
+                e @ (JobValidationError::NonFiniteRelease(_)
+                | JobValidationError::NegativeRelease(_)),
+            ) => {
+                panic!("release must be nonnegative and finite: {e}")
+            }
+            Err(e) => panic!("work must be positive and finite: {e}"),
+        }
+    }
+
+    /// Creates a job, returning a typed error on invalid input (NaN or
+    /// negative release, non-positive or non-finite work) instead of
+    /// panicking — the ingestion-path counterpart of [`Job::new`].
+    pub fn try_new(
+        id: JobId,
+        release: f64,
+        work: f64,
+        databank: DatabankId,
+    ) -> Result<Self, JobValidationError> {
+        if !release.is_finite() {
+            return Err(JobValidationError::NonFiniteRelease(release));
+        }
+        if release < 0.0 {
+            return Err(JobValidationError::NegativeRelease(release));
+        }
+        if !work.is_finite() {
+            return Err(JobValidationError::NonFiniteWork(work));
+        }
+        if work <= 0.0 {
+            return Err(JobValidationError::NonPositiveWork(work));
+        }
+        Ok(Job {
             id,
             release,
             work,
             databank,
-        }
+        })
     }
 
     /// The stretch weight `w_j = 1 / W_j` used throughout the paper.
@@ -62,5 +130,26 @@ mod tests {
     #[should_panic(expected = "nonnegative")]
     fn negative_release_rejected() {
         Job::new(0, -1.0, 1.0, 0);
+    }
+
+    #[test]
+    fn try_new_returns_typed_errors_instead_of_panicking() {
+        assert!(matches!(
+            Job::try_new(0, f64::NAN, 1.0, 0),
+            Err(JobValidationError::NonFiniteRelease(_))
+        ));
+        assert!(matches!(
+            Job::try_new(0, -2.0, 1.0, 0),
+            Err(JobValidationError::NegativeRelease(r)) if r == -2.0
+        ));
+        assert!(matches!(
+            Job::try_new(0, 0.0, f64::INFINITY, 0),
+            Err(JobValidationError::NonFiniteWork(_))
+        ));
+        assert!(matches!(
+            Job::try_new(0, 0.0, -1.0, 0),
+            Err(JobValidationError::NonPositiveWork(w)) if w == -1.0
+        ));
+        assert!(Job::try_new(0, 0.0, 1.0, 0).is_ok());
     }
 }

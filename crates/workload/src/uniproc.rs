@@ -60,7 +60,7 @@ impl UniprocInstance {
                 }
             })
             .collect();
-        jobs.sort_by(|a, b| a.release.partial_cmp(&b.release).unwrap());
+        jobs.sort_by(|a, b| a.release.total_cmp(&b.release));
         for (k, j) in jobs.iter_mut().enumerate() {
             j.id = k;
         }
