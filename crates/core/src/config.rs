@@ -151,6 +151,36 @@ impl SolverConfig {
         }
     }
 
+    /// Parses a positive integer knob value as [`Self::env_u64_nonzero`] would:
+    /// whitespace-trimmed decimal, rejecting `0`, overflow and garbage
+    /// loudly with the variable name and the offending string — the same
+    /// strict-parse policy as every other `STRETCH_*` knob.  Public so the
+    /// serve-layer knobs (`STRETCH_SERVE_SEGMENT_RECORDS`,
+    /// `STRETCH_SERVE_SNAPSHOT_EVERY`, …) share one parser and one message
+    /// shape.
+    pub fn parse_env_u64_nonzero(name: &str, raw: &str) -> u64 {
+        let trimmed = raw.trim();
+        match trimmed.parse::<u64>() {
+            Ok(0) => panic!("{name} must be a positive integer, got `{raw}` (zero is not valid)"),
+            Ok(v) => v,
+            Err(_) => panic!("{name} must be a positive integer that fits in 64 bits, got `{raw}`"),
+        }
+    }
+
+    /// Reads environment variable `name` as a positive `u64`: unset falls
+    /// back to `default`; `0`, overflow, non-numeric and non-unicode values
+    /// abort loudly with the offending string (see
+    /// [`Self::parse_env_u64_nonzero`]).
+    pub fn env_u64_nonzero(name: &str, default: u64) -> u64 {
+        match std::env::var(name) {
+            Err(std::env::VarError::NotPresent) => default,
+            Err(std::env::VarError::NotUnicode(raw)) => {
+                panic!("{name} must be valid unicode, got undecodable bytes {raw:?}")
+            }
+            Ok(raw) => Self::parse_env_u64_nonzero(name, &raw),
+        }
+    }
+
     /// Instantiates the configured min-cost backend (honouring
     /// [`Self::warm_start`]: a cold configuration gets a backend that never
     /// reuses state across solves).
@@ -299,6 +329,61 @@ mod tests {
     #[should_panic(expected = "got `2`")]
     fn unrecognised_warm_start_values_abort_with_the_offending_string() {
         SolverConfig::parse_warm_start("2");
+    }
+
+    #[test]
+    fn u64_knobs_parse_strictly() {
+        // The serve-layer knobs (STRETCH_SERVE_SEGMENT_RECORDS,
+        // STRETCH_SERVE_SEGMENT_BYTES, STRETCH_SERVE_SNAPSHOT_EVERY,
+        // STRETCH_SERVE_SNAPSHOT_RETAIN) all parse through this helper, so
+        // exercising it directly covers them without touching the process
+        // environment.
+        assert_eq!(
+            SolverConfig::parse_env_u64_nonzero("STRETCH_SERVE_SEGMENT_RECORDS", "1024"),
+            1024
+        );
+        assert_eq!(
+            SolverConfig::parse_env_u64_nonzero("STRETCH_SERVE_SNAPSHOT_EVERY", " 2 "),
+            2,
+            "values are whitespace-trimmed"
+        );
+        assert_eq!(
+            SolverConfig::parse_env_u64_nonzero("X", &u64::MAX.to_string()),
+            u64::MAX
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "STRETCH_SERVE_SEGMENT_RECORDS must be a positive integer")]
+    fn zero_u64_knob_values_abort_with_the_variable_name() {
+        // A zero segment threshold would rotate on every record (or never),
+        // so it is rejected rather than reinterpreted.
+        SolverConfig::parse_env_u64_nonzero("STRETCH_SERVE_SEGMENT_RECORDS", "0");
+    }
+
+    #[test]
+    #[should_panic(expected = "got `18446744073709551616`")]
+    fn overflowing_u64_knob_values_abort_with_the_offending_string() {
+        // One past u64::MAX.
+        SolverConfig::parse_env_u64_nonzero(
+            "STRETCH_SERVE_SNAPSHOT_RETAIN",
+            "18446744073709551616",
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "got `37 segments`")]
+    fn non_numeric_u64_knob_values_abort_with_the_offending_string() {
+        SolverConfig::parse_env_u64_nonzero("STRETCH_SERVE_SEGMENT_BYTES", "37 segments");
+    }
+
+    #[test]
+    fn unset_u64_knob_falls_back_to_the_default() {
+        // The variable name is deliberately one no harness sets.
+        assert_eq!(
+            SolverConfig::env_u64_nonzero("STRETCH_TEST_UNSET_KNOB_7F3A", 42),
+            42
+        );
     }
 
     #[test]

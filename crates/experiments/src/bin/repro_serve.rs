@@ -16,10 +16,27 @@
 //! * `resume` — recover from `STRETCH_SERVE_JOURNAL`, submit whatever part
 //!   of the stream the journal does not already hold, drain, and check the
 //!   final state is bit-identical to an uninterrupted in-process run.
+//! * `rotate` — stream with the configured rotation policy, simulate a
+//!   crash (drop without drain), and check recovery restores the newest
+//!   snapshot and replays *only* the segment suffix past it, with state
+//!   bit-identical to the pre-crash service.  Requires a segment threshold
+//!   small enough that the stream actually rotates
+//!   (`STRETCH_SERVE_SEGMENT_RECORDS`).
+//! * `compact` — stream to completion under rotation and check the on-disk
+//!   footprint is bounded: at most `STRETCH_SERVE_SNAPSHOT_RETAIN`
+//!   snapshots survive, every sealed segment covered by the oldest kept
+//!   snapshot is garbage-collected, and the compacted directory still
+//!   recovers to the drained state.
 //!
 //! The solver cell (backend × warm start) comes from the usual
-//! `STRETCH_MINCOST_BACKEND` / `STRETCH_WARM_START` variables via
-//! [`SolverConfig::from_env`].
+//! `STRETCH_MINCOST_BACKEND` / `STRETCH_WARM_START` variables; the segment
+//! and snapshot knobs (`STRETCH_SERVE_SEGMENT_RECORDS`,
+//! `STRETCH_SERVE_SEGMENT_BYTES`, `STRETCH_SERVE_SNAPSHOT_EVERY`,
+//! `STRETCH_SERVE_SNAPSHOT_RETAIN`) via [`ServeConfig::from_env`].  In
+//! crash mode, `STRETCH_SERVE_CRASH_POINT=<seal-index>:<point>` (point one
+//! of `after-seal`, `after-snapshot-temp`, `after-snapshot-rename`) aborts
+//! the process at that window of the given rotation — the deterministic
+//! complement to the harness's arbitrary SIGKILL.
 
 use std::path::PathBuf;
 use std::time::Duration;
@@ -27,7 +44,9 @@ use std::time::Duration;
 use stretch_core::online::run_online_with;
 use stretch_core::refstream::reference_instance;
 use stretch_core::{OnlineVariant, SolverConfig};
-use stretch_serve::{spawn_service, ServeConfig, StretchServe, Submission};
+use stretch_serve::{
+    journal, spawn_service, RotationCrashPoint, ServeConfig, StretchServe, Submission,
+};
 use stretch_workload::Instance;
 
 /// The reference stream every mode replays: the §5.3 bench instance.
@@ -63,8 +82,32 @@ fn submit_delay() -> Duration {
     }
 }
 
+/// Parses `STRETCH_SERVE_CRASH_POINT=<seal-index>:<point>` into the chaos
+/// rotation abort, with the strict `STRETCH_*` policy on malformed values.
+fn crash_point() -> Option<(u64, RotationCrashPoint)> {
+    let raw = env_var("STRETCH_SERVE_CRASH_POINT")?;
+    let (index, point) = raw.split_once(':').unwrap_or_else(|| {
+        panic!("STRETCH_SERVE_CRASH_POINT must be `<seal-index>:<point>`, got `{raw}`")
+    });
+    let index = index.trim().parse::<u64>().unwrap_or_else(|_| {
+        panic!("STRETCH_SERVE_CRASH_POINT seal index must be an integer, got `{raw}`")
+    });
+    let point = match point.trim() {
+        "after-seal" => RotationCrashPoint::AfterSeal,
+        "after-snapshot-temp" => RotationCrashPoint::AfterSnapshotTemp,
+        "after-snapshot-rename" => RotationCrashPoint::AfterSnapshotRename,
+        other => panic!(
+            "STRETCH_SERVE_CRASH_POINT point must be after-seal, after-snapshot-temp or \
+             after-snapshot-rename, got `{other}`"
+        ),
+    };
+    Some((index, point))
+}
+
 fn config() -> ServeConfig {
-    ServeConfig::with_solver(SolverConfig::from_env())
+    let mut config = ServeConfig::from_env();
+    config.chaos_rotation_abort = crash_point();
+    config
 }
 
 fn bits(xs: &[f64]) -> Vec<u64> {
@@ -85,7 +128,7 @@ fn run_uninterrupted(instance: &Instance, config: ServeConfig) -> StretchServe {
         assert!(outcome.is_accepted(), "reference job rejected: {outcome:?}");
     }
     serve.finish().expect("drain uninterrupted run");
-    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_dir_all(&path);
     serve
 }
 
@@ -142,7 +185,7 @@ fn verify_mode() {
         bits(&expected),
         "service completions diverged from run_online"
     );
-    let _ = std::fs::remove_file(&journal);
+    let _ = std::fs::remove_dir_all(&journal);
     println!("repro_serve: OK (backend {})", solver.backend.name());
 }
 
@@ -173,8 +216,12 @@ fn resume_mode() {
     let (mut serve, report) = StretchServe::recover(&journal, instance.platform.clone(), config())
         .expect("recover from journal");
     println!(
-        "repro_serve resume: replayed {} records ({} submissions, {} decisions), torn tail: {}",
+        "repro_serve resume: {} records ({} from snapshot {:?} + {} replayed; {} submissions, \
+         {} decisions), torn tail: {}",
         report.records,
+        report.snapshot_records,
+        report.snapshot,
+        report.replayed_records,
         report.submissions,
         report.decisions,
         report.torn.map_or_else(
@@ -214,13 +261,127 @@ fn resume_mode() {
     );
 }
 
+fn rotate_mode() {
+    let instance = reference_stream();
+    let journal_dir = required_path("STRETCH_SERVE_JOURNAL", "rotate");
+    let _ = std::fs::remove_dir_all(&journal_dir);
+    let mut serve = StretchServe::create(&journal_dir, instance.platform.clone(), config())
+        .expect("create journal");
+    for job in &instance.jobs {
+        let outcome = serve
+            .submit(Submission::new(job.release, job.work, job.databank))
+            .expect("journal append");
+        assert!(outcome.is_accepted(), "reference job rejected: {outcome:?}");
+    }
+    let crash_digest = serve.state_digest();
+    drop(serve); // simulated crash: never drained, never finally synced
+
+    let scan = journal::scan_dir(&journal_dir).expect("scan journal dir");
+    assert!(
+        !scan.snapshots.is_empty(),
+        "the stream never rotated — lower STRETCH_SERVE_SEGMENT_RECORDS (policy: {:?})",
+        config().rotation
+    );
+    let newest = *scan.snapshots.last().unwrap();
+    let (mut recovered, report) =
+        StretchServe::recover(&journal_dir, instance.platform.clone(), config())
+            .expect("recover rotated journal");
+    assert_eq!(
+        report.snapshot,
+        Some(newest),
+        "recovery skipped the newest snapshot: {report:?}"
+    );
+    assert!(
+        report.snapshot_records > 0 && report.replayed_records < report.records,
+        "replay was not bounded by the snapshot: {report:?}"
+    );
+    assert_eq!(
+        recovered.state_digest(),
+        crash_digest,
+        "suffix-only recovery diverged from the pre-crash state"
+    );
+    recovered.finish().expect("drain recovered run");
+    let reference = run_uninterrupted(&instance, config());
+    assert_eq!(
+        bits(recovered.completions()),
+        bits(reference.completions()),
+        "recovered completions diverged from the uninterrupted run"
+    );
+    let _ = std::fs::remove_dir_all(&journal_dir);
+    println!(
+        "repro_serve rotate: OK (snapshot {newest}, replayed {} of {} records)",
+        report.replayed_records, report.records
+    );
+}
+
+fn compact_mode() {
+    let instance = reference_stream();
+    let journal_dir = required_path("STRETCH_SERVE_JOURNAL", "compact");
+    let _ = std::fs::remove_dir_all(&journal_dir);
+    let config = config();
+    let retain = config.snapshot_retain.max(1);
+    let mut serve = StretchServe::create(&journal_dir, instance.platform.clone(), config.clone())
+        .expect("create journal");
+    for job in &instance.jobs {
+        let outcome = serve
+            .submit(Submission::new(job.release, job.work, job.databank))
+            .expect("journal append");
+        assert!(outcome.is_accepted(), "reference job rejected: {outcome:?}");
+    }
+    serve.finish().expect("drain");
+    let digest = serve.state_digest();
+    drop(serve);
+
+    let scan = journal::scan_dir(&journal_dir).expect("scan journal dir");
+    assert!(
+        !scan.snapshots.is_empty(),
+        "the stream never rotated — lower STRETCH_SERVE_SEGMENT_RECORDS (policy: {:?})",
+        config.rotation
+    );
+    assert!(
+        scan.snapshots.len() <= retain,
+        "GC retained {} snapshots, cap is {retain}",
+        scan.snapshots.len()
+    );
+    let oldest_kept = scan.snapshots[0];
+    assert!(
+        scan.sealed.iter().all(|&s| s > oldest_kept),
+        "sealed segments {:?} covered by snapshot {oldest_kept} escaped garbage collection",
+        scan.sealed
+    );
+
+    // The drain itself (`advance(∞)`) is not a journaled event, so recovery
+    // lands just before it; finishing the recovered service must then reach
+    // the drained state exactly.
+    let (mut recovered, report) =
+        StretchServe::recover(&journal_dir, instance.platform.clone(), config)
+            .expect("recover compacted journal");
+    recovered.finish().expect("drain recovered run");
+    assert_eq!(
+        recovered.state_digest(),
+        digest,
+        "recovery from the compacted directory diverged from the drained state"
+    );
+    let _ = std::fs::remove_dir_all(&journal_dir);
+    println!(
+        "repro_serve compact: OK ({} sealed + {} snapshots on disk, replayed {} records \
+         past snapshot {:?})",
+        scan.sealed.len(),
+        scan.snapshots.len(),
+        report.replayed_records,
+        report.snapshot
+    );
+}
+
 fn main() {
     match env_var("STRETCH_SERVE_MODE").as_deref() {
         None | Some("verify") => verify_mode(),
         Some("crash") => crash_mode(),
         Some("resume") => resume_mode(),
+        Some("rotate") => rotate_mode(),
+        Some("compact") => compact_mode(),
         Some(other) => {
-            panic!("STRETCH_SERVE_MODE must be verify, crash or resume, got `{other}`")
+            panic!("STRETCH_SERVE_MODE must be verify, crash, resume, rotate or compact, got `{other}`")
         }
     }
 }

@@ -73,9 +73,11 @@ fn every_ci_matrix_cell_names_a_parseable_backend() {
 fn serve_smoke_leg_is_pinned() {
     // The crash-safety leg: reference stream through `stretch-serve`,
     // SIGKILL mid-stream, journal-replay recovery, diff against the
-    // uninterrupted run.  Dropping the job (or any of its three steps)
-    // would silently un-test the serve layer's recovery contract, so the
-    // job name and each command are pinned here.
+    // uninterrupted run — plus the rotation-under-load pass, which seals
+    // segments, publishes snapshots and recovers suffix-only with a small
+    // segment threshold.  Dropping the job (or any of its steps) would
+    // silently un-test the serve layer's recovery contract, so the job
+    // name and each command/knob are pinned here.
     let yml = ci_yml();
     assert!(
         yml.contains("serve-smoke:"),
@@ -85,6 +87,8 @@ fn serve_smoke_leg_is_pinned() {
         "--bin repro_serve",
         "--test serve_recover",
         "cargo test -q -p stretch-serve",
+        "STRETCH_SERVE_SEGMENT_RECORDS=4",
+        "for mode in rotate compact",
     ] {
         assert!(
             yml.contains(needle),

@@ -127,8 +127,10 @@ impl StreamingStats {
 }
 
 /// P² (piecewise-parabolic) single-quantile sketch: five markers, O(1)
-/// memory, no sorting.  Estimates converge as samples accumulate; for fewer
-/// than five samples the estimate is exact.
+/// memory, no sorting.  Estimates converge as samples accumulate; for five
+/// or fewer samples the estimate is the exact nearest-rank order statistic
+/// (the markers still hold the raw sorted samples until the sixth
+/// observation).  NaN samples are ignored — they carry no rank.
 #[derive(Clone, Debug)]
 pub struct P2Quantile {
     p: f64,
@@ -158,13 +160,18 @@ impl P2Quantile {
         }
     }
 
-    /// Folds one sample in.
+    /// Folds one sample in.  NaN is skipped: it has no rank, and letting it
+    /// into the markers used to panic the priming sort (`partial_cmp`
+    /// unwrap) or poison every later estimate.
     pub fn observe(&mut self, x: f64) {
+        if x.is_nan() {
+            return;
+        }
         if self.count < 5 {
             self.q[self.count] = x;
             self.count += 1;
             if self.count == 5 {
-                self.q.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                self.q.sort_by(f64::total_cmp);
             }
             return;
         }
@@ -231,10 +238,15 @@ impl P2Quantile {
     pub fn value(&self) -> Option<f64> {
         match self.count {
             0 => None,
-            c if c < 5 => {
-                // Exact small-sample quantile (nearest-rank).
+            // Exact small-sample quantile (nearest-rank).  The bound is
+            // `<= 5`, not `< 5`: at exactly five samples the markers still
+            // *are* the five sorted samples (the first P² adjustment happens
+            // on the sixth observation), and the old `q[2]` arm returned the
+            // median for every `p` — a p99 over a short-lived service's 5
+            // decisions reported its median latency as the tail.
+            c if c <= 5 => {
                 let mut head: Vec<f64> = self.q[..c].to_vec();
-                head.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                head.sort_by(f64::total_cmp);
                 let rank = ((self.p * c as f64).ceil() as usize).clamp(1, c);
                 Some(head[rank - 1])
             }
@@ -411,6 +423,45 @@ mod tests {
         sketch.observe(9.0);
         // Nearest-rank median of {1, 7, 9} is 7.
         assert_eq!(sketch.value(), Some(7.0));
+    }
+
+    #[test]
+    fn p2_five_samples_honour_the_quantile_not_the_median() {
+        // Regression: at exactly five samples the sketch returned the median
+        // marker q[2] for every p, so a p99 over five observations reported
+        // the median.  With five samples {1..5}, nearest-rank p99 is the
+        // max and nearest-rank p10 is the min.
+        let samples = [3.0, 1.0, 5.0, 2.0, 4.0];
+        for (p, expected) in [(0.99, 5.0), (0.5, 3.0), (0.1, 1.0)] {
+            let mut sketch = P2Quantile::new(p);
+            for &x in &samples {
+                sketch.observe(x);
+            }
+            assert_eq!(sketch.count(), 5);
+            assert_eq!(sketch.value(), Some(expected), "p = {p}");
+        }
+    }
+
+    #[test]
+    fn p2_ignores_nan_samples() {
+        // NaN used to panic the priming sort (partial_cmp unwrap) when it
+        // was among the first five samples, and to poison the top marker
+        // afterwards.  It carries no rank, so it is skipped entirely.
+        let mut sketch = P2Quantile::new(0.99);
+        sketch.observe(f64::NAN);
+        assert_eq!(sketch.count(), 0);
+        assert!(sketch.value().is_none());
+        for x in [2.0, f64::NAN, 1.0, 4.0, f64::NAN, 3.0, 5.0] {
+            sketch.observe(x);
+        }
+        assert_eq!(sketch.count(), 5);
+        assert_eq!(sketch.value(), Some(5.0));
+        // Post-priming NaNs are skipped too, leaving the estimate finite.
+        sketch.observe(f64::NAN);
+        for i in 0..100 {
+            sketch.observe(f64::from(i) / 100.0);
+        }
+        assert!(sketch.value().unwrap().is_finite());
     }
 
     #[test]

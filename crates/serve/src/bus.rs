@@ -161,7 +161,7 @@ mod tests {
         assert!(service.completions().iter().all(|c| c.is_finite()));
         assert_eq!(handle.depth(), 0);
         assert_eq!(handle.finish(), Err(BusSendError::Closed));
-        std::fs::remove_file(&path).unwrap();
+        std::fs::remove_dir_all(&path).unwrap();
     }
 
     #[test]
@@ -175,6 +175,6 @@ mod tests {
         let service = consumer.join().unwrap().unwrap();
         assert!(service.is_finished());
         assert_eq!(service.metrics().accepted, 1);
-        std::fs::remove_file(&path).unwrap();
+        std::fs::remove_dir_all(&path).unwrap();
     }
 }

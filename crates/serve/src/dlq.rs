@@ -43,18 +43,30 @@ impl DeadLetterQueue {
         }
     }
 
-    /// Parks a rejected submission, evicting the oldest letter when full.
+    /// Parks a rejected submission, evicting oldest letters until the queue
+    /// fits its bound.  The eviction loop uses `>=`, not `==`: if the queue
+    /// is ever *over* capacity (a shrink via [`Self::set_capacity`]), a
+    /// strict-equality check would never fire again and the bound would be
+    /// exceeded forever.
     pub fn push(&mut self, letter: DeadLetter) {
         self.total += 1;
         if self.capacity == 0 {
             self.dropped += 1;
             return;
         }
-        if self.letters.len() == self.capacity {
+        while self.letters.len() >= self.capacity {
             self.letters.pop_front();
             self.dropped += 1;
         }
         self.letters.push_back(letter);
+    }
+
+    /// Changes the retention bound.  Letters beyond a shrunken bound are
+    /// *not* evicted eagerly — they age out on the next pushes — which is
+    /// exactly the state the `>=` eviction in [`Self::push`] exists to
+    /// handle.
+    pub fn set_capacity(&mut self, capacity: usize) {
+        self.capacity = capacity;
     }
 
     /// Letters currently retained, oldest first.
@@ -109,6 +121,29 @@ mod tests {
         assert_eq!(dlq.dropped(), 3);
         let kept: Vec<usize> = dlq.letters().map(|l| l.submission.databank).collect();
         assert_eq!(kept, vec![13, 14]);
+    }
+
+    #[test]
+    fn over_capacity_queue_recovers_its_bound() {
+        // Regression: eviction used strict `==` against the capacity, so a
+        // queue sitting *above* its bound (capacity shrunk after letters
+        // accumulated) never evicted again and grew without limit.
+        let mut dlq = DeadLetterQueue::new(4);
+        for d in 0..4 {
+            dlq.push(letter(d));
+        }
+        assert_eq!(dlq.len(), 4);
+        dlq.set_capacity(2);
+        // With `==` this push would have seen len 4 != 2 and grown to 5 —
+        // and every later push would grow it further.
+        dlq.push(letter(90));
+        assert_eq!(dlq.len(), 2, "push must restore the shrunken bound");
+        dlq.push(letter(91));
+        assert_eq!(dlq.len(), 2);
+        let kept: Vec<usize> = dlq.letters().map(|l| l.submission.databank).collect();
+        assert_eq!(kept, vec![90, 91], "oldest letters evicted first");
+        assert_eq!(dlq.total(), 6);
+        assert_eq!(dlq.dropped(), 4);
     }
 
     #[test]

@@ -1,8 +1,18 @@
 //! The durable event journal: an append-only, length-prefixed and
 //! checksummed record log, written *before* the scheduler consumes each
-//! event (write-ahead).
+//! event (write-ahead) — rotated into numbered **segments** so recovery
+//! work and disk usage stay bounded however long the stream runs.
 //!
-//! File layout:
+//! A journal is a *directory* containing
+//!
+//! ```text
+//! segment-000000.strj      sealed segments (immutable, fully synced)
+//! segment-000001.strj
+//! segment-000002.open      the single active segment being appended to
+//! snapshot-000001.strsnp   scheduler-state snapshots (see `snapshot`)
+//! ```
+//!
+//! Every segment file has the layout
 //!
 //! ```text
 //! [ 8-byte magic "STRJRN01" ]
@@ -16,7 +26,18 @@
 //! the first such record and reports where the valid prefix ends, and
 //! [`JournalWriter::append_at`] truncates the file there before appending
 //! again.  Torn tails are *data loss of at most the in-flight record*, never
-//! corruption of the prefix.
+//! corruption of the prefix — and they can only occur in the **last** segment
+//! of the chain: sealing fsyncs the data before the atomic rename, so a torn
+//! sealed segment mid-chain is disk corruption, not a crash artefact.
+//!
+//! [`SegmentedJournal`] owns rotation: when the active segment exceeds the
+//! [`RotationPolicy`] record/byte threshold it is sealed
+//! (`.open` → `.strj`, an atomic rename), optionally a snapshot covering
+//! everything up to the sealed segment is written (temp file → fsync →
+//! atomic rename), sealed segments older than the oldest retained snapshot
+//! are garbage-collected, and a fresh active segment opens.  Recovery picks
+//! the newest snapshot whose digest verifies and replays only the segment
+//! suffix past it — see `service::recover` for the decision tree.
 
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
@@ -69,6 +90,15 @@ pub enum JournalError {
         /// The offending path.
         path: PathBuf,
     },
+    /// The journal directory's segment files contradict the rotation
+    /// invariants (e.g. two `.open` segments).  No crash of this crate's own
+    /// write sequence can produce this — it means external interference.
+    BadLayout {
+        /// The journal directory.
+        dir: PathBuf,
+        /// What was wrong.
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for JournalError {
@@ -79,6 +109,13 @@ impl std::fmt::Display for JournalError {
             }
             JournalError::BadMagic { path } => {
                 write!(f, "{} is not a journal (bad magic)", path.display())
+            }
+            JournalError::BadLayout { dir, reason } => {
+                write!(
+                    f,
+                    "journal directory {} is malformed: {reason}",
+                    dir.display()
+                )
             }
         }
     }
@@ -253,8 +290,9 @@ impl JournalWriter {
         })
     }
 
-    /// Appends one record durably (frame write + `sync_data`).
-    pub fn append(&mut self, record: &JournalRecord) -> Result<(), JournalError> {
+    /// Appends one record durably (frame write + `sync_data`).  Returns the
+    /// frame length in bytes, which rotation accounting sums.
+    pub fn append(&mut self, record: &JournalRecord) -> Result<u64, JournalError> {
         let payload = encode_payload(record);
         let mut frame = Vec::with_capacity(RECORD_HEADER_LEN + payload.len());
         frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
@@ -265,7 +303,8 @@ impl JournalWriter {
             .map_err(|e| io_err("append", &self.path, e))?;
         self.file
             .sync_data()
-            .map_err(|e| io_err("sync", &self.path, e))
+            .map_err(|e| io_err("sync", &self.path, e))?;
+        Ok(frame.len() as u64)
     }
 
     /// Forces an explicit flush (appends already sync; this is for
@@ -282,6 +321,450 @@ impl JournalWriter {
     }
 }
 
+/// File extension of sealed (immutable, fully synced) segments.
+pub const SEGMENT_SEALED_EXT: &str = "strj";
+
+/// File extension of the single active segment being appended to.
+pub const SEGMENT_OPEN_EXT: &str = "open";
+
+/// File extension of scheduler-state snapshots.
+pub const SNAPSHOT_EXT: &str = "strsnp";
+
+/// File name of segment `index` (`segment-000042.strj` / `.open`).
+pub fn segment_file_name(index: u64, sealed: bool) -> String {
+    let ext = if sealed {
+        SEGMENT_SEALED_EXT
+    } else {
+        SEGMENT_OPEN_EXT
+    };
+    format!("segment-{index:06}.{ext}")
+}
+
+/// Path of segment `index` inside journal directory `dir`.
+pub fn segment_path(dir: &Path, index: u64, sealed: bool) -> PathBuf {
+    dir.join(segment_file_name(index, sealed))
+}
+
+/// File name of the snapshot covering every record up to and including
+/// sealed segment `upto` (`snapshot-000042.strsnp`).
+pub fn snapshot_file_name(upto: u64) -> String {
+    format!("snapshot-{upto:06}.{SNAPSHOT_EXT}")
+}
+
+/// Path of the snapshot covering sealed segment `upto` inside `dir`.
+pub fn snapshot_path(dir: &Path, upto: u64) -> PathBuf {
+    dir.join(snapshot_file_name(upto))
+}
+
+fn snapshot_tmp_path(dir: &Path, upto: u64) -> PathBuf {
+    dir.join(format!("snapshot-{upto:06}.tmp"))
+}
+
+/// Parses `segment-NNNNNN.<ext>` / `snapshot-NNNNNN.strsnp` names.
+fn parse_artefact(name: &str) -> Option<(&'static str, u64)> {
+    let (kind, rest) = if let Some(rest) = name.strip_prefix("segment-") {
+        ("segment", rest)
+    } else if let Some(rest) = name.strip_prefix("snapshot-") {
+        ("snapshot", rest)
+    } else {
+        return None;
+    };
+    let (digits, ext) = rest.split_once('.')?;
+    let index: u64 = digits.parse().ok()?;
+    match (kind, ext) {
+        ("segment", e) if e == SEGMENT_SEALED_EXT => Some(("sealed", index)),
+        ("segment", e) if e == SEGMENT_OPEN_EXT => Some(("open", index)),
+        ("snapshot", e) if e == SNAPSHOT_EXT => Some(("snapshot", index)),
+        // `.tmp` snapshots are in-flight writes abandoned by a crash: the
+        // scan ignores them (recovery must never trust an un-renamed file).
+        _ => None,
+    }
+}
+
+/// What a journal directory holds: the segment chain and the snapshots.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SegmentScan {
+    /// Indices of sealed segments, ascending.
+    pub sealed: Vec<u64>,
+    /// Index of the active (`.open`) segment, if one exists (a crash between
+    /// sealing and opening the next segment leaves none).
+    pub open: Option<u64>,
+    /// `upto` indices of snapshot files, ascending.
+    pub snapshots: Vec<u64>,
+}
+
+impl SegmentScan {
+    /// Every segment index in replay order (sealed then active).
+    pub fn chain(&self) -> Vec<u64> {
+        let mut chain = self.sealed.clone();
+        if let Some(open) = self.open {
+            chain.push(open);
+        }
+        chain
+    }
+}
+
+/// Lists the segments and snapshots of a journal directory.
+///
+/// Unknown files (and abandoned `snapshot-*.tmp` writes) are ignored; two
+/// `.open` segments, or an `.open` segment that also exists sealed, are
+/// reported as [`JournalError::BadLayout`] — no crash of this crate's own
+/// rotation sequence can produce either.
+pub fn scan_dir(dir: &Path) -> Result<SegmentScan, JournalError> {
+    let entries = std::fs::read_dir(dir).map_err(|e| io_err("scan", dir, e))?;
+    let mut scan = SegmentScan::default();
+    for entry in entries {
+        let entry = entry.map_err(|e| io_err("scan", dir, e))?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        match parse_artefact(name) {
+            Some(("sealed", index)) => scan.sealed.push(index),
+            Some(("open", index)) => {
+                if let Some(previous) = scan.open.replace(index) {
+                    return Err(JournalError::BadLayout {
+                        dir: dir.to_path_buf(),
+                        reason: format!("two active segments ({previous} and {index})"),
+                    });
+                }
+            }
+            Some(("snapshot", upto)) => scan.snapshots.push(upto),
+            _ => {}
+        }
+    }
+    scan.sealed.sort_unstable();
+    scan.snapshots.sort_unstable();
+    if let Some(open) = scan.open {
+        if scan.sealed.contains(&open) {
+            return Err(JournalError::BadLayout {
+                dir: dir.to_path_buf(),
+                reason: format!("segment {open} exists both sealed and open"),
+            });
+        }
+        if scan.sealed.iter().any(|&s| s > open) {
+            return Err(JournalError::BadLayout {
+                dir: dir.to_path_buf(),
+                reason: format!("active segment {open} is older than a sealed segment"),
+            });
+        }
+    }
+    Ok(scan)
+}
+
+/// Durably fsyncs a directory so a just-renamed/created file name survives a
+/// crash (the file *data* is synced separately, before the rename).
+fn sync_dir(dir: &Path) -> Result<(), JournalError> {
+    File::open(dir)
+        .and_then(|d| d.sync_all())
+        .map_err(|e| io_err("sync-dir", dir, e))
+}
+
+/// When the record/byte threshold rotates the active segment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RotationPolicy {
+    /// Seal the active segment once it holds this many records.
+    pub max_records: u64,
+    /// … or once its frame bytes (excluding the magic) reach this many.
+    pub max_bytes: u64,
+}
+
+impl Default for RotationPolicy {
+    /// 1024 records or 1 MiB per segment — recovery replays at most one
+    /// segment's worth of records past the newest snapshot.
+    fn default() -> Self {
+        RotationPolicy {
+            max_records: 1024,
+            max_bytes: 1 << 20,
+        }
+    }
+}
+
+/// Where a chaos-injected crash aborts the rotation sequence — the tool
+/// behind the crash-during-rotation recovery tests.  Each point maps to a
+/// real crash window of the seal → snapshot → reopen sequence.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RotationCrashPoint {
+    /// After the seal rename, before the snapshot temp file is written.
+    AfterSeal,
+    /// After the snapshot temp file is written and fsynced, before the
+    /// atomic rename publishes it.
+    AfterSnapshotTemp,
+    /// After the snapshot rename, before garbage collection and before the
+    /// next active segment is created.
+    AfterSnapshotRename,
+}
+
+/// What one [`SegmentedJournal::rotate`] call did.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RotationOutcome {
+    /// Index of the segment just sealed.
+    pub sealed: u64,
+    /// `true` when a snapshot covering the sealed segment was published.
+    pub snapshot_written: bool,
+    /// Sealed segments garbage-collected.
+    pub gc_segments: usize,
+    /// Snapshots garbage-collected.
+    pub gc_snapshots: usize,
+}
+
+/// Append handle on a segment-rotated journal directory.
+///
+/// Owns the active segment's [`JournalWriter`] plus the rotation counters;
+/// the *caller* (the service) decides when to check [`should_rotate`] and
+/// supplies the encoded snapshot bytes, because only it can serialize
+/// scheduler state at a record boundary.
+///
+/// [`should_rotate`]: SegmentedJournal::should_rotate
+#[derive(Debug)]
+pub struct SegmentedJournal {
+    dir: PathBuf,
+    policy: RotationPolicy,
+    /// Index of the active segment.
+    index: u64,
+    writer: JournalWriter,
+    /// Records in the active segment.
+    segment_records: u64,
+    /// Frame bytes (headers + payloads, not the magic) in the active segment.
+    segment_bytes: u64,
+    /// Records across every segment ever written (sealed + active), i.e. the
+    /// journal's logical length.
+    total_records: u64,
+}
+
+impl SegmentedJournal {
+    /// Creates a fresh journal directory at `dir` (wiping any journal
+    /// artefacts already there) and opens segment 0.
+    pub fn create(dir: &Path, policy: RotationPolicy) -> Result<Self, JournalError> {
+        if dir.is_file() {
+            // Pre-rotation journals were single files; a stale one at the
+            // directory path would shadow the new layout.
+            std::fs::remove_file(dir).map_err(|e| io_err("create", dir, e))?;
+        }
+        std::fs::create_dir_all(dir).map_err(|e| io_err("create", dir, e))?;
+        for scan in [scan_dir(dir)?] {
+            for index in scan.sealed {
+                let p = segment_path(dir, index, true);
+                std::fs::remove_file(&p).map_err(|e| io_err("create", &p, e))?;
+            }
+            if let Some(index) = scan.open {
+                let p = segment_path(dir, index, false);
+                std::fs::remove_file(&p).map_err(|e| io_err("create", &p, e))?;
+            }
+            for upto in scan.snapshots {
+                let p = snapshot_path(dir, upto);
+                std::fs::remove_file(&p).map_err(|e| io_err("create", &p, e))?;
+            }
+        }
+        let writer = JournalWriter::create(&segment_path(dir, 0, false))?;
+        sync_dir(dir)?;
+        Ok(SegmentedJournal {
+            dir: dir.to_path_buf(),
+            policy,
+            index: 0,
+            writer,
+            segment_records: 0,
+            segment_bytes: 0,
+            total_records: 0,
+        })
+    }
+
+    /// Reopens a recovered journal directory for appending.
+    ///
+    /// `last_segment` is the final segment of the recovered chain (`None`
+    /// when every segment was garbage-collected and only a snapshot
+    /// remains); recovery has already truncated its torn tail to
+    /// `valid_bytes` / `records` worth of prefix.  If the last segment is
+    /// sealed (a crash hit between sealing and opening the successor) a
+    /// fresh active segment opens after it — sealed segments are never
+    /// reopened.
+    pub fn open_after_recovery(
+        dir: &Path,
+        policy: RotationPolicy,
+        last_segment: Option<(u64, bool)>,
+        valid_bytes: u64,
+        records_in_last: u64,
+        total_records: u64,
+    ) -> Result<Self, JournalError> {
+        let (index, writer, segment_records, segment_bytes) = match last_segment {
+            Some((index, false)) => {
+                let path = segment_path(dir, index, false);
+                // A valid prefix shorter than the magic means the segment
+                // file was created but its header never hit the disk —
+                // recreate it rather than appending after garbage.
+                let writer = if valid_bytes < MAGIC.len() as u64 {
+                    JournalWriter::create(&path)?
+                } else {
+                    JournalWriter::append_at(&path, valid_bytes)?
+                };
+                let bytes = valid_bytes.saturating_sub(MAGIC.len() as u64);
+                (index, writer, records_in_last, bytes)
+            }
+            Some((index, true)) => {
+                let writer = JournalWriter::create(&segment_path(dir, index + 1, false))?;
+                sync_dir(dir)?;
+                (index + 1, writer, 0, 0)
+            }
+            None => {
+                // Only snapshots survive: continue the chain after the
+                // newest one (`total_records` already counts its records).
+                let index = scan_dir(dir)?.snapshots.last().map_or(0, |&s| s + 1);
+                let writer = JournalWriter::create(&segment_path(dir, index, false))?;
+                sync_dir(dir)?;
+                (index, writer, 0, 0)
+            }
+        };
+        Ok(SegmentedJournal {
+            dir: dir.to_path_buf(),
+            policy,
+            index,
+            writer,
+            segment_records,
+            segment_bytes,
+            total_records,
+        })
+    }
+
+    /// The journal directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Index of the active segment.
+    pub fn active_index(&self) -> u64 {
+        self.index
+    }
+
+    /// Records across every segment ever written (the journal's logical
+    /// length).
+    pub fn total_records(&self) -> u64 {
+        self.total_records
+    }
+
+    /// Forces an explicit flush of the active segment.
+    pub fn sync(&self) -> Result<(), JournalError> {
+        self.writer.sync()
+    }
+
+    /// Appends one record durably to the active segment.
+    pub fn append(&mut self, record: &JournalRecord) -> Result<(), JournalError> {
+        let frame_bytes = self.writer.append(record)?;
+        self.segment_records += 1;
+        self.segment_bytes += frame_bytes;
+        self.total_records += 1;
+        Ok(())
+    }
+
+    /// `true` once the active segment exceeds the rotation policy.  The
+    /// caller checks this *after* the appended record has been applied to
+    /// the scheduler, so a snapshot taken at rotation covers exactly the
+    /// sealed prefix.
+    pub fn should_rotate(&self) -> bool {
+        self.segment_records >= self.policy.max_records
+            || self.segment_bytes >= self.policy.max_bytes
+    }
+
+    /// Seals the active segment and opens the next one.
+    ///
+    /// The sequence — each step durable before the next — is
+    ///
+    /// 1. fsync the active segment, rename `.open` → `.strj` (atomic),
+    ///    fsync the directory: the seal either happened or it did not;
+    /// 2. if `snapshot` bytes were supplied: write them to
+    ///    `snapshot-NNNNNN.tmp`, fsync, rename to `.strsnp`, fsync the
+    ///    directory — a crash mid-write leaves only an ignored `.tmp`;
+    /// 3. garbage-collect: keep the newest `retain_snapshots` snapshots,
+    ///    delete older ones, and delete sealed segments at or below the
+    ///    oldest *kept* snapshot (their records are all covered by it);
+    /// 4. create the next active segment.
+    ///
+    /// `chaos` aborts the process at the named point — the deterministic
+    /// stand-in for a crash landing inside the rotation window.
+    pub fn rotate(
+        &mut self,
+        snapshot: Option<&[u8]>,
+        retain_snapshots: usize,
+        chaos: Option<RotationCrashPoint>,
+    ) -> Result<RotationOutcome, JournalError> {
+        let sealed = self.index;
+        let open_path = segment_path(&self.dir, sealed, false);
+        let sealed_path = segment_path(&self.dir, sealed, true);
+        self.writer.sync()?;
+        std::fs::rename(&open_path, &sealed_path).map_err(|e| io_err("seal", &open_path, e))?;
+        sync_dir(&self.dir)?;
+        if chaos == Some(RotationCrashPoint::AfterSeal) {
+            std::process::abort();
+        }
+
+        let snapshot_written = if let Some(bytes) = snapshot {
+            let tmp = snapshot_tmp_path(&self.dir, sealed);
+            let publish = snapshot_path(&self.dir, sealed);
+            let mut file = OpenOptions::new()
+                .write(true)
+                .create(true)
+                .truncate(true)
+                .open(&tmp)
+                .map_err(|e| io_err("snapshot-write", &tmp, e))?;
+            file.write_all(bytes)
+                .map_err(|e| io_err("snapshot-write", &tmp, e))?;
+            file.sync_data()
+                .map_err(|e| io_err("snapshot-sync", &tmp, e))?;
+            drop(file);
+            if chaos == Some(RotationCrashPoint::AfterSnapshotTemp) {
+                std::process::abort();
+            }
+            std::fs::rename(&tmp, &publish).map_err(|e| io_err("snapshot-publish", &tmp, e))?;
+            sync_dir(&self.dir)?;
+            if chaos == Some(RotationCrashPoint::AfterSnapshotRename) {
+                std::process::abort();
+            }
+            true
+        } else {
+            false
+        };
+
+        let (gc_segments, gc_snapshots) = gc(&self.dir, retain_snapshots)?;
+
+        self.index = sealed + 1;
+        self.writer = JournalWriter::create(&segment_path(&self.dir, self.index, false))?;
+        sync_dir(&self.dir)?;
+        self.segment_records = 0;
+        self.segment_bytes = 0;
+        Ok(RotationOutcome {
+            sealed,
+            snapshot_written,
+            gc_segments,
+            gc_snapshots,
+        })
+    }
+}
+
+/// Garbage-collects a journal directory: keeps the newest
+/// `retain_snapshots` snapshots, deletes older snapshots, and deletes sealed
+/// segments at or below the oldest kept snapshot (every record they hold is
+/// covered by it).  With no snapshot on disk nothing is deleted.  Returns
+/// `(segments deleted, snapshots deleted)`.
+pub fn gc(dir: &Path, retain_snapshots: usize) -> Result<(usize, usize), JournalError> {
+    let scan = scan_dir(dir)?;
+    if scan.snapshots.is_empty() {
+        return Ok((0, 0));
+    }
+    let retain = retain_snapshots.max(1);
+    let kept_from = scan.snapshots.len().saturating_sub(retain);
+    let oldest_kept = scan.snapshots[kept_from];
+    let mut gc_snapshots = 0;
+    for &upto in &scan.snapshots[..kept_from] {
+        let p = snapshot_path(dir, upto);
+        std::fs::remove_file(&p).map_err(|e| io_err("gc", &p, e))?;
+        gc_snapshots += 1;
+    }
+    let mut gc_segments = 0;
+    for &index in scan.sealed.iter().filter(|&&s| s <= oldest_kept) {
+        let p = segment_path(dir, index, true);
+        std::fs::remove_file(&p).map_err(|e| io_err("gc", &p, e))?;
+        gc_segments += 1;
+    }
+    Ok((gc_segments, gc_snapshots))
+}
+
 /// Current wall clock in microseconds since the Unix epoch (0 if the clock
 /// reads before the epoch).  Stamped into records for debugging; replay
 /// never reads it.
@@ -292,26 +775,40 @@ pub fn wall_clock_micros() -> u64 {
         .unwrap_or(0)
 }
 
-/// Copies `src` to `dst` with every wall-clock stamp zeroed — the tool behind
-/// the "timestamps never influence replay" pin.  Fails on a torn source (the
-/// caller should recover first).
+/// Copies journal directory `src` to `dst` with every wall-clock stamp in
+/// every segment zeroed — the tool behind the "timestamps never influence
+/// replay" pin.  Snapshot files carry no wall clocks and are copied
+/// byte-identical.  Fails on a torn segment (the caller should recover
+/// first).
 pub fn rewrite_zeroed(src: &Path, dst: &Path) -> Result<usize, JournalError> {
-    let (records, tail) = load(src)?;
-    if tail != TailStatus::Clean {
-        return Err(JournalError::Io {
-            op: "rewrite-zeroed",
-            path: src.to_path_buf(),
-            message: "source journal has a torn tail; recover it first".into(),
-        });
+    let scan = scan_dir(src)?;
+    std::fs::create_dir_all(dst).map_err(|e| io_err("rewrite-zeroed", dst, e))?;
+    let mut total = 0;
+    for &index in &scan.chain() {
+        let sealed = scan.sealed.contains(&index);
+        let segment = segment_path(src, index, sealed);
+        let (records, tail) = load(&segment)?;
+        if tail != TailStatus::Clean {
+            return Err(JournalError::Io {
+                op: "rewrite-zeroed",
+                path: segment,
+                message: "source segment has a torn tail; recover it first".into(),
+            });
+        }
+        let mut writer = JournalWriter::create(&segment_path(dst, index, sealed))?;
+        for record in &records {
+            writer.append(&JournalRecord {
+                wall_micros: 0,
+                event: record.event,
+            })?;
+        }
+        total += records.len();
     }
-    let mut writer = JournalWriter::create(dst)?;
-    for record in &records {
-        writer.append(&JournalRecord {
-            wall_micros: 0,
-            event: record.event,
-        })?;
+    for &upto in &scan.snapshots {
+        std::fs::copy(snapshot_path(src, upto), snapshot_path(dst, upto))
+            .map_err(|e| io_err("rewrite-zeroed", &snapshot_path(src, upto), e))?;
     }
-    Ok(records.len())
+    Ok(total)
 }
 
 #[cfg(test)]
@@ -441,18 +938,154 @@ mod tests {
     fn rewrite_zeroed_strips_wall_clock_only() {
         let src = tmp("zero-src");
         let dst = tmp("zero-dst");
-        let mut w = JournalWriter::create(&src).unwrap();
+        let _ = std::fs::remove_dir_all(&src);
+        let _ = std::fs::remove_dir_all(&dst);
+        let mut journal = SegmentedJournal::create(
+            &src,
+            RotationPolicy {
+                max_records: 2,
+                max_bytes: u64::MAX,
+            },
+        )
+        .unwrap();
         for r in sample_records() {
-            w.append(&r).unwrap();
+            journal.append(&r).unwrap();
+            if journal.should_rotate() {
+                journal.rotate(None, usize::MAX, None).unwrap();
+            }
         }
         assert_eq!(rewrite_zeroed(&src, &dst).unwrap(), 3);
-        let (records, tail) = load(&dst).unwrap();
-        assert_eq!(tail, TailStatus::Clean);
-        for (zeroed, original) in records.iter().zip(sample_records()) {
+        let scan = scan_dir(&dst).unwrap();
+        assert_eq!(scan.sealed, vec![0]);
+        assert_eq!(scan.open, Some(1));
+        let mut zeroed = Vec::new();
+        for &index in &scan.chain() {
+            let sealed = scan.sealed.contains(&index);
+            let (records, tail) = load(&segment_path(&dst, index, sealed)).unwrap();
+            assert_eq!(tail, TailStatus::Clean);
+            zeroed.extend(records);
+        }
+        for (zeroed, original) in zeroed.iter().zip(sample_records()) {
             assert_eq!(zeroed.wall_micros, 0);
             assert_eq!(zeroed.event, original.event);
         }
-        std::fs::remove_file(&src).unwrap();
-        std::fs::remove_file(&dst).unwrap();
+        std::fs::remove_dir_all(&src).unwrap();
+        std::fs::remove_dir_all(&dst).unwrap();
+    }
+
+    #[test]
+    fn rotation_seals_segments_and_scan_orders_the_chain() {
+        let dir = tmp("rotate");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut journal = SegmentedJournal::create(
+            &dir,
+            RotationPolicy {
+                max_records: 1,
+                max_bytes: u64::MAX,
+            },
+        )
+        .unwrap();
+        for (i, r) in sample_records().iter().enumerate() {
+            journal.append(r).unwrap();
+            assert!(journal.should_rotate());
+            let outcome = journal.rotate(None, usize::MAX, None).unwrap();
+            assert_eq!(outcome.sealed, i as u64);
+            assert!(!outcome.snapshot_written);
+        }
+        assert_eq!(journal.total_records(), 3);
+        assert_eq!(journal.active_index(), 3);
+        let scan = scan_dir(&dir).unwrap();
+        assert_eq!(scan.sealed, vec![0, 1, 2]);
+        assert_eq!(scan.open, Some(3));
+        assert_eq!(scan.chain(), vec![0, 1, 2, 3]);
+        assert!(scan.snapshots.is_empty());
+        // Each sealed segment holds exactly one record, torn-free.
+        for &index in &scan.sealed {
+            let (records, tail) = load(&segment_path(&dir, index, true)).unwrap();
+            assert_eq!(records.len(), 1);
+            assert_eq!(tail, TailStatus::Clean);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn gc_keeps_newest_snapshots_and_covered_suffix_segments() {
+        let dir = tmp("gc");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut journal = SegmentedJournal::create(
+            &dir,
+            RotationPolicy {
+                max_records: 1,
+                max_bytes: u64::MAX,
+            },
+        )
+        .unwrap();
+        let records = sample_records();
+        // Three rotations, each publishing a snapshot, retaining 2.  Every
+        // rotation deletes the sealed segments at or below the oldest *kept*
+        // snapshot (their records are covered by it), so the just-sealed
+        // segment dies immediately while two snapshots cover it; the third
+        // rotation additionally expires snapshot 0.
+        for (i, r) in records.iter().enumerate() {
+            journal.append(r).unwrap();
+            let outcome = journal.rotate(Some(b"snapshot-bytes"), 2, None).unwrap();
+            assert!(outcome.snapshot_written);
+            match i {
+                0 => {
+                    // Snapshot 0 covers segment 0: gone at once.
+                    assert_eq!((outcome.gc_segments, outcome.gc_snapshots), (1, 0));
+                }
+                1 => {
+                    // Oldest kept is still snapshot 0; nothing new to drop.
+                    assert_eq!((outcome.gc_segments, outcome.gc_snapshots), (0, 0));
+                }
+                _ => {
+                    // Snapshot 0 expires; segment 1 is covered by the new
+                    // oldest kept (snapshot 1).
+                    assert_eq!((outcome.gc_segments, outcome.gc_snapshots), (1, 1));
+                }
+            }
+        }
+        let scan = scan_dir(&dir).unwrap();
+        assert_eq!(scan.snapshots, vec![1, 2]);
+        assert_eq!(scan.sealed, vec![2]);
+        assert_eq!(scan.open, Some(3));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn scan_rejects_contradictory_layouts() {
+        let dir = tmp("badlayout");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(segment_path(&dir, 0, false), MAGIC).unwrap();
+        std::fs::write(segment_path(&dir, 1, false), MAGIC).unwrap();
+        assert!(matches!(
+            scan_dir(&dir),
+            Err(JournalError::BadLayout { .. })
+        ));
+        std::fs::remove_file(segment_path(&dir, 1, false)).unwrap();
+        std::fs::write(segment_path(&dir, 0, true), MAGIC).unwrap();
+        assert!(matches!(
+            scan_dir(&dir),
+            Err(JournalError::BadLayout { .. })
+        ));
+        // An active segment older than a sealed one is equally impossible.
+        std::fs::remove_file(segment_path(&dir, 0, false)).unwrap();
+        std::fs::write(segment_path(&dir, 1, true), MAGIC).unwrap();
+        std::fs::write(segment_path(&dir, 0, false), MAGIC).unwrap();
+        assert!(matches!(
+            scan_dir(&dir),
+            Err(JournalError::BadLayout { .. })
+        ));
+        // Abandoned `.tmp` snapshots and foreign files are ignored.
+        std::fs::remove_file(segment_path(&dir, 0, false)).unwrap();
+        std::fs::write(dir.join("snapshot-000001.tmp"), b"half-written").unwrap();
+        std::fs::write(dir.join("README"), b"not a journal artefact").unwrap();
+        let scan = scan_dir(&dir).unwrap();
+        assert_eq!(scan.sealed, vec![0, 1]);
+        assert_eq!(scan.open, None);
+        assert!(scan.snapshots.is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

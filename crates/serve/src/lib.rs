@@ -13,6 +13,13 @@
 //! truncating at the first bad checksum.  Wall-clock timestamps are stamped
 //! into records for debugging but **never** consulted on replay.
 //!
+//! Replay is *bounded*: the journal is a directory of rotated segments
+//! ([`journal::SegmentedJournal`]) interleaved with self-verifying scheduler
+//! [`snapshot`]s, and recovery restores the newest snapshot whose digest
+//! verifies, replaying only the segment suffix past it (falling back one
+//! snapshot at a time — ultimately to full replay — on corruption, each
+//! rejection typed as a [`SnapshotRejectReason`]).
+//!
 //! Around the scheduler sit the robustness layers:
 //!
 //! * **validation + dead-letter queue** ([`dlq`]) — malformed or infeasible
@@ -35,13 +42,20 @@ pub mod journal;
 pub mod metrics;
 pub mod scheduler;
 pub mod service;
+pub mod snapshot;
 
 pub use bus::{spawn_service, BusHandle, BusMessage, BusSendError};
 pub use dlq::{DeadLetter, DeadLetterQueue};
 pub use event::{
     validate_submission, JournalEvent, JournalRecord, RejectReason, SolveTier, Submission,
 };
-pub use journal::{JournalError, JournalWriter, TailStatus, TornReason};
+pub use journal::{
+    JournalError, JournalWriter, RotationCrashPoint, RotationPolicy, SegmentedJournal, TailStatus,
+    TornReason,
+};
 pub use metrics::ServeMetrics;
 pub use scheduler::{AcceptedJob, PreparedDecision, ServeScheduler, SolveFailure};
-pub use service::{RecoverError, RecoveryReport, ServeConfig, StretchServe, SubmitOutcome};
+pub use service::{
+    RecoverError, RecoveryReport, ServeConfig, SnapshotRejectReason, StretchServe, SubmitOutcome,
+};
+pub use snapshot::{ServiceCounters, Snapshot, SnapshotError};

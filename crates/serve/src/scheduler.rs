@@ -391,6 +391,125 @@ impl ServeScheduler {
     }
 }
 
+/// How an exported active decision executes — the serializable mirror of
+/// the private `DecisionKind`.
+#[derive(Clone, Debug, PartialEq)]
+pub enum DecisionKindState {
+    /// Per-site chunk sequences (the LP/flow tiers).
+    Sequences(Vec<Vec<(usize, f64)>>),
+    /// A fixed priority order (the EDF shed tier).
+    ListOrder(Vec<usize>),
+}
+
+/// Serializable image of an installed-but-not-advanced decision: the tier,
+/// the frozen [`DeadlineProblem`] it solved (minus the [`SiteView`], which
+/// the platform reconstructs), and its execution plan.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ActiveDecisionState {
+    /// The tier that produced the decision.
+    pub tier: SolveTier,
+    /// Certified max-stretch (`None` for the EDF tier).
+    pub stretch: Option<f64>,
+    /// The frontier time the problem was frozen at.
+    pub now: f64,
+    /// The pending jobs of the frozen problem, verbatim.
+    pub jobs: Vec<PendingJob>,
+    /// The execution plan.
+    pub kind: DecisionKindState,
+}
+
+/// Plain-data image of the replayed scheduler state — exactly what
+/// [`ServeScheduler::state_digest`] covers, in serializable form (the
+/// snapshot layer encodes it to bytes).
+///
+/// Solver engines and their warm-start carryover (bases, remapping keys) are
+/// deliberately **absent**: the warm/cold identity contract of PRs 4–5 makes
+/// them performance-only, so a scheduler restored from this state restarts
+/// cold and still replays bit-identically.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SchedulerState {
+    /// Jobs staged so far, in arrival order.
+    pub jobs: Vec<AcceptedJob>,
+    /// Remaining work per job.
+    pub remaining: Vec<f64>,
+    /// Completion time per job (`NaN` while unfinished).
+    pub completions: Vec<f64>,
+    /// Whether a first job has been staged.
+    pub started: bool,
+    /// The decision frontier.
+    pub stage_time: f64,
+    /// Max-stretch of the most recent successful solve.
+    pub last_stretch: f64,
+    /// Decisions installed so far.
+    pub decisions: u64,
+    /// The installed decision, if the journal ended between a decision
+    /// record and the advance it precedes.
+    pub active: Option<ActiveDecisionState>,
+}
+
+impl ServeScheduler {
+    /// Exports the full replayed state (see [`SchedulerState`]).
+    pub fn export_state(&self) -> SchedulerState {
+        SchedulerState {
+            jobs: self.jobs.clone(),
+            remaining: self.remaining.clone(),
+            completions: self.completions.clone(),
+            started: self.started,
+            stage_time: self.stage_time,
+            last_stretch: self.last_stretch,
+            decisions: self.decisions,
+            active: self.active.as_ref().map(|d| ActiveDecisionState {
+                tier: d.tier,
+                stretch: d.stretch,
+                now: d.problem.now,
+                jobs: d.problem.jobs.clone(),
+                kind: match &d.kind {
+                    DecisionKind::Sequences(s) => DecisionKindState::Sequences(s.clone()),
+                    DecisionKind::ListOrder(o) => DecisionKindState::ListOrder(o.clone()),
+                },
+            }),
+        }
+    }
+
+    /// Rebuilds a scheduler from an exported state.  The caller supplies
+    /// `sites` (reconstructed from the platform — it is not serialized) and
+    /// `warm_start`; solvers restart cold, which is output-identical by the
+    /// warm/cold contract.
+    ///
+    /// The active decision's `DeadlineProblem` is rebuilt by *struct
+    /// literal*, not `DeadlineProblem::new` — the constructor filters
+    /// near-complete jobs, which would shift pending indices and corrupt
+    /// the frozen plan.
+    pub fn from_state(sites: SiteView, warm_start: bool, state: SchedulerState) -> Self {
+        let active = state.active.map(|d| PreparedDecision {
+            tier: d.tier,
+            problem: DeadlineProblem {
+                jobs: d.jobs,
+                sites: sites.clone(),
+                now: d.now,
+            },
+            kind: match d.kind {
+                DecisionKindState::Sequences(s) => DecisionKind::Sequences(s),
+                DecisionKindState::ListOrder(o) => DecisionKind::ListOrder(o),
+            },
+            stretch: d.stretch,
+        });
+        ServeScheduler {
+            sites,
+            warm_start,
+            jobs: state.jobs,
+            remaining: state.remaining,
+            completions: state.completions,
+            started: state.started,
+            stage_time: state.stage_time,
+            active,
+            last_stretch: state.last_stretch,
+            decisions: state.decisions,
+            solvers: [None, None, None],
+        }
+    }
+}
+
 /// Minimal FNV-1a 64-bit hasher (stable across platforms and runs, unlike
 /// `DefaultHasher`).
 struct Fnv(u64);
@@ -482,6 +601,43 @@ mod tests {
         s.advance(1.0);
         let d3 = s.state_digest();
         assert_ne!(d2, d3);
+    }
+
+    #[test]
+    fn export_restore_round_trips_mid_decision() {
+        // Restore with an *installed* decision pending: the frozen problem
+        // and plan must survive, and advancing both schedulers from the
+        // restored point must produce bit-identical completions.
+        let mut live = scheduler();
+        live.stage(0.0, 300.0, 0);
+        let d = live.try_solve(SolveTier::Monge).unwrap();
+        live.install(d);
+        live.advance(1.0);
+        live.stage(1.0, 60.0, 1);
+        let d = live.try_solve(SolveTier::Monge).unwrap();
+        live.install(d);
+
+        let state = live.export_state();
+        let mut restored =
+            ServeScheduler::from_state(SiteView::of_platform(&small_platform()), true, state);
+        assert_eq!(restored.state_digest(), live.state_digest());
+        assert_eq!(restored.decisions(), live.decisions());
+        assert!(restored.has_active());
+
+        live.advance(f64::INFINITY);
+        restored.advance(f64::INFINITY);
+        assert_eq!(restored.state_digest(), live.state_digest());
+        assert_eq!(
+            restored
+                .completions()
+                .iter()
+                .map(|c| c.to_bits())
+                .collect::<Vec<_>>(),
+            live.completions()
+                .iter()
+                .map(|c| c.to_bits())
+                .collect::<Vec<_>>()
+        );
     }
 
     #[test]

@@ -31,6 +31,35 @@
 //! breaker is open after `breaker_threshold` consecutive over-budget
 //! decisions, the EDF shed tier — plain list scheduling by virtual
 //! deadlines, no flow solve — takes the decision instead.
+//!
+//! ## Bounded-replay recovery
+//!
+//! The journal is a *directory* of rotated segments plus scheduler-state
+//! snapshots (see [`journal`] and [`snapshot`]).  After
+//! each applied record the service checks the [`RotationPolicy`] threshold;
+//! when due, the active segment is sealed, a snapshot of the exact
+//! post-record state may be published (every `snapshot_every`th seal), and
+//! sealed segments wholly covered by the oldest retained snapshot are
+//! garbage-collected — so recovery work and disk stay bounded however long
+//! the stream runs.
+//!
+//! [`StretchServe::recover`] walks a candidate ladder:
+//!
+//! 1. **newest snapshot first** — decode it (CRC), rebuild the scheduler,
+//!    recompute the FNV-1a state digest against the embedded one, and
+//!    replay only the segment suffix past the snapshot's record count;
+//! 2. any failure (unreadable/corrupt snapshot, digest mismatch, missing
+//!    suffix segments, a suffix record that does not replay) **rejects the
+//!    candidate with a typed [`SnapshotRejectReason`]** and recovery falls
+//!    back to the next-older snapshot;
+//! 3. the final candidate is **full replay** from segment 0 — exactly the
+//!    pre-rotation recovery path — available as long as segment 0 has not
+//!    been garbage-collected.
+//!
+//! Whatever candidate wins, the recovered state is bit-identical to the
+//! uninterrupted run (the same digest-compare contract as before; extended
+//! by the rotation tests to every crash point of the seal → snapshot →
+//! reopen sequence).
 
 use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
@@ -42,9 +71,13 @@ use crate::dlq::{DeadLetter, DeadLetterQueue};
 use crate::event::{
     validate_submission, JournalEvent, JournalRecord, RejectReason, SolveTier, Submission,
 };
-use crate::journal::{self, JournalError, JournalWriter, TailStatus, TornReason};
+use crate::journal::{
+    self, JournalError, RotationCrashPoint, RotationPolicy, SegmentScan, SegmentedJournal,
+    TailStatus, TornReason,
+};
 use crate::metrics::ServeMetrics;
 use crate::scheduler::{PreparedDecision, ServeScheduler, SolveFailure, EVENT_TOL};
+use crate::snapshot::{self, ServiceCounters, Snapshot, SnapshotError};
 
 /// Configuration of the serve loop.
 #[derive(Clone, Debug)]
@@ -63,10 +96,23 @@ pub struct ServeConfig {
     pub breaker_cooldown: u32,
     /// Dead-letter queue retention.
     pub dlq_capacity: usize,
+    /// When the active journal segment rotates (record/byte threshold).
+    pub rotation: RotationPolicy,
+    /// Snapshot cadence in seals: a snapshot is published at every
+    /// `snapshot_every`th segment seal (1 = every seal).  Must be nonzero.
+    pub snapshot_every: u64,
+    /// Snapshots retained on disk; older snapshots — and the sealed
+    /// segments wholly covered by the oldest retained one — are
+    /// garbage-collected at rotation and after recovery.  Clamped to ≥ 1.
+    pub snapshot_retain: usize,
     /// Chaos injection for tests: `(decision_index, tier)` pairs that force
     /// the given solver rung to fail at the given decision.  Only solver
     /// rungs are affected (the EDF tier cannot fail).
     pub chaos_tier_failures: Vec<(u64, SolveTier)>,
+    /// Chaos injection for tests: abort the process at the given point of
+    /// the rotation sealing segment `index` — the deterministic stand-in
+    /// for a crash landing inside the seal → snapshot → reopen window.
+    pub chaos_rotation_abort: Option<(u64, RotationCrashPoint)>,
 }
 
 impl Default for ServeConfig {
@@ -78,7 +124,11 @@ impl Default for ServeConfig {
             breaker_threshold: 3,
             breaker_cooldown: 4,
             dlq_capacity: 1024,
+            rotation: RotationPolicy::default(),
+            snapshot_every: 1,
+            snapshot_retain: 2,
             chaos_tier_failures: Vec::new(),
+            chaos_rotation_abort: None,
         }
     }
 }
@@ -90,6 +140,46 @@ impl ServeConfig {
             solver,
             ..Default::default()
         }
+    }
+
+    /// A config read from the environment: the solver from
+    /// `STRETCH_MINCOST_BACKEND` / `STRETCH_WARM_START`, the rotation and
+    /// snapshot knobs from
+    ///
+    /// * `STRETCH_SERVE_SEGMENT_RECORDS` — records per segment before
+    ///   rotation (default 1024),
+    /// * `STRETCH_SERVE_SEGMENT_BYTES` — frame bytes per segment before
+    ///   rotation (default 1 MiB),
+    /// * `STRETCH_SERVE_SNAPSHOT_EVERY` — snapshot cadence in seals
+    ///   (default 1),
+    /// * `STRETCH_SERVE_SNAPSHOT_RETAIN` — snapshots retained (default 2).
+    ///
+    /// All four follow the strict `STRETCH_*` parse policy: unset falls
+    /// back to the default; `0`, overflow, garbage or non-unicode values
+    /// abort loudly with the offending string
+    /// (see [`SolverConfig::env_u64_nonzero`]).
+    pub fn from_env() -> Self {
+        let defaults = RotationPolicy::default();
+        let mut config = ServeConfig::with_solver(SolverConfig::from_env());
+        config.rotation = RotationPolicy {
+            max_records: SolverConfig::env_u64_nonzero(
+                "STRETCH_SERVE_SEGMENT_RECORDS",
+                defaults.max_records,
+            ),
+            max_bytes: SolverConfig::env_u64_nonzero(
+                "STRETCH_SERVE_SEGMENT_BYTES",
+                defaults.max_bytes,
+            ),
+        };
+        config.snapshot_every = SolverConfig::env_u64_nonzero("STRETCH_SERVE_SNAPSHOT_EVERY", 1);
+        config.snapshot_retain = usize::try_from(SolverConfig::env_u64_nonzero(
+            "STRETCH_SERVE_SNAPSHOT_RETAIN",
+            2,
+        ))
+        .unwrap_or_else(|_| {
+            panic!("STRETCH_SERVE_SNAPSHOT_RETAIN overflows usize on this platform")
+        });
+        config
     }
 
     /// The solver rungs of the degradation ladder: the suffix of
@@ -121,19 +211,87 @@ impl SubmitOutcome {
     }
 }
 
+/// Why a snapshot candidate was rejected during recovery — one entry per
+/// skipped snapshot in [`RecoveryReport::rejected_snapshots`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum SnapshotRejectReason {
+    /// The snapshot file could not be read or decoded (I/O, bad magic,
+    /// truncation, checksum mismatch, malformed payload).
+    Decode(SnapshotError),
+    /// The snapshot decoded, but the scheduler rebuilt from it does not
+    /// reproduce the embedded FNV-1a state digest — the state is not the
+    /// one it claims to be (checksum collision or encoder/decoder skew).
+    DigestMismatch {
+        /// The digest embedded in the snapshot.
+        expected: u64,
+        /// The digest of the rebuilt scheduler.
+        actual: u64,
+    },
+    /// The segment suffix past the snapshot has a gap: segment `needed` is
+    /// neither on disk nor covered by the snapshot.
+    MissingSegments {
+        /// The first missing segment index.
+        needed: u64,
+    },
+    /// A mid-chain sealed segment of the suffix is torn or unreadable —
+    /// sealed data is fsynced before the rename, so this is disk
+    /// corruption, not a crash artefact.
+    Segment {
+        /// The offending segment index.
+        segment: u64,
+        /// What was wrong.
+        reason: String,
+    },
+    /// A suffix record does not replay on top of the restored state.
+    Replay {
+        /// Journal-global index of the offending record.
+        record: usize,
+        /// What was wrong.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for SnapshotRejectReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotRejectReason::Decode(e) => write!(f, "{e}"),
+            SnapshotRejectReason::DigestMismatch { expected, actual } => write!(
+                f,
+                "state digest mismatch: snapshot claims {expected:#018x}, rebuilt state is {actual:#018x}"
+            ),
+            SnapshotRejectReason::MissingSegments { needed } => {
+                write!(f, "segment {needed} of the replay suffix is missing")
+            }
+            SnapshotRejectReason::Segment { segment, reason } => {
+                write!(f, "sealed segment {segment} is corrupt: {reason}")
+            }
+            SnapshotRejectReason::Replay { record, reason } => {
+                write!(f, "record {record} does not replay: {reason}")
+            }
+        }
+    }
+}
+
 /// Why recovery failed.
 #[derive(Clone, Debug, PartialEq)]
 pub enum RecoverError {
-    /// The journal file could not be read or is not a journal.
+    /// The journal directory could not be read or is not a journal.
     Journal(JournalError),
     /// The journal parsed but its record sequence is semantically impossible
     /// (bad sequence number, out-of-order releases, a decision that does not
     /// replay) — checksum-valid garbage or a foreign file.
     Corrupt {
-        /// Index of the offending record.
+        /// Journal-global index of the offending record.
         record: usize,
         /// What was wrong.
         reason: String,
+    },
+    /// Every candidate failed: each snapshot was rejected for the paired
+    /// typed reason, and full replay was impossible (segment 0 has been
+    /// garbage-collected — its records exist only inside the snapshots).
+    Unrecoverable {
+        /// The rejected snapshots, newest first.
+        rejected: Vec<(u64, SnapshotRejectReason)>,
     },
 }
 
@@ -143,6 +301,17 @@ impl std::fmt::Display for RecoverError {
             RecoverError::Journal(e) => write!(f, "{e}"),
             RecoverError::Corrupt { record, reason } => {
                 write!(f, "journal record {record} is corrupt: {reason}")
+            }
+            RecoverError::Unrecoverable { rejected } => {
+                write!(
+                    f,
+                    "no recovery candidate survived ({} snapshots rejected",
+                    rejected.len()
+                )?;
+                for (upto, reason) in rejected {
+                    write!(f, "; snapshot {upto}: {reason}")?;
+                }
+                write!(f, ") and segment 0 is garbage-collected")
             }
         }
     }
@@ -159,16 +328,244 @@ impl From<JournalError> for RecoverError {
 /// Summary of a successful recovery.
 #[derive(Clone, Debug, PartialEq)]
 pub struct RecoveryReport {
-    /// Records replayed from the valid prefix.
+    /// Records accounted for in total: those covered by the snapshot (if
+    /// one was used) plus those replayed from the segment suffix.
     pub records: usize,
-    /// Submissions among them.
+    /// Submissions among them (total, snapshot + replayed).
     pub submissions: u64,
-    /// Decisions among them.
+    /// Decisions among them (total, snapshot + replayed).
     pub decisions: u64,
-    /// Why the tail was torn, when it was.
+    /// Sealed-segment index of the snapshot recovery restored from
+    /// (`None` = full replay).
+    pub snapshot: Option<u64>,
+    /// Records covered by that snapshot (0 for full replay).
+    pub snapshot_records: u64,
+    /// Records actually replayed from segments.
+    pub replayed_records: usize,
+    /// Snapshots rejected before the winning candidate, newest first, each
+    /// with its typed reason.
+    pub rejected_snapshots: Vec<(u64, SnapshotRejectReason)>,
+    /// Why the tail of the last segment was torn, when it was.
     pub torn: Option<TornReason>,
     /// Bytes of torn tail truncated before reopening for append.
     pub truncated_bytes: u64,
+    /// Sealed segments garbage-collected after recovery.
+    pub gc_segments: usize,
+    /// Snapshots garbage-collected after recovery.
+    pub gc_snapshots: usize,
+}
+
+/// What one replayed record was.
+enum ReplayedEvent {
+    Submission,
+    Decision(SolveTier),
+}
+
+/// Applies one journaled event to a replaying scheduler.  The error is just
+/// the reason string — the caller knows the record's journal-global index.
+fn replay_one(
+    platform: &Platform,
+    scheduler: &mut ServeScheduler,
+    seq: &mut u64,
+    event: &JournalEvent,
+) -> Result<ReplayedEvent, String> {
+    match *event {
+        JournalEvent::Submitted {
+            seq: s,
+            release,
+            work,
+            databank,
+        } => {
+            if s != *seq {
+                return Err(format!("expected sequence {}, found {s}", *seq));
+            }
+            let databank = usize::try_from(databank)
+                .map_err(|_| format!("databank id {databank} overflows usize"))?;
+            let submission = Submission::new(release, work, databank);
+            validate_submission(&submission, platform)
+                .map_err(|e| format!("journaled submission invalid: {e}"))?;
+            if scheduler.started() {
+                let frontier = scheduler.stage_time();
+                if release < frontier - EVENT_TOL
+                    || (scheduler.has_active() && release <= frontier + EVENT_TOL)
+                {
+                    return Err(format!(
+                        "release {release} behind the replayed frontier {frontier}"
+                    ));
+                }
+                if release > frontier + EVENT_TOL {
+                    if scheduler.needs_decision() {
+                        return Err(
+                            "frontier moves with a decision due but no decision record".into()
+                        );
+                    }
+                    scheduler.advance(release);
+                }
+            }
+            scheduler.stage(release, work, databank);
+            *seq += 1;
+            Ok(ReplayedEvent::Submission)
+        }
+        JournalEvent::Decision { tier } => {
+            if !scheduler.needs_decision() {
+                return Err(format!(
+                    "{} decision record but no decision is due",
+                    tier.name()
+                ));
+            }
+            match scheduler.try_solve(tier) {
+                Ok(prepared) => scheduler.install(prepared),
+                Err(e) => {
+                    return Err(format!(
+                        "journaled {} decision does not replay: {e}",
+                        tier.name()
+                    ))
+                }
+            }
+            Ok(ReplayedEvent::Decision(tier))
+        }
+    }
+}
+
+/// What replaying a run of segments accumulated.
+struct SegmentReplay {
+    /// Submissions replayed (suffix only, not the snapshot's).
+    submissions: u64,
+    /// Decisions replayed.
+    decisions: u64,
+    /// Replayed decisions per tier.
+    decisions_by_tier: [u64; 4],
+    /// Records replayed.
+    replayed: usize,
+    /// Torn-tail reason of the last segment, when its tail was torn.
+    torn: Option<TornReason>,
+    /// Bytes past the last segment's valid prefix.
+    truncated_bytes: u64,
+    /// Valid prefix bytes of the final segment (what reopen truncates to).
+    last_valid_bytes: u64,
+    /// Records in the final segment.
+    last_records: u64,
+}
+
+/// Why a segment suffix did not replay — mapped by the caller to
+/// [`RecoverError`] (full replay) or [`SnapshotRejectReason`] (candidate).
+enum ReplayError {
+    /// A segment could not be loaded at all.
+    Segment { segment: u64, error: JournalError },
+    /// A *sealed* segment has a torn tail: sealed data is fsynced before the
+    /// rename, so this is disk corruption, not a crash artefact.
+    SealedTorn {
+        segment: u64,
+        reason: TornReason,
+        record: usize,
+    },
+    /// A record does not replay (journal-global index).
+    Record { record: usize, reason: String },
+}
+
+/// Replays `segments` (in chain order) on top of `scheduler`, which already
+/// holds the state of the first `base_records` records.  A torn tail is
+/// tolerated only on the last segment when it is the active (`.open`) one;
+/// `tolerate_empty_last` additionally forgives a last open segment whose
+/// magic header never reached the disk (created, crashed before the sync).
+fn replay_segments(
+    dir: &Path,
+    platform: &Platform,
+    scheduler: &mut ServeScheduler,
+    seq: &mut u64,
+    base_records: u64,
+    segments: &[(u64, bool)],
+    tolerate_empty_last: bool,
+) -> Result<SegmentReplay, ReplayError> {
+    let mut out = SegmentReplay {
+        submissions: 0,
+        decisions: 0,
+        decisions_by_tier: [0; 4],
+        replayed: 0,
+        torn: None,
+        truncated_bytes: 0,
+        last_valid_bytes: 0,
+        last_records: 0,
+    };
+    for (pos, &(index, sealed)) in segments.iter().enumerate() {
+        let last = pos + 1 == segments.len();
+        let path = journal::segment_path(dir, index, sealed);
+        let (records, tail) = match journal::load(&path) {
+            Ok(v) => v,
+            Err(JournalError::BadMagic { .. }) if last && !sealed && tolerate_empty_last => {
+                // The segment file was created but its header never hit the
+                // disk: an empty segment, recreated on reopen.
+                out.last_valid_bytes = 0;
+                out.last_records = 0;
+                continue;
+            }
+            Err(e) => {
+                return Err(ReplayError::Segment {
+                    segment: index,
+                    error: e,
+                })
+            }
+        };
+        if let TailStatus::Torn {
+            valid_bytes,
+            reason,
+        } = tail
+        {
+            if sealed {
+                return Err(ReplayError::SealedTorn {
+                    segment: index,
+                    reason,
+                    record: base_records as usize + out.replayed + records.len(),
+                });
+            }
+            let file_len = std::fs::metadata(&path)
+                .map(|m| m.len())
+                .unwrap_or(valid_bytes);
+            out.torn = Some(reason);
+            out.truncated_bytes = file_len.saturating_sub(valid_bytes);
+            out.last_valid_bytes = valid_bytes;
+        } else if last {
+            out.last_valid_bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+        }
+        if last {
+            out.last_records = records.len() as u64;
+        }
+        for record in &records {
+            let idx = base_records as usize + out.replayed;
+            match replay_one(platform, scheduler, seq, &record.event) {
+                Ok(ReplayedEvent::Submission) => out.submissions += 1,
+                Ok(ReplayedEvent::Decision(tier)) => {
+                    out.decisions += 1;
+                    out.decisions_by_tier[tier.code() as usize] += 1;
+                }
+                Err(reason) => {
+                    return Err(ReplayError::Record {
+                        record: idx,
+                        reason,
+                    })
+                }
+            }
+            out.replayed += 1;
+        }
+    }
+    Ok(out)
+}
+
+/// The state a winning recovery candidate produced, before the journal is
+/// reopened and the report assembled.
+struct Recovered {
+    scheduler: ServeScheduler,
+    seq: u64,
+    metrics: ServeMetrics,
+    breaker_busts: u32,
+    breaker_open_cooldown: u32,
+    snapshot: Option<u64>,
+    snapshot_records: u64,
+    replayed: usize,
+    torn: Option<TornReason>,
+    truncated_bytes: u64,
+    last_valid_bytes: u64,
+    last_records: u64,
 }
 
 /// The crash-safe streaming scheduler service.
@@ -176,7 +573,7 @@ pub struct StretchServe {
     platform: Platform,
     config: ServeConfig,
     scheduler: ServeScheduler,
-    journal: JournalWriter,
+    journal: SegmentedJournal,
     dlq: DeadLetterQueue,
     metrics: ServeMetrics,
     /// Next submission sequence number.
@@ -189,18 +586,18 @@ pub struct StretchServe {
 }
 
 impl StretchServe {
-    /// Starts a fresh service journaling to `path` (truncates any existing
-    /// file there).
+    /// Starts a fresh service journaling into directory `path` (wiping any
+    /// journal artefacts already there).
     pub fn create(
         path: &Path,
         platform: Platform,
         config: ServeConfig,
     ) -> Result<Self, JournalError> {
-        let journal = JournalWriter::create(path)?;
+        let journal = SegmentedJournal::create(path, config.rotation)?;
         Ok(Self::assemble(platform, config, journal))
     }
 
-    fn assemble(platform: Platform, config: ServeConfig, journal: JournalWriter) -> Self {
+    fn assemble(platform: Platform, config: ServeConfig, journal: SegmentedJournal) -> Self {
         let scheduler =
             ServeScheduler::new(SiteView::of_platform(&platform), config.solver.warm_start);
         let dlq = DeadLetterQueue::new(config.dlq_capacity);
@@ -218,112 +615,103 @@ impl StretchServe {
         }
     }
 
-    /// Recovers a service from an existing journal: parses the valid prefix,
-    /// truncates any torn tail, and replays every record through the
-    /// deterministic scheduler — reaching bit-identical state to the process
+    /// Recovers a service from an existing journal directory, walking the
+    /// candidate ladder of the module docs: newest snapshot + segment-suffix
+    /// replay first, falling back one snapshot at a time (each rejection
+    /// recorded with its typed [`SnapshotRejectReason`]), and finally full
+    /// replay from segment 0 — reaching bit-identical state to the process
     /// that wrote the journal (pinned by the kill-and-recover tests).
     ///
-    /// Circuit-breaker arming state is *not* recovered: it is live timing
-    /// policy, and its past effects are already explicit in the journaled
-    /// tiers.
+    /// Snapshots that failed verification are deleted (they can never heal),
+    /// then the directory is garbage-collected against the surviving ones.
+    ///
+    /// Circuit-breaker arming state is recovered only through a snapshot
+    /// (it is live timing policy the journal never records): full replay
+    /// restarts it at zero.  The dead-letter queue's *letters* are likewise
+    /// live-only — a snapshot carries the `dead_lettered` count, not the
+    /// parked submissions.
     pub fn recover(
         path: &Path,
         platform: Platform,
         config: ServeConfig,
     ) -> Result<(Self, RecoveryReport), RecoverError> {
-        let (records, tail) = journal::load(path)?;
-        let mut scheduler =
-            ServeScheduler::new(SiteView::of_platform(&platform), config.solver.warm_start);
-        let mut metrics = ServeMetrics::new();
-        let mut seq = 0u64;
-        let mut submissions = 0u64;
-        let mut decisions = 0u64;
-        for (idx, record) in records.iter().enumerate() {
-            let corrupt = |reason: String| RecoverError::Corrupt {
-                record: idx,
-                reason,
-            };
-            match record.event {
-                JournalEvent::Submitted {
-                    seq: s,
-                    release,
-                    work,
-                    databank,
-                } => {
-                    if s != seq {
-                        return Err(corrupt(format!("expected sequence {seq}, found {s}")));
-                    }
-                    let databank = usize::try_from(databank)
-                        .map_err(|_| corrupt(format!("databank id {databank} overflows usize")))?;
-                    let submission = Submission::new(release, work, databank);
-                    validate_submission(&submission, &platform)
-                        .map_err(|e| corrupt(format!("journaled submission invalid: {e}")))?;
-                    if scheduler.started() {
-                        let frontier = scheduler.stage_time();
-                        if release < frontier - EVENT_TOL
-                            || (scheduler.has_active() && release <= frontier + EVENT_TOL)
-                        {
-                            return Err(corrupt(format!(
-                                "release {release} behind the replayed frontier {frontier}"
-                            )));
-                        }
-                        if release > frontier + EVENT_TOL {
-                            if scheduler.needs_decision() {
-                                return Err(corrupt(
-                                    "frontier moves with a decision due but no decision record"
-                                        .into(),
-                                ));
-                            }
-                            scheduler.advance(release);
-                        }
-                    }
-                    scheduler.stage(release, work, databank);
-                    seq += 1;
-                    submissions += 1;
-                }
-                JournalEvent::Decision { tier } => {
-                    if !scheduler.needs_decision() {
-                        return Err(corrupt(format!(
-                            "{} decision record but no decision is due",
-                            tier.name()
-                        )));
-                    }
-                    match scheduler.try_solve(tier) {
-                        Ok(prepared) => scheduler.install(prepared),
-                        Err(e) => {
-                            return Err(corrupt(format!(
-                                "journaled {} decision does not replay: {e}",
-                                tier.name()
-                            )))
-                        }
-                    }
-                    decisions += 1;
-                    metrics.decisions += 1;
-                    metrics.decisions_by_tier[tier.code() as usize] += 1;
-                }
+        let scan = journal::scan_dir(path)?;
+        let chain = scan.chain();
+        if chain.is_empty() && scan.snapshots.is_empty() {
+            return Err(JournalError::BadLayout {
+                dir: path.to_path_buf(),
+                reason: "no segments and no snapshots".into(),
             }
-            metrics.replayed_records += 1;
+            .into());
         }
-        metrics.submitted = submissions;
-        metrics.accepted = submissions;
-
-        let file_len = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
-        let (torn, valid_bytes) = match tail {
-            TailStatus::Clean => (None, file_len),
-            TailStatus::Torn {
-                valid_bytes,
-                reason,
-            } => (Some(reason), valid_bytes),
+        let mut rejected: Vec<(u64, SnapshotRejectReason)> = Vec::new();
+        let mut winner = None;
+        for &upto in scan.snapshots.iter().rev() {
+            match Self::recover_from_snapshot(path, &platform, &config, upto, &scan, &chain) {
+                Ok(r) => {
+                    winner = Some(r);
+                    break;
+                }
+                Err(reason) => rejected.push((upto, reason)),
+            }
+        }
+        let recovered = match winner {
+            Some(r) => r,
+            None if chain.first() == Some(&0) => {
+                Self::recover_full(path, &platform, &config, &scan, &chain)?
+            }
+            None => return Err(RecoverError::Unrecoverable { rejected }),
         };
-        metrics.torn_bytes_truncated = file_len.saturating_sub(valid_bytes);
-        let journal = JournalWriter::append_at(path, valid_bytes)?;
-
-        let report = RecoveryReport {
-            records: records.len(),
-            submissions,
-            decisions,
+        // Rejected snapshots failed verification and can never heal; delete
+        // them so the GC below never computes segment coverage from a
+        // snapshot recovery itself refused to trust.
+        for &(upto, _) in &rejected {
+            let p = journal::snapshot_path(path, upto);
+            std::fs::remove_file(&p).map_err(|e| {
+                RecoverError::Journal(JournalError::Io {
+                    op: "gc",
+                    path: p.clone(),
+                    message: e.to_string(),
+                })
+            })?;
+        }
+        let (gc_segments, gc_snapshots) = journal::gc(path, config.snapshot_retain)?;
+        let last_segment = chain.last().map(|&i| (i, scan.sealed.contains(&i)));
+        let journal = SegmentedJournal::open_after_recovery(
+            path,
+            config.rotation,
+            last_segment,
+            recovered.last_valid_bytes,
+            recovered.last_records,
+            recovered.snapshot_records + recovered.replayed as u64,
+        )?;
+        let Recovered {
+            scheduler,
+            seq,
+            mut metrics,
+            breaker_busts,
+            breaker_open_cooldown,
+            snapshot,
+            snapshot_records,
+            replayed,
             torn,
-            truncated_bytes: file_len.saturating_sub(valid_bytes),
+            truncated_bytes,
+            ..
+        } = recovered;
+        metrics.replayed_records = replayed as u64;
+        metrics.torn_bytes_truncated = truncated_bytes;
+        let report = RecoveryReport {
+            records: snapshot_records as usize + replayed,
+            submissions: seq,
+            decisions: scheduler.decisions(),
+            snapshot,
+            snapshot_records,
+            replayed_records: replayed,
+            rejected_snapshots: rejected,
+            torn,
+            truncated_bytes,
+            gc_segments,
+            gc_snapshots,
         };
         let dlq = DeadLetterQueue::new(config.dlq_capacity);
         let serve = StretchServe {
@@ -335,10 +723,216 @@ impl StretchServe {
             metrics,
             seq,
             finished: false,
-            breaker_busts: 0,
-            breaker_open_cooldown: 0,
+            breaker_busts,
+            breaker_open_cooldown,
         };
         Ok((serve, report))
+    }
+
+    /// One rung of the candidate ladder: restore from the snapshot covering
+    /// sealed segment `upto` and replay the segment suffix past it.
+    fn recover_from_snapshot(
+        dir: &Path,
+        platform: &Platform,
+        config: &ServeConfig,
+        upto: u64,
+        scan: &SegmentScan,
+        chain: &[u64],
+    ) -> Result<Recovered, SnapshotRejectReason> {
+        let snap = snapshot::load(&journal::snapshot_path(dir, upto))
+            .map_err(SnapshotRejectReason::Decode)?;
+        if let Some(open) = scan.open {
+            if upto >= open {
+                // Snapshots only ever cover *sealed* segments; a snapshot
+                // claiming the active one is contradictory.
+                return Err(SnapshotRejectReason::Segment {
+                    segment: open,
+                    reason: "active segment is claimed covered by the snapshot".into(),
+                });
+            }
+        }
+        let mut scheduler = ServeScheduler::from_state(
+            SiteView::of_platform(platform),
+            config.solver.warm_start,
+            snap.state,
+        );
+        let actual = scheduler.state_digest();
+        if actual != snap.digest {
+            return Err(SnapshotRejectReason::DigestMismatch {
+                expected: snap.digest,
+                actual,
+            });
+        }
+        let mut segments = Vec::new();
+        for (expect, &i) in (upto + 1..).zip(chain.iter().filter(|&&i| i > upto)) {
+            if i != expect {
+                return Err(SnapshotRejectReason::MissingSegments { needed: expect });
+            }
+            segments.push((i, scan.sealed.contains(&i)));
+        }
+        let counters = snap.counters;
+        let mut seq = counters.seq;
+        let stats = replay_segments(
+            dir,
+            platform,
+            &mut scheduler,
+            &mut seq,
+            counters.records,
+            &segments,
+            true,
+        )
+        .map_err(|e| match e {
+            ReplayError::Segment { segment, error } => SnapshotRejectReason::Segment {
+                segment,
+                reason: error.to_string(),
+            },
+            ReplayError::SealedTorn {
+                segment, reason, ..
+            } => SnapshotRejectReason::Segment {
+                segment,
+                reason: format!("torn tail in a sealed segment: {reason}"),
+            },
+            ReplayError::Record { record, reason } => {
+                SnapshotRejectReason::Replay { record, reason }
+            }
+        })?;
+        let mut metrics = ServeMetrics::new();
+        metrics.submitted = counters.submitted + stats.submissions;
+        metrics.accepted = counters.accepted + stats.submissions;
+        metrics.dead_lettered = counters.dead_lettered;
+        metrics.decisions = counters.decisions + stats.decisions;
+        for (tally, (snap_t, replay_t)) in metrics.decisions_by_tier.iter_mut().zip(
+            counters
+                .decisions_by_tier
+                .iter()
+                .zip(stats.decisions_by_tier.iter()),
+        ) {
+            *tally = snap_t + replay_t;
+        }
+        metrics.fallbacks = counters.fallbacks;
+        metrics.budget_busts = counters.budget_busts;
+        metrics.breaker_opens = counters.breaker_opens;
+        metrics.shed_decisions = counters.shed_decisions;
+        Ok(Recovered {
+            scheduler,
+            seq,
+            metrics,
+            breaker_busts: counters.breaker_busts,
+            breaker_open_cooldown: counters.breaker_open_cooldown,
+            snapshot: Some(upto),
+            snapshot_records: counters.records,
+            replayed: stats.replayed,
+            torn: stats.torn,
+            truncated_bytes: stats.truncated_bytes,
+            last_valid_bytes: stats.last_valid_bytes,
+            last_records: stats.last_records,
+        })
+    }
+
+    /// The last candidate: full replay of the whole chain from segment 0 —
+    /// exactly the pre-rotation recovery path.
+    fn recover_full(
+        dir: &Path,
+        platform: &Platform,
+        config: &ServeConfig,
+        scan: &SegmentScan,
+        chain: &[u64],
+    ) -> Result<Recovered, RecoverError> {
+        let mut scheduler =
+            ServeScheduler::new(SiteView::of_platform(platform), config.solver.warm_start);
+        let mut seq = 0u64;
+        let segments: Vec<(u64, bool)> = chain
+            .iter()
+            .map(|&i| (i, scan.sealed.contains(&i)))
+            .collect();
+        let stats = replay_segments(
+            dir,
+            platform,
+            &mut scheduler,
+            &mut seq,
+            0,
+            &segments,
+            chain.len() > 1,
+        )
+        .map_err(|e| match e {
+            ReplayError::Segment { error, .. } => RecoverError::Journal(error),
+            ReplayError::SealedTorn {
+                segment,
+                reason,
+                record,
+            } => RecoverError::Corrupt {
+                record,
+                reason: format!(
+                    "sealed segment {segment} has a torn tail ({reason}); sealed data is \
+                     fsynced before the rename, so this is disk corruption"
+                ),
+            },
+            ReplayError::Record { record, reason } => RecoverError::Corrupt { record, reason },
+        })?;
+        let mut metrics = ServeMetrics::new();
+        metrics.submitted = stats.submissions;
+        metrics.accepted = stats.submissions;
+        metrics.decisions = stats.decisions;
+        metrics.decisions_by_tier = stats.decisions_by_tier;
+        Ok(Recovered {
+            scheduler,
+            seq,
+            metrics,
+            breaker_busts: 0,
+            breaker_open_cooldown: 0,
+            snapshot: None,
+            snapshot_records: 0,
+            replayed: stats.replayed,
+            torn: stats.torn,
+            truncated_bytes: stats.truncated_bytes,
+            last_valid_bytes: stats.last_valid_bytes,
+            last_records: stats.last_records,
+        })
+    }
+
+    /// Freezes the full service state — scheduler + counters + the
+    /// self-verification digest — as of the last applied record.
+    fn export_snapshot(&self) -> Snapshot {
+        Snapshot {
+            state: self.scheduler.export_state(),
+            counters: ServiceCounters {
+                seq: self.seq,
+                records: self.journal.total_records(),
+                breaker_busts: self.breaker_busts,
+                breaker_open_cooldown: self.breaker_open_cooldown,
+                submitted: self.metrics.submitted,
+                accepted: self.metrics.accepted,
+                dead_lettered: self.metrics.dead_lettered,
+                decisions: self.metrics.decisions,
+                decisions_by_tier: self.metrics.decisions_by_tier,
+                fallbacks: self.metrics.fallbacks,
+                budget_busts: self.metrics.budget_busts,
+                breaker_opens: self.metrics.breaker_opens,
+                shed_decisions: self.metrics.shed_decisions,
+            },
+            digest: self.scheduler.state_digest(),
+        }
+    }
+
+    /// Rotates the active segment when the policy threshold is reached.
+    /// Called *after* the appended record has been applied to the scheduler,
+    /// so a snapshot taken here covers exactly the sealed prefix.
+    fn rotate_if_due(&mut self) -> Result<(), JournalError> {
+        if !self.journal.should_rotate() {
+            return Ok(());
+        }
+        let sealed = self.journal.active_index();
+        // Seals so far number `sealed + 1`; publish on every
+        // `snapshot_every`th one.
+        let snapshot_due = (sealed + 1).is_multiple_of(self.config.snapshot_every.max(1));
+        let bytes = snapshot_due.then(|| snapshot::encode(&self.export_snapshot()));
+        let chaos = self
+            .config
+            .chaos_rotation_abort
+            .and_then(|(index, point)| (index == sealed).then_some(point));
+        self.journal
+            .rotate(bytes.as_deref(), self.config.snapshot_retain, chaos)?;
+        Ok(())
     }
 
     fn reject(
@@ -410,6 +1004,7 @@ impl StretchServe {
             .scheduler
             .stage(submission.release, submission.work, submission.databank);
         self.metrics.accepted += 1;
+        self.rotate_if_due()?;
         Ok(SubmitOutcome::Accepted(id as u64))
     }
 
@@ -503,6 +1098,7 @@ impl StretchServe {
         self.metrics
             .observe_decision(prepared.tier(), elapsed.as_secs_f64());
         self.scheduler.install(prepared);
+        self.rotate_if_due()?;
         Ok(())
     }
 
@@ -556,8 +1152,8 @@ impl StretchServe {
         &self.config
     }
 
-    /// The journal path.
+    /// The journal directory.
     pub fn journal_path(&self) -> PathBuf {
-        self.journal.path().to_path_buf()
+        self.journal.dir().to_path_buf()
     }
 }

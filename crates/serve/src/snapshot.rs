@@ -1,0 +1,609 @@
+//! Scheduler-state snapshots: the compaction half of bounded-replay
+//! recovery.
+//!
+//! A snapshot file (`snapshot-NNNNNN.strsnp`, where `NNNNNN` is the index of
+//! the newest sealed segment it covers) freezes everything recovery would
+//! otherwise reconstruct by replaying segments `0..=NNNNNN`:
+//!
+//! * the full [`SchedulerState`] — jobs, remaining works, completions,
+//!   frontier, decision count, last stretch, and the installed decision if
+//!   one was pending (see `scheduler` for why solver warm-start carryover is
+//!   *not* part of this state: warm/cold identity makes it performance-only);
+//! * the [`ServiceCounters`] — the submission sequence number, the covered
+//!   record count, the circuit-breaker arming state, and the replay-visible
+//!   metrics tallies (timing histograms are live-only wall-clock noise and
+//!   restart empty).
+//!
+//! The file layout is
+//!
+//! ```text
+//! [ 8-byte magic "STRSNP01" ]
+//! [ u32 payload_len | u32 crc32(payload) | payload ]
+//! ```
+//!
+//! mirroring the journal's record framing, with one record: the encoded
+//! state.  Two independent integrity layers guard a restore:
+//!
+//! 1. the **CRC** rejects bit rot / torn writes of the file itself;
+//! 2. the **embedded FNV-1a state digest** (the same
+//!    `ServeScheduler::state_digest` the recovery tests compare) is stored in
+//!    the payload; the restore path rebuilds the scheduler and recomputes the
+//!    digest, so a snapshot that decodes but does not *reconstruct* the state
+//!    it claims — a checksum collision, or an encoder/decoder skew across
+//!    versions — is rejected before any record is replayed on top of it.
+//!
+//! Either rejection makes `service::recover` fall back to the next-older
+//! snapshot (ultimately to full replay) with a typed reason.
+
+use std::path::{Path, PathBuf};
+
+use stretch_core::deadline::PendingJob;
+
+use crate::event::SolveTier;
+use crate::journal::crc32;
+use crate::scheduler::{ActiveDecisionState, DecisionKindState, SchedulerState};
+
+/// Magic bytes opening every snapshot file (format version 01).
+pub const SNAPSHOT_MAGIC: [u8; 8] = *b"STRSNP01";
+
+/// Sanity cap on a snapshot payload (1 GiB): anything larger is garbage.
+pub const MAX_SNAPSHOT_LEN: u32 = 1 << 30;
+
+/// Service-level counters frozen alongside the scheduler state.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ServiceCounters {
+    /// Next submission sequence number.
+    pub seq: u64,
+    /// Journal records covered by this snapshot (everything in segments
+    /// `0..=upto`); recovery replays only records past this count.
+    pub records: u64,
+    /// Consecutive over-budget decisions (breaker arming state).  Replay
+    /// cannot reconstruct this — it is wall-clock policy — so the snapshot
+    /// carries it and a snapshot-restored process resumes the exact breaker
+    /// posture the crashed one had.
+    pub breaker_busts: u32,
+    /// Shed decisions left before the breaker closes.
+    pub breaker_open_cooldown: u32,
+    /// Metrics: submissions offered (accepted + rejected).
+    pub submitted: u64,
+    /// Metrics: submissions accepted.
+    pub accepted: u64,
+    /// Metrics: submissions dead-lettered.
+    pub dead_lettered: u64,
+    /// Metrics: decisions taken.
+    pub decisions: u64,
+    /// Metrics: decisions per tier.
+    pub decisions_by_tier: [u64; 4],
+    /// Metrics: ladder rungs fallen past.
+    pub fallbacks: u64,
+    /// Metrics: budget busts.
+    pub budget_busts: u64,
+    /// Metrics: breaker trips.
+    pub breaker_opens: u64,
+    /// Metrics: decisions shed while the breaker was open.
+    pub shed_decisions: u64,
+}
+
+/// A decoded snapshot: scheduler state + service counters + the embedded
+/// self-verification digest.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Snapshot {
+    /// The frozen scheduler state.
+    pub state: SchedulerState,
+    /// The frozen service counters.
+    pub counters: ServiceCounters,
+    /// `ServeScheduler::state_digest()` of the state at freeze time; the
+    /// restore path recomputes it from the rebuilt scheduler and rejects on
+    /// mismatch.
+    pub digest: u64,
+}
+
+/// Why a snapshot file could not be decoded.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// An OS-level read failed.
+    Io {
+        /// The snapshot path.
+        path: PathBuf,
+        /// The rendered OS error.
+        message: String,
+    },
+    /// The file does not start with [`SNAPSHOT_MAGIC`].
+    BadMagic {
+        /// The offending path.
+        path: PathBuf,
+    },
+    /// The file is shorter than its framing or length prefix claims.
+    Truncated,
+    /// The payload checksum does not match (bit rot or a torn write that
+    /// somehow got renamed — either way the bytes are not trustworthy).
+    ChecksumMismatch,
+    /// The checksum matched but the payload does not decode (encoder skew
+    /// or a checksum collision).
+    Malformed(String),
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Io { path, message } => {
+                write!(f, "snapshot read failed on {}: {message}", path.display())
+            }
+            SnapshotError::BadMagic { path } => {
+                write!(f, "{} is not a snapshot (bad magic)", path.display())
+            }
+            SnapshotError::Truncated => write!(f, "snapshot is truncated"),
+            SnapshotError::ChecksumMismatch => write!(f, "snapshot checksum mismatch"),
+            SnapshotError::Malformed(reason) => write!(f, "snapshot malformed: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+// ---------------------------------------------------------------------------
+// Encoding.  Fixed-width little-endian primitives, floats as `to_bits`,
+// lengths as u64 — the same conventions as the journal payload codec.
+// ---------------------------------------------------------------------------
+
+struct Enc(Vec<u8>);
+
+impl Enc {
+    fn u8(&mut self, v: u8) {
+        self.0.push(v);
+    }
+    fn u32(&mut self, v: u32) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+    fn bool(&mut self, v: bool) {
+        self.u8(u8::from(v));
+    }
+}
+
+struct Dec<'a> {
+    bytes: &'a [u8],
+    offset: usize,
+}
+
+impl<'a> Dec<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        if self.bytes.len() - self.offset < n {
+            return Err(SnapshotError::Malformed("payload ends early".into()));
+        }
+        let slice = &self.bytes[self.offset..self.offset + n];
+        self.offset += n;
+        Ok(slice)
+    }
+    fn u8(&mut self) -> Result<u8, SnapshotError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u32(&mut self) -> Result<u32, SnapshotError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Result<u64, SnapshotError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn usize(&mut self) -> Result<usize, SnapshotError> {
+        let v = self.u64()?;
+        usize::try_from(v)
+            .map_err(|_| SnapshotError::Malformed(format!("count {v} overflows usize")))
+    }
+    /// A length prefix that still has to fit in the remaining bytes —
+    /// rejects colliding garbage before it can allocate absurd vectors.
+    fn len(&mut self, min_elem_bytes: usize) -> Result<usize, SnapshotError> {
+        let n = self.usize()?;
+        let remaining = self.bytes.len() - self.offset;
+        if n.saturating_mul(min_elem_bytes) > remaining {
+            return Err(SnapshotError::Malformed(format!(
+                "length {n} exceeds remaining payload"
+            )));
+        }
+        Ok(n)
+    }
+    fn f64(&mut self) -> Result<f64, SnapshotError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+    fn bool(&mut self) -> Result<bool, SnapshotError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(SnapshotError::Malformed(format!("bad bool byte {other}"))),
+        }
+    }
+    fn done(&self) -> Result<(), SnapshotError> {
+        if self.offset == self.bytes.len() {
+            Ok(())
+        } else {
+            Err(SnapshotError::Malformed(format!(
+                "{} trailing bytes",
+                self.bytes.len() - self.offset
+            )))
+        }
+    }
+}
+
+const ACTIVE_NONE: u8 = 0;
+const ACTIVE_SEQUENCES: u8 = 1;
+const ACTIVE_LIST_ORDER: u8 = 2;
+
+fn encode_payload(snapshot: &Snapshot) -> Vec<u8> {
+    let mut e = Enc(Vec::new());
+    e.u64(snapshot.digest);
+
+    let c = &snapshot.counters;
+    e.u64(c.seq);
+    e.u64(c.records);
+    e.u32(c.breaker_busts);
+    e.u32(c.breaker_open_cooldown);
+    e.u64(c.submitted);
+    e.u64(c.accepted);
+    e.u64(c.dead_lettered);
+    e.u64(c.decisions);
+    for &t in &c.decisions_by_tier {
+        e.u64(t);
+    }
+    e.u64(c.fallbacks);
+    e.u64(c.budget_busts);
+    e.u64(c.breaker_opens);
+    e.u64(c.shed_decisions);
+
+    let s = &snapshot.state;
+    e.bool(s.started);
+    e.f64(s.stage_time);
+    e.f64(s.last_stretch);
+    e.u64(s.decisions);
+    e.usize(s.jobs.len());
+    for job in &s.jobs {
+        e.f64(job.release);
+        e.f64(job.work);
+        e.usize(job.databank);
+    }
+    for &r in &s.remaining {
+        e.f64(r);
+    }
+    for &c in &s.completions {
+        e.f64(c);
+    }
+    match &s.active {
+        None => e.u8(ACTIVE_NONE),
+        Some(d) => {
+            e.u8(match d.kind {
+                DecisionKindState::Sequences(_) => ACTIVE_SEQUENCES,
+                DecisionKindState::ListOrder(_) => ACTIVE_LIST_ORDER,
+            });
+            e.u8(d.tier.code());
+            match d.stretch {
+                None => e.bool(false),
+                Some(v) => {
+                    e.bool(true);
+                    e.f64(v);
+                }
+            }
+            e.f64(d.now);
+            e.usize(d.jobs.len());
+            for j in &d.jobs {
+                e.usize(j.job_id);
+                e.f64(j.release);
+                e.f64(j.ready);
+                e.f64(j.work);
+                e.f64(j.remaining);
+                e.usize(j.databank);
+            }
+            match &d.kind {
+                DecisionKindState::Sequences(sequences) => {
+                    e.usize(sequences.len());
+                    for seq in sequences {
+                        e.usize(seq.len());
+                        for &(job_index, work) in seq {
+                            e.usize(job_index);
+                            e.f64(work);
+                        }
+                    }
+                }
+                DecisionKindState::ListOrder(order) => {
+                    e.usize(order.len());
+                    for &j in order {
+                        e.usize(j);
+                    }
+                }
+            }
+        }
+    }
+    e.0
+}
+
+fn decode_payload(bytes: &[u8]) -> Result<Snapshot, SnapshotError> {
+    let mut d = Dec { bytes, offset: 0 };
+    let digest = d.u64()?;
+
+    let mut counters = ServiceCounters {
+        seq: d.u64()?,
+        records: d.u64()?,
+        breaker_busts: d.u32()?,
+        breaker_open_cooldown: d.u32()?,
+        submitted: d.u64()?,
+        accepted: d.u64()?,
+        dead_lettered: d.u64()?,
+        decisions: d.u64()?,
+        ..ServiceCounters::default()
+    };
+    for t in &mut counters.decisions_by_tier {
+        *t = d.u64()?;
+    }
+    counters.fallbacks = d.u64()?;
+    counters.budget_busts = d.u64()?;
+    counters.breaker_opens = d.u64()?;
+    counters.shed_decisions = d.u64()?;
+
+    let started = d.bool()?;
+    let stage_time = d.f64()?;
+    let last_stretch = d.f64()?;
+    let decisions = d.u64()?;
+    let njobs = d.len(24)?;
+    let mut jobs = Vec::with_capacity(njobs);
+    for _ in 0..njobs {
+        jobs.push(crate::scheduler::AcceptedJob {
+            release: d.f64()?,
+            work: d.f64()?,
+            databank: d.usize()?,
+        });
+    }
+    let mut remaining = Vec::with_capacity(njobs);
+    for _ in 0..njobs {
+        remaining.push(d.f64()?);
+    }
+    let mut completions = Vec::with_capacity(njobs);
+    for _ in 0..njobs {
+        completions.push(d.f64()?);
+    }
+    let active = match d.u8()? {
+        ACTIVE_NONE => None,
+        tag @ (ACTIVE_SEQUENCES | ACTIVE_LIST_ORDER) => {
+            let tier_code = d.u8()?;
+            let tier = SolveTier::from_code(tier_code)
+                .ok_or_else(|| SnapshotError::Malformed(format!("bad tier code {tier_code}")))?;
+            let stretch = if d.bool()? { Some(d.f64()?) } else { None };
+            let now = d.f64()?;
+            let npending = d.len(48)?;
+            let mut pending = Vec::with_capacity(npending);
+            for _ in 0..npending {
+                pending.push(PendingJob {
+                    job_id: d.usize()?,
+                    release: d.f64()?,
+                    ready: d.f64()?,
+                    work: d.f64()?,
+                    remaining: d.f64()?,
+                    databank: d.usize()?,
+                });
+            }
+            let kind = if tag == ACTIVE_SEQUENCES {
+                let nsites = d.len(8)?;
+                let mut sequences = Vec::with_capacity(nsites);
+                for _ in 0..nsites {
+                    let nchunks = d.len(16)?;
+                    let mut seq = Vec::with_capacity(nchunks);
+                    for _ in 0..nchunks {
+                        seq.push((d.usize()?, d.f64()?));
+                    }
+                    sequences.push(seq);
+                }
+                DecisionKindState::Sequences(sequences)
+            } else {
+                let n = d.len(8)?;
+                let mut order = Vec::with_capacity(n);
+                for _ in 0..n {
+                    order.push(d.usize()?);
+                }
+                DecisionKindState::ListOrder(order)
+            };
+            Some(ActiveDecisionState {
+                tier,
+                stretch,
+                now,
+                jobs: pending,
+                kind,
+            })
+        }
+        other => {
+            return Err(SnapshotError::Malformed(format!(
+                "bad active-decision tag {other}"
+            )))
+        }
+    };
+    d.done()?;
+    Ok(Snapshot {
+        state: SchedulerState {
+            jobs,
+            remaining,
+            completions,
+            started,
+            stage_time,
+            last_stretch,
+            decisions,
+            active,
+        },
+        counters,
+        digest,
+    })
+}
+
+/// Encodes a snapshot to its full file image (magic + framed payload).
+pub fn encode(snapshot: &Snapshot) -> Vec<u8> {
+    let payload = encode_payload(snapshot);
+    let mut out = Vec::with_capacity(SNAPSHOT_MAGIC.len() + 8 + payload.len());
+    out.extend_from_slice(&SNAPSHOT_MAGIC);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(&payload).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Decodes a snapshot file image.  `path` is for error messages only.
+pub fn decode(bytes: &[u8], path: &Path) -> Result<Snapshot, SnapshotError> {
+    if bytes.len() < SNAPSHOT_MAGIC.len() || bytes[..SNAPSHOT_MAGIC.len()] != SNAPSHOT_MAGIC {
+        return Err(SnapshotError::BadMagic {
+            path: path.to_path_buf(),
+        });
+    }
+    let rest = &bytes[SNAPSHOT_MAGIC.len()..];
+    if rest.len() < 8 {
+        return Err(SnapshotError::Truncated);
+    }
+    let len = u32::from_le_bytes(rest[..4].try_into().unwrap());
+    let crc = u32::from_le_bytes(rest[4..8].try_into().unwrap());
+    if len > MAX_SNAPSHOT_LEN {
+        return Err(SnapshotError::Truncated);
+    }
+    let len = len as usize;
+    if rest.len() - 8 < len {
+        return Err(SnapshotError::Truncated);
+    }
+    let payload = &rest[8..8 + len];
+    if crc32(payload) != crc {
+        return Err(SnapshotError::ChecksumMismatch);
+    }
+    if rest.len() - 8 > len {
+        return Err(SnapshotError::Malformed(format!(
+            "{} trailing bytes after payload",
+            rest.len() - 8 - len
+        )));
+    }
+    decode_payload(payload)
+}
+
+/// Reads and decodes a snapshot file.
+pub fn load(path: &Path) -> Result<Snapshot, SnapshotError> {
+    let bytes = std::fs::read(path).map_err(|e| SnapshotError::Io {
+        path: path.to_path_buf(),
+        message: e.to_string(),
+    })?;
+    decode(&bytes, path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::AcceptedJob;
+
+    fn sample() -> Snapshot {
+        Snapshot {
+            state: SchedulerState {
+                jobs: vec![
+                    AcceptedJob {
+                        release: 0.0,
+                        work: 300.0,
+                        databank: 0,
+                    },
+                    AcceptedJob {
+                        release: 2.5,
+                        work: 60.0,
+                        databank: 1,
+                    },
+                ],
+                remaining: vec![120.0, 0.0],
+                completions: vec![f64::NAN, 3.25],
+                started: true,
+                stage_time: 2.5,
+                last_stretch: 1.75,
+                decisions: 2,
+                active: Some(ActiveDecisionState {
+                    tier: SolveTier::Monge,
+                    stretch: Some(1.75),
+                    now: 2.5,
+                    jobs: vec![PendingJob {
+                        job_id: 0,
+                        release: 0.0,
+                        ready: 2.5,
+                        work: 300.0,
+                        remaining: 120.0,
+                        databank: 0,
+                    }],
+                    kind: DecisionKindState::Sequences(vec![vec![(0, 120.0)], vec![]]),
+                }),
+            },
+            counters: ServiceCounters {
+                seq: 2,
+                records: 4,
+                breaker_busts: 1,
+                breaker_open_cooldown: 0,
+                submitted: 3,
+                accepted: 2,
+                dead_lettered: 1,
+                decisions: 2,
+                decisions_by_tier: [1, 1, 0, 0],
+                fallbacks: 1,
+                budget_busts: 1,
+                breaker_opens: 0,
+                shed_decisions: 0,
+            },
+            digest: 0xDEAD_BEEF_CAFE_F00D,
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trips_including_nan_completions() {
+        let snapshot = sample();
+        let bytes = encode(&snapshot);
+        let decoded = decode(&bytes, Path::new("test")).unwrap();
+        // NaN completions make Snapshot's PartialEq useless; compare via the
+        // re-encoded bytes, which are exact bit patterns.
+        assert_eq!(encode(&decoded), bytes);
+        assert_eq!(decoded.digest, snapshot.digest);
+        assert_eq!(decoded.counters, snapshot.counters);
+        assert!(decoded.state.completions[0].is_nan());
+    }
+
+    #[test]
+    fn list_order_and_no_active_variants_round_trip() {
+        let mut snapshot = sample();
+        snapshot.state.active = Some(ActiveDecisionState {
+            tier: SolveTier::Edf,
+            stretch: None,
+            now: 2.5,
+            jobs: vec![],
+            kind: DecisionKindState::ListOrder(vec![1, 0]),
+        });
+        let bytes = encode(&snapshot);
+        assert_eq!(encode(&decode(&bytes, Path::new("t")).unwrap()), bytes);
+        snapshot.state.active = None;
+        let bytes = encode(&snapshot);
+        assert_eq!(encode(&decode(&bytes, Path::new("t")).unwrap()), bytes);
+    }
+
+    #[test]
+    fn every_truncation_and_single_byte_corruption_is_typed() {
+        let bytes = encode(&sample());
+        for cut in 0..bytes.len() {
+            match decode(&bytes[..cut], Path::new("t")) {
+                Err(
+                    SnapshotError::BadMagic { .. }
+                    | SnapshotError::Truncated
+                    | SnapshotError::ChecksumMismatch
+                    | SnapshotError::Malformed(_),
+                ) => {}
+                Ok(_) => panic!("cut {cut}: truncated snapshot decoded"),
+                Err(e) => panic!("cut {cut}: unexpected error {e}"),
+            }
+        }
+        for offset in 0..bytes.len() {
+            let mut corrupt = bytes.clone();
+            corrupt[offset] ^= 0x40;
+            match decode(&corrupt, Path::new("t")) {
+                // A flip in the magic or framing hits BadMagic/Truncated;
+                // any payload flip (the embedded digest included) is a
+                // checksum mismatch, since the CRC covers the whole payload.
+                Err(_) => {}
+                Ok(_) => panic!("offset {offset}: corrupted snapshot decoded"),
+            }
+        }
+    }
+}

@@ -80,7 +80,7 @@ fn service_matches_run_online_on_every_backend_warm_and_cold() {
                 tiers[SolveTier::of_backend(backend).code() as usize],
                 serve.metrics().decisions
             );
-            std::fs::remove_file(&path).unwrap();
+            std::fs::remove_dir_all(&path).unwrap();
         }
     }
 }
@@ -110,8 +110,8 @@ fn zeroed_timestamps_replay_to_identical_state() {
     assert_eq!(a.state_digest(), b.state_digest());
     assert_eq!(a.state_digest(), live_digest);
     assert_eq!(bits(a.completions()), bits(b.completions()));
-    std::fs::remove_file(&path).unwrap();
-    std::fs::remove_file(&zeroed).unwrap();
+    std::fs::remove_dir_all(&path).unwrap();
+    std::fs::remove_dir_all(&zeroed).unwrap();
 }
 
 #[test]
@@ -162,7 +162,7 @@ fn chaos_fallbacks_are_journaled_and_replayed() {
     recovered.finish().unwrap();
     assert_eq!(recovered.state_digest(), live.state_digest());
     assert_eq!(bits(recovered.completions()), bits(live.completions()));
-    std::fs::remove_file(&path).unwrap();
+    std::fs::remove_dir_all(&path).unwrap();
 }
 
 #[test]
@@ -202,7 +202,7 @@ fn breaker_sheds_to_edf_and_replays_identically() {
     recovered.finish().unwrap();
     assert_eq!(recovered.state_digest(), live.state_digest());
     assert_eq!(bits(recovered.completions()), bits(live.completions()));
-    std::fs::remove_file(&path).unwrap();
+    std::fs::remove_dir_all(&path).unwrap();
 }
 
 #[test]
@@ -248,7 +248,7 @@ fn malformed_and_out_of_order_submissions_are_dead_lettered() {
         serve.submit(Submission::new(9.0, 10.0, 0)).unwrap(),
         SubmitOutcome::Rejected(RejectReason::Closed)
     );
-    std::fs::remove_file(&path).unwrap();
+    std::fs::remove_dir_all(&path).unwrap();
 }
 
 #[test]
@@ -288,7 +288,7 @@ fn recovery_mid_stream_continues_to_the_uninterrupted_result() {
             "k={k}: recovered run diverged"
         );
         assert_eq!(bits(second.completions()), bits(full.completions()));
-        std::fs::remove_file(&path).unwrap();
+        std::fs::remove_dir_all(&path).unwrap();
     }
-    std::fs::remove_file(&full_path).unwrap();
+    std::fs::remove_dir_all(&full_path).unwrap();
 }

@@ -1,10 +1,13 @@
 //! Torn-write recovery contract: for *any* truncation or single-byte
-//! corruption of a recorded journal, recovery either succeeds with state
-//! bit-identical to some valid record prefix, or fails with a typed error —
-//! it never panics and never silently diverges.
+//! corruption of a recorded journal segment, recovery either succeeds with
+//! state bit-identical to some valid record prefix, or fails with a typed
+//! error — it never panics and never silently diverges.
 //!
-//! The truncation sweep is exhaustive (every byte offset of the file); the
-//! proptest adds random byte corruption on top.
+//! The truncation sweep is exhaustive (every byte offset of the segment
+//! file); the proptest adds random byte corruption on top.  Both operate on
+//! an unrotated journal — a single active segment, the layout every journal
+//! starts in; the rotated-chain and snapshot corruption sweeps live in
+//! `rotation.rs`.
 
 use std::path::{Path, PathBuf};
 
@@ -22,7 +25,9 @@ fn tmp(name: &str) -> PathBuf {
 
 /// Records a reference journal: six jobs over five distinct events on the
 /// small fixture platform, drained to completion — submissions, decisions
-/// and the final drain decision all present.
+/// and the final drain decision all present.  The default rotation policy
+/// never triggers on a stream this short, so the journal directory holds
+/// exactly one active segment.
 fn record_reference_journal(path: &Path) {
     let mut serve = StretchServe::create(path, small_platform(), ServeConfig::default()).unwrap();
     let stream = [
@@ -42,6 +47,14 @@ fn record_reference_journal(path: &Path) {
     serve.finish().unwrap();
 }
 
+/// Bytes of the single active segment of an unrotated journal directory.
+fn sole_segment_bytes(dir: &Path) -> Vec<u8> {
+    let scan = journal::scan_dir(dir).unwrap();
+    assert!(scan.sealed.is_empty(), "reference journal rotated");
+    assert!(scan.snapshots.is_empty());
+    std::fs::read(journal::segment_path(dir, scan.open.unwrap(), false)).unwrap()
+}
+
 /// Digest of the recovered state after replaying exactly the first `k`
 /// records — the ground truth every truncated/corrupted recovery must land
 /// on.
@@ -54,7 +67,9 @@ fn prefix_digests(bytes: &[u8], platform: &Platform, scratch: &Path) -> Vec<u64>
 
     let mut digests = Vec::with_capacity(records.len() + 1);
     for k in 0..=records.len() {
-        let mut writer = JournalWriter::create(scratch).unwrap();
+        let _ = std::fs::remove_dir_all(scratch);
+        std::fs::create_dir_all(scratch).unwrap();
+        let mut writer = JournalWriter::create(&journal::segment_path(scratch, 0, false)).unwrap();
         for record in &records[..k] {
             writer.append(record).unwrap();
         }
@@ -64,22 +79,29 @@ fn prefix_digests(bytes: &[u8], platform: &Platform, scratch: &Path) -> Vec<u64>
         assert_eq!(report.records, k);
         digests.push(serve.state_digest());
     }
-    std::fs::remove_file(scratch).unwrap();
+    std::fs::remove_dir_all(scratch).unwrap();
     digests
+}
+
+/// Writes `bytes` as the sole active segment of a fresh journal directory.
+fn write_sole_segment(dir: &Path, bytes: &[u8]) {
+    let _ = std::fs::remove_dir_all(dir);
+    std::fs::create_dir_all(dir).unwrap();
+    std::fs::write(journal::segment_path(dir, 0, false), bytes).unwrap();
 }
 
 #[test]
 fn recovery_from_every_truncation_offset_is_prefix_exact() {
     let journal_path = tmp("exhaustive");
     record_reference_journal(&journal_path);
-    let bytes = std::fs::read(&journal_path).unwrap();
-    std::fs::remove_file(&journal_path).unwrap();
+    let bytes = sole_segment_bytes(&journal_path);
+    std::fs::remove_dir_all(&journal_path).unwrap();
     let platform = small_platform();
     let digests = prefix_digests(&bytes, &platform, &tmp("exhaustive-prefix"));
 
     let case_path = tmp("exhaustive-case");
     for cut in 0..=bytes.len() {
-        std::fs::write(&case_path, &bytes[..cut]).unwrap();
+        write_sole_segment(&case_path, &bytes[..cut]);
         match StretchServe::recover(&case_path, platform.clone(), ServeConfig::default()) {
             Ok((serve, report)) => {
                 assert!(
@@ -102,7 +124,7 @@ fn recovery_from_every_truncation_offset_is_prefix_exact() {
             Err(e) => panic!("cut {cut}: unexpected recovery error {e}"),
         }
     }
-    std::fs::remove_file(&case_path).unwrap();
+    std::fs::remove_dir_all(&case_path).unwrap();
 }
 
 proptest! {
@@ -115,15 +137,15 @@ proptest! {
     ) {
         let journal_path = tmp("proptest");
         record_reference_journal(&journal_path);
-        let mut bytes = std::fs::read(&journal_path).unwrap();
-        std::fs::remove_file(&journal_path).unwrap();
+        let mut bytes = sole_segment_bytes(&journal_path);
+        std::fs::remove_dir_all(&journal_path).unwrap();
         let platform = small_platform();
         let digests = prefix_digests(&bytes, &platform, &tmp("proptest-prefix"));
 
         let offset = (offset as usize) % bytes.len();
         bytes[offset] ^= mask as u8;
         let case_path = tmp("proptest-case");
-        std::fs::write(&case_path, &bytes).unwrap();
+        write_sole_segment(&case_path, &bytes);
         match StretchServe::recover(&case_path, platform, ServeConfig::default()) {
             Ok((serve, report)) => {
                 // A corrupted byte must truncate at (or before) the record
@@ -140,6 +162,6 @@ proptest! {
             Err(RecoverError::Corrupt { .. }) => {}
             Err(e) => panic!("unexpected recovery error {e}"),
         }
-        std::fs::remove_file(&case_path).unwrap();
+        std::fs::remove_dir_all(&case_path).unwrap();
     }
 }
