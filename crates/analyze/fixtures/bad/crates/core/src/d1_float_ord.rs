@@ -1,0 +1,4 @@
+//! D1 fixture: NaN-tolerant float comparison in a sort key.
+pub fn sort_times(times: &mut Vec<f64>) {
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}

@@ -1,0 +1,6 @@
+//! D2 fixture: RandomState hash containers in a solver layer.
+use std::collections::HashMap;
+
+pub fn completions() -> HashMap<usize, f64> {
+    HashMap::new()
+}

@@ -1,0 +1,16 @@
+//! D3 fixture: raw environment read outside the sanctioned config files.
+pub fn jobs() -> usize {
+    std::env::var("STRETCH_JOBS_COUNT")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(40)
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code may probe env behaviour without tripping D3.
+    #[test]
+    fn probe() {
+        let _ = std::env::var("STRETCH_TEST_ONLY");
+    }
+}

@@ -1,0 +1,6 @@
+//! D4 fixture: wall-clock read in a replay-reachable layer.
+use std::time::Instant;
+
+pub fn stamp() -> Instant {
+    Instant::now()
+}

@@ -1,0 +1,14 @@
+//! D5 fixture: panicking decode on the serve ingestion path.
+pub fn decode(bytes: &[u8]) -> u32 {
+    // A malformed submission must dead-letter, not panic the scheduler.
+    u32::from_le_bytes(bytes[0..4].try_into().unwrap())
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let v: Result<u32, ()> = Ok(7);
+        assert_eq!(v.unwrap(), 7);
+    }
+}

@@ -1,0 +1,21 @@
+//! Clean fixture: the deterministic spellings of everything the bad
+//! fixtures do wrong.  Comments and strings may name the banned patterns
+//! freely — e.g. partial_cmp, HashMap, Instant::now — without flagging.
+use std::collections::BTreeMap;
+
+pub fn sort_times(times: &mut Vec<f64>) {
+    times.sort_by(|a, b| a.total_cmp(b));
+}
+
+pub fn completions() -> BTreeMap<usize, f64> {
+    BTreeMap::new()
+}
+
+pub fn decode(bytes: &[u8]) -> Option<u32> {
+    let word: [u8; 4] = bytes.get(0..4)?.try_into().ok()?;
+    Some(u32::from_le_bytes(word))
+}
+
+pub fn banned_names_in_strings_do_not_flag() -> &'static str {
+    "env::var and .unwrap() and SystemTime are fine inside a literal"
+}

@@ -1,0 +1,94 @@
+//! CLI for the determinism-contract static-analysis pass.
+//!
+//! ```text
+//! cargo run -p stretch-analyze -- check [--json] [--root DIR] [--allow FILE]
+//! cargo run -p stretch-analyze -- rules
+//! ```
+//!
+//! `check` exits 0 when the workspace is clean (no violations, no stale
+//! allowlist entries), 1 on violations/stale entries, 2 on configuration
+//! errors (unreadable root, malformed allowlist).  `--json` emits the
+//! machine-readable report on stdout for the CI gate.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use stretch_analyze::{render_json, render_text, run_check, RULES};
+
+fn default_root() -> PathBuf {
+    // crates/analyze -> workspace root; compile-time, so the binary needs
+    // no environment reads of its own (the analyzer must satisfy its own
+    // rules in spirit, even though it excludes itself from the walk).
+    PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."))
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: stretch-analyze check [--json] [--root DIR] [--allow FILE]\n\
+         \u{20}      stretch-analyze rules"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("rules") => {
+            for r in RULES {
+                println!(
+                    "{} [{}]\n    contract: {}\n    fix: {}",
+                    r.id, r.name, r.summary, r.fix
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        Some("check") => {
+            let mut json = false;
+            let mut root = default_root();
+            let mut allow: Option<PathBuf> = None;
+            let mut it = args[1..].iter();
+            while let Some(arg) = it.next() {
+                match arg.as_str() {
+                    "--json" => json = true,
+                    "--root" => match it.next() {
+                        Some(dir) => root = PathBuf::from(dir),
+                        None => return usage(),
+                    },
+                    "--allow" => match it.next() {
+                        Some(file) => allow = Some(PathBuf::from(file)),
+                        None => return usage(),
+                    },
+                    _ => return usage(),
+                }
+            }
+            let allow_path = allow.unwrap_or_else(|| root.join("crates/analyze/allow.toml"));
+            let allow_text = match std::fs::read_to_string(&allow_path) {
+                Ok(text) => text,
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::new(),
+                Err(e) => {
+                    eprintln!("stretch-analyze: cannot read {}: {e}", allow_path.display());
+                    return ExitCode::from(2);
+                }
+            };
+            match run_check(&root, &allow_text) {
+                Ok(report) => {
+                    if json {
+                        println!("{}", render_json(&report));
+                    } else {
+                        print!("{}", render_text(&report));
+                    }
+                    if report.clean() {
+                        ExitCode::SUCCESS
+                    } else {
+                        ExitCode::FAILURE
+                    }
+                }
+                Err(msg) => {
+                    eprintln!("stretch-analyze: {msg}");
+                    ExitCode::from(2)
+                }
+            }
+        }
+        _ => usage(),
+    }
+}

@@ -48,8 +48,7 @@ impl Ord for SeedHeapEntry {
     fn cmp(&self, other: &Self) -> CmpOrdering {
         other
             .dist
-            .partial_cmp(&self.dist)
-            .unwrap_or(CmpOrdering::Equal)
+            .total_cmp(&self.dist)
             .then_with(|| self.node.cmp(&other.node))
     }
 }
@@ -268,18 +267,14 @@ fn seed_site_sequences(
                     let terminal_b = plan.completion_interval_on_site(b.1, site) == Some(b.0);
                     a.0.cmp(&b.0)
                         .then_with(|| terminal_b.cmp(&terminal_a))
-                        .then_with(|| {
-                            swrpt_key(a.1)
-                                .partial_cmp(&swrpt_key(b.1))
-                                .unwrap_or(CmpOrdering::Equal)
-                        })
+                        .then_with(|| swrpt_key(a.1).total_cmp(&swrpt_key(b.1)))
                         .then_with(|| a.1.cmp(&b.1))
                 });
                 *sequence = pieces.into_iter().map(|(_, j, w)| (j, w)).collect();
             }
             PieceOrdering::OnlineEdf => {
-                let mut per_job: std::collections::HashMap<usize, f64> =
-                    std::collections::HashMap::new();
+                let mut per_job: std::collections::BTreeMap<usize, f64> =
+                    std::collections::BTreeMap::new();
                 for p in plan.pieces.iter().filter(|p| p.site == site) {
                     *per_job.entry(p.job_index).or_insert(0.0) += p.work;
                 }
@@ -289,11 +284,7 @@ fn seed_site_sequences(
                     let ia = plan.completion_interval_on_site(a.0, site).unwrap_or(0);
                     let ib = plan.completion_interval_on_site(b.0, site).unwrap_or(0);
                     ia.cmp(&ib)
-                        .then_with(|| {
-                            swrpt_key(a.0)
-                                .partial_cmp(&swrpt_key(b.0))
-                                .unwrap_or(CmpOrdering::Equal)
-                        })
+                        .then_with(|| swrpt_key(a.0).total_cmp(&swrpt_key(b.0)))
                         .then_with(|| a.0.cmp(&b.0))
                 });
                 *sequence = jobs;
@@ -309,7 +300,7 @@ fn run_online_from_scratch(instance: &Instance, ordering: PieceOrdering) -> f64 
     let mut remaining: Vec<f64> = instance.jobs.iter().map(|j| j.work).collect();
     let mut last_completion = 0.0f64;
     let mut events: Vec<f64> = instance.jobs.iter().map(|j| j.release).collect();
-    events.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    events.sort_by(|a, b| a.total_cmp(b));
     events.dedup_by(|a, b| (*a - *b).abs() <= 1e-12);
 
     for (e, &now) in events.iter().enumerate() {

@@ -50,7 +50,7 @@ impl Scheduler for Bender98Scheduler {
         let mut completions = vec![f64::NAN; n];
 
         let mut events: Vec<f64> = instance.jobs.iter().map(|j| j.release).collect();
-        events.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        events.sort_by(|a, b| a.total_cmp(b));
         events.dedup_by(|a, b| (*a - *b).abs() <= 1e-12);
         // One parametric engine across the per-arrival re-optimisations.
         let mut solver = ParametricDeadlineSolver::with_config(self.config);
@@ -112,7 +112,7 @@ impl Scheduler for Bender98Scheduler {
             order.sort_by(|&a, &b| {
                 let da = problem.jobs[a].deadline(target);
                 let db = problem.jobs[b].deadline(target);
-                da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
+                da.total_cmp(&db)
             });
             let execution = execute_list_order(&problem, &order, &sites, now, horizon);
             for (idx, job) in problem.jobs.iter().enumerate() {

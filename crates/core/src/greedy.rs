@@ -102,7 +102,7 @@ impl MctScheduler {
                 )
             })
             .collect();
-        starts.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        starts.sort_by(|a, b| a.1.total_cmp(&b.1));
 
         // Find the completion time T: processors join one by one as T passes
         // their start time; work done = Σ speed_i · (T - start_i)⁺.
@@ -194,7 +194,7 @@ mod tests {
         let jobs = (0..4).map(|i| Job::new(i, 0.0, 100.0, 0)).collect();
         let r = MctScheduler::mct().schedule(&instance(jobs)).unwrap();
         let mut completions: Vec<f64> = (0..4).map(|j| r.completion(j)).collect();
-        completions.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        completions.sort_by(|a, b| a.total_cmp(b));
         // Two jobs at 5 s (20 MB/s) and two at 10 s (10 MB/s).
         assert!((completions[0] - 5.0).abs() < 1e-9);
         assert!((completions[1] - 5.0).abs() < 1e-9);

@@ -202,7 +202,7 @@ pub fn run_online_with(
                         .then_with(|| {
                             let ka = problem.jobs[a].remaining * problem.jobs[a].work;
                             let kb = problem.jobs[b].remaining * problem.jobs[b].work;
-                            ka.partial_cmp(&kb).unwrap_or(std::cmp::Ordering::Equal)
+                            ka.total_cmp(&kb)
                         })
                         .then_with(|| a.cmp(&b))
                 });

@@ -156,7 +156,7 @@ impl ParametricStructure {
         }
         // Identical linear functions never separate: deduplicate by exact
         // identity (e.g. the shared ready time of the on-line problems).
-        times.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        times.sort_by(|x, y| x.0.total_cmp(&y.0).then(x.1.total_cmp(&y.1)));
         times.dedup();
         let k = times.len() - 1;
         let num_sites = problem.sites.len();
@@ -216,7 +216,7 @@ impl ParametricStructure {
         order.sort_unstable_by(|&x, &y| {
             let vx = times[x].0 + times[x].1 * lo;
             let vy = times[y].0 + times[y].1 * lo;
-            vx.partial_cmp(&vy).unwrap()
+            vx.total_cmp(&vy)
         });
         ParametricStructure {
             order,
@@ -427,7 +427,7 @@ impl ParametricDeadlineSolver {
         let slack = FEAS_TOL.max(demand * FEAS_TOL);
         let target = demand - slack;
 
-        let debug = std::env::var_os("STRETCH_NEWTON_DEBUG").is_some();
+        let debug = crate::config::SolverConfig::env_flag("STRETCH_NEWTON_DEBUG");
         let mut structure = ParametricStructure::new(problem, lo_bound, ub);
         // The iteration starts at the lower bound; its first probe doubles
         // as the `feasible(lo_bound)` fast path.
@@ -474,9 +474,11 @@ impl ParametricDeadlineSolver {
             }
             let mut next = cut_root.min(crossing);
             // Strict-progress guard against floating-point stalls (the
-            // negation also catches a NaN `next`).
+            // negation also catches a NaN `next` — which is exactly why
+            // the "hard to read" negated comparison is the right tool).
             let floor = f * (1.0 + 1e-12) + 1e-300;
-            if next.partial_cmp(&floor) != Some(std::cmp::Ordering::Greater) {
+            #[allow(clippy::neg_cmp_op_on_partial_ord)]
+            if !(next > floor) {
                 next = f * (1.0 + 1e-9) + 1e-300;
             }
             if next >= ub {

@@ -11,7 +11,7 @@
 
 use crate::deadline::{AllocationPlan, DeadlineProblem};
 use crate::sites::SiteView;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// How per-site pieces are ordered before sequential execution.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -33,7 +33,7 @@ pub struct PlanExecution {
     /// [`DeadlineProblem`] the plan was built from).
     pub executed: Vec<f64>,
     /// Completion time of the pending jobs that finished before the horizon.
-    pub completions: HashMap<usize, f64>,
+    pub completions: BTreeMap<usize, f64>,
 }
 
 /// Builds, for every site, the ordered list of `(job_index, work)` chunks to
@@ -67,11 +67,7 @@ pub fn site_sequences(
                     let terminal_b = index.completion_interval_on_site(b.1, site) == Some(b.0);
                     a.0.cmp(&b.0)
                         .then_with(|| terminal_b.cmp(&terminal_a)) // terminal first
-                        .then_with(|| {
-                            swrpt_key(a.1)
-                                .partial_cmp(&swrpt_key(b.1))
-                                .unwrap_or(std::cmp::Ordering::Equal)
-                        })
+                        .then_with(|| swrpt_key(a.1).total_cmp(&swrpt_key(b.1)))
                         // Final deterministic tie-break on the job index
                         // (jobs of the same databank have identical sizes,
                         // so SWRPT ties are common).
@@ -96,11 +92,7 @@ pub fn site_sequences(
                     let ia = index.completion_interval_on_site(a.0, site).unwrap_or(0);
                     let ib = index.completion_interval_on_site(b.0, site).unwrap_or(0);
                     ia.cmp(&ib)
-                        .then_with(|| {
-                            swrpt_key(a.0)
-                                .partial_cmp(&swrpt_key(b.0))
-                                .unwrap_or(std::cmp::Ordering::Equal)
-                        })
+                        .then_with(|| swrpt_key(a.0).total_cmp(&swrpt_key(b.0)))
                         // Final deterministic tie-break on the job index.
                         .then_with(|| a.0.cmp(&b.0))
                 });
@@ -156,7 +148,7 @@ pub fn execute_sequences(
         }
     }
 
-    let mut completions = HashMap::new();
+    let mut completions = BTreeMap::new();
     for (j, job) in problem.jobs.iter().enumerate() {
         // Relative completion tolerance: the flow solver ships the demand up
         // to a relative rounding error, which on multi-hundred-MB jobs can
@@ -190,7 +182,7 @@ pub fn execute_list_order(
     let n = problem.jobs.len();
     let mut remaining: Vec<f64> = problem.jobs.iter().map(|j| j.remaining).collect();
     let mut executed = vec![0.0; n];
-    let mut completions = HashMap::new();
+    let mut completions = BTreeMap::new();
     let mut now = start;
 
     loop {

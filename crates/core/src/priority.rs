@@ -104,7 +104,7 @@ impl PriorityRule {
         order.sort_by(|&a, &b| {
             let ka = self.key(now, &jobs[a].1);
             let kb = self.key(now, &jobs[b].1);
-            ka.partial_cmp(&kb).unwrap_or(std::cmp::Ordering::Equal)
+            ka.total_cmp(&kb)
         });
         order.into_iter().map(|i| jobs[i].0).collect()
     }

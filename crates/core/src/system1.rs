@@ -54,7 +54,7 @@ pub fn solve_system1_interval(problem: &DeadlineProblem, f_lo: f64, f_hi: f64) -
             slope: j.work,
         });
     }
-    times.sort_by(|a, b| a.eval(f_mid).partial_cmp(&b.eval(f_mid)).unwrap());
+    times.sort_by(|a, b| a.eval(f_mid).total_cmp(&b.eval(f_mid)));
     times.dedup_by(|a, b| (a.eval(f_mid) - b.eval(f_mid)).abs() <= 1e-9);
     // Drop epochal times that fall before `now` at the midpoint (stale
     // deadlines of late jobs); clamping them to `now` keeps durations
@@ -75,7 +75,7 @@ pub fn solve_system1_interval(problem: &DeadlineProblem, f_lo: f64, f_hi: f64) -
     lp.add_upper_bound(f_var, f_hi);
 
     // alpha[(site, job, interval)] -> variable id
-    let mut alpha = std::collections::HashMap::new();
+    let mut alpha = std::collections::BTreeMap::new();
     for (j, job) in problem.jobs.iter().enumerate() {
         let deadline_mid = job.deadline(f_mid);
         for (s, site) in problem.sites.sites.iter().enumerate() {

@@ -2,20 +2,17 @@
 //! of the optimized on-line heuristic versus the non-optimized version, as a
 //! function of the workload density.
 
+use stretch_experiments::campaign::{parse_positive_count, read_env};
 use stretch_experiments::figure3::{render_figure3, run_figure3, Figure3Settings};
 
 fn main() {
     let mut settings = Figure3Settings::default();
-    if let Ok(v) = std::env::var("STRETCH_INSTANCES") {
-        if let Ok(n) = v.parse() {
-            settings.instances_per_density = n;
-        }
-    }
-    if let Ok(v) = std::env::var("STRETCH_JOBS") {
-        if let Ok(n) = v.parse() {
-            settings.target_jobs = n;
-        }
-    }
+    settings.instances_per_density = read_env(
+        "STRETCH_INSTANCES",
+        settings.instances_per_density,
+        parse_positive_count,
+    );
+    settings.target_jobs = read_env("STRETCH_JOBS", settings.target_jobs, parse_positive_count);
     eprintln!(
         "Sweeping {} densities x {} instances...",
         settings.densities.len(),

@@ -17,29 +17,30 @@
 //! recorded trajectory.  Malformed values abort loudly, like every other
 //! `STRETCH_*` knob.
 
+use stretch_experiments::campaign::{parse_positive_count, read_env};
 use stretch_experiments::{run_drift_check, run_overhead_study, DRIFT_SAMPLES};
 
 /// Strict parse of `STRETCH_DRIFT_CHECK` (`1`/`0`, unset means off).
 fn drift_check_requested() -> bool {
-    match std::env::var("STRETCH_DRIFT_CHECK") {
-        Err(std::env::VarError::NotPresent) => false,
-        Err(std::env::VarError::NotUnicode(_)) => {
-            panic!("STRETCH_DRIFT_CHECK must be valid unicode, got undecodable bytes")
-        }
-        Ok(raw) => match raw.trim() {
-            "1" => true,
-            "0" => false,
-            _ => panic!("STRETCH_DRIFT_CHECK must be 0 or 1, got `{raw}`"),
-        },
-    }
+    read_env("STRETCH_DRIFT_CHECK", false, |name, raw| match raw.trim() {
+        "1" => true,
+        "0" => false,
+        _ => panic!("{name} must be 0 or 1, got `{raw}`"),
+    })
 }
 
 fn baseline_path() -> Option<std::path::PathBuf> {
-    match std::env::var("STRETCH_BENCH_BASELINE") {
-        Ok(p) if p.is_empty() => None,
-        Ok(p) => Some(std::path::PathBuf::from(p)),
-        Err(_) => Some(std::path::PathBuf::from("BENCH_baseline.json")),
-    }
+    read_env(
+        "STRETCH_BENCH_BASELINE",
+        Some(std::path::PathBuf::from("BENCH_baseline.json")),
+        |_, raw| {
+            if raw.is_empty() {
+                None
+            } else {
+                Some(std::path::PathBuf::from(raw))
+            }
+        },
+    )
 }
 
 fn main() {
@@ -70,14 +71,8 @@ fn main() {
         return;
     }
 
-    let instances = std::env::var("STRETCH_INSTANCES")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(5);
-    let jobs = std::env::var("STRETCH_JOBS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(40);
+    let instances = read_env("STRETCH_INSTANCES", 5, parse_positive_count);
+    let jobs = read_env("STRETCH_JOBS", 40, parse_positive_count);
     let report = run_overhead_study(instances, jobs, 2006);
     println!("{}", report.render());
     if let Some(path) = baseline_path() {

@@ -55,13 +55,7 @@ fn reference_stream() -> Instance {
 }
 
 fn env_var(name: &str) -> Option<String> {
-    match std::env::var(name) {
-        Err(std::env::VarError::NotPresent) => None,
-        Err(std::env::VarError::NotUnicode(_)) => {
-            panic!("{name} must be valid unicode, got undecodable bytes")
-        }
-        Ok(raw) => Some(raw),
-    }
+    stretch_experiments::campaign::read_env(name, None, |_, raw| Some(raw.to_string()))
 }
 
 fn env_path(name: &str) -> Option<PathBuf> {

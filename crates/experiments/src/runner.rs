@@ -146,7 +146,7 @@ pub fn run_instance_scaled_with(
     let instance = draw_instance_scaled(config, scale, seed);
     let num_events = {
         let mut releases: Vec<f64> = instance.jobs.iter().map(|j| j.release).collect();
-        releases.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        releases.sort_by(|a, b| a.total_cmp(b));
         releases.dedup_by(|a, b| (*a - *b).abs() <= 1e-12);
         releases.len()
     };

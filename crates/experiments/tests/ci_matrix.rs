@@ -98,6 +98,50 @@ fn serve_smoke_leg_is_pinned() {
 }
 
 #[test]
+fn analyze_leg_is_pinned() {
+    // The determinism-contract lint: `stretch-analyze -- check` over the
+    // workspace sources with the JSON gate, plus the analyzer's own
+    // fixture and allowlist-drift tests.  Dropping the job would let the
+    // contract (float ordering, hash collections, env reads, wall clocks,
+    // ingest panics) rot unenforced, so the job and both steps are pinned.
+    let yml = ci_yml();
+    assert!(
+        yml.contains("\n  analyze:"),
+        "ci.yml lost the `analyze` job"
+    );
+    for needle in [
+        "cargo run --release -p stretch-analyze -- check --json",
+        "cargo test -q -p stretch-analyze",
+    ] {
+        assert!(
+            yml.contains(needle),
+            "ci.yml analyze job is missing the `{needle}` step"
+        );
+    }
+}
+
+#[test]
+fn invariant_audit_leg_is_pinned() {
+    // The runtime-audit leg: tier-1 suite plus the kill-and-recover smoke
+    // with the `invariant-audit` feature armed.  Without this job the
+    // audit layer would compile (cfg'd out) but never actually run in CI.
+    let yml = ci_yml();
+    assert!(
+        yml.contains("\n  invariant-audit:"),
+        "ci.yml lost the `invariant-audit` job"
+    );
+    for needle in [
+        "cargo test -q --features invariant-audit",
+        "--features invariant-audit --test serve_recover",
+    ] {
+        assert!(
+            yml.contains(needle),
+            "ci.yml invariant-audit job is missing the `{needle}` step"
+        );
+    }
+}
+
+#[test]
 fn baseline_completeness_list_covers_every_engine_row() {
     // The bench-smoke job greps one key per engine row; that list must stay
     // in lockstep with the rows the bench records and the drift gate

@@ -43,6 +43,8 @@
 
 #![deny(missing_docs)]
 
+#[cfg(feature = "invariant-audit")]
+pub mod audit;
 pub mod backend;
 pub mod fasthash;
 pub mod graph;

@@ -92,6 +92,10 @@ pub fn max_flow_with(
                 break;
             }
             total += pushed;
+            // Each DFS pushes one complete source→sink path, so per-node
+            // conservation must hold at every intermediate state.
+            #[cfg(feature = "invariant-audit")]
+            crate::audit::check_flow_conservation(network, source, sink);
         }
     }
     MaxFlowResult { value: total }

@@ -346,9 +346,8 @@ impl MongeBackend {
             .extend((0..n).filter(|&v| self.role[v] == ROLE_BIN && self.assigned[v]));
         {
             let value = &self.value;
-            self.bins.sort_unstable_by(|&a, &b| {
-                value[a].partial_cmp(&value[b]).unwrap().then(a.cmp(&b))
-            });
+            self.bins
+                .sort_unstable_by(|&a, &b| value[a].total_cmp(&value[b]).then(a.cmp(&b)));
         }
         self.rank.clear();
         self.rank.resize(n, 0);
@@ -399,9 +398,8 @@ impl MongeBackend {
             .extend((0..n).filter(|&v| self.role[v] == ROLE_JOB));
         {
             let value = &self.value;
-            self.order.sort_unstable_by(|&a, &b| {
-                value[b].partial_cmp(&value[a]).unwrap().then(a.cmp(&b))
-            });
+            self.order
+                .sort_unstable_by(|&a, &b| value[b].total_cmp(&value[a]).then(a.cmp(&b)));
         }
         true
     }
@@ -593,6 +591,89 @@ impl MongeBackend {
             *rem -= x;
         }
     }
+
+    /// Monge-certification post-conditions of an accepted greedy seed
+    /// (feature `invariant-audit`): every route flow within its capacity,
+    /// every job's demand shipped exactly (routes, supply edge and drain
+    /// edges all consistent), no bin oversubscribed.  A seed violating any
+    /// of these could still solve correctly — the seeded simplex verifies —
+    /// but it would break the zero-pivot contract the certification is
+    /// supposed to guarantee, so the audit makes it loud.
+    #[cfg(feature = "invariant-audit")]
+    fn audit_seed(&self) {
+        use crate::audit::fail;
+        let eps = 1e-6 * (1.0 + self.total_demand);
+        let mut total = 0.0;
+        let mut drained = vec![0.0f64; self.capacity.len()];
+        for (j, &(begin, end)) in self.span.iter().enumerate() {
+            let mut shipped = 0.0;
+            for k in begin..end {
+                let r = self.routes[k];
+                let f = self.seed[r.arc];
+                if !(-eps..=r.cap + eps).contains(&f) {
+                    fail(
+                        "monge-seed",
+                        &format!(
+                            "route {k} (job {j} -> bin {}) carries {f:.6e} of capacity {:.6e}",
+                            r.bin, r.cap
+                        ),
+                    );
+                }
+                shipped += f;
+                drained[r.bin] += f;
+            }
+            if (shipped - self.demand[j]).abs() > eps {
+                fail(
+                    "monge-seed",
+                    &format!(
+                        "job {j} ships {shipped:.6e} of demand {:.6e}",
+                        self.demand[j]
+                    ),
+                );
+            }
+            if self.supply_edge[j] != usize::MAX
+                && (self.seed[self.supply_edge[j]] - shipped).abs() > eps
+            {
+                fail(
+                    "monge-seed",
+                    &format!(
+                        "job {j} supply edge carries {:.6e} but routes ship {shipped:.6e}",
+                        self.seed[self.supply_edge[j]]
+                    ),
+                );
+            }
+            total += shipped;
+        }
+        for (b, &d) in drained.iter().enumerate() {
+            if self.drain_edge[b] == usize::MAX {
+                continue;
+            }
+            if d > 0.0 && (self.seed[self.drain_edge[b]] - d).abs() > eps {
+                fail(
+                    "monge-seed",
+                    &format!(
+                        "bin {b} drain edge carries {:.6e} but routes deliver {d:.6e}",
+                        self.seed[self.drain_edge[b]]
+                    ),
+                );
+            }
+            if self.capacity[b] < -eps {
+                fail(
+                    "monge-seed",
+                    &format!("bin {b} oversubscribed by {:.6e}", -self.capacity[b]),
+                );
+            }
+        }
+        if (total - self.total_demand).abs() > eps {
+            fail(
+                "monge-seed",
+                &format!(
+                    "seed ships {total:.6e} of total demand {:.6e}",
+                    self.total_demand
+                ),
+            );
+        }
+    }
 }
 
 impl MinCostBackend for MongeBackend {
@@ -618,6 +699,8 @@ impl MinCostBackend for MongeBackend {
     ) -> MinCostResult {
         if target > 0.0 && self.certify(network, source, sink) {
             if self.greedy(network.num_edges()) {
+                #[cfg(feature = "invariant-audit")]
+                self.audit_seed();
                 self.certified_solves += 1;
                 return self
                     .simplex

@@ -924,7 +924,11 @@ impl NetworkSimplexBackend {
                 }
                 spent += 1;
                 match self.find_entering(eps_cost, lex) {
-                    Some((e, dir)) => self.pivot(e, dir),
+                    Some((e, dir)) => {
+                        self.pivot(e, dir);
+                        #[cfg(feature = "invariant-audit")]
+                        self.audit_basis("pivot");
+                    }
                     None => break,
                 }
             }
@@ -1002,6 +1006,111 @@ impl NetworkSimplexBackend {
         let max_cost = self.cost.iter().fold(0.0f64, |m, &c| m.max(c.abs()));
         let eps_cost = 1e-11 * (1.0 + max_cost);
         (eps_flow, eps_cost)
+    }
+
+    /// Full well-formedness audit of the current spanning-tree basis
+    /// (feature `invariant-audit`): exactly `n` tree arcs spanning the
+    /// `n + 1` nodes, consistent `parent`/`pred`/`depth` arrays, every
+    /// nonbasic arc at the bound its state claims, tree flows within
+    /// bounds, and zero reduced cost on tree arcs in both lexicographic
+    /// channels.  Tolerances are looser than the pivot tolerances so the
+    /// audit can never fire on benign rounding — only on a structurally
+    /// broken basis, which would silently break the bit-identity contract.
+    #[cfg(feature = "invariant-audit")]
+    fn audit_basis(&self, context: &str) {
+        use crate::audit::fail;
+        let n = self.num_nodes;
+        let root = n;
+        let m = self.from.len();
+        let max_cap = self
+            .cap
+            .iter()
+            .filter(|c| c.is_finite())
+            .fold(0.0f64, |a, &c| a.max(c));
+        let eps_flow = 1e-6 * (1.0 + max_cap);
+        let max_cost = self.cost.iter().fold(0.0f64, |a, &c| a.max(c.abs()));
+        let max_pi = self.pi.iter().fold(0.0f64, |a, &p| a.max(p.abs()));
+        let eps_rc = 1e-7 * (1.0 + max_cost + max_pi);
+
+        let tree_arcs = self.state.iter().filter(|&&s| s == STATE_TREE).count();
+        if tree_arcs != n {
+            fail(
+                "simplex-basis",
+                &format!("{context}: {tree_arcs} tree arcs for {n} real nodes (want {n})"),
+            );
+        }
+        for v in 0..n {
+            let p = self.parent[v];
+            let a = self.pred[v];
+            if p == usize::MAX || a == usize::MAX || a >= m {
+                fail(
+                    "simplex-basis",
+                    &format!("{context}: node {v} has no tree attachment"),
+                );
+            }
+            if self.state[a] != STATE_TREE {
+                fail(
+                    "simplex-basis",
+                    &format!("{context}: pred arc {a} of node {v} is not in the tree"),
+                );
+            }
+            let (af, at) = (self.from[a], self.to[a]);
+            if !((af == v && at == p) || (af == p && at == v)) {
+                fail(
+                    "simplex-basis",
+                    &format!("{context}: pred arc {a} ({af}->{at}) does not join {v} to {p}"),
+                );
+            }
+            if self.depth[v] != self.depth[p] + 1 {
+                fail(
+                    "simplex-basis",
+                    &format!(
+                        "{context}: depth[{v}] = {} but depth[parent {p}] = {}",
+                        self.depth[v], self.depth[p]
+                    ),
+                );
+            }
+            let rc = self.cost[a] + self.pi[af] - self.pi[at];
+            if rc.abs() > eps_rc {
+                fail(
+                    "simplex-basis",
+                    &format!("{context}: tree arc {a} has reduced cost {rc:+.3e}"),
+                );
+            }
+            // The secondary channel is exact integer arithmetic in f64, so
+            // a fixed absolute tolerance suffices.
+            let rc2 = self.cost2[a] + self.pi2[af] - self.pi2[at];
+            if rc2.abs() > 1e-6 {
+                fail(
+                    "simplex-basis",
+                    &format!("{context}: tree arc {a} has secondary reduced cost {rc2:+.3e}"),
+                );
+            }
+        }
+        if self.depth[root] != 0 {
+            fail(
+                "simplex-basis",
+                &format!("{context}: root depth is {}", self.depth[root]),
+            );
+        }
+        for a in 0..m {
+            let f = self.flow[a];
+            let c = self.cap[a];
+            let bad = match self.state[a] {
+                STATE_LOWER => f.abs() > eps_flow,
+                STATE_UPPER => !c.is_finite() || (f - c).abs() > eps_flow,
+                _ => f < -eps_flow || (c.is_finite() && f > c + eps_flow),
+            };
+            if bad {
+                fail(
+                    "simplex-basis",
+                    &format!(
+                        "{context}: arc {a} (state {}) carries {f:.6e} of capacity {c:.6e}",
+                        self.state[a]
+                    ),
+                );
+            }
+        }
     }
 
     /// Installs a caller-supplied **start vertex** over the loaded arc
@@ -1088,6 +1197,8 @@ impl NetworkSimplexBackend {
             return min_cost_flow_up_to(network, source, sink, target, workspace);
         }
         self.canonicalize(eps_flow);
+        #[cfg(feature = "invariant-audit")]
+        self.audit_basis("canonicalize");
         self.basis_valid = true;
         if had_hint && self.warm_start {
             self.remap
@@ -1139,6 +1250,8 @@ impl NetworkSimplexBackend {
         if !seeded {
             self.crash_basis();
         }
+        #[cfg(feature = "invariant-audit")]
+        self.audit_basis(if seeded { "monge-seed" } else { "crash-basis" });
         self.run_to_optimum(
             network, source, sink, target, workspace, seeded, eps_flow, eps_cost,
         )
@@ -1216,6 +1329,8 @@ impl MinCostBackend for NetworkSimplexBackend {
         if !warmed {
             self.crash_basis();
         }
+        #[cfg(feature = "invariant-audit")]
+        self.audit_basis(if warmed { "warm-start" } else { "crash-basis" });
         self.run_to_optimum(
             network, source, sink, target, workspace, warmed, eps_flow, eps_cost,
         )

@@ -161,6 +161,8 @@ impl ServeScheduler {
         });
         self.remaining.push(work);
         self.completions.push(f64::NAN);
+        #[cfg(feature = "invariant-audit")]
+        self.audit_digest_round_trip("stage");
         id
     }
 
@@ -305,6 +307,8 @@ impl ServeScheduler {
         }
         self.decisions += 1;
         self.active = Some(decision);
+        #[cfg(feature = "invariant-audit")]
+        self.audit_digest_round_trip("install");
     }
 
     /// Moves the frontier to `t` (the next event time, or `f64::INFINITY` to
@@ -336,6 +340,30 @@ impl ServeScheduler {
         }
         if t.is_finite() {
             self.stage_time = t;
+        }
+        #[cfg(feature = "invariant-audit")]
+        self.audit_digest_round_trip("advance");
+    }
+
+    /// Digest-consistency audit at a serve transition (feature
+    /// `invariant-audit`): exporting the state and rebuilding a scheduler
+    /// from it must reproduce the digest bit-for-bit.  This is exactly the
+    /// crash-recovery contract — a snapshot taken here and replayed later
+    /// must land on this state — checked continuously instead of only in
+    /// the recovery tests.
+    #[cfg(feature = "invariant-audit")]
+    fn audit_digest_round_trip(&self, context: &str) {
+        let digest = self.state_digest();
+        let restored = Self::from_state(self.sites.clone(), self.warm_start, self.export_state());
+        let round_trip = restored.state_digest();
+        if digest != round_trip {
+            stretch_flow::audit::fail(
+                "serve-digest",
+                &format!(
+                    "{context}: live digest {digest:#018x} but export/rebuild \
+                     round-trip digests {round_trip:#018x}"
+                ),
+            );
         }
     }
 

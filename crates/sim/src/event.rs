@@ -30,8 +30,7 @@ impl<T> Ord for QueuedEvent<T> {
         // breaking ties by insertion sequence for determinism.
         other
             .time
-            .partial_cmp(&self.time)
-            .unwrap_or(Ordering::Equal)
+            .total_cmp(&self.time)
             .then_with(|| other.seq.cmp(&self.seq))
     }
 }

@@ -87,7 +87,7 @@ impl ExecutionTrace {
             .iter()
             .flat_map(|s| [s.start, s.end])
             .collect();
-        times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        times.sort_by(|a, b| a.total_cmp(b));
         times.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
         for w in times.windows(2) {
             let (lo, hi) = (w[0], w[1]);

@@ -39,7 +39,7 @@ impl RatePolicy for GreedySrpt {
             .iter()
             .enumerate()
             .filter(|(_, j)| j.is_active())
-            .min_by(|a, b| a.1.remaining.partial_cmp(&b.1.remaining).unwrap())
+            .min_by(|a, b| a.1.remaining.total_cmp(&b.1.remaining))
             .map(|(i, _)| i);
         let mut a = Allocation::idle();
         if let Some(job) = best {
