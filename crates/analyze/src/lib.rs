@@ -112,9 +112,11 @@ fn d4_scope(rel: &str) -> bool {
 
 fn d5_scope(rel: &str) -> bool {
     // The serve ingestion path: submission, journalling, dead-lettering,
-    // event decoding and the bus.  Submissions must dead-letter, never
-    // panic — a panicking ingest turns one malformed request into an
-    // outage for every queued request behind it.
+    // event decoding, the bus and the trace codec.  Submissions must
+    // dead-letter, never panic — a panicking ingest turns one malformed
+    // request into an outage for every queued request behind it; likewise
+    // a panicking trace parser turns one torn recording into an
+    // unreplayable run.
     any_path(
         rel,
         &[
@@ -123,6 +125,7 @@ fn d5_scope(rel: &str) -> bool {
             "crates/serve/src/dlq.rs",
             "crates/serve/src/event.rs",
             "crates/serve/src/bus.rs",
+            "crates/serve/src/trace.rs",
         ],
     )
 }

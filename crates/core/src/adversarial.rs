@@ -8,7 +8,18 @@
 //!   for sum-stretch.  [`swrpt_lower_bound_instance`] builds the
 //!   doubly-exponential job sequence of the proof.
 
-use stretch_workload::UniprocInstance;
+//!
+//! Beyond the hand-built theorem instances, [`online_offline_ratio`] is
+//! the *measured* counterpart: the achieved-online vs. offline-clairvoyant
+//! max-stretch ratio of an arbitrary platform instance, the score the
+//! workload adversary (`stretch-workload`'s `adversary` module) climbs
+//! when hunting for hostile streams.
+
+use crate::config::SolverConfig;
+use crate::offline::{optimal_max_stretch, OfflineBackend};
+use crate::online::{run_online_with, OnlineVariant};
+use crate::scheduler::ScheduleError;
+use stretch_workload::{Instance, UniprocInstance};
 
 /// The Theorem-1 instance: one job of size `delta` released at time 0,
 /// followed by `k` unit-size jobs released at times `0, 1, …, k-1`.
@@ -115,6 +126,50 @@ pub fn swrpt_lower_bound_instance(
     )
 }
 
+/// Max-stretch of a completion vector against its instance, in the
+/// paper's `F_j / W_j` units (`total_cmp` fold — NaN completions sort
+/// last and are surfaced rather than masked).
+fn max_stretch_of_completions(instance: &Instance, completions: &[f64]) -> f64 {
+    instance
+        .jobs
+        .iter()
+        .map(|j| (completions[j.id] - j.release) / j.work)
+        .fold(0.0f64, |acc, s| {
+            if s.total_cmp(&acc) == std::cmp::Ordering::Greater {
+                s
+            } else {
+                acc
+            }
+        })
+}
+
+/// The achieved-online vs. offline-clairvoyant max-stretch ratio of
+/// `instance`: how much worse the per-event online algorithm (under
+/// `variant` and the given solver cell) does than the clairvoyant offline
+/// optimum.  `1.0` means the online run matched the offline bound; the
+/// theorems guarantee streams exist that push it strictly above.
+///
+/// Determinism contract: the solver cell comes **only** from the passed
+/// [`SolverConfig`] (no fresh environment reads — callers that want the
+/// process-wide default pass `SolverConfig::default()` explicitly), the
+/// offline bound uses the deterministic flow backend, and all ratio
+/// comparisons downstream are safe under `total_cmp` (this function never
+/// returns NaN for a feasible instance: the offline optimum of a
+/// non-empty instance is strictly positive).
+pub fn online_offline_ratio(
+    instance: &Instance,
+    variant: OnlineVariant,
+    config: SolverConfig,
+) -> Result<f64, ScheduleError> {
+    if instance.num_jobs() == 0 {
+        return Ok(1.0);
+    }
+    let completions = run_online_with(instance, variant, config)?;
+    let online = max_stretch_of_completions(instance, &completions);
+    let offline = optimal_max_stretch(instance, OfflineBackend::Flow)?.stretch;
+    Ok(online / offline)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -196,5 +251,32 @@ mod tests {
     #[should_panic(expected = "epsilon")]
     fn invalid_epsilon_rejected() {
         swrpt_lower_bound_instance(1.5, 10);
+    }
+
+    #[test]
+    fn online_offline_ratio_is_deterministic_and_at_least_one() {
+        let instance = crate::refstream::reference_instance(2, 2, 10, 3);
+        for config in SolverConfig::all_backends() {
+            let a = online_offline_ratio(&instance, OnlineVariant::Online, config).unwrap();
+            let b = online_offline_ratio(&instance, OnlineVariant::Online, config).unwrap();
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "{config:?} ratio not reproducible"
+            );
+            // The online algorithm cannot beat the clairvoyant optimum
+            // (up to the offline bisection's resolution).
+            assert!(a >= 1.0 - 1e-6, "{config:?} ratio {a} below 1");
+            assert!(a.is_finite());
+        }
+    }
+
+    #[test]
+    fn online_offline_ratio_of_an_empty_instance_is_one() {
+        let platform = stretch_platform::fixtures::small_platform();
+        let instance = stretch_workload::Instance::new(platform, Vec::new());
+        let r =
+            online_offline_ratio(&instance, OnlineVariant::Online, SolverConfig::monge()).unwrap();
+        assert_eq!(r, 1.0);
     }
 }

@@ -1,7 +1,7 @@
 //! The experimental grid of §5.3, extended with scenario families.
 
 use stretch_platform::reference;
-use stretch_workload::Scenario;
+use stretch_workload::{AdversaryConfig, Scenario};
 
 /// One point of the experimental grid: a platform/application configuration.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -102,7 +102,10 @@ pub fn reduced_grid() -> Vec<ExperimentConfig> {
 }
 
 /// The scenario families studied beyond the paper (paper-steady first, so
-/// every scenario table has the §5 baseline alongside).
+/// every scenario table has the §5 baseline alongside).  The adversarial
+/// family runs the seeded hill-climb with a small fixed budget so the
+/// scenario grid stays cheap and reproducible; the trace family replays
+/// checked-in `.strt` fixture 0.
 pub fn scenario_families() -> Vec<Scenario> {
     vec![
         Scenario::Steady,
@@ -112,7 +115,28 @@ pub fn scenario_families() -> Vec<Scenario> {
         },
         Scenario::HeavyTailed { alpha: 1.5 },
         Scenario::SkewedPopularity { exponent: 1.0 },
+        Scenario::Adversarial {
+            seed: 0xAD5E,
+            rounds: 12,
+        },
+        Scenario::Trace { index: 0 },
     ]
+}
+
+/// The pinned adversary search budget shared by `repro_trace`, the
+/// adversary golden fixtures and the `theorems.rs` ratio bound.  Every
+/// field is part of the fixture contract: changing any of them requires
+/// re-blessing `tests/fixtures/trace_0.strt` and the
+/// `adversary_smoke_*.golden` files (`STRETCH_BLESS=1`), and re-checking
+/// the pinned ratio margin in `tests/theorems.rs`.
+pub fn adversary_budget() -> AdversaryConfig {
+    AdversaryConfig {
+        seed: 0xADC0_FFEE,
+        rounds: 32,
+        candidates: 6,
+        release_jitter: 0.25,
+        work_factor: 16.0,
+    }
 }
 
 /// The scenario grid: every [`reduced_grid`] platform point crossed with

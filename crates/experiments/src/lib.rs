@@ -28,12 +28,14 @@ pub use campaign::{
     instance_seed, run_campaign, run_campaign_streaming, CampaignResult, CampaignSettings,
     CampaignSummary,
 };
-pub use config::{full_grid, reduced_grid, scenario_families, scenario_grid, ExperimentConfig};
+pub use config::{
+    adversary_budget, full_grid, reduced_grid, scenario_families, scenario_grid, ExperimentConfig,
+};
 pub use drift::{engine_row_keys, run_drift_check, DriftReport, DRIFT_FACTOR, DRIFT_SAMPLES};
 pub use figure3::{run_figure3, Figure3Point, Figure3Settings};
 pub use heuristics::{heuristic_battery, HeuristicKind, TABLE1_ORDER};
 pub use overhead::{run_overhead_study, OverheadReport};
-pub use runner::{run_instance, InstanceObservation, InstanceScale};
+pub use runner::{run_instance, trace_fixture_path, InstanceObservation, InstanceScale};
 pub use scale::{run_scale_study, ScaleSettings};
 pub use tables::{
     table1, tables_by_availability, tables_by_databases, tables_by_density, tables_by_sites,

@@ -6,8 +6,8 @@ use crate::json::Json;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use stretch_core::SolverConfig;
-use stretch_platform::{PlatformConfig, PlatformGenerator};
-use stretch_workload::{Instance, WorkloadConfig, WorkloadGenerator};
+use stretch_platform::{Platform, PlatformConfig, PlatformGenerator};
+use stretch_workload::{Instance, Job, Scenario, WorkloadConfig, WorkloadGenerator};
 
 /// Metrics of one heuristic on one instance.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -80,6 +80,13 @@ pub fn draw_instance_scaled(
     let platform_cfg = PlatformConfig::new(config.sites, config.databanks, config.availability);
     let platform = PlatformGenerator::new(platform_cfg).generate(&mut rng);
 
+    if let Scenario::Trace { index } = config.scenario {
+        // A recorded trace stands in for generation entirely: releases and
+        // works come verbatim from the fixture, only the databank targets
+        // are folded onto the drawn platform.
+        return trace_instance(index, platform);
+    }
+
     let window = match scale {
         InstanceScale::FixedWindow(secs) => {
             assert!(secs > 0.0 && secs.is_finite(), "window must be positive");
@@ -109,6 +116,63 @@ pub fn draw_instance_scaled(
         scenario: config.scenario,
     });
     generator.generate_instance(platform, &mut rng)
+}
+
+/// Path of checked-in trace fixture `index`
+/// (`tests/fixtures/trace_{index}.strt`, blessed by `repro_trace`).
+pub fn trace_fixture_path(index: u32) -> std::path::PathBuf {
+    std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(format!("trace_{index}.strt"))
+}
+
+/// Loads checked-in trace fixture `index` as an instance on `platform`.
+///
+/// The trace pins releases and works bit for bit; each submission's
+/// databank is taken modulo the platform's databank count and bumped to
+/// the nearest hosted databank when the folded target is replicated
+/// nowhere, so any trace stays runnable on any drawn platform.  Panics
+/// with a re-bless hint when the fixture is missing, torn or unsealed —
+/// a checked-in trace must always load cleanly.
+fn trace_instance(index: u32, platform: Platform) -> Instance {
+    let path = trace_fixture_path(index);
+    let (trace, tail) = stretch_serve::trace::load(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot load trace fixture {}: {e}; re-bless with \
+             STRETCH_BLESS=1 STRETCH_TRACE_MODE=bless cargo run --release \
+             -p stretch-experiments --bin repro_trace",
+            path.display()
+        )
+    });
+    assert_eq!(
+        tail,
+        stretch_serve::trace::TraceTail::Clean,
+        "trace fixture {} has a torn tail",
+        path.display()
+    );
+    assert!(
+        trace.is_sealed(),
+        "trace fixture {} is not sealed",
+        path.display()
+    );
+    let hosted: Vec<usize> = (0..platform.num_databanks())
+        .filter(|&d| !platform.eligible_processors(d).is_empty())
+        .collect();
+    assert!(!hosted.is_empty(), "platform hosts no databank at all");
+    let jobs = trace
+        .submissions
+        .iter()
+        .map(|s| {
+            let folded = (s.databank % platform.num_databanks() as u64) as usize;
+            let databank = if platform.eligible_processors(folded).is_empty() {
+                hosted[folded % hosted.len()]
+            } else {
+                folded
+            };
+            Job::new(0, s.release, s.work, databank)
+        })
+        .collect();
+    Instance::new(platform, jobs)
 }
 
 /// Runs the full battery on one random instance of `config`.

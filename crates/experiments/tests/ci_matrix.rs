@@ -142,6 +142,56 @@ fn invariant_audit_leg_is_pinned() {
 }
 
 #[test]
+fn trace_replay_leg_is_pinned() {
+    // The recorded-trace leg: `.strt` format suite (exhaustive corruption
+    // sweep, version fencing), record-and-replay smoke across the full
+    // backend × warm matrix, and the cross-backend replay contract tests.
+    // Dropping any step would silently un-test the trace codec or the
+    // replay determinism contract.
+    let yml = ci_yml();
+    assert!(
+        yml.contains("\n  trace-replay:"),
+        "ci.yml lost the `trace-replay` job"
+    );
+    for needle in [
+        "cargo test -q -p stretch-serve --test trace_format",
+        "--bin repro_trace",
+        "cargo test -q -p stretch-serve --test serve_replay",
+    ] {
+        assert!(
+            yml.contains(needle),
+            "ci.yml trace-replay job is missing the `{needle}` step"
+        );
+    }
+}
+
+#[test]
+fn adversary_regression_leg_is_pinned() {
+    // The adversary leg: per-backend golden fixtures of the worst-found
+    // streams, the pinned theorems margin over the trivial ratio bound,
+    // and the end-to-end search smoke (which also records the worst
+    // stream as a sealed trace).  Without this job the adversary could
+    // lose its teeth — or the scheduler could get quietly easier to
+    // attack — with no CI signal.
+    let yml = ci_yml();
+    assert!(
+        yml.contains("\n  adversary-regression:"),
+        "ci.yml lost the `adversary-regression` job"
+    );
+    for needle in [
+        "cargo test -q -p stretch-experiments --test adversary_golden",
+        "cargo test -q -p stretch-experiments --test theorems",
+        "STRETCH_TRACE_MODE=adversary",
+        "STRETCH_TRACE_OUT=",
+    ] {
+        assert!(
+            yml.contains(needle),
+            "ci.yml adversary-regression job is missing the `{needle}` step"
+        );
+    }
+}
+
+#[test]
 fn baseline_completeness_list_covers_every_engine_row() {
     // The bench-smoke job greps one key per engine row; that list must stay
     // in lockstep with the rows the bench records and the drift gate

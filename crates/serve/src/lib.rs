@@ -43,6 +43,7 @@ pub mod metrics;
 pub mod scheduler;
 pub mod service;
 pub mod snapshot;
+pub mod trace;
 
 pub use bus::{spawn_service, BusHandle, BusMessage, BusSendError};
 pub use dlq::{DeadLetter, DeadLetterQueue};
@@ -59,3 +60,7 @@ pub use service::{
     RecoverError, RecoveryReport, ServeConfig, SnapshotRejectReason, StretchServe, SubmitOutcome,
 };
 pub use snapshot::{ServiceCounters, Snapshot, SnapshotError};
+pub use trace::{
+    RecordError, RecordedRun, ReplayError, ReplayOutcome, Trace, TraceError, TraceMeta,
+    TraceRecorder, TraceSeal, TraceTail, TRACE_MAGIC, TRACE_VERSION,
+};

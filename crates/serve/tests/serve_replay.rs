@@ -8,6 +8,10 @@
 //! * **Degradation**: chaos-injected fallbacks and circuit-breaker shedding
 //!   are journaled as tiers, so a recovered process reproduces the degraded
 //!   schedule bit for bit.
+//! * **Recorded traces**: a `.strt` recording of a live run replays through
+//!   the full pipeline deterministically — bit-identical warm vs. cold on
+//!   every backend, and bit-identical to the sealed recording under the
+//!   recording backend.
 
 use std::path::{Path, PathBuf};
 use std::time::Duration;
@@ -16,8 +20,9 @@ use stretch_core::online::run_online_with;
 use stretch_core::refstream::reference_instance;
 use stretch_core::{BackendKind, OnlineVariant, SolverConfig};
 use stretch_platform::fixtures::small_platform;
+use stretch_serve::trace::TraceTail;
 use stretch_serve::{
-    journal, RejectReason, ServeConfig, SolveTier, StretchServe, Submission, SubmitOutcome,
+    journal, trace, RejectReason, ServeConfig, SolveTier, StretchServe, Submission, SubmitOutcome,
 };
 use stretch_workload::Instance;
 
@@ -249,6 +254,126 @@ fn malformed_and_out_of_order_submissions_are_dead_lettered() {
         SubmitOutcome::Rejected(RejectReason::Closed)
     );
     std::fs::remove_dir_all(&path).unwrap();
+}
+
+/// Records `instance` through a full serve run under `solver` and returns
+/// the sealed trace plus the recording digest.
+fn record_trace(name: &str, instance: &Instance, solver: SolverConfig) -> (trace::Trace, u64) {
+    let trace_path = tmp(&format!("trace-{name}.strt"));
+    let journal_dir = tmp(&format!("trace-{name}-journal"));
+    let _ = std::fs::remove_dir_all(&journal_dir);
+    let submissions: Vec<Submission> = instance
+        .jobs
+        .iter()
+        .map(|j| Submission::new(j.release, j.work, j.databank))
+        .collect();
+    let run = trace::record_run(
+        &trace_path,
+        &journal_dir,
+        instance.platform.clone(),
+        lenient(solver),
+        &submissions,
+    )
+    .unwrap();
+    assert_eq!(run.rejected, 0, "reference stream partially rejected");
+    let (recorded, tail) = trace::load(&trace_path).unwrap();
+    assert_eq!(tail, TraceTail::Clean);
+    assert!(recorded.is_sealed());
+    std::fs::remove_file(&trace_path).unwrap();
+    std::fs::remove_dir_all(&journal_dir).unwrap();
+    (recorded, run.digest)
+}
+
+#[test]
+fn recorded_traces_replay_deterministically_across_the_backend_matrix() {
+    // A generic stream admits degenerate System-(2) optima where the
+    // primal-dual backend legitimately picks a different allocation than
+    // the flow backends, so the cross-backend contract is per backend:
+    // warm and cold replays are bit-identical, the two flow backends
+    // (simplex, monge) agree bit for bit, and the recording backend's
+    // cells reproduce the sealed digest and completions exactly.
+    let instance = reference_instance(3, 3, 20, 3);
+    let recording = SolverConfig {
+        backend: BackendKind::Monge,
+        warm_start: true,
+    };
+    let (recorded, sealed_digest) = record_trace("generic", &instance, recording);
+    let matrix = trace::replay_matrix(&recorded, &instance.platform).unwrap();
+    assert_eq!(matrix.len(), BackendKind::ALL.len() * 2);
+
+    let cell = |backend: BackendKind, warm_start: bool| {
+        &matrix
+            .iter()
+            .find(|(c, _)| c.backend == backend && c.warm_start == warm_start)
+            .unwrap()
+            .1
+    };
+    for backend in BackendKind::ALL {
+        let warm = cell(backend, true);
+        let cold = cell(backend, false);
+        assert_eq!(
+            warm.digest,
+            cold.digest,
+            "backend {}: warm and cold replays diverged",
+            backend.name()
+        );
+        assert_eq!(bits(&warm.completions), bits(&cold.completions));
+    }
+    let simplex = cell(BackendKind::NetworkSimplex, true);
+    let monge = cell(BackendKind::Monge, true);
+    assert_eq!(
+        simplex.digest, monge.digest,
+        "the two flow backends replayed to different digests"
+    );
+    assert_eq!(bits(&simplex.completions), bits(&monge.completions));
+    for warm_start in [true, false] {
+        let outcome = cell(recording.backend, warm_start);
+        assert_eq!(outcome.digest, sealed_digest);
+        assert!(
+            outcome.matches_recorded,
+            "recording backend (warm={warm_start}) does not reproduce its own recording"
+        );
+    }
+}
+
+#[test]
+fn unique_optima_streams_replay_identically_in_every_matrix_cell() {
+    // The six-job reference stream of the journal tests has a unique
+    // System-(2) optimum at every decision point, so the strongest form
+    // of the contract holds: all 3 backends × warm/cold land on the
+    // recorded digest and completions bit for bit.
+    let stream = [
+        (0.0, 300.0, 0),
+        (0.0, 60.0, 1),
+        (2.5, 120.0, 0),
+        (4.0, 30.0, 1),
+        (6.0, 90.0, 0),
+        (7.5, 45.0, 1),
+    ];
+    let jobs = stream
+        .iter()
+        .map(|&(release, work, databank)| stretch_workload::Job::new(0, release, work, databank))
+        .collect();
+    let instance = Instance::new(small_platform(), jobs);
+    let (recorded, sealed_digest) = record_trace(
+        "unique",
+        &instance,
+        SolverConfig {
+            backend: BackendKind::PrimalDual,
+            warm_start: true,
+        },
+    );
+    let matrix = trace::replay_matrix(&recorded, &instance.platform).unwrap();
+    for (config, outcome) in &matrix {
+        assert_eq!(
+            outcome.digest,
+            sealed_digest,
+            "cell {}/warm={} diverged from the recording",
+            config.backend.name(),
+            config.warm_start
+        );
+        assert!(outcome.matches_recorded);
+    }
 }
 
 #[test]

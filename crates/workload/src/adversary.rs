@@ -1,0 +1,344 @@
+//! A searchable workload adversary: seeded local search over job streams.
+//!
+//! The paper's lower-bound constructions (`stretch-core`'s
+//! `adversarial` module) are hand-built for the uniprocessor model.  This
+//! module *searches* for hostile streams on the real platform model
+//! instead: starting from any base [`Instance`], a seeded hill-climb
+//! perturbs release dates, work sizes and databank targets, keeping a
+//! mutant whenever it strictly increases a caller-supplied score.
+//!
+//! The score is a plain `FnMut(&Instance) -> f64`, so the module stays
+//! free of scheduler dependencies: callers that can afford it score with
+//! the achieved-online vs. offline-clairvoyant max-stretch ratio
+//! (`stretch-core`'s oracle), while workload-internal users (the
+//! [`Scenario::Adversarial`](crate::Scenario) family) use the cheap
+//! deterministic [`starvation_pressure`] proxy, which rewards the
+//! Theorem-1 shape — small rivals released inside a large job's natural
+//! execution span.
+//!
+//! ## Determinism
+//!
+//! The search is a pure function of the base instance, the
+//! [`AdversaryConfig`] (including its seed) and the score function:
+//! candidates are drawn from a [`SmallRng`] seeded with `config.seed`,
+//! score comparisons use `total_cmp`, and non-finite scores are
+//! discarded.  Re-running a search reproduces the same best stream bit
+//! for bit.
+
+use crate::instance::Instance;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Work sizes are clamped into this range across mutations so repeated
+/// scaling can never underflow to a rejected non-positive size or
+/// overflow to infinity.
+const WORK_FLOOR: f64 = 1e-6;
+const WORK_CEIL: f64 = 1e12;
+
+/// Budget and mutation magnitudes of one adversary search.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AdversaryConfig {
+    /// Seed of the search's private RNG; the whole search is a pure
+    /// function of `(base, config, score)`.
+    pub seed: u64,
+    /// Hill-climb rounds; each round evaluates [`candidates`] mutants of
+    /// the incumbent.
+    ///
+    /// [`candidates`]: AdversaryConfig::candidates
+    pub rounds: u32,
+    /// Mutants drawn per round.
+    pub candidates: u32,
+    /// Release-date shifts are drawn from `±jitter · span`, where `span`
+    /// is the base stream's release span (at least 1 s).
+    pub release_jitter: f64,
+    /// Work mutations multiply by `work_factor^u`, `u ∈ [-1, 1]`.
+    pub work_factor: f64,
+}
+
+impl Default for AdversaryConfig {
+    fn default() -> Self {
+        AdversaryConfig {
+            seed: 0xAD5E_ED00,
+            rounds: 32,
+            candidates: 6,
+            release_jitter: 0.25,
+            work_factor: 4.0,
+        }
+    }
+}
+
+impl AdversaryConfig {
+    /// Validates the configuration, panicking with a descriptive message
+    /// on nonsense values (mirrors the generator asserts).
+    pub fn validate(&self) {
+        assert!(self.rounds > 0, "adversary needs at least one round");
+        assert!(
+            self.candidates > 0,
+            "adversary needs at least one candidate per round"
+        );
+        assert!(
+            self.release_jitter > 0.0 && self.release_jitter.is_finite(),
+            "release jitter must be positive and finite, got {}",
+            self.release_jitter
+        );
+        assert!(
+            self.work_factor > 1.0 && self.work_factor.is_finite(),
+            "work factor must exceed 1, got {}",
+            self.work_factor
+        );
+    }
+}
+
+/// Outcome of one [`search`].
+#[derive(Clone, Debug)]
+pub struct AdversaryResult {
+    /// The worst (highest-scoring) stream found, starting from the base.
+    pub best: Instance,
+    /// Its score.
+    pub best_score: f64,
+    /// Mutants scored (excluding the base).
+    pub evaluations: u64,
+    /// Rounds that strictly improved the incumbent.
+    pub improvements: u64,
+}
+
+/// Seeded hill-climb over job streams, maximizing `score`.
+///
+/// Each round draws [`AdversaryConfig::candidates`] mutants of the
+/// incumbent (1–3 single-job edits each: shift a release, rescale a work,
+/// retarget a databank), scores them, and adopts the round's best mutant
+/// when it strictly beats the incumbent under `total_cmp`.  Candidates
+/// with non-finite scores are discarded.  Mutants always remain valid
+/// instances: releases are clamped nonnegative, works stay within a
+/// positive finite range, and databank retargets only choose databanks
+/// hosted by at least one cluster.
+pub fn search<F>(base: &Instance, config: AdversaryConfig, mut score: F) -> AdversaryResult
+where
+    F: FnMut(&Instance) -> f64,
+{
+    config.validate();
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let hosted: Vec<usize> = (0..base.platform.num_databanks())
+        .filter(|&d| !base.platform.eligible_processors(d).is_empty())
+        .collect();
+    let span = base
+        .jobs
+        .iter()
+        .map(|j| j.release)
+        .fold(0.0f64, f64::max)
+        .max(1.0);
+    let max_shift = config.release_jitter * span;
+
+    let mut best = base.clone();
+    let mut best_score = score(&best);
+    let mut evaluations = 0u64;
+    let mut improvements = 0u64;
+
+    for _ in 0..config.rounds {
+        let mut round_best: Option<(Instance, f64)> = None;
+        for _ in 0..config.candidates {
+            let mut jobs = best.jobs.clone();
+            if jobs.is_empty() {
+                break;
+            }
+            let edits = rng.gen_range(1..4usize);
+            for _ in 0..edits {
+                let pick = rng.gen_range(0..jobs.len());
+                let job = &mut jobs[pick];
+                match rng.gen_range(0..3usize) {
+                    0 => {
+                        let shift = rng.gen_range(-max_shift..=max_shift);
+                        job.release = (job.release + shift).max(0.0);
+                    }
+                    1 => {
+                        let factor = config.work_factor.powf(rng.gen_range(-1.0..=1.0));
+                        job.work = (job.work * factor).clamp(WORK_FLOOR, WORK_CEIL);
+                    }
+                    _ => {
+                        if !hosted.is_empty() {
+                            job.databank = hosted[rng.gen_range(0..hosted.len())];
+                        }
+                    }
+                }
+            }
+            let Ok(candidate) = Instance::try_new(best.platform.clone(), jobs) else {
+                continue;
+            };
+            let s = score(&candidate);
+            evaluations += 1;
+            if !s.is_finite() {
+                continue;
+            }
+            let beats_round = match &round_best {
+                Some((_, incumbent)) => s.total_cmp(incumbent) == std::cmp::Ordering::Greater,
+                None => true,
+            };
+            if beats_round {
+                round_best = Some((candidate, s));
+            }
+        }
+        if let Some((candidate, s)) = round_best {
+            if s.total_cmp(&best_score) == std::cmp::Ordering::Greater {
+                best = candidate;
+                best_score = s;
+                improvements += 1;
+            }
+        }
+    }
+
+    AdversaryResult {
+        best,
+        best_score,
+        evaluations,
+        improvements,
+    }
+}
+
+/// Deterministic, scheduler-free hostility proxy: the Theorem-1
+/// starvation pressure of a stream.
+///
+/// For each job `j`, rivals released inside `j`'s natural execution span
+/// (`W_j` over the platform's aggregate speed) force a conflict: either
+/// `j` starves behind them or they inflate their own stretch waiting for
+/// `j`.  Each rival contributes the ratio of its overlap with `j`'s span
+/// to its own natural span (small rivals hurt more — stretch is
+/// work-normalised); the proxy is the worst per-job total.  Pure
+/// arithmetic fold over the job list, no RNG, no scheduler.
+pub fn starvation_pressure(instance: &Instance) -> f64 {
+    let speed = instance.platform.aggregate_speed();
+    let mut worst = 0.0f64;
+    for j in &instance.jobs {
+        let end = j.release + j.work / speed;
+        let mut pressure = 1.0;
+        for k in &instance.jobs {
+            if k.id != j.id && k.release >= j.release && k.release < end {
+                let rival_span = (k.work / speed).max(f64::MIN_POSITIVE);
+                pressure += (end - k.release) / rival_span;
+            }
+        }
+        worst = worst.max(pressure);
+    }
+    worst
+}
+
+/// Derives a per-instance adversary seed from a scenario-level seed and a
+/// generator draw (splitmix64 finalizer over the XOR), so distinct
+/// instances of one campaign explore different neighbourhoods while each
+/// stays individually reproducible.
+pub fn mix_seed(scenario_seed: u64, draw: u64) -> u64 {
+    let mut z = scenario_seed ^ draw;
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::Job;
+    use stretch_platform::fixtures::small_platform;
+
+    fn base_instance() -> Instance {
+        let jobs = vec![
+            Job::new(0, 0.0, 300.0, 0),
+            Job::new(1, 1.0, 60.0, 1),
+            Job::new(2, 3.0, 120.0, 0),
+            Job::new(3, 5.0, 30.0, 1),
+            Job::new(4, 8.0, 90.0, 0),
+        ];
+        Instance::new(small_platform(), jobs)
+    }
+
+    #[test]
+    fn search_is_deterministic_under_a_fixed_seed() {
+        let base = base_instance();
+        let config = AdversaryConfig {
+            rounds: 8,
+            ..Default::default()
+        };
+        let a = search(&base, config, starvation_pressure);
+        let b = search(&base, config, starvation_pressure);
+        assert_eq!(a.best_score.to_bits(), b.best_score.to_bits());
+        assert_eq!(a.evaluations, b.evaluations);
+        assert_eq!(a.improvements, b.improvements);
+        assert_eq!(a.best.jobs, b.best.jobs);
+    }
+
+    #[test]
+    fn search_never_loses_ground_and_usually_gains() {
+        let base = base_instance();
+        let start = starvation_pressure(&base);
+        let result = search(&base, AdversaryConfig::default(), starvation_pressure);
+        assert!(result.best_score >= start);
+        // 32 rounds × 6 candidates on a 5-job stream: the hill-climb
+        // finds *some* improvement (the base stream is far from a
+        // starvation worst case).
+        assert!(result.improvements > 0, "no improving round found");
+        assert!(result.best_score > start, "score did not improve");
+    }
+
+    #[test]
+    fn mutants_stay_valid_instances() {
+        let base = base_instance();
+        let config = AdversaryConfig {
+            rounds: 40,
+            candidates: 8,
+            ..Default::default()
+        };
+        let result = search(&base, config, starvation_pressure);
+        assert_eq!(result.best.num_jobs(), base.num_jobs());
+        for (k, j) in result.best.jobs.iter().enumerate() {
+            assert_eq!(j.id, k);
+            assert!(j.release >= 0.0 && j.release.is_finite());
+            assert!(j.work > 0.0 && j.work.is_finite());
+            assert!(!result.best.eligible_processors(k).is_empty());
+        }
+        for w in result.best.jobs.windows(2) {
+            assert!(w[0].release <= w[1].release);
+        }
+    }
+
+    #[test]
+    fn starvation_pressure_rewards_the_theorem_1_shape() {
+        // One large job swarmed by small rivals inside its span must score
+        // higher than the same jobs spread far apart.
+        let platform = small_platform();
+        let swarmed = Instance::new(
+            platform.clone(),
+            vec![
+                Job::new(0, 0.0, 300.0, 0),
+                Job::new(1, 0.5, 10.0, 0),
+                Job::new(2, 1.0, 10.0, 0),
+                Job::new(3, 1.5, 10.0, 0),
+            ],
+        );
+        let spread = Instance::new(
+            platform,
+            vec![
+                Job::new(0, 0.0, 300.0, 0),
+                Job::new(1, 100.0, 10.0, 0),
+                Job::new(2, 200.0, 10.0, 0),
+                Job::new(3, 300.0, 10.0, 0),
+            ],
+        );
+        assert!(starvation_pressure(&swarmed) > starvation_pressure(&spread));
+    }
+
+    #[test]
+    fn mix_seed_separates_nearby_inputs() {
+        assert_ne!(mix_seed(1, 0), mix_seed(2, 0));
+        assert_ne!(mix_seed(1, 0), mix_seed(1, 1));
+        assert_eq!(mix_seed(7, 9), mix_seed(7, 9));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one round")]
+    fn zero_rounds_rejected() {
+        let config = AdversaryConfig {
+            rounds: 0,
+            ..Default::default()
+        };
+        search(&base_instance(), config, starvation_pressure);
+    }
+}

@@ -6,6 +6,7 @@
 //! computational power able to serve that databank.  A density of 1.0 means
 //! the eligible processors are, on average, exactly loaded.
 
+use crate::adversary::{self, AdversaryConfig};
 use crate::instance::Instance;
 use crate::job::Job;
 use crate::scenario::Scenario;
@@ -156,6 +157,22 @@ impl WorkloadGenerator {
         jobs.sort_by(|a, b| a.release.total_cmp(&b.release));
         for (k, j) in jobs.iter_mut().enumerate() {
             j.id = k;
+        }
+        if let Scenario::Adversarial { seed, rounds } = scenario {
+            // Post-process the steady draw with the hill-climb adversary.
+            // The search seed mixes the scenario seed with one draw from
+            // the caller's RNG, so each instance of a campaign explores a
+            // different neighbourhood while staying a pure function of
+            // (generator seed, scenario).
+            let draw: u64 = rng.gen_range(0..u64::MAX);
+            let search_config = AdversaryConfig {
+                seed: adversary::mix_seed(seed, draw),
+                rounds,
+                ..AdversaryConfig::default()
+            };
+            let base = Instance::new(platform.clone(), jobs);
+            let result = adversary::search(&base, search_config, adversary::starvation_pressure);
+            return result.best.jobs;
         }
         jobs
     }
@@ -396,6 +413,37 @@ mod tests {
             "zipf skew should favour databank 0: {} vs {}",
             count(0),
             count(1)
+        );
+    }
+
+    #[test]
+    fn adversarial_scenario_is_deterministic_and_preserves_the_job_count() {
+        let platform = small_platform();
+        let config = WorkloadConfig {
+            density: 1.0,
+            window: 100.0,
+            scan_fraction: 1.0,
+            scenario: Scenario::Adversarial { seed: 5, rounds: 8 },
+        };
+        let generator = WorkloadGenerator::new(config);
+        let a = generator.generate(&platform, &mut SmallRng::seed_from_u64(41));
+        let b = generator.generate(&platform, &mut SmallRng::seed_from_u64(41));
+        assert_eq!(a, b, "adversarial stream must be seed-reproducible");
+        // Same draw, steady family: the adversary only perturbs, never
+        // adds or removes jobs.
+        let steady = WorkloadGenerator::new(WorkloadConfig {
+            scenario: Scenario::Steady,
+            ..config
+        })
+        .generate(&platform, &mut SmallRng::seed_from_u64(41));
+        assert_eq!(a.len(), steady.len());
+        // And it actually found something more hostile than the base draw.
+        let hostile =
+            crate::adversary::starvation_pressure(&Instance::new(platform.clone(), a.clone()));
+        let base = crate::adversary::starvation_pressure(&Instance::new(platform, steady));
+        assert!(
+            hostile >= base,
+            "adversarial stream scores {hostile} below its base {base}"
         );
     }
 

@@ -54,6 +54,29 @@ pub enum Scenario {
         /// Zipf exponent; `0.0` is uniform, `1.0` classic Zipf.
         exponent: f64,
     },
+    /// A steady stream post-processed by the workload adversary
+    /// ([`crate::adversary`]): a seeded hill-climb perturbs release dates,
+    /// sizes and databank targets to maximise the starvation-pressure
+    /// proxy.  Job *count* is preserved (mutations never add or remove
+    /// jobs) but sizes and arrival placement are deliberately hostile, so
+    /// this family is **not** density-preserving — that is its point.
+    Adversarial {
+        /// Scenario-level search seed, mixed with the generator draw so
+        /// each instance of a campaign explores a different
+        /// neighbourhood deterministically.
+        seed: u64,
+        /// Hill-climb rounds per instance.
+        rounds: u32,
+    },
+    /// A recorded `.strt` trace stands in for generation entirely: the
+    /// campaign layer (`stretch-experiments`) loads checked-in trace
+    /// fixture `index` and replays it instead of drawing jobs.  At the
+    /// workload level this family generates a steady stream (the
+    /// fallthrough), so the variant stays usable without the serve layer.
+    Trace {
+        /// Which checked-in trace fixture to replay.
+        index: u32,
+    },
 }
 
 impl Scenario {
@@ -64,6 +87,8 @@ impl Scenario {
             Scenario::Bursty { cycles, duty } => format!("bursty{cycles}x{duty:.2}"),
             Scenario::HeavyTailed { alpha } => format!("heavy{alpha:.2}"),
             Scenario::SkewedPopularity { exponent } => format!("zipf{exponent:.2}"),
+            Scenario::Adversarial { seed, rounds } => format!("adv{seed}r{rounds}"),
+            Scenario::Trace { index } => format!("trace{index}"),
         }
     }
 
@@ -91,6 +116,10 @@ impl Scenario {
                     "popularity exponent must be nonnegative, got {exponent}"
                 );
             }
+            Scenario::Adversarial { rounds, .. } => {
+                assert!(rounds > 0, "adversarial scenario needs at least one round");
+            }
+            Scenario::Trace { .. } => {}
         }
     }
 
@@ -170,12 +199,19 @@ mod tests {
             },
             Scenario::HeavyTailed { alpha: 1.5 },
             Scenario::SkewedPopularity { exponent: 1.0 },
+            Scenario::Adversarial {
+                seed: 11,
+                rounds: 16,
+            },
+            Scenario::Trace { index: 0 },
         ];
         let labels: Vec<String> = scenarios.iter().map(|s| s.label()).collect();
         assert_eq!(labels[0], "steady");
         assert_eq!(labels[1], "bursty3x0.25");
         assert_eq!(labels[2], "heavy1.50");
         assert_eq!(labels[3], "zipf1.00");
+        assert_eq!(labels[4], "adv11r16");
+        assert_eq!(labels[5], "trace0");
         let unique: std::collections::HashSet<&String> = labels.iter().collect();
         assert_eq!(unique.len(), labels.len());
     }
@@ -261,5 +297,28 @@ mod tests {
     #[should_panic(expected = "exceed 1")]
     fn invalid_alpha_rejected() {
         Scenario::HeavyTailed { alpha: 0.9 }.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one round")]
+    fn zero_adversary_rounds_rejected() {
+        Scenario::Adversarial { seed: 1, rounds: 0 }.validate();
+    }
+
+    #[test]
+    fn trace_and_adversarial_are_transparent_to_the_flow_shape_hooks() {
+        // Both families reshape (or replace) the stream *after* the steady
+        // draw, so the per-draw hooks must behave exactly like steady.
+        let mut rng = SmallRng::seed_from_u64(2);
+        for s in [
+            Scenario::Adversarial { seed: 3, rounds: 8 },
+            Scenario::Trace { index: 1 },
+        ] {
+            s.validate();
+            assert_eq!(s.popularity_weight(2, 5), 1.0);
+            assert_eq!(s.size_factor(&mut rng), 1.0);
+            assert_eq!(s.arrival_time(4.25, 100.0), 4.25);
+            assert_eq!(s.active_window(100.0), 100.0);
+        }
     }
 }
