@@ -469,6 +469,31 @@ fn bench_scheduler_overhead(c: &mut Criterion) {
             },
         );
     }
+    // The incremental System-(2) sweep: one persistent solver per backend
+    // with the delta engine on (`STRETCH_INCREMENTAL`, the default), so
+    // every event's solve runs through the persistent `System2Arena` —
+    // instance, intervals, keys and flow network reused across events
+    // instead of reallocated.  Identical work and bit-identical plans
+    // (pinned by the differential-oracle suite); measured against the
+    // `-warm` rows above, which rebuild those buffers per event.
+    for config in SolverConfig::all_backends() {
+        let mut solver = ParametricDeadlineSolver::with_config(config.with_incremental(true));
+        group.bench_function(
+            format!("system2-events/{}-incremental", config.backend.name()),
+            |b| {
+                b.iter(|| {
+                    let mut pieces = 0usize;
+                    for (problem, slack) in &system2_events {
+                        let plan = solver
+                            .system2_allocation(problem, *slack)
+                            .expect("feasible at the captured objective");
+                        pieces += plan.pieces.len();
+                    }
+                    black_box(pieces)
+                })
+            },
+        );
+    }
     group.finish();
 }
 

@@ -13,7 +13,7 @@
 //!
 //! # Environment defaults are read once per process
 //!
-//! The **default** configuration reads two environment variables, and it
+//! The **default** configuration reads three environment variables, and it
 //! reads them **exactly once per process** (memoised in a `OnceLock`,
 //! because schedulers construct solvers on hot paths):
 //!
@@ -27,6 +27,13 @@
 //!   start is a speed lever only: results are bit-identical either way
 //!   (pinned by the differential-oracle suite), so the CI matrix crossing
 //!   this knob is a determinism check, not a behaviour switch.
+//! * `STRETCH_INCREMENTAL` — `1`/`true` (the default) keeps the parametric
+//!   epochal structure alive across events and splices per-event deltas
+//!   into it ([`crate::delta`]); `0`/`false` rebuilds it from scratch at
+//!   every event; anything else aborts.  Like warm start this is purely a
+//!   speed lever: incremental and rebuild solves are bit-identical by
+//!   construction (same fill code, persistent buffers), pinned by the
+//!   incremental-vs-rebuild differential oracle.
 //!
 //! Once-per-process means **changing the variables after the first
 //! [`SolverConfig::default`] call has no effect** — tests that want to run
@@ -53,6 +60,19 @@ pub struct SolverConfig {
     /// warm/cold identity contract, pinned by
     /// `crates/core/tests/backend_diff.rs`).
     pub warm_start: bool,
+    /// Whether the solver keeps the parametric epochal structure **alive
+    /// across events** and splices per-event deltas into it
+    /// ([`crate::delta`]), instead of rebuilding `ParametricStructure` and
+    /// the System-(2) transportation network from scratch at every arrival
+    /// and completion.
+    ///
+    /// Default `true` (`STRETCH_INCREMENTAL`).  Like [`Self::warm_start`]
+    /// this is purely a performance knob: the incremental path executes the
+    /// same fill code over persistent buffers, so incremental and rebuild
+    /// solves return bit-identical objectives and allocations (pinned by
+    /// the incremental-vs-rebuild leg of
+    /// `crates/core/tests/backend_diff.rs`).
+    pub incremental: bool,
 }
 
 impl SolverConfig {
@@ -61,6 +81,7 @@ impl SolverConfig {
         SolverConfig {
             backend: BackendKind::PrimalDual,
             warm_start: true,
+            incremental: true,
         }
     }
 
@@ -69,6 +90,7 @@ impl SolverConfig {
         SolverConfig {
             backend: BackendKind::NetworkSimplex,
             warm_start: true,
+            incremental: true,
         }
     }
 
@@ -77,6 +99,7 @@ impl SolverConfig {
         SolverConfig {
             backend: BackendKind::Monge,
             warm_start: true,
+            incremental: true,
         }
     }
 
@@ -86,12 +109,20 @@ impl SolverConfig {
         self
     }
 
+    /// This configuration with the incremental (persistent-structure) event
+    /// path switched on or off.
+    pub fn with_incremental(mut self, incremental: bool) -> Self {
+        self.incremental = incremental;
+        self
+    }
+
     /// One configuration per available backend, reference first (the shape
     /// the differential tests and benches iterate over).
     pub fn all_backends() -> impl Iterator<Item = SolverConfig> {
         BackendKind::ALL.into_iter().map(|backend| SolverConfig {
             backend,
             warm_start: true,
+            incremental: true,
         })
     }
 
@@ -104,6 +135,7 @@ impl SolverConfig {
             Some(backend) => SolverConfig {
                 backend,
                 warm_start: true,
+                incremental: true,
             },
             None => {
                 let valid: Vec<&str> = BackendKind::ALL.iter().map(|b| b.name()).collect();
@@ -125,11 +157,28 @@ impl SolverConfig {
         }
     }
 
-    /// Reads `STRETCH_MINCOST_BACKEND` and `STRETCH_WARM_START`
-    /// (**uncached** — callers wanting the memoised process default use
-    /// [`SolverConfig::default`]); unset variables fall back to the
-    /// primal-dual reference with warm start on, unrecognised values abort
-    /// loudly (see [`Self::parse_backend`], [`Self::parse_warm_start`]).
+    /// Parses an incremental switch as `STRETCH_INCREMENTAL` would: exactly
+    /// `1`/`true`/`on` (enabled, the default) or `0`/`false`/`off`
+    /// (disabled), case-insensitive and whitespace-trimmed; anything else
+    /// aborts with the offending string, consistent with the strict-parse
+    /// policy of every other `STRETCH_*` knob.
+    pub fn parse_incremental(raw: &str) -> bool {
+        match raw.trim().to_ascii_lowercase().as_str() {
+            "1" | "true" | "on" => true,
+            "0" | "false" | "off" => false,
+            _ => {
+                panic!("STRETCH_INCREMENTAL must be one of 0/1, true/false or on/off, got `{raw}`")
+            }
+        }
+    }
+
+    /// Reads `STRETCH_MINCOST_BACKEND`, `STRETCH_WARM_START` and
+    /// `STRETCH_INCREMENTAL` (**uncached** — callers wanting the memoised
+    /// process default use [`SolverConfig::default`]); unset variables fall
+    /// back to the primal-dual reference with warm start and incremental
+    /// solving on, unrecognised values abort loudly (see
+    /// [`Self::parse_backend`], [`Self::parse_warm_start`],
+    /// [`Self::parse_incremental`]).
     pub fn from_env() -> Self {
         let backend = match std::env::var("STRETCH_MINCOST_BACKEND") {
             Err(std::env::VarError::NotPresent) => BackendKind::default(),
@@ -145,9 +194,17 @@ impl SolverConfig {
             }
             Ok(raw) => Self::parse_warm_start(&raw),
         };
+        let incremental = match std::env::var("STRETCH_INCREMENTAL") {
+            Err(std::env::VarError::NotPresent) => true,
+            Err(std::env::VarError::NotUnicode(_)) => {
+                panic!("STRETCH_INCREMENTAL must be valid unicode, got undecodable bytes")
+            }
+            Ok(raw) => Self::parse_incremental(&raw),
+        };
         SolverConfig {
             backend,
             warm_start,
+            incremental,
         }
     }
 
@@ -337,6 +394,32 @@ mod tests {
     #[should_panic(expected = "got `2`")]
     fn unrecognised_warm_start_values_abort_with_the_offending_string() {
         SolverConfig::parse_warm_start("2");
+    }
+
+    #[test]
+    fn incremental_switch_parses_strictly() {
+        assert!(SolverConfig::parse_incremental("1"));
+        assert!(SolverConfig::parse_incremental("true"));
+        assert!(SolverConfig::parse_incremental(" On "));
+        assert!(!SolverConfig::parse_incremental("0"));
+        assert!(!SolverConfig::parse_incremental(" off "));
+    }
+
+    #[test]
+    fn incremental_is_on_by_default_and_togglable() {
+        assert!(
+            SolverConfig::all_backends().all(|c| c.incremental),
+            "incremental is the default"
+        );
+        let cold = SolverConfig::monge().with_incremental(false);
+        assert!(!cold.incremental);
+        assert_eq!(cold.with_incremental(true), SolverConfig::monge());
+    }
+
+    #[test]
+    #[should_panic(expected = "STRETCH_INCREMENTAL must be one of 0/1, true/false or on/off")]
+    fn unrecognised_incremental_values_abort_with_the_offending_string() {
+        SolverConfig::parse_incremental("maybe");
     }
 
     #[test]

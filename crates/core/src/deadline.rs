@@ -296,14 +296,23 @@ impl DeadlineProblem {
     /// The epochal times for a fixed objective `F`: `now`, every ready time
     /// and every deadline, clamped to `[now, ∞)`, sorted and deduplicated.
     pub fn epochal_times(&self, stretch: f64) -> Vec<f64> {
-        let mut times = vec![self.now];
+        let mut times = Vec::new();
+        self.epochal_times_into(stretch, &mut times);
+        times
+    }
+
+    /// [`Self::epochal_times`] filling a caller-held buffer — the
+    /// allocation-free variant for the incremental per-event path, identical
+    /// fill (same values, same sort, same dedup) by construction.
+    pub fn epochal_times_into(&self, stretch: f64, times: &mut Vec<f64>) {
+        times.clear();
+        times.push(self.now);
         for j in &self.jobs {
             times.push(j.ready.max(self.now));
             times.push(j.deadline(stretch).max(self.now));
         }
         times.sort_by(|a, b| a.total_cmp(b));
         times.dedup_by(|a, b| (*a - *b).abs() <= EPOCHAL_DEDUP_RTOL * b.abs().max(1.0));
-        times
     }
 
     /// The epochal intervals `[t_k, t_{k+1})` for a fixed objective `F`.
@@ -324,9 +333,36 @@ impl DeadlineProblem {
         stretch: f64,
         cost: impl Fn(usize, (f64, f64)) -> f64,
     ) -> (TransportInstance, Vec<(f64, f64)>) {
-        let intervals = self.intervals(stretch);
+        let mut t = TransportInstance::new(0, 0);
+        let mut intervals = Vec::new();
+        let mut times = Vec::new();
+        self.transport_into(stretch, cost, &mut t, &mut intervals, &mut times);
+        (t, intervals)
+    }
+
+    /// [`Self::transport`] filling a caller-held instance and buffers — the
+    /// allocation-free variant for the incremental per-event path.
+    ///
+    /// This is the single fill sequence both paths share (the from-scratch
+    /// [`Self::transport`] delegates here with fresh buffers): same epochal
+    /// times, same capacity loop, same admissibility slacks, same route
+    /// declaration order — which is what makes the incremental System-(2)
+    /// solve bit-identical to the rebuild one by construction.  `times` is
+    /// pure scratch; `t` keeps any stable keys it carried (see
+    /// [`TransportInstance::reset`]).
+    pub fn transport_into(
+        &self,
+        stretch: f64,
+        cost: impl Fn(usize, (f64, f64)) -> f64,
+        t: &mut TransportInstance,
+        intervals: &mut Vec<(f64, f64)>,
+        times: &mut Vec<f64>,
+    ) {
+        self.epochal_times_into(stretch, times);
+        intervals.clear();
+        intervals.extend(times.windows(2).map(|w| (w[0], w[1])));
         let num_sites = self.sites.len();
-        let mut t = TransportInstance::new(self.jobs.len(), num_sites * intervals.len());
+        t.reset(self.jobs.len(), num_sites * intervals.len());
         for (j, job) in self.jobs.iter().enumerate() {
             t.set_demand(j, job.remaining);
         }
@@ -353,7 +389,6 @@ impl DeadlineProblem {
                 }
             }
         }
-        (t, intervals)
     }
 
     /// `true` when a schedule with max-stretch at most `F` exists.

@@ -1,0 +1,685 @@
+//! Delta updates for the persistent parametric structure.
+//!
+//! The on-line schedulers solve one [`DeadlineProblem`] per event, and
+//! consecutive events differ by a *handful* of jobs: an arrival adds one
+//! pending job, a completion removes one, and every surviving job keeps its
+//! identity (`job_id`), release date and size.  Yet the rebuild path
+//! reconstructs the whole System-(2) parametric structure — the symbolic
+//! epochal times, the job-contiguous route table and the flow network —
+//! from scratch at every event.
+//!
+//! This module makes the structure **persistent under delta updates**, the
+//! "carry the epochal structure" rung of the ROADMAP:
+//!
+//! * [`EpochSplicer`] maintains the multiset of symbolic time lines
+//!   `a + b·F` across events.  On an arrival it splices the job's two lines
+//!   (ready time, deadline line) *into* the sorted line set; on a completion
+//!   it splices them *out*; epoch boundaries shared by several jobs (the
+//!   common `ready == now` line of the on-line problems) merge and split by
+//!   reference count, locally, in `O(log k)` per touched line.  The
+//!   surviving lines never move, so the sorted order — and with it the
+//!   interval layout that PR 4's `BasisRemap` stable keys are built on —
+//!   is preserved without a global re-sort.
+//! * [`System2Arena`] holds the per-event System-(2) transportation solve's
+//!   entire memory — the [`TransportInstance`], the interval and key
+//!   buffers, and the [`stretch_flow::TransportArena`] with the flow
+//!   network — so the hot per-event solve becomes allocation-free at steady
+//!   state.
+//!
+//! # Bit-identity by construction
+//!
+//! The incremental path must return **exactly** what the rebuild path
+//! returns — not approximately: the serve layer diffs recovery replays
+//! bit for bit, and the `STRETCH_INCREMENTAL={0,1}` CI matrix runs every
+//! golden fixture in both modes.  The design therefore never re-derives a
+//! quantity along a different arithmetic route.  The spliced line multiset
+//! is provably equal to the freshly sorted-and-deduplicated line vector
+//! (same comparator, same exact-identity merge rule), and everything
+//! downstream — interval binding, route generation, capacity rebinding,
+//! the Newton iteration itself — runs the *same fill code* over persistent
+//! buffers that the rebuild path runs over fresh ones.  "Re-running Newton
+//! from the previous landing" is realised the same way warm starts are:
+//! the previous landing's flow pattern is replayed as the first probe's
+//! residual seed, changing how much augmentation work the probe does and
+//! never its verdict.
+//!
+//! # When the splice bails to a rebuild
+//!
+//! The exact-identity merge rule of the rebuild path (`Vec::dedup` by
+//! `PartialEq` on `(a, b)` pairs) and the splicer's ordered multiset agree
+//! whenever floating-point equality coincides with bitwise identity.  Two
+//! representable cases break that coincidence, and the splicer refuses to
+//! splice rather than risk a silent divergence:
+//!
+//! * a line component is **NaN** (`NaN != NaN`, so `dedup` never merges
+//!   NaN lines while an order-based multiset would);
+//! * a line component is **negative zero** (`-0.0 == 0.0` merges under
+//!   `dedup`, keeping whichever representative sorts first — a distinction
+//!   a refcounted multiset cannot maintain under removals).
+//!
+//! Both are degenerate inputs the schedulers never produce (job times are
+//! validated non-negative finite), but correctness must not depend on
+//! that: on detection the splicer falls back to the rebuild path's own
+//! sort-and-dedup construction for that event (and stays unprimed until a
+//! clean event re-seeds it).  A duplicated `job_id` within one problem —
+//! impossible through the scheduler, representable through the raw API —
+//! likewise forces a rebuild, since the per-job registry keys on the id.
+//! [`DeltaUpdate::rebuilt`] reports which path ran;
+//! [`EpochSplicer::splices`] and [`EpochSplicer::rebuilds`] count both
+//! across the stream.
+
+use crate::deadline::{AllocationPlan, DeadlineProblem};
+use stretch_flow::{FlowWorkspace, MinCostBackend, TransportArena, TransportInstance};
+
+/// Summary of one [`EpochSplicer::apply`] reconciliation.
+///
+/// The counts describe the *delta* between the previous event's pending set
+/// and the new one, as seen by the splicer: most on-line events are one
+/// arrival or one departure plus the shared `now`/ready line moving.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DeltaUpdate {
+    /// Jobs spliced in (present now, absent at the previous event).
+    pub arrived: usize,
+    /// Jobs spliced out (absent now, present at the previous event).
+    pub departed: usize,
+    /// Line moves of surviving jobs (the effective ready time `max(ready,
+    /// now)` advances with `now`; the shared line moves once per job
+    /// referencing it).
+    pub moved: usize,
+    /// `true` when the splicer rebuilt the line set from scratch instead of
+    /// splicing (first event, degenerate values, duplicate job ids).
+    pub rebuilt: bool,
+}
+
+/// Counters of how a solver's event stream was served; see
+/// [`crate::ParametricDeadlineSolver::incremental_stats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DeltaStats {
+    /// Events served by an incremental splice.
+    pub splices: u64,
+    /// Events served by a full rebuild (always at least 1: the first).
+    pub rebuilds: u64,
+}
+
+/// Per-job registry entry: the two symbolic lines the job contributes.
+#[derive(Clone, Copy, Debug)]
+struct JobLines {
+    /// Effective ready line `(max(ready, now), 0)`.
+    ready: (f64, f64),
+    /// Deadline line `(release, work)`.
+    deadline: (f64, f64),
+    /// Event stamp of the last [`EpochSplicer::apply`] that saw this job.
+    stamp: u64,
+}
+
+/// The persistent multiset of symbolic epochal time lines, spliced from
+/// event to event.
+///
+/// One splicer lives inside each incremental
+/// [`crate::ParametricDeadlineSolver`]; [`EpochSplicer::apply`] reconciles
+/// it with the next event's [`DeadlineProblem`] and
+/// [`EpochSplicer::times`] then yields exactly the deduplicated sorted
+/// line vector the rebuild path would construct — bit for bit.
+///
+/// ```
+/// use stretch_core::deadline::{DeadlineProblem, PendingJob};
+/// use stretch_core::delta::EpochSplicer;
+/// use stretch_core::sites::{Site, SiteView};
+///
+/// let sites = SiteView {
+///     sites: vec![Site { cluster: 0, speed: 1.0, hosted_databanks: vec![0] }],
+/// };
+/// let job = |id: usize, release: f64, work: f64| PendingJob {
+///     job_id: id,
+///     release,
+///     ready: release,
+///     work,
+///     remaining: work,
+///     databank: 0,
+/// };
+/// let mut splicer = EpochSplicer::new();
+///
+/// // Event 1: two jobs pending at t = 0 — the first event is a build.
+/// let e1 = DeadlineProblem::new(vec![job(0, 0.0, 2.0), job(1, 0.0, 1.0)], sites.clone(), 0.0);
+/// assert!(splicer.apply(&e1).rebuilt);
+///
+/// // Event 2 at t = 0.5: job 1 completed, job 2 arrived.  Job 1's lines
+/// // are spliced out, job 2's in, and the shared ready line moves with
+/// // `now` — no rebuild, no global re-sort.
+/// let e2 = DeadlineProblem::new(vec![job(0, 0.0, 2.0), job(2, 0.5, 1.0)], sites.clone(), 0.5);
+/// let delta = splicer.apply(&e2);
+/// assert!(!delta.rebuilt);
+/// assert_eq!((delta.arrived, delta.departed), (1, 1));
+///
+/// // The spliced line set equals the from-scratch construction exactly.
+/// let mut fresh = vec![(0.5, 0.0)];
+/// for j in &e2.jobs {
+///     fresh.push((j.ready.max(0.5), 0.0));
+///     fresh.push((j.release, j.work));
+/// }
+/// fresh.sort_by(|x, y| x.0.total_cmp(&y.0).then(x.1.total_cmp(&y.1)));
+/// fresh.dedup();
+/// assert_eq!(splicer.times(), &fresh[..]);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct EpochSplicer {
+    /// Sorted unique lines with reference counts (a line shared by several
+    /// jobs — the on-line problems' common ready time — is one entry).
+    lines: Vec<((f64, f64), u32)>,
+    /// Per-job contributed lines, sorted by `job_id`.
+    registry: Vec<(usize, JobLines)>,
+    /// The problem-level `(now, 0)` line of the previous event.
+    now_line: (f64, f64),
+    /// Flattened [`Self::lines`] keys, refreshed per apply.
+    unique: Vec<(f64, f64)>,
+    /// Duplicate-id detection scratch.
+    id_scratch: Vec<usize>,
+    /// Monotone event counter, stamped into registry entries.
+    stamp: u64,
+    /// `false` until a clean event seeded the multiset and registry.
+    primed: bool,
+    splices: u64,
+    rebuilds: u64,
+}
+
+/// The comparator of the rebuild path's line sort, shared verbatim.
+fn line_cmp(a: &(f64, f64), b: &(f64, f64)) -> std::cmp::Ordering {
+    a.0.total_cmp(&b.0).then(a.1.total_cmp(&b.1))
+}
+
+/// `true` when a component would break the dedup/multiset equivalence (see
+/// the module docs): NaN never merges under `PartialEq`, negative zero
+/// merges with positive zero.
+fn degenerate(value: f64) -> bool {
+    value.is_nan() || (value == 0.0 && value.is_sign_negative())
+}
+
+fn degenerate_line(line: (f64, f64)) -> bool {
+    degenerate(line.0) || degenerate(line.1)
+}
+
+fn inc_line(lines: &mut Vec<((f64, f64), u32)>, line: (f64, f64)) {
+    match lines.binary_search_by(|(l, _)| line_cmp(l, &line)) {
+        Ok(i) => lines[i].1 += 1,
+        Err(i) => lines.insert(i, (line, 1)),
+    }
+}
+
+fn dec_line(lines: &mut Vec<((f64, f64), u32)>, line: (f64, f64)) {
+    match lines.binary_search_by(|(l, _)| line_cmp(l, &line)) {
+        Ok(i) => {
+            lines[i].1 -= 1;
+            if lines[i].1 == 0 {
+                lines.remove(i);
+            }
+        }
+        Err(_) => unreachable!("splice multiset lost line {line:?}"),
+    }
+}
+
+impl EpochSplicer {
+    /// An empty splicer; the first [`EpochSplicer::apply`] is a build.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reconciles the persistent line multiset with `problem` and reports
+    /// the delta.  After this call [`EpochSplicer::times`] is the exact
+    /// symbolic-time vector of `problem` (the rebuild path's
+    /// sort-and-dedup result), however the reconciliation ran.
+    pub fn apply(&mut self, problem: &DeadlineProblem) -> DeltaUpdate {
+        self.stamp += 1;
+        let now_line = (problem.now, 0.0);
+        let clean = !degenerate_line(now_line)
+            && !problem.jobs.iter().any(|j| {
+                degenerate_line((j.ready.max(problem.now), 0.0))
+                    || degenerate_line((j.release, j.work))
+            })
+            && self.unique_ids(problem);
+        if !clean {
+            // Degenerate values or duplicate ids: serve this event through
+            // the rebuild path's own construction and stay unprimed.
+            self.primed = false;
+            self.lines.clear();
+            self.registry.clear();
+            self.rebuilds += 1;
+            self.rebuild_unique_by_sort(problem);
+            return DeltaUpdate {
+                arrived: problem.jobs.len(),
+                departed: 0,
+                moved: 0,
+                rebuilt: true,
+            };
+        }
+        if !self.primed {
+            // First clean event (or first after a degenerate one): seed the
+            // multiset and registry from scratch.
+            self.lines.clear();
+            self.registry.clear();
+            self.now_line = now_line;
+            inc_line(&mut self.lines, now_line);
+            for job in &problem.jobs {
+                let entry = JobLines {
+                    ready: (job.ready.max(problem.now), 0.0),
+                    deadline: (job.release, job.work),
+                    stamp: self.stamp,
+                };
+                inc_line(&mut self.lines, entry.ready);
+                inc_line(&mut self.lines, entry.deadline);
+                let at = self
+                    .registry
+                    .binary_search_by_key(&job.job_id, |e| e.0)
+                    .expect_err("ids are unique on the clean path");
+                self.registry.insert(at, (job.job_id, entry));
+            }
+            self.primed = true;
+            self.rebuilds += 1;
+            self.refresh_unique();
+            return DeltaUpdate {
+                arrived: problem.jobs.len(),
+                departed: 0,
+                moved: 0,
+                rebuilt: true,
+            };
+        }
+        // The incremental splice proper.
+        let mut delta = DeltaUpdate::default();
+        if now_line != self.now_line {
+            dec_line(&mut self.lines, self.now_line);
+            inc_line(&mut self.lines, now_line);
+            self.now_line = now_line;
+        }
+        for job in &problem.jobs {
+            let ready = (job.ready.max(problem.now), 0.0);
+            let deadline = (job.release, job.work);
+            match self.registry.binary_search_by_key(&job.job_id, |e| e.0) {
+                Ok(i) => {
+                    let entry = &mut self.registry[i].1;
+                    entry.stamp = self.stamp;
+                    if entry.ready != ready {
+                        dec_line(&mut self.lines, entry.ready);
+                        inc_line(&mut self.lines, ready);
+                        entry.ready = ready;
+                        delta.moved += 1;
+                    }
+                    if entry.deadline != deadline {
+                        // A reused id with a different identity: treated as
+                        // departure + arrival of the deadline line.
+                        dec_line(&mut self.lines, entry.deadline);
+                        inc_line(&mut self.lines, deadline);
+                        entry.deadline = deadline;
+                        delta.moved += 1;
+                    }
+                }
+                Err(i) => {
+                    inc_line(&mut self.lines, ready);
+                    inc_line(&mut self.lines, deadline);
+                    self.registry.insert(
+                        i,
+                        (
+                            job.job_id,
+                            JobLines {
+                                ready,
+                                deadline,
+                                stamp: self.stamp,
+                            },
+                        ),
+                    );
+                    delta.arrived += 1;
+                }
+            }
+        }
+        let stamp = self.stamp;
+        let lines = &mut self.lines;
+        self.registry.retain(|&(_, entry)| {
+            if entry.stamp == stamp {
+                true
+            } else {
+                dec_line(lines, entry.ready);
+                dec_line(lines, entry.deadline);
+                delta.departed += 1;
+                false
+            }
+        });
+        self.splices += 1;
+        self.refresh_unique();
+        delta
+    }
+
+    /// The current symbolic times `(a, b)` — sorted, deduplicated by exact
+    /// identity, equal bit for bit to the rebuild path's construction for
+    /// the problem last [`EpochSplicer::apply`]ed.
+    pub fn times(&self) -> &[(f64, f64)] {
+        &self.unique
+    }
+
+    /// Events served by an incremental splice so far.
+    pub fn splices(&self) -> u64 {
+        self.splices
+    }
+
+    /// Events served by a full rebuild so far (the first event always is).
+    pub fn rebuilds(&self) -> u64 {
+        self.rebuilds
+    }
+
+    /// `true` when every `job_id` occurs at most once in `problem`.
+    fn unique_ids(&mut self, problem: &DeadlineProblem) -> bool {
+        self.id_scratch.clear();
+        self.id_scratch
+            .extend(problem.jobs.iter().map(|j| j.job_id));
+        self.id_scratch.sort_unstable();
+        self.id_scratch.windows(2).all(|w| w[0] != w[1])
+    }
+
+    /// Fills [`Self::unique`] by the rebuild path's own sort-and-dedup —
+    /// the fallback that stays exact even for degenerate values.
+    fn rebuild_unique_by_sort(&mut self, problem: &DeadlineProblem) {
+        self.unique.clear();
+        self.unique.reserve(2 * problem.jobs.len() + 1);
+        self.unique.push((problem.now, 0.0));
+        for job in &problem.jobs {
+            self.unique.push((job.ready.max(problem.now), 0.0));
+            self.unique.push((job.release, job.work));
+        }
+        self.unique.sort_by(line_cmp);
+        self.unique.dedup();
+    }
+
+    /// Flattens the multiset keys into [`Self::unique`].
+    fn refresh_unique(&mut self) {
+        self.unique.clear();
+        self.unique.extend(self.lines.iter().map(|&(line, _)| line));
+    }
+}
+
+/// Persistent memory of the per-event System-(2) min-cost solve.
+///
+/// One arena lives inside each incremental
+/// [`crate::ParametricDeadlineSolver`]; [`System2Arena::solve`] fills the
+/// held [`TransportInstance`] through
+/// [`DeadlineProblem::transport_into`] (the *same* fill sequence the
+/// rebuild path runs) and solves it through the held
+/// [`stretch_flow::TransportArena`], so a steady stream of events runs
+/// the entire per-event solve without allocating — which is what the
+/// `engine/system2-events/*-incremental` bench rows measure against their
+/// `-warm` counterparts.
+#[derive(Debug)]
+pub struct System2Arena {
+    instance: TransportInstance,
+    intervals: Vec<(f64, f64)>,
+    times: Vec<f64>,
+    source_keys: Vec<u64>,
+    bin_keys: Vec<u64>,
+    arena: TransportArena,
+}
+
+impl Default for System2Arena {
+    fn default() -> Self {
+        System2Arena {
+            instance: TransportInstance::new(0, 0),
+            intervals: Vec::new(),
+            times: Vec::new(),
+            source_keys: Vec::new(),
+            bin_keys: Vec::new(),
+            arena: TransportArena::new(),
+        }
+    }
+}
+
+impl System2Arena {
+    /// An empty arena; buffers grow on first use and are reused afterwards.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Solves System (2) at objective `stretch` into the persistent
+    /// buffers; bit-identical to
+    /// [`DeadlineProblem::system2_allocation_with_backend`] by
+    /// construction (same fill, same keys, same backend call — see the
+    /// module docs).
+    pub fn solve(
+        &mut self,
+        problem: &DeadlineProblem,
+        stretch: f64,
+        backend: &mut dyn MinCostBackend,
+        workspace: &mut FlowWorkspace,
+    ) -> Option<AllocationPlan> {
+        if problem.is_trivial() {
+            return Some(AllocationPlan::default());
+        }
+        problem.transport_into(
+            stretch,
+            |job_idx, (start, end)| 0.5 * (start + end) / problem.jobs[job_idx].work,
+            &mut self.instance,
+            &mut self.intervals,
+            &mut self.times,
+        );
+        let num_intervals = self.intervals.len();
+        self.source_keys.clear();
+        self.source_keys
+            .extend(problem.jobs.iter().map(|j| j.job_id as u64));
+        // Bins are keyed by (site, position-from-now); tagged into a range
+        // disjoint from any realistic job id — the same key scheme as the
+        // rebuild path, so `BasisRemap` sees identical identities.
+        self.bin_keys.clear();
+        self.bin_keys
+            .extend((0..problem.sites.len() * num_intervals).map(|bin| {
+                (1u64 << 48) | (((bin / num_intervals) as u64) << 24) | (bin % num_intervals) as u64
+            }));
+        self.instance
+            .set_stable_keys_from(&self.source_keys, &self.bin_keys);
+        let solution = self
+            .instance
+            .solve_min_cost_in(backend, workspace, &mut self.arena)?;
+        Some(AllocationPlan::from_transport(
+            problem,
+            self.intervals.clone(),
+            &solution,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deadline::PendingJob;
+    use crate::sites::{Site, SiteView};
+
+    fn sites() -> SiteView {
+        SiteView {
+            sites: vec![
+                Site {
+                    cluster: 0,
+                    speed: 1.0,
+                    hosted_databanks: vec![0],
+                },
+                Site {
+                    cluster: 1,
+                    speed: 2.0,
+                    hosted_databanks: vec![0, 1],
+                },
+            ],
+        }
+    }
+
+    fn job(id: usize, release: f64, work: f64, databank: usize) -> PendingJob {
+        PendingJob {
+            job_id: id,
+            release,
+            ready: release,
+            work,
+            remaining: work,
+            databank,
+        }
+    }
+
+    /// The rebuild path's construction, verbatim.
+    fn fresh_times(problem: &DeadlineProblem) -> Vec<(f64, f64)> {
+        let mut times = vec![(problem.now, 0.0)];
+        for j in &problem.jobs {
+            times.push((j.ready.max(problem.now), 0.0));
+            times.push((j.release, j.work));
+        }
+        times.sort_by(|x, y| x.0.total_cmp(&y.0).then(x.1.total_cmp(&y.1)));
+        times.dedup();
+        times
+    }
+
+    fn bits(times: &[(f64, f64)]) -> Vec<(u64, u64)> {
+        times
+            .iter()
+            .map(|t| (t.0.to_bits(), t.1.to_bits()))
+            .collect()
+    }
+
+    #[test]
+    fn splice_tracks_an_event_stream_exactly() {
+        let mut splicer = EpochSplicer::new();
+        // Arrivals, a completion, a shared-ready move, a shrink to one job,
+        // then drain to empty — every step compared bitwise.
+        let events = [
+            DeadlineProblem::new(vec![job(0, 0.0, 2.0, 0)], sites(), 0.0),
+            DeadlineProblem::new(vec![job(0, 0.0, 2.0, 0), job(1, 0.4, 1.0, 1)], sites(), 0.4),
+            DeadlineProblem::new(
+                vec![
+                    job(0, 0.0, 2.0, 0),
+                    job(1, 0.4, 1.0, 1),
+                    job(2, 0.9, 3.0, 0),
+                ],
+                sites(),
+                0.9,
+            ),
+            DeadlineProblem::new(vec![job(0, 0.0, 2.0, 0), job(2, 0.9, 3.0, 0)], sites(), 1.3),
+            DeadlineProblem::new(vec![job(2, 0.9, 3.0, 0)], sites(), 2.0),
+            DeadlineProblem::new(vec![], sites(), 3.0),
+        ];
+        for (i, problem) in events.iter().enumerate() {
+            let delta = splicer.apply(problem);
+            assert_eq!(delta.rebuilt, i == 0, "only the first event rebuilds");
+            assert_eq!(
+                bits(splicer.times()),
+                bits(&fresh_times(problem)),
+                "event {i} diverged"
+            );
+        }
+        assert_eq!(splicer.rebuilds(), 1);
+        assert_eq!(splicer.splices(), events.len() as u64 - 1);
+    }
+
+    #[test]
+    fn shared_ready_lines_merge_and_split_by_refcount() {
+        let mut splicer = EpochSplicer::new();
+        // Three on-line jobs share ready == now: one line, refcount 4
+        // (3 jobs + the problem's own now line).
+        let p1 = DeadlineProblem::new(
+            vec![
+                job(0, 1.0, 2.0, 0),
+                job(1, 1.0, 1.0, 0),
+                job(2, 1.0, 3.0, 1),
+            ],
+            sites(),
+            1.0,
+        );
+        splicer.apply(&p1);
+        assert_eq!(splicer.times().len(), 1 + 3, "shared line merged");
+        // One job leaves: the shared line survives (count drops), its
+        // deadline line goes.
+        let p2 = DeadlineProblem::new(vec![job(0, 1.0, 2.0, 0), job(2, 1.0, 3.0, 1)], sites(), 1.0);
+        let delta = splicer.apply(&p2);
+        assert_eq!(delta.departed, 1);
+        assert_eq!(bits(splicer.times()), bits(&fresh_times(&p2)));
+    }
+
+    #[test]
+    fn degenerate_values_bail_to_the_rebuild_construction() {
+        let mut splicer = EpochSplicer::new();
+        let clean = DeadlineProblem::new(vec![job(0, 0.0, 2.0, 0)], sites(), 0.0);
+        splicer.apply(&clean);
+        assert_eq!(splicer.rebuilds(), 1);
+        // A negative-zero release: the splice refuses and the sort-dedup
+        // fallback still matches the rebuild path exactly.
+        let dirty = DeadlineProblem::new(
+            vec![job(0, -0.0, 2.0, 0), job(1, 0.5, 1.0, 0)],
+            sites(),
+            0.5,
+        );
+        let delta = splicer.apply(&dirty);
+        assert!(delta.rebuilt);
+        assert_eq!(bits(splicer.times()), bits(&fresh_times(&dirty)));
+        assert_eq!(splicer.rebuilds(), 2);
+        // The next clean event re-primes (a rebuild), then splicing resumes.
+        let clean2 = DeadlineProblem::new(vec![job(1, 0.5, 1.0, 0)], sites(), 1.0);
+        assert!(splicer.apply(&clean2).rebuilt);
+        let clean3 = DeadlineProblem::new(vec![job(1, 0.5, 1.0, 0)], sites(), 1.5);
+        assert!(!splicer.apply(&clean3).rebuilt);
+        assert_eq!(bits(splicer.times()), bits(&fresh_times(&clean3)));
+    }
+
+    #[test]
+    fn duplicate_job_ids_force_a_rebuild() {
+        let mut splicer = EpochSplicer::new();
+        let dup =
+            DeadlineProblem::new(vec![job(7, 0.0, 2.0, 0), job(7, 0.5, 1.0, 0)], sites(), 0.0);
+        let delta = splicer.apply(&dup);
+        assert!(delta.rebuilt);
+        assert_eq!(bits(splicer.times()), bits(&fresh_times(&dup)));
+    }
+
+    #[test]
+    fn reused_ids_with_changed_identity_are_respliced_not_corrupted() {
+        let mut splicer = EpochSplicer::new();
+        let p1 = DeadlineProblem::new(vec![job(3, 0.0, 2.0, 0)], sites(), 0.0);
+        splicer.apply(&p1);
+        // Same id, different release/work (never happens through the
+        // scheduler; the raw API allows it).
+        let p2 = DeadlineProblem::new(vec![job(3, 0.5, 4.0, 0)], sites(), 0.5);
+        let delta = splicer.apply(&p2);
+        assert!(!delta.rebuilt);
+        assert!(delta.moved >= 1);
+        assert_eq!(bits(splicer.times()), bits(&fresh_times(&p2)));
+    }
+
+    #[test]
+    fn arena_system2_solves_match_the_rebuild_path_bitwise() {
+        use stretch_flow::NetworkSimplexBackend;
+        let mut arena = System2Arena::new();
+        let mut backend = NetworkSimplexBackend::new();
+        let mut reference_backend = NetworkSimplexBackend::new();
+        let mut ws = FlowWorkspace::new();
+        let mut reference_ws = FlowWorkspace::new();
+        let events = [
+            DeadlineProblem::new(vec![job(0, 0.0, 2.0, 0)], sites(), 0.0),
+            DeadlineProblem::new(vec![job(0, 0.0, 2.0, 0), job(1, 0.4, 1.0, 1)], sites(), 0.4),
+            DeadlineProblem::new(vec![job(1, 0.4, 1.0, 1)], sites(), 1.1),
+            DeadlineProblem::new(vec![], sites(), 2.0),
+        ];
+        for (i, problem) in events.iter().enumerate() {
+            let stretch = 1.8;
+            let incremental = arena.solve(problem, stretch, &mut backend, &mut ws);
+            let rebuilt = problem.system2_allocation_with_backend(
+                stretch,
+                &mut reference_backend,
+                &mut reference_ws,
+            );
+            match (incremental, rebuilt) {
+                (Some(a), Some(b)) => {
+                    assert_eq!(a.intervals.len(), b.intervals.len(), "event {i}");
+                    for (x, y) in a.intervals.iter().zip(&b.intervals) {
+                        assert_eq!(x.0.to_bits(), y.0.to_bits());
+                        assert_eq!(x.1.to_bits(), y.1.to_bits());
+                    }
+                    assert_eq!(a.pieces.len(), b.pieces.len(), "event {i}");
+                    for (x, y) in a.pieces.iter().zip(&b.pieces) {
+                        assert_eq!(
+                            (x.job_index, x.job_id, x.site, x.interval),
+                            (y.job_index, y.job_id, y.site, y.interval)
+                        );
+                        assert_eq!(x.work.to_bits(), y.work.to_bits());
+                    }
+                }
+                (a, b) => assert_eq!(a.is_some(), b.is_some(), "event {i} verdicts diverged"),
+            }
+        }
+    }
+}

@@ -68,11 +68,19 @@
 //! network simplex (`STRETCH_MINCOST_BACKEND=simplex`).  Both backends are
 //! cross-checked on generated workloads by the differential-oracle suite in
 //! `tests/backend_diff.rs`.
+//!
+//! Across *events*, the solver is incremental by default
+//! (`STRETCH_INCREMENTAL`, see [`delta`]): the parametric structure
+//! persists from event to event, arrivals and completions are spliced into
+//! the symbolic epochal-time multiset instead of rebuilding it, and the
+//! per-event System-(2) solve runs out of a persistent arena — all
+//! bit-identical to the rebuild path by construction.
 
 pub mod adversarial;
 pub mod bender;
 pub mod config;
 pub mod deadline;
+pub mod delta;
 pub mod greedy;
 pub mod list;
 pub mod offline;

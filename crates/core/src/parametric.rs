@@ -61,6 +61,7 @@
 
 use crate::config::SolverConfig;
 use crate::deadline::{AllocationPlan, DeadlineProblem, STRETCH_TOL};
+use crate::delta::{DeltaStats, EpochSplicer, System2Arena};
 use stretch_flow::{FastMap, FlowWorkspace, MinCostBackend, ParametricNetwork};
 
 /// Feasibility tolerance of the flow probes, matching
@@ -95,7 +96,22 @@ pub struct ParametricDeadlineSolver {
     /// count, which is orders of magnitude larger.
     carry_jobs: FastMap<usize, (u32, u32)>,
     carry_flows: Vec<(u32, u32, f64)>,
+    /// Persistent cross-event engine of the incremental path
+    /// (`STRETCH_INCREMENTAL`, default on): the epochal line splicer, the
+    /// persistent parametric structure it refills, and the System-(2)
+    /// solve arena.  `None` when the config runs rebuilds.
+    incremental: Option<IncrementalEngine>,
     config: SolverConfig,
+}
+
+/// The solver's persistent incremental state (see [`crate::delta`]): the
+/// spliced line multiset, the parametric structure whose buffers survive
+/// from event to event, and the System-(2) arena.
+#[derive(Default)]
+struct IncrementalEngine {
+    splicer: EpochSplicer,
+    structure: Option<ParametricStructure>,
+    arena: System2Arena,
 }
 
 impl Default for ParametricDeadlineSolver {
@@ -139,41 +155,126 @@ struct ParametricStructure {
     route_iend: Vec<usize>,
     /// Hosting sites of each job, in route construction order.
     hosting: Vec<Vec<usize>>,
+    /// Route construction scratch, kept so [`Self::refill`] builds the
+    /// route list without allocating.
+    routes_scratch: Vec<(usize, usize)>,
 }
 
 impl ParametricStructure {
     /// Builds the structure once, for probes within `[lo, hi]`; capacities
     /// are bound per probe.
     fn new(problem: &DeadlineProblem, lo: f64, hi: f64) -> Self {
-        let mut times: Vec<(f64, f64)> = Vec::with_capacity(2 * problem.jobs.len() + 1);
-        times.push((problem.now, 0.0));
-        for job in &problem.jobs {
-            times.push((job.ready.max(problem.now), 0.0));
-            // For any probed F (at or above the stretch lower bound) every
-            // deadline lies after `now`, so the `max(now, ·)` clamp of
-            // `epochal_times` is inactive and the deadline is linear.
-            times.push((job.release, job.work));
+        let mut structure = Self::empty();
+        structure.refill(problem, lo, hi, None);
+        structure
+    }
+
+    /// A structure with every buffer empty; [`Self::refill`] populates it.
+    /// The incremental path keeps one of these alive across events.
+    fn empty() -> Self {
+        ParametricStructure {
+            times: Vec::new(),
+            order: Vec::new(),
+            sorted_vals: Vec::new(),
+            network: ParametricNetwork::empty(),
+            num_intervals: 0,
+            site_speeds: Vec::new(),
+            demands: Vec::new(),
+            ready: Vec::new(),
+            deadline: Vec::new(),
+            bin_caps: Vec::new(),
+            route_caps: Vec::new(),
+            deadline_vals: Vec::new(),
+            route_start: Vec::new(),
+            route_imin: Vec::new(),
+            route_iend: Vec::new(),
+            hosting: Vec::new(),
+            routes_scratch: Vec::new(),
         }
-        // Identical linear functions never separate: deduplicate by exact
-        // identity (e.g. the shared ready time of the on-line problems).
-        times.sort_by(|x, y| x.0.total_cmp(&y.0).then(x.1.total_cmp(&y.1)));
-        times.dedup();
+    }
+
+    /// (Re)populates the structure for `problem`, for probes within
+    /// `[lo, hi]`.  This is the single fill sequence of both solver paths:
+    /// the rebuild path runs it over a fresh [`Self::empty`], the
+    /// incremental path over last event's buffers — with the symbolic times
+    /// handed in pre-spliced (`spliced_times`, from
+    /// [`crate::delta::EpochSplicer`]) instead of re-sorted from scratch.
+    /// A spliced line set is bitwise-equal to the fresh construction by
+    /// the splicer's contract (checked here in debug builds), so both
+    /// paths produce identical structures by construction.
+    fn refill(
+        &mut self,
+        problem: &DeadlineProblem,
+        lo: f64,
+        hi: f64,
+        spliced_times: Option<&[(f64, f64)]>,
+    ) {
+        match spliced_times {
+            Some(lines) => {
+                #[cfg(debug_assertions)]
+                {
+                    let mut fresh: Vec<(f64, f64)> = Vec::with_capacity(2 * problem.jobs.len() + 1);
+                    fresh.push((problem.now, 0.0));
+                    for job in &problem.jobs {
+                        fresh.push((job.ready.max(problem.now), 0.0));
+                        fresh.push((job.release, job.work));
+                    }
+                    fresh.sort_by(|x, y| x.0.total_cmp(&y.0).then(x.1.total_cmp(&y.1)));
+                    fresh.dedup();
+                    let bits = |ts: &[(f64, f64)]| -> Vec<(u64, u64)> {
+                        ts.iter().map(|t| (t.0.to_bits(), t.1.to_bits())).collect()
+                    };
+                    debug_assert_eq!(
+                        bits(lines),
+                        bits(&fresh),
+                        "spliced symbolic times diverged from the rebuild construction"
+                    );
+                }
+                self.times.clear();
+                self.times.extend_from_slice(lines);
+            }
+            None => {
+                self.times.clear();
+                self.times.reserve(2 * problem.jobs.len() + 1);
+                self.times.push((problem.now, 0.0));
+                for job in &problem.jobs {
+                    self.times.push((job.ready.max(problem.now), 0.0));
+                    // For any probed F (at or above the stretch lower bound)
+                    // every deadline lies after `now`, so the `max(now, ·)`
+                    // clamp of `epochal_times` is inactive and the deadline
+                    // is linear.
+                    self.times.push((job.release, job.work));
+                }
+                // Identical linear functions never separate: deduplicate by
+                // exact identity (e.g. the shared ready time of the on-line
+                // problems).
+                self.times
+                    .sort_by(|x, y| x.0.total_cmp(&y.0).then(x.1.total_cmp(&y.1)));
+                self.times.dedup();
+            }
+        }
+        let times = &self.times;
         let k = times.len() - 1;
         let num_sites = problem.sites.len();
-        let demands: Vec<f64> = problem.jobs.iter().map(|j| j.remaining).collect();
+        self.demands.clear();
+        self.demands
+            .extend(problem.jobs.iter().map(|j| j.remaining));
         // One route per (job, hosting site, sorted position) triple; per
         // probe, inadmissible routes simply get capacity zero.  Positions a
         // job can never use anywhere in `[lo, hi]` are pruned up front: a
         // linear time function sits below a job's ready time (or above its
         // deadline) on the whole range iff it does at both endpoints.
         let eval = |&(a, b): &(f64, f64), f: f64| a + b * f;
-        let mut routes = Vec::new();
-        let mut route_start = Vec::with_capacity(problem.jobs.len() + 1);
-        let mut route_imin = Vec::with_capacity(problem.jobs.len());
-        let mut route_iend = Vec::with_capacity(problem.jobs.len());
-        let mut hosting = Vec::with_capacity(problem.jobs.len());
+        self.routes_scratch.clear();
+        self.route_start.clear();
+        self.route_imin.clear();
+        self.route_iend.clear();
+        for host in &mut self.hosting {
+            host.clear();
+        }
+        self.hosting.resize_with(problem.jobs.len(), Vec::new);
         for (j, job) in problem.jobs.iter().enumerate() {
-            route_start.push(routes.len());
+            self.route_start.push(self.routes_scratch.len());
             let ready = job.ready.max(problem.now);
             let (d_lo, d_hi) = (job.deadline(lo), job.deadline(hi));
             // Positions below `i_min` always start before the ready time.
@@ -188,58 +289,50 @@ impl ParametricStructure {
                 .filter(|t| eval(t, lo) <= d_lo + 1e-9 || eval(t, hi) <= d_hi + 1e-9)
                 .count();
             let i_max = cnt_max.saturating_sub(2).min(k.saturating_sub(1));
-            let mut job_sites = Vec::new();
             for (s, site) in problem.sites.sites.iter().enumerate() {
                 if !site.hosts(job.databank) {
                     continue;
                 }
-                job_sites.push(s);
+                self.hosting[j].push(s);
                 for i in i_min..=i_max {
-                    routes.push((j, s * k + i));
+                    self.routes_scratch.push((j, s * k + i));
                 }
             }
-            route_imin.push(i_min);
-            route_iend.push(if routes.len() > *route_start.last().unwrap() {
-                i_max + 1
-            } else {
-                i_min
-            });
-            hosting.push(job_sites);
+            self.route_imin.push(i_min);
+            self.route_iend.push(
+                if self.routes_scratch.len() > *self.route_start.last().unwrap() {
+                    i_max + 1
+                } else {
+                    i_min
+                },
+            );
         }
-        route_start.push(routes.len());
-        let network = ParametricNetwork::new(&demands, num_sites * k, routes);
+        self.route_start.push(self.routes_scratch.len());
+        self.network
+            .rebuild(&self.demands, num_sites * k, &self.routes_scratch);
         // Seed the permutation with the order at `lo` so the per-probe
         // insertion sort starts from a (nearly) sorted state: construction
         // order — sorted by the (a, b) tuples — can be arbitrarily far from
         // value order, which would make the first probe quadratic.
-        let mut order: Vec<usize> = (0..times.len()).collect();
-        order.sort_unstable_by(|&x, &y| {
+        self.order.clear();
+        self.order.extend(0..times.len());
+        self.order.sort_unstable_by(|&x, &y| {
             let vx = times[x].0 + times[x].1 * lo;
             let vy = times[y].0 + times[y].1 * lo;
             vx.total_cmp(&vy)
         });
-        ParametricStructure {
-            order,
-            sorted_vals: vec![0.0; times.len()],
-            times,
-            network,
-            num_intervals: k,
-            site_speeds: problem.sites.sites.iter().map(|s| s.speed).collect(),
-            demands,
-            ready: problem
-                .jobs
-                .iter()
-                .map(|j| j.ready.max(problem.now))
-                .collect(),
-            deadline: problem.jobs.iter().map(|j| (j.release, j.work)).collect(),
-            bin_caps: Vec::new(),
-            route_caps: Vec::new(),
-            deadline_vals: Vec::new(),
-            route_start,
-            route_imin,
-            route_iend,
-            hosting,
-        }
+        self.sorted_vals.clear();
+        self.sorted_vals.resize(self.times.len(), 0.0);
+        self.num_intervals = k;
+        self.site_speeds.clear();
+        self.site_speeds
+            .extend(problem.sites.sites.iter().map(|s| s.speed));
+        self.ready.clear();
+        self.ready
+            .extend(problem.jobs.iter().map(|j| j.ready.max(problem.now)));
+        self.deadline.clear();
+        self.deadline
+            .extend(problem.jobs.iter().map(|j| (j.release, j.work)));
     }
 
     /// Binds the structure to objective `stretch`: re-sort the symbolic
@@ -380,8 +473,18 @@ impl ParametricDeadlineSolver {
             backend: config.instantiate(),
             carry_jobs: FastMap::default(),
             carry_flows: Vec::new(),
+            incremental: config.incremental.then(IncrementalEngine::default),
             config,
         }
+    }
+
+    /// Splice/rebuild counters of the incremental engine, `None` when the
+    /// solver runs per-event rebuilds (`incremental` off in its config).
+    pub fn incremental_stats(&self) -> Option<DeltaStats> {
+        self.incremental.as_ref().map(|engine| DeltaStats {
+            splices: engine.splicer.splices(),
+            rebuilds: engine.splicer.rebuilds(),
+        })
     }
 
     /// The configuration this solver was built with.
@@ -427,8 +530,40 @@ impl ParametricDeadlineSolver {
         let slack = FEAS_TOL.max(demand * FEAS_TOL);
         let target = demand - slack;
 
+        if let Some(mut engine) = self.incremental.take() {
+            // Incremental path: splice this event's delta into the
+            // persistent line multiset, then refill the persistent
+            // structure's buffers with the pre-spliced times.  The Newton
+            // search below is the same code over the same values either
+            // way — only the memory is reused.
+            engine.splicer.apply(problem);
+            let mut structure = engine
+                .structure
+                .take()
+                .unwrap_or_else(ParametricStructure::empty);
+            structure.refill(problem, lo_bound, ub, Some(engine.splicer.times()));
+            let answer = self.newton_search(problem, &mut structure, lo_bound, ub, target);
+            engine.structure = Some(structure);
+            self.incremental = Some(engine);
+            answer
+        } else {
+            let mut structure = ParametricStructure::new(problem, lo_bound, ub);
+            self.newton_search(problem, &mut structure, lo_bound, ub, target)
+        }
+    }
+
+    /// The Newton-on-minimum-cuts iteration (with its bisection safety
+    /// net) over an already refilled `structure`.  Shared verbatim by the
+    /// rebuild and incremental paths of [`Self::min_feasible_stretch`].
+    fn newton_search(
+        &mut self,
+        problem: &DeadlineProblem,
+        structure: &mut ParametricStructure,
+        lo_bound: f64,
+        ub: f64,
+        target: f64,
+    ) -> Option<f64> {
         let debug = crate::config::SolverConfig::env_flag("STRETCH_NEWTON_DEBUG");
-        let mut structure = ParametricStructure::new(problem, lo_bound, ub);
         // The iteration starts at the lower bound; its first probe doubles
         // as the `feasible(lo_bound)` fast path.
         let mut f = lo_bound;
@@ -439,11 +574,11 @@ impl ParametricDeadlineSolver {
                 // Cross-event residual carry: replay the previous event's
                 // flow (surviving jobs only — departed keys simply miss)
                 // before the expensive first augmentation run.
-                self.seed_carry(problem, &mut structure);
+                self.seed_carry(problem, structure);
             }
             if structure.probe_current(&mut self.workspace) {
                 if self.config.warm_start {
-                    self.record_carry(problem, &structure);
+                    self.record_carry(problem, structure);
                 }
                 return Some(f);
             }
@@ -596,7 +731,19 @@ impl ParametricDeadlineSolver {
         problem: &DeadlineProblem,
         stretch: f64,
     ) -> Option<AllocationPlan> {
-        problem.system2_allocation_with_backend(stretch, self.backend.as_mut(), &mut self.workspace)
+        if let Some(engine) = self.incremental.as_mut() {
+            // Same fill, same solve, persistent memory: see
+            // [`crate::delta::System2Arena`].
+            engine
+                .arena
+                .solve(problem, stretch, self.backend.as_mut(), &mut self.workspace)
+        } else {
+            problem.system2_allocation_with_backend(
+                stretch,
+                self.backend.as_mut(),
+                &mut self.workspace,
+            )
+        }
     }
 
     /// Ships every remaining unit of work at zero cost (the System-(1)

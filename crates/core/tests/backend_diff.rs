@@ -906,3 +906,304 @@ fn both_backends_match_the_lp_simplex_on_a_fixed_instance() {
         );
     }
 }
+
+// ---------------------------------------------------------------------------
+// Incremental vs rebuild: persistent delta-updated structures must be
+// invisible in the results
+// ---------------------------------------------------------------------------
+//
+// `incremental` (STRETCH_INCREMENTAL, default on) keeps the System-(2)
+// parametric structure alive across events and splices each event's delta
+// into it (stretch_core::delta) instead of rebuilding from scratch.  Like
+// warm_start, it is a pure speed lever: an incremental run must return
+// **bit-identical** objectives, allocations and completions to a rebuild
+// run, on every backend and in every warm/cold cell — the two axes are
+// independent and must compose.
+
+/// Runs one instance through the on-line loop with the incremental engine on
+/// and off — across all three backends and both warm-start settings — and
+/// reports the first bitwise divergence, if any.
+fn incremental_rebuild_divergence(instance: &stretch_workload::Instance) -> Option<String> {
+    use stretch_core::online::run_online_with;
+    use stretch_core::OnlineVariant;
+
+    for config in SolverConfig::all_backends() {
+        for warm_start in [true, false] {
+            let cell = config.with_warm_start(warm_start);
+            let incremental =
+                run_online_with(instance, OnlineVariant::Online, cell.with_incremental(true));
+            let rebuild = run_online_with(
+                instance,
+                OnlineVariant::Online,
+                cell.with_incremental(false),
+            );
+            match (incremental, rebuild) {
+                (Ok(inc), Ok(reb)) => {
+                    for (job, (a, b)) in inc.iter().zip(&reb).enumerate() {
+                        if a.to_bits() != b.to_bits() {
+                            return Some(format!(
+                                "{} (warm_start={warm_start}): job {job} completes at \
+                                 {a:?} incremental vs {b:?} rebuild",
+                                config.backend.name()
+                            ));
+                        }
+                    }
+                }
+                (i, r) => {
+                    return Some(format!(
+                        "{} (warm_start={warm_start}): incremental {:?} vs rebuild {:?}",
+                        config.backend.name(),
+                        i.is_ok(),
+                        r.is_ok()
+                    ))
+                }
+            }
+        }
+    }
+    None
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Randomised event streams interleaving arrivals and completions (every
+    /// distinct release date re-runs the solver; completions drop jobs from
+    /// the pending set): completions must be bit-identical with the
+    /// incremental engine on and off, across all three backends × warm/cold.
+    #[test]
+    fn incremental_and_rebuild_event_streams_are_bit_identical(
+        num_jobs in 3usize..14,
+        release_seed in proptest::collection::vec(0.0f64..10.0, 1..12),
+        work_seed in proptest::collection::vec(20.0f64..400.0, 1..12),
+        bank_seed in proptest::collection::vec(0u64..1_000, 1..12),
+    ) {
+        use stretch_platform::fixtures::small_platform;
+        use stretch_workload::{Instance, Job};
+
+        let jobs: Vec<Job> = (0..num_jobs)
+            .map(|j| {
+                Job::new(
+                    j,
+                    release_seed[j % release_seed.len()] * (1.0 + 0.13 * j as f64),
+                    work_seed[j % work_seed.len()] * (1.0 + 0.07 * j as f64),
+                    (bank_seed[j % bank_seed.len()] as usize) % 2,
+                )
+            })
+            .collect();
+        let instance = Instance::new(small_platform(), jobs);
+        if let Some(report) = incremental_rebuild_divergence(&instance) {
+            prop_assert!(false, "incremental/rebuild divergence: {report}");
+        }
+    }
+}
+
+/// The solver-level version of the same contract, with the splicer *proven*
+/// to fire: a persistent incremental solver is fed a synthetic event stream
+/// (arrivals, completions, a shrink to a single job, and an empty final
+/// event — the edge shapes of the on-line loop), and every objective and
+/// System-(2) allocation must match a per-event rebuild solver's bit for bit
+/// while the delta path is actually exercised.
+#[test]
+fn incremental_solver_matches_rebuild_solver_bitwise_per_event() {
+    use stretch_core::ParametricDeadlineSolver;
+
+    let sites = SiteView {
+        sites: vec![
+            Site {
+                cluster: 0,
+                speed: 1.0,
+                hosted_databanks: vec![0],
+            },
+            Site {
+                cluster: 1,
+                speed: 2.0,
+                hosted_databanks: vec![0, 1],
+            },
+        ],
+    };
+    let job = |id: usize, release: f64, work: f64, remaining: f64, bank: usize| PendingJob {
+        job_id: id,
+        release,
+        ready: release,
+        work,
+        remaining,
+        databank: bank,
+    };
+    // Arrivals and completions interleaved; the last two events are the
+    // edge shapes (single pending job, empty pending set).
+    let events: Vec<(f64, Vec<PendingJob>)> = vec![
+        (
+            0.0,
+            vec![job(0, 0.0, 4.0, 4.0, 0), job(1, 0.0, 3.0, 3.0, 1)],
+        ),
+        (
+            1.0,
+            vec![
+                job(0, 0.0, 4.0, 2.5, 0),
+                job(1, 0.0, 3.0, 2.0, 1),
+                job(2, 1.0, 2.0, 2.0, 0),
+            ],
+        ),
+        (
+            2.5,
+            vec![
+                job(1, 0.0, 3.0, 1.0, 1),
+                job(2, 1.0, 2.0, 1.25, 0),
+                job(3, 2.5, 5.0, 5.0, 1),
+            ],
+        ),
+        (4.0, vec![job(3, 2.5, 5.0, 3.0, 1)]),
+        (7.0, vec![]),
+    ];
+
+    for base in SolverConfig::all_backends() {
+        let mut incremental = ParametricDeadlineSolver::with_config(base.with_incremental(true));
+        let mut rebuild = ParametricDeadlineSolver::with_config(base.with_incremental(false));
+        assert!(rebuild.incremental_stats().is_none());
+        for (now, jobs) in &events {
+            let problem = DeadlineProblem::new(jobs.clone(), sites.clone(), *now);
+            let inc_best = incremental.min_feasible_stretch(&problem);
+            let reb_best = rebuild.min_feasible_stretch(&problem);
+            match (inc_best, reb_best) {
+                (Some(a), Some(b)) => assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "{}: objective diverged at t={now}: {a} vs {b}",
+                    base.backend.name()
+                ),
+                (a, b) => assert_eq!(a, b, "{}: verdict diverged at t={now}", base.backend.name()),
+            }
+            let Some(best) = inc_best else { continue };
+            if problem.is_trivial() {
+                continue;
+            }
+            let stretch = stretch_core::deadline::certified_slack(best);
+            let inc_plan = incremental
+                .system2_allocation(&problem, stretch)
+                .expect("feasible incremental");
+            let reb_plan = rebuild
+                .system2_allocation(&problem, stretch)
+                .expect("feasible rebuild");
+            assert_eq!(
+                inc_plan.pieces.len(),
+                reb_plan.pieces.len(),
+                "{}: piece count diverged at t={now}",
+                base.backend.name()
+            );
+            for (i, r) in inc_plan.pieces.iter().zip(&reb_plan.pieces) {
+                assert_eq!(
+                    (i.job_index, i.site, i.interval),
+                    (r.job_index, r.site, r.interval),
+                    "{}: piece placement diverged at t={now}",
+                    base.backend.name()
+                );
+                assert_eq!(
+                    i.work.to_bits(),
+                    r.work.to_bits(),
+                    "{}: piece amount diverged at t={now}: {} vs {}",
+                    base.backend.name(),
+                    i.work,
+                    r.work
+                );
+            }
+        }
+        let stats = incremental
+            .incremental_stats()
+            .expect("incremental engine present");
+        assert!(
+            stats.splices >= 3,
+            "{}: the delta path never fired ({stats:?}): the incremental/rebuild \
+             test would be vacuous",
+            base.backend.name()
+        );
+        assert_eq!(
+            stats.rebuilds,
+            1,
+            "{}: only the first event should rebuild ({stats:?})",
+            base.backend.name()
+        );
+    }
+}
+
+/// Single-job and empty-instance edges of the incremental engine: the very
+/// shapes where a splice-from-previous has the least structure to reuse.
+#[test]
+fn incremental_engine_handles_single_job_and_empty_edges() {
+    use stretch_core::ParametricDeadlineSolver;
+
+    let sites = SiteView {
+        sites: vec![Site {
+            cluster: 0,
+            speed: 1.0,
+            hosted_databanks: vec![0],
+        }],
+    };
+    let job = |id: usize, release: f64, work: f64| PendingJob {
+        job_id: id,
+        release,
+        ready: release,
+        work,
+        remaining: work,
+        databank: 0,
+    };
+    for base in SolverConfig::all_backends() {
+        let mut solver = ParametricDeadlineSolver::with_config(base.with_incremental(true));
+        // Empty instance first: trivially zero, engine untouched.
+        let empty = DeadlineProblem::new(vec![], sites.clone(), 0.0);
+        assert_eq!(solver.min_feasible_stretch(&empty), Some(0.0));
+        // A single job, then the same solver drained back to empty, then a
+        // fresh single job again — each answer matches a fresh solver's.
+        let single = DeadlineProblem::new(vec![job(0, 0.0, 2.0)], sites.clone(), 0.0);
+        let a = solver.min_feasible_stretch(&single).expect("feasible");
+        let fresh = ParametricDeadlineSolver::with_config(base.with_incremental(false))
+            .min_feasible_stretch(&single)
+            .expect("feasible");
+        assert_eq!(a.to_bits(), fresh.to_bits());
+        assert_eq!(solver.min_feasible_stretch(&empty), Some(0.0));
+        let late = DeadlineProblem::new(vec![job(1, 5.0, 1.0)], sites.clone(), 5.0);
+        let b = solver.min_feasible_stretch(&late).expect("feasible");
+        let fresh_late = ParametricDeadlineSolver::with_config(base.with_incremental(false))
+            .min_feasible_stretch(&late)
+            .expect("feasible");
+        assert_eq!(b.to_bits(), fresh_late.to_bits());
+    }
+}
+
+/// Regression on the reference event stream: the captured System-(2)
+/// certified verdicts (per-event problems and slack objectives) must be
+/// bit-identical with the incremental engine on and off.  This pins the
+/// whole solve pipeline — splice, refill, Newton, certification — on the
+/// same 3-cluster workload the benches measure.
+#[test]
+fn incremental_capture_of_the_reference_stream_is_bit_identical() {
+    use stretch_core::refstream::{capture_system2_events_with, reference_instance};
+
+    let instance = reference_instance(3, 3, 20, 3);
+    let base = stretch_core::SolverConfig::monge();
+    let incremental = capture_system2_events_with(&instance, base.with_incremental(true));
+    let rebuild = capture_system2_events_with(&instance, base.with_incremental(false));
+    assert_eq!(incremental.len(), rebuild.len(), "event count diverged");
+    assert!(
+        incremental.len() >= 10,
+        "the reference stream must exercise a real event sequence, got {}",
+        incremental.len()
+    );
+    for (event, ((ip, islack), (rp, rslack))) in incremental.iter().zip(&rebuild).enumerate() {
+        assert_eq!(
+            islack.to_bits(),
+            rslack.to_bits(),
+            "certified slack diverged at event {event}: {islack} vs {rslack}"
+        );
+        assert_eq!(ip.now.to_bits(), rp.now.to_bits(), "event {event} time");
+        assert_eq!(ip.jobs.len(), rp.jobs.len(), "event {event} pending set");
+        for (a, b) in ip.jobs.iter().zip(&rp.jobs) {
+            assert_eq!(a.job_id, b.job_id, "event {event} job identity");
+            assert_eq!(
+                a.remaining.to_bits(),
+                b.remaining.to_bits(),
+                "event {event} job {} remaining",
+                a.job_id
+            );
+        }
+    }
+}

@@ -101,10 +101,11 @@ impl DriftReport {
 
 /// The engine rows the gate re-measures — the exact key set the
 /// `scheduler_overhead` bench records and the CI baseline-completeness step
-/// requires: per backend a cold System-(2) sweep and a cold + warm on-line
-/// loop, plus warm System-(2) sweeps for the basis-carrying backends (the
-/// primal-dual kernel is stateless, so its warm sweep would re-measure the
-/// cold one).
+/// requires: per backend a cold System-(2) sweep, an incremental System-(2)
+/// sweep (persistent delta-updated solver, `STRETCH_INCREMENTAL`) and a
+/// cold + warm on-line loop, plus warm System-(2) sweeps for the
+/// basis-carrying backends (the primal-dual kernel is stateless, so its
+/// warm sweep would re-measure the cold one).
 pub fn engine_row_keys() -> Vec<String> {
     let mut keys = Vec::new();
     for kind in BackendKind::ALL {
@@ -112,6 +113,7 @@ pub fn engine_row_keys() -> Vec<String> {
         if kind != BackendKind::PrimalDual {
             keys.push(format!("engine/system2-events/{}-warm", kind.name()));
         }
+        keys.push(format!("engine/system2-events/{}-incremental", kind.name()));
         keys.push(format!("engine/online-loop/{}", kind.name()));
         keys.push(format!("engine/online-loop/{}-warm", kind.name()));
     }
@@ -165,6 +167,22 @@ pub fn run_drift_check(
             }
         })
     };
+    // The incremental sweep routes through one persistent solver so the
+    // System-(2) arena (instance, intervals, keys, flow network) is reused
+    // across events — mirroring the bench's `-incremental` rows exactly,
+    // which run with warm start on (the `all_backends` default).
+    let incremental_sweep = |config: SolverConfig| {
+        let mut solver = stretch_core::ParametricDeadlineSolver::with_config(
+            config.with_warm_start(true).with_incremental(true),
+        );
+        min_time(samples, || {
+            for (problem, slack) in &events {
+                solver
+                    .system2_allocation(problem, *slack)
+                    .expect("feasible at the captured objective");
+            }
+        })
+    };
     let online = |config: SolverConfig| {
         min_time(samples, || {
             run_online_with(&instance, OnlineVariant::Online, config).expect("schedulable");
@@ -181,11 +199,16 @@ pub fn run_drift_check(
         if warm {
             backend_name = &backend_name[..backend_name.len() - "-warm".len()];
         }
+        let incremental = backend_name.ends_with("-incremental");
+        if incremental {
+            backend_name = &backend_name[..backend_name.len() - "-incremental".len()];
+        }
         let config = SolverConfig::parse_backend(backend_name).with_warm_start(warm);
-        let measured = match group {
-            "system2-events" => sweep(config),
-            "online-loop" => online(config),
-            other => unreachable!("unknown engine group `{other}`"),
+        let measured = match (group, incremental) {
+            ("system2-events", false) => sweep(config),
+            ("system2-events", true) => incremental_sweep(config),
+            ("online-loop", false) => online(config),
+            (other, inc) => unreachable!("unknown engine group `{other}` (incremental={inc})"),
         };
         rows.push(DriftRow {
             key: key.clone(),
@@ -208,6 +231,10 @@ mod tests {
         let keys = engine_row_keys();
         for kind in BackendKind::ALL {
             assert!(keys.contains(&format!("engine/system2-events/{}", kind.name())));
+            assert!(keys.contains(&format!(
+                "engine/system2-events/{}-incremental",
+                kind.name()
+            )));
             assert!(keys.contains(&format!("engine/online-loop/{}", kind.name())));
             assert!(keys.contains(&format!("engine/online-loop/{}-warm", kind.name())));
         }

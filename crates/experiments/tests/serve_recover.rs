@@ -90,6 +90,7 @@ fn sigkill_mid_stream_recovers_bit_identically_on_every_backend() {
             let solver = SolverConfig {
                 backend,
                 warm_start,
+                incremental: true,
             };
             let cell = format!("{}-{warm_start}", backend.name());
             let journal = tmp(&format!("journal-{cell}"));

@@ -49,6 +49,7 @@ fn every_backend_is_attackable_above_the_floor_margin() {
         let solver = SolverConfig {
             backend,
             warm_start: true,
+            incremental: true,
         };
         let result = attack(solver);
         assert!(
@@ -75,6 +76,7 @@ fn the_ratio_oracle_never_reports_beating_clairvoyance() {
             let solver = SolverConfig {
                 backend,
                 warm_start,
+                incremental: true,
             };
             let ratio = online_offline_ratio(&instance, OnlineVariant::Online, solver).unwrap();
             assert!(

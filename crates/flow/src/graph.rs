@@ -52,6 +52,40 @@ impl FlowNetwork {
         self.adj.len() - 1
     }
 
+    /// Clears the network down to `nodes` isolated nodes **without
+    /// releasing memory**: every adjacency list and the edge storage keep
+    /// their allocations, ready to be refilled by the same
+    /// [`FlowNetwork::add_edge`] sequence a fresh [`FlowNetwork::new`]
+    /// would receive.
+    ///
+    /// This is the in-place construction primitive behind the incremental
+    /// event path: a persistent network is rebuilt per event with zero
+    /// steady-state allocations, and — because the edge sequence is the
+    /// same — with bit-identical edge handles and capacities.
+    ///
+    /// ```
+    /// use stretch_flow::FlowNetwork;
+    ///
+    /// let mut g = FlowNetwork::new(2);
+    /// g.add_edge(0, 1, 5.0, 1.0);
+    /// g.rebuild(3);
+    /// assert_eq!(g.num_nodes(), 3);
+    /// assert_eq!(g.num_edges(), 0);
+    /// let e = g.add_edge(0, 2, 2.0, 0.0);
+    /// assert_eq!(e, 0, "edge handles restart from zero");
+    /// ```
+    pub fn rebuild(&mut self, nodes: usize) {
+        for adjacency in &mut self.adj {
+            adjacency.clear();
+        }
+        if self.adj.len() > nodes {
+            self.adj.truncate(nodes);
+        } else {
+            self.adj.resize_with(nodes, Vec::new);
+        }
+        self.edges.clear();
+    }
+
     /// Pre-allocates edge storage (`edges` forward edges and their
     /// reverses) and per-node adjacency capacity from an exact degree count.
     /// Purely an allocation hint for bulk construction.
@@ -224,6 +258,26 @@ mod tests {
         g.reset();
         assert_eq!(g.flow_on(e), 0.0);
         assert_eq!(g.residual(e), 1.0);
+    }
+
+    #[test]
+    fn rebuild_clears_topology_but_keeps_the_node_count_requested() {
+        let mut g = FlowNetwork::new(3);
+        let e = g.add_edge(0, 1, 4.0, 1.0);
+        g.push(e, 2.0);
+        g.rebuild(2);
+        assert_eq!(g.num_nodes(), 2);
+        assert_eq!(g.num_edges(), 0);
+        assert!(g.edges_from(0).is_empty() && g.edges_from(1).is_empty());
+        // Refilling reproduces a fresh network exactly: same handles, no
+        // residue from the previous flow.
+        let e = g.add_edge(0, 1, 4.0, 1.0);
+        assert_eq!(e, 0);
+        assert_eq!(g.flow_on(e), 0.0);
+        assert_eq!(g.residual(e), 4.0);
+        g.rebuild(5);
+        assert_eq!(g.num_nodes(), 5);
+        assert_eq!(g.num_edges(), 0);
     }
 
     #[test]

@@ -59,6 +59,8 @@ pub struct ParametricNetwork {
     sink: usize,
     /// Flow shipped by the probes since the last reset.
     shipped: f64,
+    /// Degree-count scratch reused by [`ParametricNetwork::rebuild`].
+    degree_scratch: Vec<usize>,
 }
 
 impl ParametricNetwork {
@@ -67,15 +69,64 @@ impl ParametricNetwork {
     /// All bin capacities start at zero; set them before the first probe
     /// with [`ParametricNetwork::set_bin_capacities`].
     pub fn new(demands: &[f64], num_bins: usize, routes: Vec<(usize, usize)>) -> Self {
+        let mut p = Self::empty();
+        p.rebuild(demands, num_bins, &routes);
+        p
+    }
+
+    /// An empty network (no sources, no bins, no routes), the starting
+    /// point for [`ParametricNetwork::rebuild`]-driven reuse.
+    pub fn empty() -> Self {
+        ParametricNetwork {
+            num_sources: 0,
+            num_bins: 0,
+            total_demand: 0.0,
+            demands: Vec::new(),
+            routes: Vec::new(),
+            network: FlowNetwork::new(2),
+            bin_edges: Vec::new(),
+            route_edges: Vec::new(),
+            source_edges: Vec::new(),
+            source: 0,
+            sink: 1,
+            shipped: 0.0,
+            degree_scratch: Vec::new(),
+        }
+    }
+
+    /// Rebuilds the network in place for a new shape, **reusing every
+    /// buffer** — the per-event primitive of the incremental solver path.
+    ///
+    /// The result is element-identical to `ParametricNetwork::new(demands,
+    /// num_bins, routes.to_vec())` (same edge sequence, same handles, all
+    /// flow cleared, bin capacities back to zero), but steady-state
+    /// allocation-free: a persistent network spliced from event to event
+    /// produces bit-identical probes to a freshly built one.
+    ///
+    /// ```
+    /// use stretch_flow::{FlowWorkspace, ParametricNetwork};
+    ///
+    /// let mut network = ParametricNetwork::new(&[2.0], 1, vec![(0, 0)]);
+    /// let mut ws = FlowWorkspace::new();
+    /// network.set_bin_capacities(&[2.0]);
+    /// assert!(network.probe_feasible(1e-6, &mut ws));
+    /// // Next event: one more job, one more bin — same buffers.
+    /// network.rebuild(&[2.0, 1.0], 2, &[(0, 0), (1, 1)]);
+    /// network.set_bin_capacities(&[2.0, 1.0]);
+    /// assert!(network.probe_feasible(1e-6, &mut ws));
+    /// ```
+    pub fn rebuild(&mut self, demands: &[f64], num_bins: usize, routes: &[(usize, usize)]) {
         let num_sources = demands.len();
         let source = num_sources + num_bins;
         let sink = source + 1;
-        let mut network = FlowNetwork::new(num_sources + num_bins + 2);
+        self.network.rebuild(num_sources + num_bins + 2);
         // Exact degree counts: bulk construction without reallocation.
-        let mut degrees = vec![0usize; num_sources + num_bins + 2];
+        self.degree_scratch.clear();
+        self.degree_scratch.resize(num_sources + num_bins + 2, 0);
+        let degrees = &mut self.degree_scratch;
         degrees[source] = num_sources;
         degrees[sink] = num_bins;
-        for &(j, b) in &routes {
+        for &(j, b) in routes {
             degrees[j] += 1;
             degrees[num_sources + b] += 1;
         }
@@ -85,43 +136,38 @@ impl ParametricNetwork {
         for degree in degrees[num_sources..num_sources + num_bins].iter_mut() {
             *degree += 1; // sink edge
         }
-        network.reserve(num_sources + num_bins + routes.len(), &degrees);
-        let source_edges = demands
-            .iter()
-            .enumerate()
-            .map(|(j, &d)| {
-                if d > 0.0 {
-                    network.add_edge(source, j, d, 0.0)
-                } else {
-                    usize::MAX
-                }
-            })
-            .collect();
-        let bin_edges = (0..num_bins)
-            .map(|b| network.add_edge(num_sources + b, sink, 0.0, 0.0))
-            .collect();
-        let route_edges = routes
-            .iter()
-            .map(|&(j, b)| {
-                assert!(j < num_sources && b < num_bins, "route out of range");
-                // A route can never carry more than its source's demand.
-                network.add_edge(j, num_sources + b, demands[j], 0.0)
-            })
-            .collect();
-        ParametricNetwork {
-            num_sources,
-            num_bins,
-            total_demand: demands.iter().sum(),
-            demands: demands.to_vec(),
-            routes,
-            network,
-            bin_edges,
-            route_edges,
-            source_edges,
-            source,
-            sink,
-            shipped: 0.0,
+        self.network
+            .reserve(num_sources + num_bins + routes.len(), degrees);
+        self.source_edges.clear();
+        for (j, &d) in demands.iter().enumerate() {
+            self.source_edges.push(if d > 0.0 {
+                self.network.add_edge(source, j, d, 0.0)
+            } else {
+                usize::MAX
+            });
         }
+        self.bin_edges.clear();
+        for b in 0..num_bins {
+            self.bin_edges
+                .push(self.network.add_edge(num_sources + b, sink, 0.0, 0.0));
+        }
+        self.route_edges.clear();
+        for &(j, b) in routes {
+            assert!(j < num_sources && b < num_bins, "route out of range");
+            // A route can never carry more than its source's demand.
+            self.route_edges
+                .push(self.network.add_edge(j, num_sources + b, demands[j], 0.0));
+        }
+        self.num_sources = num_sources;
+        self.num_bins = num_bins;
+        self.total_demand = demands.iter().sum();
+        self.demands.clear();
+        self.demands.extend_from_slice(demands);
+        self.routes.clear();
+        self.routes.extend_from_slice(routes);
+        self.source = source;
+        self.sink = sink;
+        self.shipped = 0.0;
     }
 
     /// Number of sources (jobs).
@@ -515,6 +561,42 @@ mod tests {
         // And an infeasible rebind after seeding is still detected.
         p.set_bin_capacities(&[1.0, 0.5]);
         assert!(!p.probe_feasible(1e-6, &mut ws));
+    }
+
+    #[test]
+    fn rebuilt_networks_probe_identically_to_fresh_ones() {
+        type Shape<'a> = (&'a [f64], usize, &'a [(usize, usize)]);
+        let shapes: [Shape; 3] = [
+            (&[2.0, 3.0], 2, &[(0, 0), (0, 1), (1, 1)]),
+            (&[1.0], 1, &[(0, 0)]),
+            (&[2.0, 0.0, 4.0], 3, &[(0, 0), (1, 1), (2, 1), (2, 2)]),
+        ];
+        let mut reused = ParametricNetwork::empty();
+        let mut ws = FlowWorkspace::new();
+        for (demands, num_bins, routes) in shapes {
+            reused.rebuild(demands, num_bins, routes);
+            let mut fresh = ParametricNetwork::new(demands, num_bins, routes.to_vec());
+            assert_eq!(reused.num_sources(), fresh.num_sources());
+            assert_eq!(reused.num_bins(), fresh.num_bins());
+            assert_eq!(
+                reused.total_demand().to_bits(),
+                fresh.total_demand().to_bits()
+            );
+            let caps: Vec<f64> = (0..num_bins).map(|b| 1.5 + b as f64).collect();
+            reused.set_bin_capacities(&caps);
+            fresh.set_bin_capacities(&caps);
+            assert_eq!(
+                reused.probe_feasible(1e-6, &mut ws),
+                fresh.probe_feasible(1e-6, &mut FlowWorkspace::new())
+            );
+            for idx in 0..routes.len() {
+                assert_eq!(
+                    reused.flow_on_route(idx).to_bits(),
+                    fresh.flow_on_route(idx).to_bits(),
+                    "route {idx} flow diverged after rebuild"
+                );
+            }
+        }
     }
 
     #[test]

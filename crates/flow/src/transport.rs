@@ -28,6 +28,55 @@ pub struct TransportInstance {
     stable_keys: Option<(Vec<u64>, Vec<u64>)>,
 }
 
+/// Persistent construction scratch for repeated transportation solves: the
+/// flow network, the degree counts, the route-edge handles and the key
+/// buffer a solve would otherwise allocate afresh.
+///
+/// An arena makes [`TransportInstance::solve_min_cost_in`] allocation-free
+/// at steady state — the incremental event path of the scheduling layer
+/// holds one arena per solver and rebuilds the network into it at every
+/// event.  The network built into an arena is **element-identical** to the
+/// one a from-scratch solve builds (same node count, same
+/// [`FlowNetwork::add_edge`] sequence, same capacities and costs), so
+/// routing a solve through an arena never changes its result — only where
+/// the memory comes from.
+///
+/// ```
+/// use stretch_flow::{FlowWorkspace, PrimalDualBackend, TransportArena, TransportInstance};
+///
+/// let mut t = TransportInstance::new(1, 2);
+/// t.set_demand(0, 4.0);
+/// t.set_capacity(0, 3.0);
+/// t.set_capacity(1, 3.0);
+/// t.add_route(0, 0, 1.0);
+/// t.add_route(0, 1, 10.0);
+/// let mut arena = TransportArena::default();
+/// let mut ws = FlowWorkspace::new();
+/// let sol = t
+///     .solve_min_cost_in(&mut PrimalDualBackend, &mut ws, &mut arena)
+///     .expect("feasible");
+/// // Identical to the allocating path, reusable for the next event.
+/// assert_eq!(
+///     sol.cost.to_bits(),
+///     t.solve_min_cost().expect("feasible").cost.to_bits()
+/// );
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct TransportArena {
+    network: FlowNetwork,
+    degrees: Vec<usize>,
+    route_edges: Vec<usize>,
+    keys: Vec<u64>,
+}
+
+impl TransportArena {
+    /// Creates an empty arena; buffers grow on first use and are reused
+    /// afterwards.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Solution of a transportation instance.
 #[derive(Clone, Debug)]
 pub struct TransportSolution {
@@ -99,6 +148,39 @@ impl TransportInstance {
         self.stable_keys = Some((source_keys, bin_keys));
     }
 
+    /// [`TransportInstance::set_stable_keys`] copying from slices into the
+    /// instance's existing key buffers — the allocation-free variant for
+    /// callers that [`TransportInstance::reset`] and refill one persistent
+    /// instance per event.
+    pub fn set_stable_keys_from(&mut self, source_keys: &[u64], bin_keys: &[u64]) {
+        assert_eq!(source_keys.len(), self.num_sources(), "one key per source");
+        assert_eq!(bin_keys.len(), self.num_bins(), "one key per bin");
+        let (sources, bins) = self
+            .stable_keys
+            .get_or_insert_with(|| (Vec::new(), Vec::new()));
+        sources.clear();
+        sources.extend_from_slice(source_keys);
+        bins.clear();
+        bins.extend_from_slice(bin_keys);
+    }
+
+    /// Clears the instance down to `num_sources` zero-demand sources and
+    /// `num_bins` zero-capacity bins with no routes, **reusing every
+    /// buffer** — the in-place counterpart of [`TransportInstance::new`]
+    /// for callers refilling one persistent instance per event.
+    ///
+    /// Stable keys are kept until overwritten: a caller routing solves
+    /// through [`TransportInstance::set_stable_keys_from`] must re-set them
+    /// after every reset (the scheduling layer does), since the previous
+    /// event's keys are meaningless against the new shape.
+    pub fn reset(&mut self, num_sources: usize, num_bins: usize) {
+        self.demands.clear();
+        self.demands.resize(num_sources, 0.0);
+        self.capacities.clear();
+        self.capacities.resize(num_bins, 0.0);
+        self.routes.clear();
+    }
+
     /// Number of sources (jobs).
     pub fn num_sources(&self) -> usize {
         self.demands.len()
@@ -149,14 +231,28 @@ impl TransportInstance {
     }
 
     fn build_network(&self) -> (FlowNetwork, Vec<usize>, usize, usize) {
+        let mut arena = TransportArena::new();
+        let (source, sink) = self.build_network_into(&mut arena);
+        (arena.network, arena.route_edges, source, sink)
+    }
+
+    /// Builds the residual network into `arena`, reusing its buffers.
+    ///
+    /// The construction sequence is the single source of truth for *every*
+    /// solve path (fresh or arena-reusing): exact degree counts, source
+    /// edges for positive demands, sink edges for positive capacities, then
+    /// one route edge per declared route, capped at its source's demand.
+    fn build_network_into(&self, arena: &mut TransportArena) -> (usize, usize) {
         let ns = self.num_sources();
         let nb = self.num_bins();
         let source = ns + nb;
         let sink = ns + nb + 1;
-        let mut g = FlowNetwork::new(ns + nb + 2);
+        arena.network.rebuild(ns + nb + 2);
         // Exact degree counts: the network is rebuilt per solve, so bulk
         // construction without adjacency reallocation matters on hot paths.
-        let mut degrees = vec![0usize; ns + nb + 2];
+        arena.degrees.clear();
+        arena.degrees.resize(ns + nb + 2, 0);
+        let degrees = &mut arena.degrees;
         degrees[source] = ns;
         degrees[sink] = nb;
         for degree in degrees[..ns].iter_mut() {
@@ -169,7 +265,8 @@ impl TransportInstance {
             degrees[j] += 1;
             degrees[ns + b] += 1;
         }
-        g.reserve(ns + nb + self.routes.len(), &degrees);
+        let g = &mut arena.network;
+        g.reserve(ns + nb + self.routes.len(), degrees);
         for (j, &d) in self.demands.iter().enumerate() {
             if d > 0.0 {
                 g.add_edge(source, j, d, 0.0);
@@ -180,15 +277,16 @@ impl TransportInstance {
                 g.add_edge(ns + b, sink, c, 0.0);
             }
         }
-        let mut route_edges = Vec::with_capacity(self.routes.len());
+        arena.route_edges.clear();
+        arena.route_edges.reserve(self.routes.len());
         for &(j, b, cost) in &self.routes {
             // A route can never carry more than its source's demand; using the
             // demand as capacity (instead of "infinity") keeps `flow_on`
             // numerically exact.
             let cap = self.demands[j];
-            route_edges.push(g.add_edge(j, ns + b, cap, cost));
+            arena.route_edges.push(g.add_edge(j, ns + b, cap, cost));
         }
-        (g, route_edges, source, sink)
+        (source, sink)
     }
 
     /// Maximum total amount that can be shipped (regardless of cost).
@@ -249,31 +347,50 @@ impl TransportInstance {
         backend: &mut dyn MinCostBackend,
         workspace: &mut FlowWorkspace,
     ) -> Option<TransportSolution> {
+        self.solve_min_cost_in(backend, workspace, &mut TransportArena::new())
+    }
+
+    /// [`TransportInstance::solve_min_cost_with_backend`] building the
+    /// network into a caller-held [`TransportArena`] instead of fresh
+    /// allocations.
+    ///
+    /// Bit-identical to the allocating path by construction — both build
+    /// the network through the same edge sequence and run the same backend
+    /// call — but allocation-free at steady state, which is what makes the
+    /// incremental event path of the scheduling layer cheaper than a warm
+    /// from-scratch solve.
+    pub fn solve_min_cost_in(
+        &self,
+        backend: &mut dyn MinCostBackend,
+        workspace: &mut FlowWorkspace,
+        arena: &mut TransportArena,
+    ) -> Option<TransportSolution> {
         if self.routes.iter().all(|&(_, _, cost)| cost == 0.0) {
             return self.solve_feasible_with(workspace);
         }
         if let Some((source_keys, bin_keys)) = &self.stable_keys {
-            // Node order mirrors `build_network`: sources, bins, then the
-            // two artificial endpoints under their reserved keys.
-            let mut keys = Vec::with_capacity(source_keys.len() + bin_keys.len() + 2);
-            keys.extend_from_slice(source_keys);
-            keys.extend_from_slice(bin_keys);
-            keys.push(crate::backend::KEY_SUPER_SOURCE);
-            keys.push(crate::backend::KEY_SUPER_SINK);
-            backend.warm_hint(&keys);
+            // Node order mirrors `build_network_into`: sources, bins, then
+            // the two artificial endpoints under their reserved keys.
+            arena.keys.clear();
+            arena.keys.reserve(source_keys.len() + bin_keys.len() + 2);
+            arena.keys.extend_from_slice(source_keys);
+            arena.keys.extend_from_slice(bin_keys);
+            arena.keys.push(crate::backend::KEY_SUPER_SOURCE);
+            arena.keys.push(crate::backend::KEY_SUPER_SINK);
+            backend.warm_hint(&arena.keys);
         }
-        let (mut g, route_edges, s, t) = self.build_network();
+        let (s, t) = self.build_network_into(arena);
         let demand = self.total_demand();
         // Stopping a hair under the demand keeps the min-cost-per-value
         // invariant while skipping the final no-augmenting-path search; the
         // missing sliver is far below every downstream tolerance.
         let target = demand - FLOW_EPS.max(demand * 1e-12);
-        let r = backend.solve_up_to(&mut g, s, t, target, workspace);
+        let r = backend.solve_up_to(&mut arena.network, s, t, target, workspace);
         let tol = 1e-6_f64.max(demand * 1e-9);
         if r.flow < demand - tol {
             return None;
         }
-        Some(self.extract_solution(&g, &route_edges, r.cost, r.flow))
+        Some(self.extract_solution(&arena.network, &arena.route_edges, r.cost, r.flow))
     }
 
     /// Ships every demand ignoring costs (all-zero objective): a pure
@@ -369,6 +486,67 @@ mod tests {
         t.set_capacity(0, 1.0);
         t.add_route(0, 0, 1.0);
         assert!(t.solve_min_cost().is_none());
+    }
+
+    #[test]
+    fn arena_solves_match_fresh_solves_bitwise_across_reuse() {
+        use crate::backend::PrimalDualBackend;
+        let mut arena = TransportArena::new();
+        let mut ws = FlowWorkspace::new();
+        let mut t = TransportInstance::new(0, 0);
+        // Three "events" of different shapes through one persistent
+        // instance + arena, each compared bitwise against a fresh solve.
+        for event in 0..3usize {
+            let (ns, nb) = (1 + event, 2 + event);
+            t.reset(ns, nb);
+            let mut fresh = TransportInstance::new(ns, nb);
+            for j in 0..ns {
+                t.set_demand(j, 1.0 + j as f64);
+                fresh.set_demand(j, 1.0 + j as f64);
+            }
+            for b in 0..nb {
+                t.set_capacity(b, 2.5);
+                fresh.set_capacity(b, 2.5);
+            }
+            for j in 0..ns {
+                for b in 0..nb {
+                    let cost = 1.0 + (j * nb + b) as f64;
+                    t.add_route(j, b, cost);
+                    fresh.add_route(j, b, cost);
+                }
+            }
+            let keys: Vec<u64> = (0..ns as u64).collect();
+            let bin_keys: Vec<u64> = (100..100 + nb as u64).collect();
+            t.set_stable_keys_from(&keys, &bin_keys);
+            fresh.set_stable_keys(keys.clone(), bin_keys.clone());
+            let reused = t
+                .solve_min_cost_in(&mut PrimalDualBackend, &mut ws, &mut arena)
+                .expect("feasible");
+            let scratch = fresh
+                .solve_min_cost_with_backend(&mut PrimalDualBackend, &mut FlowWorkspace::new())
+                .expect("feasible");
+            assert_eq!(reused.cost.to_bits(), scratch.cost.to_bits());
+            assert_eq!(reused.shipped.to_bits(), scratch.shipped.to_bits());
+            assert_eq!(reused.allocations.len(), scratch.allocations.len());
+            for (a, b) in reused.allocations.iter().zip(&scratch.allocations) {
+                assert_eq!((a.0, a.1), (b.0, b.1));
+                assert_eq!(a.2.to_bits(), b.2.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn reset_clears_quantities_and_routes_but_keeps_buffers_usable() {
+        let mut t = TransportInstance::new(2, 2);
+        t.set_demand(0, 3.0);
+        t.set_capacity(1, 4.0);
+        t.add_route(0, 1, 1.0);
+        t.reset(1, 3);
+        assert_eq!(t.num_sources(), 1);
+        assert_eq!(t.num_bins(), 3);
+        assert_eq!(t.demand(0), 0.0);
+        assert_eq!(t.capacity(1), 0.0);
+        assert!(t.routes().is_empty());
     }
 
     #[test]

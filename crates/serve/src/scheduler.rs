@@ -107,6 +107,7 @@ impl std::error::Error for SolveFailure {}
 pub struct ServeScheduler {
     sites: SiteView,
     warm_start: bool,
+    incremental: bool,
     jobs: Vec<AcceptedJob>,
     remaining: Vec<f64>,
     completions: Vec<f64>,
@@ -127,12 +128,14 @@ pub struct ServeScheduler {
 }
 
 impl ServeScheduler {
-    /// A fresh scheduler over `sites`; `warm_start` is forwarded to every
-    /// tier's solver (performance only — results are warm/cold identical).
-    pub fn new(sites: SiteView, warm_start: bool) -> Self {
+    /// A fresh scheduler over `sites`; `warm_start` and `incremental` are
+    /// forwarded to every tier's solver (performance only — results are
+    /// warm/cold and incremental/rebuild identical).
+    pub fn new(sites: SiteView, warm_start: bool, incremental: bool) -> Self {
         ServeScheduler {
             sites,
             warm_start,
+            incremental,
             jobs: Vec::new(),
             remaining: Vec::new(),
             completions: Vec::new(),
@@ -277,10 +280,12 @@ impl ServeScheduler {
             });
         };
         let warm_start = self.warm_start;
+        let incremental = self.incremental;
         let solver = self.solvers[tier.code() as usize].get_or_insert_with(|| {
             ParametricDeadlineSolver::with_config(SolverConfig {
                 backend,
                 warm_start,
+                incremental,
             })
         });
         let best = solver
@@ -354,7 +359,12 @@ impl ServeScheduler {
     #[cfg(feature = "invariant-audit")]
     fn audit_digest_round_trip(&self, context: &str) {
         let digest = self.state_digest();
-        let restored = Self::from_state(self.sites.clone(), self.warm_start, self.export_state());
+        let restored = Self::from_state(
+            self.sites.clone(),
+            self.warm_start,
+            self.incremental,
+            self.export_state(),
+        );
         let round_trip = restored.state_digest();
         if digest != round_trip {
             stretch_flow::audit::fail(
@@ -500,15 +510,21 @@ impl ServeScheduler {
     }
 
     /// Rebuilds a scheduler from an exported state.  The caller supplies
-    /// `sites` (reconstructed from the platform — it is not serialized) and
-    /// `warm_start`; solvers restart cold, which is output-identical by the
-    /// warm/cold contract.
+    /// `sites` (reconstructed from the platform — it is not serialized),
+    /// `warm_start` and `incremental`; solvers restart cold and unprimed,
+    /// which is output-identical by the warm/cold and incremental/rebuild
+    /// contracts.
     ///
     /// The active decision's `DeadlineProblem` is rebuilt by *struct
     /// literal*, not `DeadlineProblem::new` — the constructor filters
     /// near-complete jobs, which would shift pending indices and corrupt
     /// the frozen plan.
-    pub fn from_state(sites: SiteView, warm_start: bool, state: SchedulerState) -> Self {
+    pub fn from_state(
+        sites: SiteView,
+        warm_start: bool,
+        incremental: bool,
+        state: SchedulerState,
+    ) -> Self {
         let active = state.active.map(|d| PreparedDecision {
             tier: d.tier,
             problem: DeadlineProblem {
@@ -525,6 +541,7 @@ impl ServeScheduler {
         ServeScheduler {
             sites,
             warm_start,
+            incremental,
             jobs: state.jobs,
             remaining: state.remaining,
             completions: state.completions,
@@ -573,7 +590,7 @@ mod tests {
     use stretch_platform::fixtures::small_platform;
 
     fn scheduler() -> ServeScheduler {
-        ServeScheduler::new(SiteView::of_platform(&small_platform()), true)
+        ServeScheduler::new(SiteView::of_platform(&small_platform()), true, true)
     }
 
     #[test]
@@ -647,7 +664,7 @@ mod tests {
 
         let state = live.export_state();
         let mut restored =
-            ServeScheduler::from_state(SiteView::of_platform(&small_platform()), true, state);
+            ServeScheduler::from_state(SiteView::of_platform(&small_platform()), true, true, state);
         assert_eq!(restored.state_digest(), live.state_digest());
         assert_eq!(restored.decisions(), live.decisions());
         assert!(restored.has_active());

@@ -598,8 +598,11 @@ impl StretchServe {
     }
 
     fn assemble(platform: Platform, config: ServeConfig, journal: SegmentedJournal) -> Self {
-        let scheduler =
-            ServeScheduler::new(SiteView::of_platform(&platform), config.solver.warm_start);
+        let scheduler = ServeScheduler::new(
+            SiteView::of_platform(&platform),
+            config.solver.warm_start,
+            config.solver.incremental,
+        );
         let dlq = DeadLetterQueue::new(config.dlq_capacity);
         StretchServe {
             platform,
@@ -754,6 +757,7 @@ impl StretchServe {
         let mut scheduler = ServeScheduler::from_state(
             SiteView::of_platform(platform),
             config.solver.warm_start,
+            config.solver.incremental,
             snap.state,
         );
         let actual = scheduler.state_digest();
@@ -838,8 +842,11 @@ impl StretchServe {
         scan: &SegmentScan,
         chain: &[u64],
     ) -> Result<Recovered, RecoverError> {
-        let mut scheduler =
-            ServeScheduler::new(SiteView::of_platform(platform), config.solver.warm_start);
+        let mut scheduler = ServeScheduler::new(
+            SiteView::of_platform(platform),
+            config.solver.warm_start,
+            config.solver.incremental,
+        );
         let mut seq = 0u64;
         let segments: Vec<(u64, bool)> = chain
             .iter()

@@ -640,7 +640,11 @@ pub fn replay(
     if !trace.is_sealed() {
         return Err(ReplayError::Unsealed);
     }
-    let mut scheduler = ServeScheduler::new(SiteView::of_platform(platform), solver.warm_start);
+    let mut scheduler = ServeScheduler::new(
+        SiteView::of_platform(platform),
+        solver.warm_start,
+        solver.incremental,
+    );
     let tier = SolveTier::of_backend(solver.backend);
     let decide = |scheduler: &mut ServeScheduler| {
         match scheduler.try_solve(tier) {
@@ -728,6 +732,7 @@ pub fn replay_matrix(
             let config = SolverConfig {
                 backend,
                 warm_start,
+                incremental: true,
             };
             let outcome = replay(trace, platform, config)?;
             rows.push((config, outcome));

@@ -98,6 +98,7 @@ fn suffix_only_replay_matches_uninterrupted_run_on_every_backend() {
             let solver = SolverConfig {
                 backend,
                 warm_start,
+                incremental: true,
             };
             let config = rotated_config(solver, 4, 3);
             let name = format!("suffix-{}-{warm_start}", backend.name());

@@ -69,6 +69,7 @@ fn service_matches_run_online_on_every_backend_warm_and_cold() {
             let solver = SolverConfig {
                 backend,
                 warm_start,
+                incremental: true,
             };
             let expected = run_online_with(&instance, OnlineVariant::Online, solver).unwrap();
             let path = tmp(&format!("diff-{}-{warm_start}", backend.name()));
@@ -127,6 +128,7 @@ fn chaos_fallbacks_are_journaled_and_replayed() {
     let mut config = lenient(SolverConfig {
         backend: BackendKind::Monge,
         warm_start: true,
+        incremental: true,
     });
     config.chaos_tier_failures = vec![
         (0, SolveTier::Monge),
@@ -296,6 +298,7 @@ fn recorded_traces_replay_deterministically_across_the_backend_matrix() {
     let recording = SolverConfig {
         backend: BackendKind::Monge,
         warm_start: true,
+        incremental: true,
     };
     let (recorded, sealed_digest) = record_trace("generic", &instance, recording);
     let matrix = trace::replay_matrix(&recorded, &instance.platform).unwrap();
@@ -361,6 +364,7 @@ fn unique_optima_streams_replay_identically_in_every_matrix_cell() {
         SolverConfig {
             backend: BackendKind::PrimalDual,
             warm_start: true,
+            incremental: true,
         },
     );
     let matrix = trace::replay_matrix(&recorded, &instance.platform).unwrap();
